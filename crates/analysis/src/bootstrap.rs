@@ -1,0 +1,150 @@
+//! Bootstrap resampling for uncertainty quantification.
+//!
+//! The methodology replaces on-the-fly standard deviations with offline
+//! uncertainty estimates over the retained raw data; percentile bootstrap
+//! intervals make no normality assumption, which matters because the whole
+//! point of the paper is that benchmark distributions are *not* normal
+//! (bimodal scheduler modes, heteroscedastic protocol regimes, …).
+
+use crate::error::AnalysisError;
+use crate::error::ensure_sample;
+use crate::Result;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (statistic of the original sample).
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level used.
+    pub level: f64,
+}
+
+/// Computes a percentile bootstrap CI for an arbitrary statistic.
+///
+/// * `stat` — the statistic (e.g. `|xs| charm_analysis::descriptive::median(xs).unwrap()`);
+/// * `reps` — number of bootstrap resamples (≥ 100 recommended);
+/// * `level` — confidence level in `(0, 1)`;
+/// * `seed` — RNG seed; results are fully deterministic given the seed.
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    stat: F,
+    reps: usize,
+    level: f64,
+    seed: u64,
+) -> Result<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    ensure_sample(xs)?;
+    if reps < 10 {
+        return Err(AnalysisError::InvalidParameter("bootstrap needs >= 10 reps"));
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(AnalysisError::InvalidParameter("confidence level must be in (0,1)"));
+    }
+    let estimate = stat(xs);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = xs.len();
+    let mut resample = vec![0.0; n];
+    let mut stats = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.random_range(0..n)];
+        }
+        stats.push(stat(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::descriptive::quantile_sorted(&stats, alpha);
+    let hi = crate::descriptive::quantile_sorted(&stats, 1.0 - alpha);
+    Ok(BootstrapCi { estimate, lo, hi, level })
+}
+
+/// Bootstrap CI of the mean.
+pub fn mean_ci(xs: &[f64], reps: usize, level: f64, seed: u64) -> Result<BootstrapCi> {
+    bootstrap_ci(xs, |s| s.iter().sum::<f64>() / s.len() as f64, reps, level, seed)
+}
+
+/// Bootstrap CI of the median.
+pub fn median_ci(xs: &[f64], reps: usize, level: f64, seed: u64) -> Result<BootstrapCi> {
+    bootstrap_ci(
+        xs,
+        |s| {
+            let mut v = s.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+            crate::descriptive::quantile_sorted(&v, 0.5)
+        },
+        reps,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 13) as f64).collect();
+        let a = mean_ci(&xs, 200, 0.95, 42).unwrap();
+        let b = mean_ci(&xs, 200, 0.95, 42).unwrap();
+        assert_eq!(a, b);
+        let c = mean_ci(&xs, 200, 0.95, 43).unwrap();
+        assert!(a.lo != c.lo || a.hi != c.hi);
+    }
+
+    #[test]
+    fn interval_contains_estimate() {
+        let xs: Vec<f64> = (0..60).map(|i| 10.0 + (i % 9) as f64).collect();
+        let ci = mean_ci(&xs, 500, 0.95, 7).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+    }
+
+    #[test]
+    fn constant_sample_zero_width() {
+        let xs = [4.0; 20];
+        let ci = mean_ci(&xs, 100, 0.95, 1).unwrap();
+        assert_eq!(ci.lo, 4.0);
+        assert_eq!(ci.hi, 4.0);
+    }
+
+    #[test]
+    fn wider_interval_at_higher_level() {
+        let xs: Vec<f64> = (0..40).map(|i| ((i * 7919) % 100) as f64).collect();
+        let ci90 = mean_ci(&xs, 1000, 0.90, 5).unwrap();
+        let ci99 = mean_ci(&xs, 1000, 0.99, 5).unwrap();
+        assert!(ci99.hi - ci99.lo >= ci90.hi - ci90.lo);
+    }
+
+    #[test]
+    fn median_ci_brackets_true_median() {
+        let xs: Vec<f64> = (0..99).map(|i| i as f64).collect();
+        let ci = median_ci(&xs, 500, 0.95, 11).unwrap();
+        assert!(ci.lo <= 49.0 && 49.0 <= ci.hi);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let xs = [1.0, 2.0];
+        assert!(mean_ci(&xs, 5, 0.95, 0).is_err());
+        assert!(mean_ci(&xs, 100, 1.5, 0).is_err());
+        assert!(mean_ci(&[], 100, 0.95, 0).is_err());
+    }
+
+    #[test]
+    fn mean_ci_shrinks_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| ((i * 31) % 17) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| ((i * 31) % 17) as f64).collect();
+        let ci_s = mean_ci(&small, 300, 0.95, 3).unwrap();
+        let ci_l = mean_ci(&large, 300, 0.95, 3).unwrap();
+        assert!(ci_l.hi - ci_l.lo < ci_s.hi - ci_s.lo);
+    }
+}

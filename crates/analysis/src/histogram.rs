@@ -1,0 +1,235 @@
+//! Fixed-width histograms with automatic bin-count rules.
+
+use crate::descriptive::{quantile_sorted, Summary};
+use crate::error::{ensure_sample, AnalysisError};
+use crate::Result;
+
+/// Rule used to choose the number of histogram bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinRule {
+    /// Sturges' rule: `ceil(log2 n) + 1`.
+    Sturges,
+    /// Freedman–Diaconis: bin width `2·IQR·n^(−1/3)`; robust to outliers.
+    FreedmanDiaconis,
+    /// Exactly this many bins.
+    Fixed(usize),
+}
+
+/// A histogram over `[min, max]` with equal-width bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `xs` using `rule` to pick the bin count.
+    pub fn new(xs: &[f64], rule: BinRule) -> Result<Self> {
+        ensure_sample(xs)?;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        let n = xs.len();
+        let bins = match rule {
+            BinRule::Fixed(0) => return Err(AnalysisError::InvalidParameter("zero bins")),
+            BinRule::Fixed(k) => k,
+            BinRule::Sturges => (n as f64).log2().ceil() as usize + 1,
+            BinRule::FreedmanDiaconis => {
+                let iqr = quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25);
+                if iqr <= 0.0 || hi == lo {
+                    1
+                } else {
+                    let width = 2.0 * iqr / (n as f64).cbrt();
+                    (((hi - lo) / width).ceil() as usize).max(1)
+                }
+            }
+        };
+        let mut h = Histogram { lo, hi, counts: vec![0; bins.max(1)], n: 0 };
+        for &x in xs {
+            h.insert(x);
+        }
+        Ok(h)
+    }
+
+    fn bin_index(&self, x: f64) -> usize {
+        let k = self.counts.len();
+        if self.hi == self.lo {
+            return 0;
+        }
+        let t = (x - self.lo) / (self.hi - self.lo);
+        ((t * k as f64) as usize).min(k - 1)
+    }
+
+    fn insert(&mut self, x: f64) {
+        let idx = self.bin_index(x);
+        self.counts[idx] += 1;
+        self.n += 1;
+    }
+
+    /// Per-bin counts, left to right.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.n
+    }
+
+    /// `(left_edge, right_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let k = self.counts.len() as f64;
+        let w = (self.hi - self.lo) / k;
+        (self.lo + w * i as f64, self.lo + w * (i as f64 + 1.0))
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Count of local maxima in the (lightly smoothed) bin profile: a crude
+    /// peak count used as a first-pass multimodality screen before the more
+    /// careful [`crate::modes`] machinery runs.
+    pub fn peak_count(&self) -> usize {
+        let k = self.counts.len();
+        if k < 3 {
+            return usize::from(self.n > 0);
+        }
+        // 3-bin moving average to suppress single-bin jitter.
+        let smooth: Vec<f64> = (0..k)
+            .map(|i| {
+                let a = if i > 0 { self.counts[i - 1] } else { 0 } as f64;
+                let b = self.counts[i] as f64;
+                let c = if i + 1 < k { self.counts[i + 1] } else { 0 } as f64;
+                (a + b + c) / 3.0
+            })
+            .collect();
+        let mut peaks = 0;
+        for i in 0..k {
+            let left = if i == 0 { f64::NEG_INFINITY } else { smooth[i - 1] };
+            let right = if i + 1 == k { f64::NEG_INFINITY } else { smooth[i + 1] };
+            if smooth[i] > left && smooth[i] >= right && smooth[i] > 0.0 {
+                peaks += 1;
+            }
+        }
+        peaks
+    }
+
+    /// Renders a textual sparkline of the histogram (one char per bin),
+    /// used by the ASCII reports of the bench binaries.
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    ' '
+                } else {
+                    let lvl = (c * (LEVELS.len() as u64 - 1)).div_ceil(max);
+                    LEVELS[lvl as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+/// Convenience: build a histogram and its summary together.
+pub fn describe(xs: &[f64], rule: BinRule) -> Result<(Summary, Histogram)> {
+    Ok((Summary::of(xs)?, Histogram::new(xs, rule)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_n() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::new(&xs, BinRule::Fixed(10)).unwrap();
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts().iter().sum::<u64>(), 100);
+        assert_eq!(h.num_bins(), 10);
+        // uniform data -> 10 per bin
+        assert!(h.counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let h = Histogram::new(&[0.0, 10.0], BinRule::Fixed(5)).unwrap();
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.counts()[0], 1);
+    }
+
+    #[test]
+    fn constant_sample_single_bin_ok() {
+        let h = Histogram::new(&[2.0; 7], BinRule::FreedmanDiaconis).unwrap();
+        assert_eq!(h.num_bins(), 1);
+        assert_eq!(h.counts()[0], 7);
+    }
+
+    #[test]
+    fn sturges_bin_count() {
+        let xs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let h = Histogram::new(&xs, BinRule::Sturges).unwrap();
+        assert_eq!(h.num_bins(), 7); // log2(64)=6, +1
+    }
+
+    #[test]
+    fn bin_edges_tile_the_range() {
+        let xs = [0.0, 100.0];
+        let h = Histogram::new(&xs, BinRule::Fixed(4)).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 25.0));
+        assert_eq!(h.bin_edges(3), (75.0, 100.0));
+    }
+
+    #[test]
+    fn unimodal_has_one_peak_bimodal_two() {
+        // Uniform block over 7 adjacent bins -> exactly one (plateau) peak.
+        let uni: Vec<f64> = (0..70).map(|i| (i % 7) as f64).collect();
+        let h1 = Histogram::new(&uni, BinRule::Fixed(7)).unwrap();
+        assert_eq!(h1.peak_count(), 1);
+
+        // Two blocks of adjacent values far apart -> two peaks.
+        let bi: Vec<f64> = (0..70)
+            .map(|i| if i % 2 == 0 { (i % 5) as f64 } else { 20.0 + (i % 5) as f64 })
+            .collect();
+        let h2 = Histogram::new(&bi, BinRule::Fixed(25)).unwrap();
+        assert_eq!(h2.peak_count(), 2);
+    }
+
+    #[test]
+    fn mode_bin_finds_heaviest() {
+        let xs = [1.0, 5.0, 5.1, 5.2, 9.0];
+        let h = Histogram::new(&xs, BinRule::Fixed(8)).unwrap();
+        let m = h.mode_bin();
+        let (lo, hi) = h.bin_edges(m);
+        assert!(lo <= 5.1 && 5.1 <= hi);
+    }
+
+    #[test]
+    fn sparkline_length_matches_bins() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let h = Histogram::new(&xs, BinRule::Fixed(12)).unwrap();
+        assert_eq!(h.sparkline().chars().count(), 12);
+    }
+
+    #[test]
+    fn fixed_zero_bins_rejected() {
+        assert!(Histogram::new(&[1.0], BinRule::Fixed(0)).is_err());
+    }
+}

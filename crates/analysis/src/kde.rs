@@ -1,0 +1,164 @@
+//! Gaussian kernel density estimation.
+//!
+//! The mode analyses of [`crate::modes`] make binary calls; a KDE draws
+//! the full picture for the analyst — the paper's methodology keeps the
+//! human in the loop, and a density curve over the retained raw data is
+//! the natural artifact to look at when a cell is suspected bimodal
+//! (Figure 11's two humps).
+
+use crate::descriptive;
+use crate::error::{ensure_sample, AnalysisError};
+use crate::Result;
+
+/// A fitted Gaussian KDE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+/// Bandwidth selection rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bandwidth {
+    /// Silverman's rule of thumb:
+    /// `0.9 · min(sd, IQR/1.34) · n^(−1/5)` — robust to mild bimodality.
+    Silverman,
+    /// A fixed bandwidth.
+    Fixed(f64),
+}
+
+impl Kde {
+    /// Fits a KDE to the sample.
+    pub fn fit(xs: &[f64], bandwidth: Bandwidth) -> Result<Self> {
+        ensure_sample(xs)?;
+        if xs.len() < 2 {
+            return Err(AnalysisError::TooFewObservations { needed: 2, got: xs.len() });
+        }
+        let h = match bandwidth {
+            Bandwidth::Fixed(h) if h > 0.0 => h,
+            Bandwidth::Fixed(_) => {
+                return Err(AnalysisError::InvalidParameter("bandwidth must be positive"))
+            }
+            Bandwidth::Silverman => {
+                let sd = descriptive::std_dev(xs)?;
+                let iqr = descriptive::quantile(xs, 0.75)? - descriptive::quantile(xs, 0.25)?;
+                let scale = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+                let h = 0.9 * scale * (xs.len() as f64).powf(-0.2);
+                if h <= 0.0 {
+                    // constant sample: any positive bandwidth gives a spike
+                    1e-9
+                } else {
+                    h
+                }
+            }
+        };
+        Ok(Kde { samples: xs.to_vec(), bandwidth: h })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.samples.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.samples
+            .iter()
+            .map(|&s| {
+                let u = (x - s) / h;
+                (-0.5 * u * u).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluates the density on a uniform grid of `n` points spanning the
+    /// sample range padded by 3 bandwidths on both sides.
+    pub fn grid(&self, n: usize) -> Vec<(f64, f64)> {
+        let n = n.max(2);
+        let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min)
+            - 3.0 * self.bandwidth;
+        let hi = self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            + 3.0 * self.bandwidth;
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+
+    /// Local maxima of the density on an `n`-point grid — the visible
+    /// modes.
+    pub fn modes(&self, n: usize) -> Vec<f64> {
+        let g = self.grid(n.max(8));
+        let mut out = Vec::new();
+        for i in 1..g.len() - 1 {
+            if g[i].1 > g[i - 1].1 && g[i].1 >= g[i + 1].1 && g[i].1 > 1e-300 {
+                out.push(g[i].0);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
+        let g = kde.grid(2000);
+        let dx = g[1].0 - g[0].0;
+        let integral: f64 = g.iter().map(|&(_, d)| d * dx).sum();
+        assert!((integral - 1.0).abs() < 0.02, "integral = {integral}");
+    }
+
+    #[test]
+    fn unimodal_sample_one_mode() {
+        let xs: Vec<f64> = (0..100)
+            .map(|i| 10.0 + ((i * 37) % 11) as f64 * 0.2)
+            .collect();
+        let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
+        assert_eq!(kde.modes(256).len(), 1, "modes: {:?}", kde.modes(256));
+    }
+
+    #[test]
+    fn figure11_mixture_two_modes() {
+        let mut xs: Vec<f64> = (0..30).map(|i| 300.0 + (i % 5) as f64 * 4.0).collect();
+        xs.extend((0..90).map(|i| 1500.0 + (i % 7) as f64 * 8.0));
+        let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
+        let modes = kde.modes(512);
+        assert_eq!(modes.len(), 2, "modes: {modes:?}");
+        assert!((modes[0] - 305.0).abs() < 60.0);
+        assert!((modes[1] - 1520.0).abs() < 120.0);
+    }
+
+    #[test]
+    fn fixed_bandwidth_smooths_more() {
+        let mut xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        xs.extend((0..20).map(|i| 100.0 + i as f64));
+        let narrow = Kde::fit(&xs, Bandwidth::Fixed(5.0)).unwrap();
+        let wide = Kde::fit(&xs, Bandwidth::Fixed(100.0)).unwrap();
+        assert_eq!(narrow.modes(512).len(), 2);
+        assert_eq!(wide.modes(512).len(), 1, "huge bandwidth merges the humps");
+    }
+
+    #[test]
+    fn density_peaks_near_mass() {
+        let xs = vec![5.0; 30];
+        let kde = Kde::fit(&xs, Bandwidth::Fixed(0.5)).unwrap();
+        assert!(kde.density(5.0) > kde.density(7.0) * 10.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(Kde::fit(&[], Bandwidth::Silverman).is_err());
+        assert!(Kde::fit(&[1.0], Bandwidth::Silverman).is_err());
+        assert!(Kde::fit(&[1.0, 2.0], Bandwidth::Fixed(0.0)).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Outlier flagging rules.
+//!
+//! The paper warns (§III-1) that opaque tools silently *filter* anomalous
+//! measurements, destroying exactly the evidence (temporal perturbations,
+//! second modes) an analyst needs. The functions here therefore **flag**
+//! rather than drop: they return boolean masks, and the caller decides what
+//! to do — usually "look at them", per the methodology.
+
+use crate::descriptive::{mad, mean, median, quantile, std_dev};
+use crate::Result;
+
+/// Outlier detection rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rule {
+    /// Tukey fences: outside `[q1 − k·IQR, q3 + k·IQR]`; `k = 1.5`
+    /// conventionally.
+    Tukey {
+        /// Fence multiplier (1.5 = "outliers", 3.0 = "far out").
+        k: f64,
+    },
+    /// Robust z-score: `|x − median| / MAD > k`; `k = 3.5` conventionally.
+    Mad {
+        /// Threshold on the robust z-score.
+        k: f64,
+    },
+    /// Classic z-score: `|x − mean| / sd > k`. Included because opaque
+    /// tools use it; it is *not* robust (the outliers inflate the sd that
+    /// is supposed to catch them).
+    ZScore {
+        /// Threshold on the z-score.
+        k: f64,
+    },
+}
+
+impl Rule {
+    /// Conventional Tukey rule (`k = 1.5`).
+    pub fn tukey() -> Self {
+        Rule::Tukey { k: 1.5 }
+    }
+    /// Conventional MAD rule (`k = 3.5`).
+    pub fn mad() -> Self {
+        Rule::Mad { k: 3.5 }
+    }
+    /// Conventional 3-sigma rule.
+    pub fn three_sigma() -> Self {
+        Rule::ZScore { k: 3.0 }
+    }
+}
+
+/// Returns a mask with `true` at the positions of flagged outliers.
+pub fn flag(xs: &[f64], rule: Rule) -> Result<Vec<bool>> {
+    match rule {
+        Rule::Tukey { k } => {
+            let q1 = quantile(xs, 0.25)?;
+            let q3 = quantile(xs, 0.75)?;
+            let iqr = q3 - q1;
+            let (lo, hi) = (q1 - k * iqr, q3 + k * iqr);
+            Ok(xs.iter().map(|&v| v < lo || v > hi).collect())
+        }
+        Rule::Mad { k } => {
+            let med = median(xs)?;
+            let m = mad(xs)?;
+            if m == 0.0 {
+                // Constant-majority sample: anything different is an outlier.
+                return Ok(xs.iter().map(|&v| v != med).collect());
+            }
+            Ok(xs.iter().map(|&v| ((v - med) / m).abs() > k).collect())
+        }
+        Rule::ZScore { k } => {
+            let m = mean(xs)?;
+            let s = std_dev(xs)?;
+            if s == 0.0 {
+                return Ok(vec![false; xs.len()]);
+            }
+            Ok(xs.iter().map(|&v| ((v - m) / s).abs() > k).collect())
+        }
+    }
+}
+
+/// Splits a sample into `(kept, flagged)` values under `rule`, preserving
+/// order within each group.
+pub fn partition(xs: &[f64], rule: Rule) -> Result<(Vec<f64>, Vec<f64>)> {
+    let mask = flag(xs, rule)?;
+    let mut kept = Vec::with_capacity(xs.len());
+    let mut out = Vec::new();
+    for (&v, &is_out) in xs.iter().zip(&mask) {
+        if is_out {
+            out.push(v);
+        } else {
+            kept.push(v);
+        }
+    }
+    Ok((kept, out))
+}
+
+/// Fraction of the sample flagged by `rule`.
+pub fn outlier_fraction(xs: &[f64], rule: Rule) -> Result<f64> {
+    let mask = flag(xs, rule)?;
+    Ok(mask.iter().filter(|&&b| b).count() as f64 / xs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_with_one_outlier() -> Vec<f64> {
+        let mut v: Vec<f64> = (0..20).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        v.push(1000.0);
+        v
+    }
+
+    #[test]
+    fn tukey_catches_single_outlier() {
+        let xs = clean_with_one_outlier();
+        let mask = flag(&xs, Rule::tukey()).unwrap();
+        assert!(mask[20]);
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn mad_catches_single_outlier() {
+        let xs = clean_with_one_outlier();
+        let mask = flag(&xs, Rule::mad()).unwrap();
+        assert!(mask[20]);
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn zscore_masking_effect_on_heavy_contamination() {
+        // 30% contamination: the z-score rule (non-robust) misses the
+        // outliers that MAD still catches — this *is* the pitfall.
+        let mut xs: Vec<f64> = (0..14).map(|i| 10.0 + (i % 3) as f64 * 0.01).collect();
+        xs.extend(std::iter::repeat_n(60.0, 6));
+        let z = outlier_fraction(&xs, Rule::three_sigma()).unwrap();
+        let m = outlier_fraction(&xs, Rule::mad()).unwrap();
+        assert_eq!(z, 0.0, "z-score should be fooled by masked outliers");
+        assert!((m - 0.3).abs() < 1e-9, "MAD should flag the 30% mode: {m}");
+    }
+
+    #[test]
+    fn clean_sample_mostly_unflagged() {
+        let xs: Vec<f64> = (0..40).map(|i| 5.0 + (i % 7) as f64 * 0.2).collect();
+        assert_eq!(outlier_fraction(&xs, Rule::tukey()).unwrap(), 0.0);
+        assert_eq!(outlier_fraction(&xs, Rule::mad()).unwrap(), 0.0);
+        assert_eq!(outlier_fraction(&xs, Rule::three_sigma()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn partition_preserves_all_values() {
+        let xs = clean_with_one_outlier();
+        let (kept, out) = partition(&xs, Rule::tukey()).unwrap();
+        assert_eq!(kept.len() + out.len(), xs.len());
+        assert_eq!(out, vec![1000.0]);
+    }
+
+    #[test]
+    fn constant_sample_with_deviant_under_mad() {
+        let xs = [5.0, 5.0, 5.0, 5.0, 7.0];
+        let mask = flag(&xs, Rule::mad()).unwrap();
+        assert_eq!(mask, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn constant_sample_under_zscore_no_flags() {
+        let xs = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(flag(&xs, Rule::three_sigma()).unwrap(), vec![false; 4]);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(flag(&[], Rule::tukey()).is_err());
+    }
+}

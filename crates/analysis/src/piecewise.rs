@@ -1,0 +1,220 @@
+//! Piecewise-linear regression with analyst-provided breakpoints.
+//!
+//! Paper §V-A: "The breakpoints are manually provided by the analyst and a
+//! piecewise linear regression is calculated for each of the three
+//! operations." This module implements exactly that supervised procedure —
+//! the analyst inspects the raw scatter, proposes breakpoints (protocol
+//! switch candidates), and the fit plus its diagnostics let a human "check
+//! the linearity assumption, if the breakpoints are coherent, and the
+//! outcome of the regressions".
+
+use crate::regression::{ols, LinearFit};
+use crate::error::AnalysisError;
+use crate::Result;
+
+/// One fitted segment of a piecewise model, over `[lo, hi)` in predictor
+/// space (the last segment is closed on the right).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Segment {
+    /// Left edge of the segment's domain.
+    pub lo: f64,
+    /// Right edge of the segment's domain.
+    pub hi: f64,
+    /// The affine fit within the segment.
+    pub fit: LinearFit,
+}
+
+/// A piecewise-linear model: independent affine fits between consecutive
+/// breakpoints. Segments are *not* constrained to join continuously —
+/// protocol switches in real MPI stacks genuinely jump (cf. the eager →
+/// rendez-vous step of Figure 4), so forcing continuity would bias the fit.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PiecewiseLinear {
+    segments: Vec<Segment>,
+}
+
+impl PiecewiseLinear {
+    /// Fits a piecewise model over `x`/`y` with the given interior
+    /// `breakpoints` (ascending, strictly inside the data range). Each
+    /// segment needs at least two distinct x values.
+    pub fn fit(x: &[f64], y: &[f64], breakpoints: &[f64]) -> Result<Self> {
+        crate::error::ensure_paired(x, y)?;
+        if breakpoints.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(AnalysisError::InvalidParameter("breakpoints must be strictly ascending"));
+        }
+        let xmin = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let xmax = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut edges = Vec::with_capacity(breakpoints.len() + 2);
+        edges.push(xmin);
+        edges.extend_from_slice(breakpoints);
+        edges.push(xmax);
+        if edges.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(AnalysisError::InvalidParameter(
+                "breakpoints must lie strictly inside the data range",
+            ));
+        }
+
+        let mut segments = Vec::with_capacity(edges.len() - 1);
+        for (i, w) in edges.windows(2).enumerate() {
+            let (lo, hi) = (w[0], w[1]);
+            let last = i == edges.len() - 2;
+            let mut sx = Vec::new();
+            let mut sy = Vec::new();
+            for (&xi, &yi) in x.iter().zip(y) {
+                let inside = if last { xi >= lo && xi <= hi } else { xi >= lo && xi < hi };
+                if inside {
+                    sx.push(xi);
+                    sy.push(yi);
+                }
+            }
+            if sx.len() < 2 {
+                return Err(AnalysisError::TooFewObservations { needed: 2, got: sx.len() });
+            }
+            let fit = ols(&sx, &sy)?;
+            segments.push(Segment { lo, hi, fit });
+        }
+        Ok(PiecewiseLinear { segments })
+    }
+
+    /// The fitted segments, left to right.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments (breakpoints + 1).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Predicts the response at `x`, using the segment containing it
+    /// (clamping to the first/last segment outside the fitted range).
+    pub fn predict(&self, x: f64) -> f64 {
+        let seg = self
+            .segments
+            .iter()
+            .find(|s| x >= s.lo && x < s.hi)
+            .unwrap_or_else(|| {
+                if x < self.segments[0].lo {
+                    &self.segments[0]
+                } else {
+                    self.segments.last().expect("fit produces >= 1 segment")
+                }
+            });
+        seg.fit.predict(x)
+    }
+
+    /// Total residual sum of squares across all segments.
+    pub fn sse(&self) -> f64 {
+        self.segments.iter().map(|s| s.fit.sse).sum()
+    }
+
+    /// Sizes of the discontinuities at each interior breakpoint:
+    /// `right_segment(bp) − left_segment(bp)`. Large jumps corroborate a
+    /// protocol switch; near-zero jumps with a slope change indicate a
+    /// bandwidth regime change instead.
+    pub fn jumps(&self) -> Vec<f64> {
+        self.segments
+            .windows(2)
+            .map(|w| {
+                let bp = w[1].lo;
+                w[1].fit.predict(bp) - w[0].fit.predict(bp)
+            })
+            .collect()
+    }
+
+    /// Slope change at each interior breakpoint.
+    pub fn slope_changes(&self) -> Vec<f64> {
+        self.segments.windows(2).map(|w| w[1].fit.slope - w[0].fit.slope).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a two-regime dataset: slope 1 before x=10, slope 5 after,
+    /// with a jump of 20 at the break.
+    fn two_regime() -> (Vec<f64>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let xi = i as f64;
+            x.push(xi);
+            y.push(if xi < 10.0 { xi } else { 20.0 + 5.0 * xi });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn single_segment_equals_plain_ols() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let pw = PiecewiseLinear::fit(&x, &y, &[]).unwrap();
+        assert_eq!(pw.num_segments(), 1);
+        let f = ols(&x, &y).unwrap();
+        assert!((pw.segments()[0].fit.slope - f.slope).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correct_break_gives_perfect_fit() {
+        let (x, y) = two_regime();
+        let pw = PiecewiseLinear::fit(&x, &y, &[10.0]).unwrap();
+        assert!(pw.sse() < 1e-18);
+        assert!((pw.segments()[0].fit.slope - 1.0).abs() < 1e-9);
+        assert!((pw.segments()[1].fit.slope - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jump_detected_at_break() {
+        let (x, y) = two_regime();
+        let pw = PiecewiseLinear::fit(&x, &y, &[10.0]).unwrap();
+        let jumps = pw.jumps();
+        assert_eq!(jumps.len(), 1);
+        // left predicts 10, right predicts 70 at x=10 -> jump 60
+        assert!((jumps[0] - 60.0).abs() < 1e-9);
+        assert!((pw.slope_changes()[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_never_worse_than_single_line() {
+        let (x, y) = two_regime();
+        let single = PiecewiseLinear::fit(&x, &y, &[]).unwrap();
+        let double = PiecewiseLinear::fit(&x, &y, &[10.0]).unwrap();
+        assert!(double.sse() <= single.sse() + 1e-12);
+    }
+
+    #[test]
+    fn predict_respects_segments_and_clamps() {
+        let (x, y) = two_regime();
+        let pw = PiecewiseLinear::fit(&x, &y, &[10.0]).unwrap();
+        assert!((pw.predict(5.0) - 5.0).abs() < 1e-9);
+        assert!((pw.predict(15.0) - 95.0).abs() < 1e-9);
+        // extrapolation clamps to the outermost segments' lines
+        assert!((pw.predict(-1.0) + 1.0).abs() < 1e-9);
+        assert!((pw.predict(100.0) - 520.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_breakpoints_rejected() {
+        let (x, y) = two_regime();
+        assert!(PiecewiseLinear::fit(&x, &y, &[12.0, 4.0]).is_err());
+    }
+
+    #[test]
+    fn breakpoints_outside_range_rejected() {
+        let (x, y) = two_regime();
+        assert!(PiecewiseLinear::fit(&x, &y, &[100.0]).is_err());
+        assert!(PiecewiseLinear::fit(&x, &y, &[-5.0]).is_err());
+    }
+
+    #[test]
+    fn segment_with_one_point_rejected() {
+        let x = [0.0, 1.0, 2.0, 10.0];
+        let y = [0.0, 1.0, 2.0, 10.0];
+        // break at 9.0 leaves only one point on the right
+        assert!(matches!(
+            PiecewiseLinear::fit(&x, &y, &[9.0]),
+            Err(AnalysisError::TooFewObservations { .. })
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! Rank-based nonparametric statistics.
+//!
+//! Comparing two campaigns "that have similar inputs and completely
+//! different outputs" (paper §V) needs tests that survive the
+//! non-normality this whole repository is about — bimodal scheduler
+//! modes, heteroscedastic regimes. Rank statistics don't care about the
+//! shape of the distribution:
+//!
+//! * [`mann_whitney_u`] — does platform/campaign B stochastically
+//!   dominate A?
+//! * [`spearman`] — monotone association without assuming linearity
+//!   (e.g. "does variability grow with message size?" on raw data).
+
+use crate::error::{ensure_paired, ensure_sample, AnalysisError};
+use crate::Result;
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Normal-approximation z score (tie-corrected).
+    pub z: f64,
+    /// Effect size: `P(X > Y) + ½P(X = Y)` — the common-language effect
+    /// size / probability of superiority, in `[0, 1]`, 0.5 = no effect.
+    pub prob_superiority: f64,
+}
+
+impl MannWhitney {
+    /// Two-sided significance at roughly the 5 % level (|z| > 1.96).
+    pub fn significant(&self) -> bool {
+        self.z.abs() > 1.96
+    }
+}
+
+/// Assigns mid-ranks to the pooled sample (ties share the average rank).
+fn mid_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Mann–Whitney U test of two independent samples.
+pub fn mann_whitney_u(x: &[f64], y: &[f64]) -> Result<MannWhitney> {
+    ensure_sample(x)?;
+    ensure_sample(y)?;
+    let (nx, ny) = (x.len() as f64, y.len() as f64);
+    let pooled: Vec<f64> = x.iter().chain(y).copied().collect();
+    let ranks = mid_ranks(&pooled);
+    let rank_sum_x: f64 = ranks[..x.len()].iter().sum();
+    let u = rank_sum_x - nx * (nx + 1.0) / 2.0;
+
+    // tie correction for the variance
+    let mut sorted = pooled.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = nx + ny;
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let mean_u = nx * ny / 2.0;
+    let var_u = nx * ny / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    let z = if var_u > 0.0 { (u - mean_u) / var_u.sqrt() } else { 0.0 };
+    Ok(MannWhitney { u, z, prob_superiority: u / (nx * ny) })
+}
+
+/// Spearman rank correlation coefficient.
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    ensure_paired(x, y)?;
+    if x.len() < 3 {
+        return Err(AnalysisError::TooFewObservations { needed: 3, got: x.len() });
+    }
+    let rx = mid_ranks(x);
+    let ry = mid_ranks(y);
+    crate::regression::pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_no_effect() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let m = mann_whitney_u(&x, &x).unwrap();
+        assert!((m.prob_superiority - 0.5).abs() < 1e-12);
+        assert!(!m.significant());
+    }
+
+    #[test]
+    fn shifted_sample_detected() {
+        let x: Vec<f64> = (0..40).map(|i| (i % 10) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + 20.0).collect();
+        let m = mann_whitney_u(&x, &y).unwrap();
+        assert_eq!(m.prob_superiority, 0.0, "y dominates completely");
+        assert!(m.significant());
+        let m2 = mann_whitney_u(&y, &x).unwrap();
+        assert_eq!(m2.prob_superiority, 1.0);
+    }
+
+    #[test]
+    fn hand_checked_small_case() {
+        // x = {1, 2}, y = {3, 4}: U_x = 0
+        let m = mann_whitney_u(&[1.0, 2.0], &[3.0, 4.0]).unwrap();
+        assert_eq!(m.u, 0.0);
+        // x = {1, 4}, y = {2, 3}: 4 beats both -> U = 2
+        let m = mann_whitney_u(&[1.0, 4.0], &[2.0, 3.0]).unwrap();
+        assert_eq!(m.u, 2.0);
+    }
+
+    #[test]
+    fn ties_share_ranks() {
+        let m = mann_whitney_u(&[1.0, 2.0, 2.0], &[2.0, 3.0]).unwrap();
+        // pooled ranks: 1, (2,3,4 avg=3)x3, 5
+        // rank_sum_x = 1 + 3 + 3 = 7; U = 7 - 6 = 1
+        assert_eq!(m.u, 1.0);
+    }
+
+    #[test]
+    fn bimodal_vs_unimodal_detected_despite_equal_means() {
+        // same mean, very different distributions: MW sees the shift of
+        // mass even though a t-test-style mean comparison would not
+        let mut bimodal = vec![0.0; 20];
+        bimodal.extend(vec![10.0; 20]);
+        let unimodal = vec![5.0; 40];
+        let m = mann_whitney_u(&bimodal, &unimodal).unwrap();
+        // equal medians-of-mass: not "significant", but the probability of
+        // superiority is exactly 0.5 (symmetric) — this documents what MW
+        // can and cannot see
+        assert!((m.prob_superiority - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x: Vec<f64> = (1..25).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        // perfectly monotone, wildly nonlinear
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let y_rev: Vec<f64> = y.iter().rev().copied().collect();
+        assert!((spearman(&x, &y_rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_independent_near_zero() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| ((i * 2654435761u64) % 97) as f64)
+            .collect();
+        let r = spearman(&x, &y).unwrap();
+        assert!(r.abs() < 0.25, "r = {r}");
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_err());
+        assert!(spearman(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(spearman(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_err());
+    }
+}

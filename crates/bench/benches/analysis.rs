@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks of the analysis kernels on
+//! campaign-shaped data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn noisy_piecewise_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            let base = if x < n as f64 / 2.0 { 2.0 * x } else { n as f64 + 5.0 * x };
+            base + ((x * 12.9898).sin() * 43758.5453).fract()
+        })
+        .collect();
+    (xs, ys)
+}
+
+fn regression(c: &mut Criterion) {
+    let (xs, ys) = noisy_piecewise_data(1000);
+    c.bench_function("ols_1k", |b| {
+        b.iter(|| black_box(charm_analysis::regression::ols(&xs, &ys).unwrap()))
+    });
+}
+
+fn segmentation(c: &mut Criterion) {
+    let (xs, ys) = noisy_piecewise_data(200);
+    c.bench_function("free_segmentation_200", |b| {
+        b.iter(|| {
+            black_box(
+                charm_analysis::segmented::segment(
+                    &xs,
+                    &ys,
+                    &charm_analysis::segmented::SegmentConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn loess(c: &mut Criterion) {
+    let (xs, ys) = noisy_piecewise_data(500);
+    c.bench_function("loess_500", |b| {
+        b.iter(|| {
+            black_box(
+                charm_analysis::loess::loess(
+                    &xs,
+                    &ys,
+                    &xs,
+                    &charm_analysis::loess::LoessConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn modes(c: &mut Criterion) {
+    let vals: Vec<f64> = (0..2000)
+        .map(|i| if i % 5 == 0 { 300.0 } else { 1500.0 } + (i % 13) as f64)
+        .collect();
+    c.bench_function("two_means_2k", |b| {
+        b.iter(|| black_box(charm_analysis::modes::two_means(&vals).unwrap()))
+    });
+}
+
+criterion_group!(benches, regression, segmentation, loess, modes);
+criterion_main!(benches);

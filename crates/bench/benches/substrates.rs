@@ -1,0 +1,56 @@
+//! Criterion microbenchmarks of the simulated substrates: the cost of
+//! taking one measurement. These are the harness's own performance
+//! numbers, not paper reproductions — they bound how large a campaign the
+//! methodology can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn network_measure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_measure");
+    for size in [64u64, 4096, 262_144] {
+        group.bench_with_input(BenchmarkId::new("pingpong", size), &size, |b, &size| {
+            let mut sim = charm_simnet::presets::taurus_openmpi_tcp(1);
+            b.iter(|| black_box(sim.measure(charm_simnet::NetOp::PingPong, size)));
+        });
+    }
+    group.finish();
+}
+
+fn kernel_run(c: &mut Criterion) {
+    use charm_simmem::dvfs::GovernorPolicy;
+    use charm_simmem::kernel::KernelConfig;
+    use charm_simmem::machine::{CpuSpec, MachineSim};
+    use charm_simmem::paging::AllocPolicy;
+    use charm_simmem::sched::SchedPolicy;
+
+    let mut group = c.benchmark_group("kernel_run");
+    for kb in [8u64, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("opteron", kb), &kb, |b, &kb| {
+            let mut m = MachineSim::new(
+                CpuSpec::opteron(),
+                GovernorPolicy::Performance,
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::PooledRandomOffset,
+                1,
+            );
+            b.iter(|| black_box(m.run_kernel(&KernelConfig::baseline(kb * 1024, 50))));
+        });
+    }
+    group.finish();
+}
+
+fn cache_simulator(c: &mut Criterion) {
+    use charm_simmem::cache::SetAssocCache;
+    c.bench_function("lru_cache_access_sweep_64k", |b| {
+        let mut cache = SetAssocCache::new(32 * 1024, 8, 64);
+        b.iter(|| {
+            for line in 0..1024u64 {
+                black_box(cache.access(line * 64));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, network_measure, kernel_run, cache_simulator);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates every table and figure in one go (the EXPERIMENTS.md
+//! refresh path).
+
+fn main() {
+    let seed = charm_bench::default_seed();
+    println!("== table05 ==");
+    let t = charm_core::experiments::table05::run();
+    charm_bench::write_artifact("table05.csv", &t.to_csv());
+    print!("{}", t.report());
+
+    println!("\n== fig03 ==");
+    let f = charm_core::experiments::fig03::run(seed);
+    charm_bench::write_artifact("fig03.csv", &f.to_csv());
+    print!("{}", f.report());
+
+    println!("\n== fig04 ==");
+    let f = charm_core::experiments::fig04::run(seed, 100, 20);
+    charm_bench::write_artifact("fig04_raw.csv", &f.raw_csv());
+    charm_bench::write_artifact("fig04_model.csv", &f.summary_csv());
+    print!("{}", f.report());
+
+    println!("\n== fig07 ==");
+    let f = charm_core::experiments::fig07::run(seed, 10);
+    charm_bench::write_artifact("fig07.csv", &f.to_csv());
+    print!("{}", f.report());
+
+    println!("\n== fig08 ==");
+    let f = charm_core::experiments::fig08::run(seed, 42);
+    charm_bench::write_artifact("fig08_raw.csv", &f.raw_csv());
+    charm_bench::write_artifact("fig08_trends.csv", &f.trend_csv());
+    print!("{}", f.report());
+
+    println!("\n== fig09 ==");
+    let f = charm_core::experiments::fig09::run(seed, 10);
+    charm_bench::write_artifact("fig09.csv", &f.to_csv());
+    print!("{}", f.report());
+
+    println!("\n== fig10 ==");
+    let f = charm_core::experiments::fig10::run(seed, 42);
+    charm_bench::write_artifact("fig10.csv", &f.to_csv());
+    print!("{}", f.report());
+
+    println!("\n== fig11 ==");
+    let f = charm_core::experiments::fig11::run(seed);
+    charm_bench::write_artifact("fig11_raw.csv", &f.raw_csv());
+    print!("{}", f.report());
+
+    println!("\n== fig12 ==");
+    let f = charm_core::experiments::fig12::run(seed);
+    charm_bench::write_artifact("fig12.csv", &f.to_csv());
+    print!("{}", f.report());
+
+    println!("\n== fig13 ==");
+    let f = charm_core::experiments::fig13::run();
+    charm_bench::write_artifact("fig13.csv", &f.to_csv());
+    print!("{}", f.report());
+
+    println!("\n== convolution ==");
+    let s = charm_core::experiments::convolution::run(seed);
+    charm_bench::write_artifact("convolution.csv", &s.to_csv());
+    print!("{}", s.report());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the Figure 1 use-case study: prediction error of opaque-
+//! vs white-box-instantiated models.
+
+fn main() {
+    let study = charm_core::experiments::convolution::run(charm_bench::default_seed());
+    charm_bench::write_artifact("convolution.csv", &study.to_csv());
+    print!("{}", study.report());
+}

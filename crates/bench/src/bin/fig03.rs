@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: time vs message size on two interconnects, plus
+//! the forced-vs-free breakpoint comparison of §III-3.
+
+fn main() {
+    let fig = charm_core::experiments::fig03::run(charm_bench::default_seed());
+    charm_bench::write_artifact("fig03.csv", &fig.to_csv());
+    print!("{}", fig.report());
+}

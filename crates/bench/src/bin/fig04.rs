@@ -1,0 +1,9 @@
+//! Regenerates Figure 4: the Taurus network model — raw campaign,
+//! piecewise fit, per-regime variability bands.
+
+fn main() {
+    let fig = charm_core::experiments::fig04::run(charm_bench::default_seed(), 100, 20);
+    charm_bench::write_artifact("fig04_raw.csv", &fig.raw_csv());
+    charm_bench::write_artifact("fig04_model.csv", &fig.summary_csv());
+    print!("{}", fig.report());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 9: vectorization × unrolling facets (i7-2600).
+
+fn main() {
+    let fig = charm_core::experiments::fig09::run(charm_bench::default_seed(), 10);
+    charm_bench::write_artifact("fig09.csv", &fig.to_csv());
+    print!("{}", fig.report());
+}

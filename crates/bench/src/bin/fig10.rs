@@ -1,0 +1,7 @@
+//! Regenerates Figure 10: DVFS ondemand nloops facets (i7-2600).
+
+fn main() {
+    let fig = charm_core::experiments::fig10::run(charm_bench::default_seed(), 42);
+    charm_bench::write_artifact("fig10.csv", &fig.to_csv());
+    print!("{}", fig.report());
+}

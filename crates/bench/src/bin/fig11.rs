@@ -1,0 +1,7 @@
+//! Regenerates Figure 11: RT-scheduler bimodality (ARM Snowball).
+
+fn main() {
+    let fig = charm_core::experiments::fig11::run(charm_bench::default_seed());
+    charm_bench::write_artifact("fig11_raw.csv", &fig.raw_csv());
+    print!("{}", fig.report());
+}

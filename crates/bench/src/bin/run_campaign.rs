@@ -1,0 +1,84 @@
+//! Run a white-box campaign described in the experiment DSL against one
+//! of the simulated platforms, and write the raw campaign CSV.
+//!
+//! ```text
+//! run_campaign <plan.dsl> <platform> [seed]
+//!
+//! platforms: taurus | myrinet | openmpi |
+//!            opteron | pentium4 | i7 | arm
+//! ```
+//!
+//! Network plans need factors `op` and `size`; memory plans need
+//! `size_bytes` (plus optional `stride`, `width`, `unroll`, `nloops`).
+
+use charm_design::dsl;
+use charm_engine::target::{MemoryTarget, NetworkTarget, Target};
+use charm_simmem::dvfs::GovernorPolicy;
+use charm_simmem::machine::{CpuSpec, MachineSim};
+use charm_simmem::paging::AllocPolicy;
+use charm_simmem::sched::SchedPolicy;
+use charm_simnet::presets;
+use std::process::ExitCode;
+
+fn machine(spec: CpuSpec, seed: u64) -> MachineSim {
+    MachineSim::new(
+        spec,
+        GovernorPolicy::Performance,
+        SchedPolicy::PinnedDefault,
+        AllocPolicy::PooledRandomOffset,
+        seed,
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: run_campaign <plan.dsl> <platform> [seed]");
+        eprintln!("platforms: taurus myrinet openmpi opteron pentium4 i7 arm");
+        return ExitCode::FAILURE;
+    }
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or_else(charm_bench::default_seed);
+
+    let text = match std::fs::read_to_string(&args[1]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args[1]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = match dsl::compile(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("DSL error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("compiled plan: {} rows, factors {:?}", plan.len(), plan.factor_names());
+
+    let mut target: Box<dyn Target> = match args[2].as_str() {
+        "taurus" => Box::new(NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed))),
+        "myrinet" => Box::new(NetworkTarget::new("myrinet", presets::myrinet_gm(seed))),
+        "openmpi" => Box::new(NetworkTarget::new("openmpi", presets::openmpi_fig3(seed))),
+        "opteron" => Box::new(MemoryTarget::new("opteron", machine(CpuSpec::opteron(), seed))),
+        "pentium4" => Box::new(MemoryTarget::new("pentium4", machine(CpuSpec::pentium4(), seed))),
+        "i7" => Box::new(MemoryTarget::new("i7", machine(CpuSpec::core_i7_2600(), seed))),
+        "arm" => Box::new(MemoryTarget::new("arm", machine(CpuSpec::arm_snowball(), seed))),
+        other => {
+            eprintln!("unknown platform {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match charm_engine::run_campaign(&plan, target.as_mut(), None) {
+        Ok(campaign) => {
+            let name = format!("campaign_{}.csv", args[2]);
+            charm_bench::write_artifact(&name, &campaign.to_csv());
+            println!("{} raw measurements retained", campaign.records.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

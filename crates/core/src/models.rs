@@ -1,0 +1,11 @@
+//! Model instantiation from white-box campaigns.
+
+pub mod loggp;
+pub mod memory;
+pub mod plogp;
+pub mod roofline;
+
+pub use loggp::NetworkModel;
+pub use memory::MemoryModel;
+pub use plogp::PLogPModel;
+pub use roofline::Roofline;

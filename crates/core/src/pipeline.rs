@@ -1,0 +1,184 @@
+//! The three-stage methodology as an API.
+//!
+//! Paper §V: "(1) the experimental design, (2) the benchmark running
+//! engine, and (3) the results statistical analysis. We believe that
+//! separated stages, together with careful documentation and environment
+//! capture, enable us to avoid all pitfalls that we presented."
+//!
+//! [`Study`] wires the three crates together while keeping the stage
+//! boundaries visible: you *must* produce a plan before running, and the
+//! analysis only ever sees the retained raw campaign.
+
+use charm_analysis::descriptive::Summary;
+use charm_analysis::modes::{self, ModeSplit};
+use charm_analysis::outliers::{self, Rule};
+use charm_design::factors::Level;
+use charm_design::plan::ExperimentPlan;
+use charm_engine::record::Campaign;
+use charm_engine::target::{Target, TargetError};
+
+/// Stage-1 wrapper: a design ready to run.
+#[derive(Debug, Clone)]
+pub struct Study {
+    plan: ExperimentPlan,
+    shuffle_seed: Option<u64>,
+}
+
+impl Study {
+    /// Starts a study from a plan (build it with
+    /// [`charm_design::doe::FullFactorial`]).
+    pub fn new(plan: ExperimentPlan) -> Self {
+        Study { plan, shuffle_seed: None }
+    }
+
+    /// Randomizes the measurement order — the methodology's key step.
+    pub fn randomized(mut self, seed: u64) -> Self {
+        self.plan.shuffle(seed);
+        self.shuffle_seed = Some(seed);
+        self
+    }
+
+    /// Keeps the sequential order (for the ablation studies; the artifact
+    /// records this choice).
+    pub fn sequential(mut self) -> Self {
+        self.plan = self.plan.sequential();
+        self.shuffle_seed = None;
+        self
+    }
+
+    /// The plan as it will execute.
+    pub fn plan(&self) -> &ExperimentPlan {
+        &self.plan
+    }
+
+    /// Stage 2: runs the campaign on a target, retaining raw data.
+    pub fn run<T: Target>(&self, target: &mut T) -> Result<Campaign, TargetError> {
+        charm_engine::run_campaign(&self.plan, target, self.shuffle_seed)
+    }
+}
+
+/// Stage-3 result for one factor combination.
+#[derive(Debug, Clone)]
+pub struct CellAnalysis {
+    /// The cell's factor levels (in the grouping factors' order).
+    pub key: Vec<Level>,
+    /// Five-number summary + mean/sd/MAD.
+    pub summary: Summary,
+    /// Fraction flagged by the Tukey rule.
+    pub outlier_fraction: f64,
+    /// Two-mode split (present when the cell has ≥ 4 observations).
+    pub modes: Option<ModeSplit>,
+}
+
+impl CellAnalysis {
+    /// Whether this cell is bimodal at the default thresholds.
+    pub fn is_bimodal(&self) -> bool {
+        self.modes.as_ref().map(|m| m.is_bimodal(2.0, 0.05)).unwrap_or(false)
+    }
+}
+
+/// Stage 3: per-cell analysis over the retained raw campaign.
+///
+/// Groups by `factors`, summarizes each cell, flags outliers (without
+/// dropping them!), and runs the bimodality screen.
+pub fn analyze_cells(campaign: &Campaign, factors: &[&str]) -> Vec<CellAnalysis> {
+    campaign
+        .group_by(factors)
+        .into_iter()
+        .filter_map(|(key, values)| {
+            let summary = Summary::of(&values).ok()?;
+            let outlier_fraction =
+                outliers::outlier_fraction(&values, Rule::tukey()).unwrap_or(0.0);
+            let modes = modes::two_means(&values).ok();
+            Some(CellAnalysis { key, summary, outlier_fraction, modes })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_design::doe::FullFactorial;
+    use charm_design::Factor;
+    use charm_engine::target::NetworkTarget;
+    use charm_simnet::presets;
+
+    fn study() -> Study {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong"]))
+            .factor(Factor::new("size", vec![512i64, 4096, 65536]))
+            .replicates(12)
+            .build()
+            .unwrap();
+        Study::new(plan).randomized(5)
+    }
+
+    #[test]
+    fn randomization_changes_order_not_content() {
+        let base = FullFactorial::new()
+            .factor(Factor::new("size", vec![1i64, 2, 3, 4, 5, 6]))
+            .replicates(2)
+            .build()
+            .unwrap();
+        let a = Study::new(base.clone()).randomized(1);
+        let b = Study::new(base.clone()).sequential();
+        assert_ne!(a.plan().rows(), b.plan().rows());
+        assert_eq!(a.plan().len(), b.plan().len());
+    }
+
+    #[test]
+    fn full_pipeline_produces_cells() {
+        let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
+        let campaign = study().run(&mut target).unwrap();
+        let cells = analyze_cells(&campaign, &["size"]);
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert_eq!(c.summary.n, 12);
+            assert!(c.summary.min <= c.summary.median);
+            assert!((0.0..=1.0).contains(&c.outlier_fraction));
+        }
+        // Larger messages take longer (median view).
+        let medians: Vec<f64> = cells.iter().map(|c| c.summary.median).collect();
+        assert!(medians[0] < medians[2]);
+    }
+
+    #[test]
+    fn bimodal_cell_detected_through_pipeline() {
+        // Inject a burst process: some cells straddle the burst and
+        // become bimodal; the plain summary would only show inflated sd.
+        let mut sim = presets::myrinet_gm(3);
+        sim.set_noise(charm_simnet::noise::NoiseModel::new(
+            3,
+            0.01,
+            charm_simnet::noise::BurstConfig {
+                enter_prob: 0.02,
+                exit_prob: 0.02,
+                slowdown: 6.0,
+                extra_us: 0.0,
+            },
+        ));
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong"]))
+            .factor(Factor::new("size", vec![1024i64]))
+            .replicates(200)
+            .build()
+            .unwrap();
+        let mut target = NetworkTarget::new("noisy", sim);
+        let campaign = Study::new(plan).randomized(1).run(&mut target).unwrap();
+        let cells = analyze_cells(&campaign, &["size"]);
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].is_bimodal(), "burst should split the cell into modes");
+    }
+
+    #[test]
+    fn sequential_study_records_order_in_metadata() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong"]))
+            .factor(Factor::new("size", vec![64i64]))
+            .build()
+            .unwrap();
+        let mut target = NetworkTarget::new("m", presets::myrinet_gm(1));
+        let c = Study::new(plan).sequential().run(&mut target).unwrap();
+        assert_eq!(c.metadata["order"], "sequential");
+    }
+}

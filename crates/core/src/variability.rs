@@ -1,0 +1,230 @@
+//! Confidence-style variability characterization.
+//!
+//! Paper §II-B on the Confidence tool (Settlemyer et al.): "many sources
+//! of performance variability can be found in modern HPC systems … and
+//! [the tool focuses] on reporting the variability that users may
+//! actually face and which is hidden by common benchmarks. Such
+//! information about variability could be used for simulation purposes
+//! provided its dependence on message size is properly characterized."
+//!
+//! This module does both halves: per-cell empirical quantile bands over
+//! retained raw data ([`VariabilityProfile`]), and the *dependence of
+//! variability on size* ([`VariabilityProfile::dispersion_trend`]) — the
+//! input a stochastic network simulator would need.
+
+use charm_analysis::descriptive::{self, Summary};
+use charm_analysis::ecdf::Ecdf;
+use charm_analysis::regression::{ols, LinearFit};
+use charm_analysis::AnalysisError;
+use charm_engine::record::Campaign;
+
+/// Variability of one cell (one size, usually).
+#[derive(Debug, Clone)]
+pub struct CellVariability {
+    /// Cell key rendered (typically the size).
+    pub x: f64,
+    /// Five-number summary.
+    pub summary: Summary,
+    /// Empirical 5th and 95th percentiles — the band a user "actually
+    /// faces".
+    pub p05: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Relative dispersion: `(p95 − p05) / median`.
+    pub relative_band: f64,
+}
+
+/// A campaign's variability profile along one numeric factor.
+#[derive(Debug, Clone)]
+pub struct VariabilityProfile {
+    /// Per-cell variability, ascending in `x`.
+    pub cells: Vec<CellVariability>,
+}
+
+impl VariabilityProfile {
+    /// Builds the profile of `campaign` along numeric factor `factor`.
+    pub fn build(campaign: &Campaign, factor: &str) -> Result<Self, AnalysisError> {
+        let groups = campaign.group_by(&[factor]);
+        if groups.is_empty() {
+            return Err(AnalysisError::EmptyInput);
+        }
+        let mut cells = Vec::with_capacity(groups.len());
+        for (key, values) in groups {
+            let x = key[0]
+                .as_float()
+                .ok_or(AnalysisError::InvalidParameter("factor not numeric"))?;
+            let summary = Summary::of(&values)?;
+            let ecdf = Ecdf::new(&values)?;
+            let p05 = ecdf.inverse(0.05);
+            let p95 = ecdf.inverse(0.95);
+            let relative_band =
+                if summary.median != 0.0 { (p95 - p05) / summary.median } else { 0.0 };
+            cells.push(CellVariability { x, summary, p05, p95, relative_band });
+        }
+        cells.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite factor"));
+        Ok(VariabilityProfile { cells })
+    }
+
+    /// Fits the dependence of relative dispersion on `log10(x)` — the
+    /// "properly characterized" size dependence. A positive slope means
+    /// variability grows with size; near-zero means homoscedastic.
+    pub fn dispersion_trend(&self) -> Result<LinearFit, AnalysisError> {
+        let xs: Vec<f64> = self.cells.iter().map(|c| c.x.max(1.0).log10()).collect();
+        let ys: Vec<f64> = self.cells.iter().map(|c| c.relative_band).collect();
+        ols(&xs, &ys)
+    }
+
+    /// Cells whose relative band exceeds `threshold` — the sizes a user
+    /// should expect to be unpredictable on this platform.
+    pub fn volatile_cells(&self, threshold: f64) -> Vec<&CellVariability> {
+        self.cells.iter().filter(|c| c.relative_band > threshold).collect()
+    }
+
+    /// Mean relative band across all cells.
+    pub fn mean_relative_band(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().map(|c| c.relative_band).sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// CSV: `x,p05,q1,median,q3,p95,relative_band`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,p05,q1,median,q3,p95,relative_band\n");
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                c.x, c.p05, c.summary.q1, c.summary.median, c.summary.q3, c.p95, c.relative_band
+            ));
+        }
+        out
+    }
+}
+
+/// Compares the variability of two campaigns with the same design —
+/// "comparing two experimental campaigns that have similar inputs and
+/// completely different outputs" (paper §V). Returns per-cell KS
+/// distances keyed by `x`.
+pub fn compare_campaigns(
+    a: &Campaign,
+    b: &Campaign,
+    factor: &str,
+) -> Result<Vec<(f64, f64)>, AnalysisError> {
+    let ga = a.group_by(&[factor]);
+    let gb = b.group_by(&[factor]);
+    let mut out = Vec::new();
+    for (key, va) in &ga {
+        let Some((_, vb)) = gb.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        let x = key[0]
+            .as_float()
+            .ok_or(AnalysisError::InvalidParameter("factor not numeric"))?;
+        let ea = Ecdf::new(va)?;
+        let eb = Ecdf::new(vb)?;
+        out.push((x, ea.ks_distance(&eb)));
+    }
+    out.sort_by(|p, q| p.0.partial_cmp(&q.0).expect("finite factor"));
+    Ok(out)
+}
+
+/// Convenience: overall median of per-cell medians (a robust single
+/// number for dashboards; everything else stays available).
+pub fn robust_center(campaign: &Campaign) -> Result<f64, AnalysisError> {
+    let groups = campaign.group_by(
+        &campaign.factor_names.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let medians: Vec<f64> = groups
+        .iter()
+        .map(|(_, v)| descriptive::median(v))
+        .collect::<Result<_, _>>()?;
+    descriptive::median(&medians)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Study;
+    use charm_design::doe::FullFactorial;
+    use charm_design::Factor;
+    use charm_engine::target::NetworkTarget;
+    use charm_simnet::presets;
+
+    fn taurus_campaign(seed: u64) -> Campaign {
+        // sizes spanning eager and detached regimes
+        let sizes: Vec<i64> =
+            vec![1000, 4000, 16_000, 40_000, 64_000, 100_000, 200_000, 1 << 20];
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["blocking_recv"]))
+            .factor(Factor::new("size", sizes))
+            .replicates(40)
+            .build()
+            .unwrap();
+        let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
+        Study::new(plan).randomized(seed).run(&mut target).unwrap()
+    }
+
+    #[test]
+    fn detached_band_shows_as_volatile_cells() {
+        let profile = VariabilityProfile::build(&taurus_campaign(1), "size").unwrap();
+        let volatile = profile.volatile_cells(0.5);
+        assert!(!volatile.is_empty(), "detached recv band should be volatile");
+        // all volatile cells sit in the detached regime (32K..128K)
+        for c in &volatile {
+            assert!(
+                (32_768.0..131_072.0).contains(&c.x),
+                "volatile cell at {} outside the detached band",
+                c.x
+            );
+        }
+    }
+
+    #[test]
+    fn bands_are_ordered() {
+        let profile = VariabilityProfile::build(&taurus_campaign(2), "size").unwrap();
+        for c in &profile.cells {
+            assert!(c.p05 <= c.summary.median);
+            assert!(c.summary.median <= c.p95);
+            assert!(c.relative_band >= 0.0);
+        }
+    }
+
+    #[test]
+    fn same_design_same_platform_small_ks() {
+        let a = taurus_campaign(3);
+        let b = taurus_campaign(4);
+        let ks = compare_campaigns(&a, &b, "size").unwrap();
+        assert_eq!(ks.len(), 8);
+        // identical platforms: distributions compatible (KS well below 1)
+        let mean_ks: f64 = ks.iter().map(|&(_, d)| d).sum::<f64>() / ks.len() as f64;
+        assert!(mean_ks < 0.5, "mean KS {mean_ks}");
+    }
+
+    #[test]
+    fn different_platform_large_ks() {
+        let a = taurus_campaign(5);
+        // same design, different machine: myrinet
+        let sizes: Vec<i64> =
+            vec![1000, 4000, 16_000, 40_000, 64_000, 100_000, 200_000, 1 << 20];
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["blocking_recv"]))
+            .factor(Factor::new("size", sizes))
+            .replicates(40)
+            .build()
+            .unwrap();
+        let mut target = NetworkTarget::new("myrinet", presets::myrinet_gm(5));
+        let b = Study::new(plan).randomized(5).run(&mut target).unwrap();
+        let ks = compare_campaigns(&a, &b, "size").unwrap();
+        assert!(ks.iter().all(|&(_, d)| d > 0.9), "platforms should be distinguishable: {ks:?}");
+    }
+
+    #[test]
+    fn csv_and_center() {
+        let c = taurus_campaign(6);
+        let profile = VariabilityProfile::build(&c, "size").unwrap();
+        assert!(profile.to_csv().lines().count() == 9);
+        assert!(robust_center(&c).unwrap() > 0.0);
+        assert!(profile.mean_relative_band() > 0.0);
+        let _ = profile.dispersion_trend().unwrap();
+    }
+}

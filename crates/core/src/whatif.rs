@@ -1,0 +1,197 @@
+//! What-if scenarios over instantiated machine signatures.
+//!
+//! The paper's introduction names the point of the whole calibration
+//! exercise: "enabling users and researchers to study scalability,
+//! deployment optimizations, extrapolation, and what-if scenarios." Once
+//! a machine signature exists, upgrades are algebra: scale the network's
+//! latency or bandwidth, swap the memory plateaus, and re-convolve (or
+//! re-replay) the same application signature.
+
+use crate::convolution::{convolve, AppSignature, MachineSignature, Prediction};
+use crate::models::loggp::{ModelSegment, NetworkModel};
+use crate::models::memory::MemoryModel;
+
+/// A hypothetical platform modification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// Multiply network latency by this factor (< 1 = faster links).
+    ScaleLatency(f64),
+    /// Multiply network bandwidth by this factor (> 1 = fatter links);
+    /// per-byte costs divide by it.
+    ScaleBandwidth(f64),
+    /// Multiply CPU-side send/receive overheads by this factor
+    /// (< 1 = kernel-bypass / offload upgrades).
+    ScaleOverheads(f64),
+    /// Multiply every memory plateau's bandwidth by this factor.
+    ScaleMemoryBandwidth(f64),
+}
+
+fn scaled_segment(seg: &ModelSegment, scenario: Scenario) -> ModelSegment {
+    let mut s = seg.clone();
+    match scenario {
+        Scenario::ScaleLatency(f) => {
+            s.latency_us *= f;
+            // the RTT view carries latency in its intercept
+            s.rtt.0 += 2.0 * (s.latency_us - seg.latency_us);
+        }
+        Scenario::ScaleBandwidth(f) => {
+            s.gap_per_byte /= f;
+            // rtt slope = 2(os' + G + or'): subtract the G change
+            s.rtt.1 = seg.rtt.1 - 2.0 * (seg.gap_per_byte - s.gap_per_byte);
+        }
+        Scenario::ScaleOverheads(f) => {
+            s.send_overhead = (seg.send_overhead.0 * f, seg.send_overhead.1 * f);
+            s.recv_overhead = (seg.recv_overhead.0 * f, seg.recv_overhead.1 * f);
+            s.rtt.0 = seg.rtt.0
+                - 2.0 * ((seg.send_overhead.0 - s.send_overhead.0)
+                    + (seg.recv_overhead.0 - s.recv_overhead.0));
+            s.rtt.1 = seg.rtt.1
+                - 2.0 * ((seg.send_overhead.1 - s.send_overhead.1)
+                    + (seg.recv_overhead.1 - s.recv_overhead.1));
+        }
+        Scenario::ScaleMemoryBandwidth(_) => {}
+    }
+    s
+}
+
+/// Applies a scenario to a machine signature, producing the hypothetical
+/// machine.
+pub fn apply(machine: &MachineSignature, scenario: Scenario) -> MachineSignature {
+    let network = NetworkModel {
+        segments: machine.network.segments.iter().map(|s| scaled_segment(s, scenario)).collect(),
+        breakpoints: machine.network.breakpoints.clone(),
+    };
+    let memory = match scenario {
+        Scenario::ScaleMemoryBandwidth(f) => {
+            let mut m = machine.memory.clone();
+            for p in &mut m.plateaus {
+                p.bandwidth_mbps *= f;
+            }
+            m.dram_bandwidth_mbps *= f;
+            m
+        }
+        _ => machine.memory.clone(),
+    };
+    MachineSignature { memory, network }
+}
+
+/// Outcome of a what-if comparison for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhatIf {
+    /// Baseline prediction.
+    pub baseline: Prediction,
+    /// Prediction on the modified machine.
+    pub modified: Prediction,
+}
+
+impl WhatIf {
+    /// Predicted speedup (`baseline / modified`; > 1 = the change helps).
+    pub fn speedup(&self) -> f64 {
+        self.baseline.total_us() / self.modified.total_us()
+    }
+}
+
+/// Convolves `app` against the baseline and the scenario-modified machine.
+pub fn evaluate(app: &AppSignature, machine: &MachineSignature, scenario: Scenario) -> WhatIf {
+    let modified = apply(machine, scenario);
+    WhatIf { baseline: convolve(app, machine), modified: convolve(app, &modified) }
+}
+
+/// Convenience re-export so callers can reason about the memory model in
+/// scenario code without importing two modules.
+pub type Memory = MemoryModel;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::memory::Plateau;
+    use charm_design::doe::FullFactorial;
+    use charm_design::Factor;
+    use charm_engine::target::NetworkTarget;
+    use charm_simnet::noise::NoiseModel;
+    use charm_simnet::{presets, NetOp};
+
+    fn machine() -> MachineSignature {
+        let sizes: Vec<i64> = vec![64, 1024, 8192, 40_000, 90_000, 400_000, 900_000];
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["async_send", "blocking_recv", "ping_pong"]))
+            .factor(Factor::new("size", sizes))
+            .replicates(3)
+            .build()
+            .unwrap();
+        plan.shuffle(1);
+        let mut sim = presets::taurus_openmpi_tcp(1);
+        sim.set_noise(NoiseModel::silent(0));
+        let mut target = NetworkTarget::new("t", sim);
+        let campaign = charm_engine::run_campaign(&plan, &mut target, Some(1)).unwrap();
+        MachineSignature {
+            memory: MemoryModel {
+                plateaus: vec![Plateau { capacity_bytes: 1 << 20, bandwidth_mbps: 10_000.0 }],
+                dram_bandwidth_mbps: 1_000.0,
+            },
+            network: NetworkModel::fit(&campaign, &[32 * 1024, 128 * 1024]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn latency_upgrade_helps_small_messages_most() {
+        let m = machine();
+        let small = AppSignature::new().message(NetOp::PingPong, 256, 100);
+        let large = AppSignature::new().message(NetOp::PingPong, 1 << 20, 10);
+        let s_small = evaluate(&small, &m, Scenario::ScaleLatency(0.1)).speedup();
+        let s_large = evaluate(&large, &m, Scenario::ScaleLatency(0.1)).speedup();
+        assert!(s_small > 1.1, "latency-bound app should speed up: {s_small}");
+        assert!(s_small > s_large, "small messages benefit more: {s_small} vs {s_large}");
+    }
+
+    #[test]
+    fn bandwidth_upgrade_helps_large_messages_most() {
+        let m = machine();
+        let small = AppSignature::new().message(NetOp::PingPong, 256, 100);
+        let large = AppSignature::new().message(NetOp::PingPong, 1 << 20, 10);
+        let s_small = evaluate(&small, &m, Scenario::ScaleBandwidth(4.0)).speedup();
+        let s_large = evaluate(&large, &m, Scenario::ScaleBandwidth(4.0)).speedup();
+        assert!(s_large > 1.5, "bandwidth-bound app should speed up: {s_large}");
+        assert!(s_large > s_small);
+    }
+
+    #[test]
+    fn overhead_upgrade_is_cpu_side() {
+        let m = machine();
+        let chatty = AppSignature::new().message(NetOp::AsyncSend, 512, 1000);
+        let s = evaluate(&chatty, &m, Scenario::ScaleOverheads(0.2)).speedup();
+        assert!(s > 2.0, "offloading overheads should fly for send-heavy apps: {s}");
+    }
+
+    #[test]
+    fn memory_upgrade_only_touches_compute() {
+        let m = machine();
+        let app = AppSignature::new()
+            .block(1e7, 8 << 20, 1)
+            .message(NetOp::PingPong, 4096, 10);
+        let w = evaluate(&app, &m, Scenario::ScaleMemoryBandwidth(2.0));
+        assert!((w.modified.network_us - w.baseline.network_us).abs() < 1e-9);
+        assert!((w.baseline.memory_us / w.modified.memory_us - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_scenarios_change_nothing() {
+        let m = machine();
+        let app = AppSignature::new()
+            .block(1e6, 1024, 3)
+            .message(NetOp::PingPong, 10_000, 5);
+        for sc in [
+            Scenario::ScaleLatency(1.0),
+            Scenario::ScaleBandwidth(1.0),
+            Scenario::ScaleOverheads(1.0),
+            Scenario::ScaleMemoryBandwidth(1.0),
+        ] {
+            let w = evaluate(&app, &m, sc);
+            assert!(
+                (w.speedup() - 1.0).abs() < 1e-9,
+                "{sc:?} should be identity: {}",
+                w.speedup()
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Design-of-experiments construction: full factorials with replication.
+
+use crate::factors::Factor;
+use crate::plan::{ExperimentPlan, PlanError, PlanRow};
+
+/// Builder for replicated full-factorial designs.
+///
+/// ```
+/// use charm_design::doe::FullFactorial;
+/// use charm_design::Factor;
+///
+/// let plan = FullFactorial::new()
+///     .factor(Factor::new("size_kb", vec![1usize, 2, 4, 8]))
+///     .factor(Factor::new("stride", vec![1usize, 2]))
+///     .replicates(3)
+///     .build()
+///     .unwrap();
+/// assert_eq!(plan.len(), 4 * 2 * 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FullFactorial {
+    factors: Vec<Factor>,
+    replicates: u32,
+}
+
+impl FullFactorial {
+    /// Creates an empty builder (1 replicate by default).
+    pub fn new() -> Self {
+        FullFactorial { factors: Vec::new(), replicates: 1 }
+    }
+
+    /// Adds a factor.
+    pub fn factor(mut self, f: Factor) -> Self {
+        self.factors.push(f);
+        self
+    }
+
+    /// Sets the number of replicates per combination (≥ 1).
+    pub fn replicates(mut self, n: u32) -> Self {
+        self.replicates = n.max(1);
+        self
+    }
+
+    /// Total number of rows the built plan will have.
+    pub fn size(&self) -> usize {
+        self.factors.iter().map(Factor::cardinality).product::<usize>()
+            * self.replicates as usize
+    }
+
+    /// Builds the plan in *systematic* order (replicates innermost). Call
+    /// [`ExperimentPlan::shuffle`] afterwards — the methodology demands it.
+    pub fn build(self) -> Result<ExperimentPlan, PlanError> {
+        let names = self.factors.iter().map(|f| f.name.clone()).collect::<Vec<_>>();
+        let mut rows = Vec::with_capacity(self.size());
+        let cards: Vec<usize> = self.factors.iter().map(Factor::cardinality).collect();
+        if cards.contains(&0) {
+            // a factor without levels yields an empty plan
+            return ExperimentPlan::new(names, Vec::new());
+        }
+        let combos: usize = cards.iter().product();
+        for idx in 0..combos {
+            // mixed-radix decomposition of idx over factor cardinalities
+            let mut rem = idx;
+            let mut levels = Vec::with_capacity(self.factors.len());
+            for (f, &card) in self.factors.iter().zip(&cards).rev() {
+                levels.push(f.levels[rem % card].clone());
+                rem /= card;
+            }
+            levels.reverse();
+            for rep in 0..self.replicates {
+                rows.push(PlanRow { levels: levels.clone(), replicate: rep });
+            }
+        }
+        ExperimentPlan::new(names, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::Level;
+
+    #[test]
+    fn cartesian_product_complete() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("a", vec![1i64, 2, 3]))
+            .factor(Factor::new("b", vec!["x", "y"]))
+            .build()
+            .unwrap();
+        assert_eq!(plan.len(), 6);
+        // every (a, b) combination appears exactly once
+        let mut seen = std::collections::HashSet::new();
+        for row in plan.rows() {
+            let key = (row.levels[0].as_int().unwrap(), row.levels[1].as_text().unwrap().to_owned());
+            assert!(seen.insert(key), "duplicate combination");
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn replicates_multiply_rows() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("a", vec![1i64, 2]))
+            .replicates(5)
+            .build()
+            .unwrap();
+        assert_eq!(plan.len(), 10);
+        // replicate indices 0..5 for each level
+        for lvl in [1i64, 2] {
+            let reps: Vec<u32> = plan
+                .rows()
+                .iter()
+                .filter(|r| r.levels[0] == Level::Int(lvl))
+                .map(|r| r.replicate)
+                .collect();
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn empty_factor_list_gives_single_empty_combo() {
+        let plan = FullFactorial::new().replicates(3).build().unwrap();
+        assert_eq!(plan.len(), 3);
+        assert!(plan.rows()[0].levels.is_empty());
+    }
+
+    #[test]
+    fn factor_with_no_levels_gives_empty_plan() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("a", Vec::<i64>::new()))
+            .factor(Factor::new("b", vec![1i64]))
+            .build()
+            .unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn size_predicts_build_len() {
+        let ff = FullFactorial::new()
+            .factor(Factor::new("a", vec![1i64, 2, 3, 4]))
+            .factor(Factor::new("b", vec![1i64, 2, 3]))
+            .replicates(7);
+        assert_eq!(ff.size(), 84);
+        assert_eq!(ff.build().unwrap().len(), 84);
+    }
+
+    #[test]
+    fn zero_replicates_clamped_to_one() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("a", vec![1i64]))
+            .replicates(0)
+            .build()
+            .unwrap();
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn doc_example_shape() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("size_kb", vec![1usize, 2, 4, 8]))
+            .factor(Factor::new("stride", vec![1usize, 2]))
+            .replicates(3)
+            .build()
+            .unwrap();
+        assert_eq!(plan.factor_names(), &["size_kb".to_string(), "stride".to_string()]);
+        assert_eq!(plan.len(), 24);
+    }
+}

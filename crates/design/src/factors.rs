@@ -1,0 +1,178 @@
+//! Factors and levels.
+//!
+//! A *factor* is an input the experimenter controls (buffer size, stride,
+//! element type, scheduling priority, …); a *level* is one value that
+//! factor may take in the campaign. Figure 13 of the paper lists the
+//! factors that turned out to matter for the seemingly trivial memory
+//! benchmark — experiment plans are built from exactly these objects.
+
+use std::fmt;
+
+/// One value of a factor.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Level {
+    /// An integer-valued level (sizes, strides, repetition counts).
+    Int(i64),
+    /// A real-valued level.
+    Float(f64),
+    /// A categorical level (governor name, allocation technique, …).
+    Text(String),
+    /// A boolean level (loop unrolling on/off, pinning on/off).
+    Flag(bool),
+}
+
+impl Level {
+    /// The level as `i64` when it is (or losslessly converts to) one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Level::Int(v) => Some(*v),
+            Level::Float(v) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The level as `f64` when numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Level::Int(v) => Some(*v as f64),
+            Level::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The level as text when categorical.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Level::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The level as bool when it is a flag.
+    pub fn as_flag(&self) -> Option<bool> {
+        match self {
+            Level::Flag(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parses a level back from its CSV text representation, preferring
+    /// the narrowest type that round-trips (`Flag`, `Int`, `Float`,
+    /// falling back to `Text`).
+    pub fn parse(s: &str) -> Level {
+        match s {
+            "true" => return Level::Flag(true),
+            "false" => return Level::Flag(false),
+            _ => {}
+        }
+        if let Ok(v) = s.parse::<i64>() {
+            return Level::Int(v);
+        }
+        if let Ok(v) = s.parse::<f64>() {
+            return Level::Float(v);
+        }
+        Level::Text(s.to_string())
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Int(v) => write!(f, "{v}"),
+            Level::Float(v) => write!(f, "{v}"),
+            Level::Text(s) => write!(f, "{s}"),
+            Level::Flag(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Level {
+    fn from(v: i64) -> Self {
+        Level::Int(v)
+    }
+}
+impl From<usize> for Level {
+    fn from(v: usize) -> Self {
+        Level::Int(v as i64)
+    }
+}
+impl From<f64> for Level {
+    fn from(v: f64) -> Self {
+        Level::Float(v)
+    }
+}
+impl From<&str> for Level {
+    fn from(v: &str) -> Self {
+        Level::Text(v.to_string())
+    }
+}
+impl From<bool> for Level {
+    fn from(v: bool) -> Self {
+        Level::Flag(v)
+    }
+}
+
+/// A named factor with its candidate levels.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Factor {
+    /// Factor name (CSV column header).
+    pub name: String,
+    /// Levels this factor takes in the campaign.
+    pub levels: Vec<Level>,
+}
+
+impl Factor {
+    /// Creates a factor from anything convertible to levels.
+    pub fn new<N: Into<String>, L: Into<Level>>(name: N, levels: Vec<L>) -> Self {
+        Factor { name: name.into(), levels: levels.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of levels.
+    pub fn cardinality(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_conversions() {
+        assert_eq!(Level::Int(3).as_float(), Some(3.0));
+        assert_eq!(Level::Float(3.0).as_int(), Some(3));
+        assert_eq!(Level::Float(3.5).as_int(), None);
+        assert_eq!(Level::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Level::Flag(true).as_flag(), Some(true));
+        assert_eq!(Level::Int(1).as_flag(), None);
+    }
+
+    #[test]
+    fn level_display_roundtrip() {
+        for l in [
+            Level::Int(-4),
+            Level::Float(2.5),
+            Level::Text("ondemand".into()),
+            Level::Flag(false),
+        ] {
+            assert_eq!(Level::parse(&l.to_string()), l);
+        }
+    }
+
+    #[test]
+    fn parse_prefers_narrowest_type() {
+        assert_eq!(Level::parse("42"), Level::Int(42));
+        assert_eq!(Level::parse("4.2"), Level::Float(4.2));
+        assert_eq!(Level::parse("true"), Level::Flag(true));
+        assert_eq!(Level::parse("eager"), Level::Text("eager".into()));
+    }
+
+    #[test]
+    fn factor_from_mixed_sources() {
+        let f = Factor::new("stride", vec![1usize, 2, 4, 8]);
+        assert_eq!(f.cardinality(), 4);
+        assert_eq!(f.levels[2], Level::Int(4));
+        let g = Factor::new("governor", vec!["ondemand", "performance"]);
+        assert_eq!(g.cardinality(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # charm-engine
+//!
+//! The *second stage* of the white-box methodology (paper §V): the
+//! measurement engine. "The benchmark engine reads each factor
+//! combination from its input, conducts the measurement on the target
+//! platform, and reports the details of **every individual measurement**
+//! in one or multiple output files, along with a lot of meta-data about
+//! the measurements and the environment."
+//!
+//! The engine is deliberately dumb: it does **no aggregation, no
+//! filtering, no analysis** — it executes an [`charm_design::ExperimentPlan`]
+//! row by row (in the plan's order, which stage 1 randomized) against a
+//! [`Target`], records the raw value plus sequence number and virtual
+//! timestamp for each row, captures environment metadata, and can
+//! round-trip the whole campaign through CSV.
+//!
+//! * [`target`] — the `Target` abstraction plus adapters for the network
+//!   and memory substrates (a real-MPI or real-kernel adapter would slot
+//!   in identically);
+//! * [`record`] — raw measurement records and campaign CSV I/O;
+//! * [`meta`] — environment metadata capture;
+//! * [`runner`] — the campaign loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod meta;
+pub mod record;
+pub mod replicate;
+pub mod runner;
+pub mod target;
+
+pub use record::{Campaign, RawRecord};
+pub use runner::run_campaign;
+pub use target::{Measurement, Target, TargetError};

@@ -1,0 +1,145 @@
+//! The campaign loop: execute a plan against a target, retain everything.
+
+use crate::meta::MetadataBuilder;
+use crate::record::{Campaign, RawRecord};
+use crate::target::{Assignment, Target, TargetError};
+use charm_design::plan::ExperimentPlan;
+
+/// Executes every row of `plan` (in the plan's order) against `target`.
+///
+/// `shuffle_seed` is recorded in the metadata when the caller shuffled the
+/// plan (pass `None` for a deliberately sequential — opaque-style —
+/// campaign, so the artifact says so).
+///
+/// Fails fast on the first target error: a mis-specified plan is a setup
+/// bug, and partial campaigns silently passed to analysis are exactly the
+/// kind of artifact the methodology bans.
+pub fn run_campaign<T: Target + ?Sized>(
+    plan: &ExperimentPlan,
+    target: &mut T,
+    shuffle_seed: Option<u64>,
+) -> Result<Campaign, TargetError> {
+    let mut records = Vec::with_capacity(plan.len());
+    for (sequence, row) in plan.rows().iter().enumerate() {
+        let m = target.measure(&Assignment::new(plan, row))?;
+        records.push(RawRecord {
+            levels: row.levels.clone(),
+            replicate: row.replicate,
+            sequence: sequence as u64,
+            start_us: m.start_us,
+            value: m.value,
+        });
+    }
+    let metadata = MetadataBuilder::new()
+        .with_engine_info()
+        .with_campaign_info(plan.len(), shuffle_seed)
+        .with_target_info(&target.metadata())
+        .build();
+    Ok(Campaign { metadata, factor_names: plan.factor_names().to_vec(), records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{MemoryTarget, NetworkTarget};
+    use charm_design::doe::FullFactorial;
+    use charm_design::Factor;
+    use charm_simmem::dvfs::GovernorPolicy;
+    use charm_simmem::machine::{CpuSpec, MachineSim};
+    use charm_simmem::paging::AllocPolicy;
+    use charm_simmem::sched::SchedPolicy;
+    use charm_simnet::presets;
+
+    #[test]
+    fn campaign_retains_every_measurement() {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong"]))
+            .factor(Factor::new("size", vec![64i64, 256, 1024]))
+            .replicates(4)
+            .build()
+            .unwrap();
+        plan.shuffle(9);
+        let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(1));
+        let campaign = run_campaign(&plan, &mut target, Some(9)).unwrap();
+        assert_eq!(campaign.records.len(), 12);
+        // sequence numbers are the execution order
+        for (i, r) in campaign.records.iter().enumerate() {
+            assert_eq!(r.sequence, i as u64);
+        }
+        // timestamps strictly increase (virtual clock)
+        for w in campaign.records.windows(2) {
+            assert!(w[1].start_us > w[0].start_us);
+        }
+        assert_eq!(campaign.metadata["order"], "randomized");
+        assert_eq!(campaign.metadata["shuffle_seed"], "9");
+        assert_eq!(campaign.metadata["plan_rows"], "12");
+    }
+
+    #[test]
+    fn campaign_csv_roundtrip_end_to_end() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![4096i64, 8192]))
+            .factor(Factor::new("stride", vec![1i64, 2]))
+            .replicates(2)
+            .build()
+            .unwrap();
+        let mut target = MemoryTarget::new(
+            "opteron",
+            MachineSim::new(
+                CpuSpec::opteron(),
+                GovernorPolicy::Performance,
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::MallocPerSize,
+                3,
+            ),
+        );
+        let campaign = run_campaign(&plan, &mut target, None).unwrap();
+        let back = Campaign::from_csv(&campaign.to_csv()).unwrap();
+        assert_eq!(campaign, back);
+        assert_eq!(back.metadata["order"], "sequential");
+        assert_eq!(back.metadata["cpu"], "Opteron 2.8GHz");
+    }
+
+    #[test]
+    fn identical_seeds_identical_campaigns() {
+        let mk = || {
+            let mut plan = FullFactorial::new()
+                .factor(Factor::new("op", vec!["ping_pong", "blocking_recv"]))
+                .factor(Factor::new("size", vec![128i64, 512]))
+                .replicates(3)
+                .build()
+                .unwrap();
+            plan.shuffle(4);
+            let mut target = NetworkTarget::new("myrinet", presets::myrinet_gm(8));
+            run_campaign(&plan, &mut target, Some(4)).unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn fails_fast_on_bad_plan() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["nonsense"]))
+            .factor(Factor::new("size", vec![1i64]))
+            .build()
+            .unwrap();
+        let mut target = NetworkTarget::new("x", presets::myrinet_gm(1));
+        assert!(run_campaign(&plan, &mut target, None).is_err());
+    }
+
+    #[test]
+    fn group_by_recovers_replicates() {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong"]))
+            .factor(Factor::new("size", vec![64i64, 512]))
+            .replicates(5)
+            .build()
+            .unwrap();
+        plan.shuffle(2);
+        let mut target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(2));
+        let campaign = run_campaign(&plan, &mut target, Some(2)).unwrap();
+        let groups = campaign.group_by(&["size"]);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|(_, vs)| vs.len() == 5));
+    }
+}

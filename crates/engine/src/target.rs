@@ -1,0 +1,363 @@
+//! Measurement targets: what the engine points at.
+//!
+//! A [`Target`] receives a fully-instantiated factor assignment and
+//! performs exactly one measurement. Adapters for the two simulated
+//! substrates live here; the trait is what a real-MPI or bare-metal
+//! adapter would implement instead — the engine does not care.
+
+use charm_design::factors::Level;
+use charm_design::plan::{ExperimentPlan, PlanRow};
+use charm_simmem::compiler::{CodegenConfig, ElementWidth};
+use charm_simmem::kernel::KernelConfig;
+use charm_simmem::machine::MachineSim;
+use charm_simnet::{NetOp, NetworkSim};
+use std::fmt;
+
+/// Error from a target measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetError {
+    /// A factor the target needs is missing from the plan.
+    MissingFactor(&'static str),
+    /// A factor value has the wrong type or an invalid value.
+    BadFactor {
+        /// Factor name.
+        name: &'static str,
+        /// What was found, rendered.
+        got: String,
+    },
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetError::MissingFactor(name) => write!(f, "plan lacks factor {name:?}"),
+            TargetError::BadFactor { name, got } => {
+                write!(f, "factor {name:?} has unusable value {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargetError {}
+
+/// One raw measurement as a target reports it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The measured quantity (µs for network ops, MB/s for memory).
+    pub value: f64,
+    /// Virtual time at which the measurement started (µs).
+    pub start_us: f64,
+}
+
+/// A view over one plan row that resolves factors by name.
+pub struct Assignment<'a> {
+    plan: &'a ExperimentPlan,
+    row: &'a PlanRow,
+}
+
+impl<'a> Assignment<'a> {
+    /// Wraps a row of a plan.
+    pub fn new(plan: &'a ExperimentPlan, row: &'a PlanRow) -> Self {
+        Assignment { plan, row }
+    }
+
+    /// The raw level of a factor, if the plan has it.
+    pub fn level(&self, name: &str) -> Option<&Level> {
+        let idx = self.plan.factor_names().iter().position(|n| n == name)?;
+        self.row.levels.get(idx)
+    }
+
+    /// Integer factor.
+    pub fn int(&self, name: &'static str) -> Result<i64, TargetError> {
+        let l = self.level(name).ok_or(TargetError::MissingFactor(name))?;
+        l.as_int().ok_or_else(|| TargetError::BadFactor { name, got: l.to_string() })
+    }
+
+    /// Integer factor with a default when absent.
+    pub fn int_or(&self, name: &'static str, default: i64) -> Result<i64, TargetError> {
+        match self.level(name) {
+            None => Ok(default),
+            Some(l) => {
+                l.as_int().ok_or_else(|| TargetError::BadFactor { name, got: l.to_string() })
+            }
+        }
+    }
+
+    /// Text factor.
+    pub fn text(&self, name: &'static str) -> Result<&str, TargetError> {
+        let l = self.level(name).ok_or(TargetError::MissingFactor(name))?;
+        l.as_text().ok_or_else(|| TargetError::BadFactor { name, got: l.to_string() })
+    }
+
+    /// Flag factor with a default when absent.
+    pub fn flag_or(&self, name: &'static str, default: bool) -> Result<bool, TargetError> {
+        match self.level(name) {
+            None => Ok(default),
+            Some(l) => {
+                l.as_flag().ok_or_else(|| TargetError::BadFactor { name, got: l.to_string() })
+            }
+        }
+    }
+}
+
+/// Anything the engine can measure.
+pub trait Target {
+    /// Short platform name, recorded in the campaign metadata.
+    fn name(&self) -> String;
+    /// Environment metadata the target can introspect (governor, policy,
+    /// cache geometry, seeds, …).
+    fn metadata(&self) -> Vec<(String, String)>;
+    /// Performs one measurement for the assignment.
+    fn measure(&mut self, a: &Assignment<'_>) -> Result<Measurement, TargetError>;
+}
+
+/// Adapter: network substrate. Expects factors `op` (text:
+/// `async_send` / `blocking_recv` / `ping_pong`) and `size` (bytes).
+pub struct NetworkTarget {
+    sim: NetworkSim,
+    label: String,
+}
+
+impl NetworkTarget {
+    /// Wraps a simulator under a platform label.
+    pub fn new(label: impl Into<String>, sim: NetworkSim) -> Self {
+        NetworkTarget { sim, label: label.into() }
+    }
+
+    /// The wrapped simulator.
+    pub fn sim(&self) -> &NetworkSim {
+        &self.sim
+    }
+}
+
+impl Target for NetworkTarget {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn metadata(&self) -> Vec<(String, String)> {
+        vec![
+            ("target_kind".into(), "network".into()),
+            ("platform".into(), self.label.clone()),
+            (
+                "protocol_thresholds".into(),
+                format!("{:?}", self.sim.protocol().thresholds()),
+            ),
+            ("value_unit".into(), "us".into()),
+        ]
+    }
+
+    fn measure(&mut self, a: &Assignment<'_>) -> Result<Measurement, TargetError> {
+        let op_name = a.text("op")?;
+        let op = NetOp::parse(op_name)
+            .ok_or(TargetError::BadFactor { name: "op", got: op_name.to_string() })?;
+        let size = a.int("size")?;
+        if size < 0 {
+            return Err(TargetError::BadFactor { name: "size", got: size.to_string() });
+        }
+        let start_us = self.sim.now_us();
+        let value = self.sim.measure(op, size as u64);
+        Ok(Measurement { value, start_us })
+    }
+}
+
+/// Adapter: memory substrate. Expects factor `size_bytes`; optional
+/// `stride` (elements, default 1), `width` (text per
+/// [`ElementWidth::name`], default `32b_int`), `unroll` (flag, default
+/// false), `nloops` (default 100).
+pub struct MemoryTarget {
+    machine: MachineSim,
+    label: String,
+}
+
+impl MemoryTarget {
+    /// Wraps a machine under a platform label.
+    pub fn new(label: impl Into<String>, machine: MachineSim) -> Self {
+        MemoryTarget { machine, label: label.into() }
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &MachineSim {
+        &self.machine
+    }
+}
+
+impl Target for MemoryTarget {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn metadata(&self) -> Vec<(String, String)> {
+        let spec = self.machine.spec();
+        let mut md = vec![
+            ("target_kind".into(), "memory".into()),
+            ("platform".into(), self.label.clone()),
+            ("cpu".into(), spec.name.to_string()),
+            ("word_bits".into(), spec.word_bits.to_string()),
+            ("page_bytes".into(), spec.page_bytes.to_string()),
+            ("dram_latency_cycles".into(), spec.dram_latency_cycles.to_string()),
+            ("value_unit".into(), "MB/s".into()),
+        ];
+        for (i, l) in spec.levels.iter().enumerate() {
+            md.push((
+                format!("l{}_cache", i + 1),
+                format!("{}KB {}-way {}B lines", l.size_bytes / 1024, l.assoc, l.line_bytes),
+            ));
+        }
+        md
+    }
+
+    fn measure(&mut self, a: &Assignment<'_>) -> Result<Measurement, TargetError> {
+        let size = a.int("size_bytes")?;
+        if size <= 0 {
+            return Err(TargetError::BadFactor { name: "size_bytes", got: size.to_string() });
+        }
+        let stride = a.int_or("stride", 1)?;
+        if stride < 1 {
+            return Err(TargetError::BadFactor { name: "stride", got: stride.to_string() });
+        }
+        let width = match a.level("width") {
+            None => ElementWidth::W32,
+            Some(l) => {
+                let name = l.as_text().unwrap_or_default();
+                ElementWidth::parse(name).ok_or(TargetError::BadFactor {
+                    name: "width",
+                    got: l.to_string(),
+                })?
+            }
+        };
+        let unroll = a.flag_or("unroll", false)?;
+        let nloops = a.int_or("nloops", 100)?;
+        if nloops < 1 {
+            return Err(TargetError::BadFactor { name: "nloops", got: nloops.to_string() });
+        }
+        let cfg = KernelConfig {
+            buffer_bytes: size as u64,
+            stride_elems: stride as u64,
+            codegen: CodegenConfig::new(width, unroll),
+            nloops: nloops as u64,
+        };
+        let r = self.machine.run_kernel(&cfg);
+        Ok(Measurement { value: r.bandwidth_mbps, start_us: r.start_us })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_design::doe::FullFactorial;
+    use charm_design::Factor;
+    use charm_simmem::dvfs::GovernorPolicy;
+    use charm_simmem::machine::CpuSpec;
+    use charm_simmem::paging::AllocPolicy;
+    use charm_simmem::sched::SchedPolicy;
+    use charm_simnet::presets;
+
+    fn net_plan() -> ExperimentPlan {
+        FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong", "async_send"]))
+            .factor(Factor::new("size", vec![64i64, 4096]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn network_target_measures_rows() {
+        let plan = net_plan();
+        let mut t = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(1));
+        for row in plan.rows() {
+            let m = t.measure(&Assignment::new(&plan, row)).unwrap();
+            assert!(m.value > 0.0);
+        }
+        assert!(t.metadata().iter().any(|(k, _)| k == "protocol_thresholds"));
+    }
+
+    #[test]
+    fn network_target_rejects_bad_rows() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["warp_drive"]))
+            .factor(Factor::new("size", vec![64i64]))
+            .build()
+            .unwrap();
+        let mut t = NetworkTarget::new("x", presets::myrinet_gm(1));
+        let err = t.measure(&Assignment::new(&plan, &plan.rows()[0])).unwrap_err();
+        assert!(matches!(err, TargetError::BadFactor { name: "op", .. }));
+    }
+
+    #[test]
+    fn network_target_missing_factor() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("size", vec![64i64]))
+            .build()
+            .unwrap();
+        let mut t = NetworkTarget::new("x", presets::myrinet_gm(1));
+        let err = t.measure(&Assignment::new(&plan, &plan.rows()[0])).unwrap_err();
+        assert_eq!(err, TargetError::MissingFactor("op"));
+    }
+
+    #[test]
+    fn memory_target_full_factor_set() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![8192i64]))
+            .factor(Factor::new("stride", vec![2i64]))
+            .factor(Factor::new("width", vec!["64b_long_long"]))
+            .factor(Factor::new("unroll", vec![true]))
+            .factor(Factor::new("nloops", vec![10i64]))
+            .build()
+            .unwrap();
+        let mut t = MemoryTarget::new(
+            "i7",
+            MachineSim::new(
+                CpuSpec::core_i7_2600(),
+                GovernorPolicy::Performance,
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::MallocPerSize,
+                1,
+            ),
+        );
+        let m = t.measure(&Assignment::new(&plan, &plan.rows()[0])).unwrap();
+        assert!(m.value > 0.0);
+        assert!(t.metadata().iter().any(|(k, v)| k == "l1_cache" && v.contains("32KB")));
+    }
+
+    #[test]
+    fn memory_target_defaults_optional_factors() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![4096i64]))
+            .build()
+            .unwrap();
+        let mut t = MemoryTarget::new(
+            "arm",
+            MachineSim::new(
+                CpuSpec::arm_snowball(),
+                GovernorPolicy::Performance,
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::MallocPerSize,
+                2,
+            ),
+        );
+        assert!(t.measure(&Assignment::new(&plan, &plan.rows()[0])).is_ok());
+    }
+
+    #[test]
+    fn memory_target_validates_values() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![0i64]))
+            .build()
+            .unwrap();
+        let mut t = MemoryTarget::new(
+            "arm",
+            MachineSim::new(
+                CpuSpec::arm_snowball(),
+                GovernorPolicy::Performance,
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::MallocPerSize,
+                3,
+            ),
+        );
+        assert!(matches!(
+            t.measure(&Assignment::new(&plan, &plan.rows()[0])),
+            Err(TargetError::BadFactor { name: "size_bytes", .. })
+        ));
+    }
+}

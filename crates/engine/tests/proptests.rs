@@ -1,0 +1,80 @@
+//! Property-based tests of the measurement engine.
+
+use charm_design::doe::FullFactorial;
+use charm_design::Factor;
+use charm_engine::record::Campaign;
+use charm_engine::target::NetworkTarget;
+use charm_simnet::presets;
+use proptest::prelude::*;
+
+fn run(sizes: Vec<i64>, reps: u32, seed: u64, shuffle: bool) -> Campaign {
+    let mut plan = FullFactorial::new()
+        .factor(Factor::new("op", vec!["ping_pong"]))
+        .factor(Factor::new("size", sizes))
+        .replicates(reps)
+        .build()
+        .unwrap();
+    if shuffle {
+        plan.shuffle(seed);
+    }
+    let mut target = NetworkTarget::new("m", presets::myrinet_gm(seed));
+    charm_engine::run_campaign(&plan, &mut target, shuffle.then_some(seed)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn record_count_is_plan_size(
+        sizes in prop::collection::vec(1i64..1_000_000, 1..8),
+        reps in 1u32..6,
+        seed in any::<u64>(),
+        shuffle in any::<bool>(),
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let c = run(distinct.iter().copied().collect(), reps, seed, shuffle);
+        prop_assert_eq!(c.records.len(), distinct.len() * reps as usize);
+    }
+
+    #[test]
+    fn csv_roundtrip_any_campaign(
+        sizes in prop::collection::vec(1i64..1_000_000, 1..6),
+        reps in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let c = run(distinct.into_iter().collect(), reps, seed, true);
+        let back = Campaign::from_csv(&c.to_csv()).unwrap();
+        prop_assert_eq!(c, back);
+    }
+
+    #[test]
+    fn timestamps_strictly_increase(
+        reps in 2u32..8, seed in any::<u64>()
+    ) {
+        let c = run(vec![64, 4096, 65536], reps, seed, true);
+        for w in c.records.windows(2) {
+            prop_assert!(w[1].start_us > w[0].start_us);
+        }
+    }
+
+    #[test]
+    fn values_positive_and_finite(seed in any::<u64>()) {
+        let c = run(vec![1, 1024, 1 << 20], 3, seed, true);
+        prop_assert!(c.values().iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn grouping_partitions_records(
+        sizes in prop::collection::vec(1i64..100_000, 2..6),
+        reps in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let c = run(distinct.into_iter().collect(), reps, seed, true);
+        let groups = c.group_by(&["size"]);
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        prop_assert_eq!(total, c.records.len());
+        prop_assert!(groups.iter().all(|(_, v)| v.len() == reps as usize));
+    }
+}

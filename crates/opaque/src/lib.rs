@@ -1,0 +1,41 @@
+//! # charm-opaque
+//!
+//! Faithful-in-spirit reimplementations of the "opaque" benchmarks the
+//! paper examines (§II–§IV): tools that entangle experiment design,
+//! measurement, and statistical analysis in one process and emit **only
+//! aggregated summaries** — the design the paper argues against.
+//!
+//! These are not strawmen: each follows its original's published
+//! procedure —
+//!
+//! * [`pmb`] — Pallas MPI Benchmarks style: power-of-two sizes, fixed
+//!   repetitions, *mean values only* per size;
+//! * [`netgauge`] — linear size increments with **online** least-squares
+//!   protocol-change detection (confirmed after five measurements) and
+//!   direct LogGP parameter output;
+//! * [`plogp`] — power-of-two sizes with extrapolation checks and
+//!   interval halving to place breakpoints;
+//! * [`loogp`] — linear increments, offline neighbourhood-maximum break
+//!   detection with an analyst-set neighbourhood size;
+//! * [`multimaps`] — the MultiMAPS memory benchmark (Figure 6): nested
+//!   size/stride sweep in sequential order, per-configuration mean
+//!   bandwidth, raw data discarded;
+//! * [`stream`] — a STREAM-style single-number peak-bandwidth probe (the
+//!   roofline input).
+//!
+//! The point of keeping them in the tree is the paper's point: run them
+//! against the same substrates as the white-box methodology and watch
+//! where their built-in analysis misleads (see `charm-core`'s pitfall
+//! demonstrations and the bench binaries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loogp;
+pub mod multimaps;
+pub mod netgauge;
+pub mod pchase;
+pub mod plogp;
+pub mod pmb;
+pub mod report;
+pub mod stream;

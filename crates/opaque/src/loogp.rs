@@ -1,0 +1,150 @@
+//! LoOgGP-style benchmark: linear increments with offline
+//! neighbourhood-maximum break detection.
+//!
+//! Paper §III: "The LoOgGP linearly increases the message sizes … but
+//! adopts an offline analysis with user intervention. After removing
+//! outliers, a local neighborhood of a configurable extent is defined for
+//! each measurement. If a measurement has a maximum value in a
+//! neighborhood, it is considered as a protocol change. … authors state
+//! that the mechanism is sensitive to the neighborhood size and the
+//! message size steps during the measurement stage."
+//!
+//! The detection runs on the *derivative* of the overhead curve (a break
+//! is where the local cost-per-byte peaks), which is how neighbourhood
+//! maxima make sense for monotone timing data.
+
+use charm_simnet::{NetOp, NetworkSim};
+
+/// LoOgGP-style configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoogpConfig {
+    /// First probed size (bytes).
+    pub start: u64,
+    /// Linear step (bytes).
+    pub step: u64,
+    /// Last probed size (inclusive).
+    pub end: u64,
+    /// Repetitions per size.
+    pub repetitions: u32,
+    /// Half-width of the neighbourhood (in measurement indices) — the
+    /// analyst-set knob the original is "sensitive to".
+    pub neighborhood: usize,
+}
+
+impl Default for LoogpConfig {
+    fn default() -> Self {
+        LoogpConfig { start: 1024, step: 1024, end: 128 * 1024, repetitions: 10, neighborhood: 3 }
+    }
+}
+
+/// Output: the mean overhead per size (the tool's working table) and the
+/// candidate protocol changes it flags for the analyst to confirm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoogpOutput {
+    /// `(size, mean send-overhead µs)` in size order.
+    pub means: Vec<(u64, f64)>,
+    /// Sizes flagged as candidate protocol changes.
+    pub candidates: Vec<u64>,
+}
+
+/// Runs the measurement sweep and the offline neighbourhood analysis.
+pub fn run(sim: &mut NetworkSim, config: &LoogpConfig) -> LoogpOutput {
+    let sizes = charm_design::sampling::linear_sizes(config.start, config.step, config.end);
+    let mut means = Vec::with_capacity(sizes.len());
+    for &size in &sizes {
+        let mut acc = 0.0;
+        for _ in 0..config.repetitions {
+            acc += sim.measure(NetOp::AsyncSend, size);
+        }
+        means.push((size, acc / config.repetitions as f64));
+    }
+
+    // Offline stage: magnitudes of first differences (a protocol change
+    // may raise *or* lower the overhead — rendez-vous posting is cheaper
+    // per call than eager copying), then flag indices whose |difference|
+    // is the maximum of its neighbourhood and clearly above the
+    // neighbourhood's typical level.
+    let diffs: Vec<f64> = means.windows(2).map(|w| (w[1].1 - w[0].1).abs()).collect();
+    let mut candidates = Vec::new();
+    let k = config.neighborhood.max(1);
+    for i in 0..diffs.len() {
+        let lo = i.saturating_sub(k);
+        let hi = (i + k + 1).min(diffs.len());
+        let window = &diffs[lo..hi];
+        let max = window.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if diffs[i] < max {
+            continue;
+        }
+        let mut others: Vec<f64> = window.to_vec();
+        others.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = others[others.len() / 2];
+        // "maximum in its neighbourhood" is only meaningful if it stands
+        // clear of the local level
+        if diffs[i] > 3.0 * median + 1e-12 {
+            candidates.push(means[i + 1].0);
+        }
+    }
+    candidates.dedup();
+    LoogpOutput { means, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_simnet::noise::NoiseModel;
+    use charm_simnet::presets;
+
+    #[test]
+    fn flags_the_rendezvous_jump() {
+        let mut sim = presets::openmpi_fig3(1);
+        sim.set_noise(NoiseModel::silent(0));
+        let out = run(
+            &mut sim,
+            &LoogpConfig { start: 1024, step: 1024, end: 64 * 1024, repetitions: 2, neighborhood: 3 },
+        );
+        assert!(
+            out.candidates.iter().any(|&c| (c as i64 - 33 * 1024).unsigned_abs() <= 2048),
+            "rendezvous jump not flagged: {:?}",
+            out.candidates
+        );
+    }
+
+    #[test]
+    fn neighborhood_size_changes_the_answer() {
+        // The paper's criticism verbatim: sensitivity to the knob. On a
+        // noisy platform, some campaign must report different candidate
+        // sets depending only on the analyst's neighbourhood choice.
+        let run_with = |k: usize, seed: u64| {
+            let mut sim = presets::taurus_openmpi_tcp(seed);
+            run(
+                &mut sim,
+                &LoogpConfig { start: 2048, step: 2048, end: 160 * 1024, repetitions: 6, neighborhood: k },
+            )
+            .candidates
+        };
+        let sensitive = (0..6u64).any(|seed| run_with(1, seed) != run_with(10, seed));
+        assert!(sensitive, "neighbourhood size should change the candidates on some campaign");
+    }
+
+    #[test]
+    fn quiet_linear_curve_yields_no_candidates() {
+        let mut sim = presets::myrinet_gm(2);
+        sim.set_noise(NoiseModel::silent(0));
+        let out = run(
+            &mut sim,
+            &LoogpConfig { start: 1024, step: 1024, end: 24 * 1024, repetitions: 2, neighborhood: 3 },
+        );
+        assert!(out.candidates.is_empty(), "spurious: {:?}", out.candidates);
+    }
+
+    #[test]
+    fn means_table_matches_grid() {
+        let mut sim = presets::myrinet_gm(3);
+        let out = run(
+            &mut sim,
+            &LoogpConfig { start: 1000, step: 500, end: 4000, repetitions: 3, neighborhood: 2 },
+        );
+        let sizes: Vec<u64> = out.means.iter().map(|m| m.0).collect();
+        assert_eq!(sizes, vec![1000, 1500, 2000, 2500, 3000, 3500, 4000]);
+    }
+}

@@ -1,0 +1,161 @@
+//! MultiMAPS-style memory benchmark.
+//!
+//! The paper's §IV subject: an upgraded MAPS (itself derived from STREAM)
+//! that sweeps buffer sizes and strides with the Figure 6 kernel and
+//! reports **per-configuration mean bandwidth** — sequential sweep order,
+//! on-the-fly aggregation, no raw data, no environment metadata. Exactly
+//! the combination that hid every phenomenon of §IV:
+//!
+//! * sequential order turns temporal perturbations into phantom
+//!   size effects (§IV-3);
+//! * per-size means hide bimodality (Figure 11) and DVFS multimodality
+//!   (Figure 10);
+//! * malloc-per-size buffer handling freezes the physical page layout
+//!   (§IV-4), making within-run results deceptively stable.
+
+use crate::report::{AggregatedCell, Welford};
+use charm_simmem::kernel::KernelConfig;
+use charm_simmem::machine::MachineSim;
+
+/// MultiMAPS-style configuration.
+#[derive(Debug, Clone)]
+pub struct MultimapsConfig {
+    /// Buffer sizes to sweep (bytes), in the order probed.
+    pub sizes: Vec<u64>,
+    /// Strides (elements) to sweep.
+    pub strides: Vec<u64>,
+    /// Loop repetitions inside the timed region (Figure 6's `nloops`).
+    pub nloops: u64,
+    /// Timed repetitions per configuration.
+    pub repetitions: u32,
+}
+
+impl Default for MultimapsConfig {
+    fn default() -> Self {
+        MultimapsConfig {
+            sizes: (1..=32).map(|kb| kb * 1024).collect(),
+            strides: vec![2, 4, 8],
+            nloops: 100,
+            repetitions: 42,
+        }
+    }
+}
+
+/// One output row: a `(stride, size)` cell with aggregated bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultimapsRow {
+    /// Stride in elements.
+    pub stride: u64,
+    /// Aggregated bandwidth cell (x = buffer bytes, mean in MB/s).
+    pub cell: AggregatedCell,
+}
+
+/// Runs the sweep **in sequential order** (strides outer, sizes inner,
+/// repetitions innermost — as the original's nested loops do) and returns
+/// only aggregates.
+pub fn run(machine: &mut MachineSim, config: &MultimapsConfig) -> Vec<MultimapsRow> {
+    let mut rows = Vec::with_capacity(config.sizes.len() * config.strides.len());
+    for &stride in &config.strides {
+        for &size in &config.sizes {
+            let mut w = Welford::new();
+            for _ in 0..config.repetitions {
+                let r = machine
+                    .run_kernel(&KernelConfig::baseline(size, config.nloops).with_stride(stride));
+                w.push(r.bandwidth_mbps);
+            }
+            rows.push(MultimapsRow { stride, cell: AggregatedCell::from_welford(size, &w) });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_simmem::dvfs::GovernorPolicy;
+    use charm_simmem::machine::CpuSpec;
+    use charm_simmem::paging::AllocPolicy;
+    use charm_simmem::sched::SchedPolicy;
+
+    fn quiet_opteron(seed: u64) -> MachineSim {
+        MachineSim::new(
+            CpuSpec::opteron(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::MallocPerSize,
+            seed,
+        )
+    }
+
+    #[test]
+    fn produces_figure7_plateaus() {
+        let mut m = quiet_opteron(1);
+        let cfg = MultimapsConfig {
+            sizes: vec![16 * 1024, 32 * 1024, 256 * 1024, 512 * 1024, 4 << 20, 8 << 20],
+            strides: vec![2],
+            nloops: 400,
+            repetitions: 5,
+        };
+        let rows = run(&mut m, &cfg);
+        let bw = |size: u64| rows.iter().find(|r| r.cell.x == size).unwrap().cell.mean;
+        assert!(bw(16 * 1024) > 1.4 * bw(256 * 1024), "L1 plateau above L2");
+        assert!(bw(256 * 1024) > 1.4 * bw(4 << 20), "L2 plateau above DRAM");
+    }
+
+    #[test]
+    fn stride_effect_beyond_l1() {
+        let mut m = quiet_opteron(2);
+        let cfg = MultimapsConfig {
+            sizes: vec![4 << 20],
+            strides: vec![2, 4],
+            nloops: 400,
+            repetitions: 5,
+        };
+        let rows = run(&mut m, &cfg);
+        let s2 = rows.iter().find(|r| r.stride == 2).unwrap().cell.mean;
+        let s4 = rows.iter().find(|r| r.stride == 4).unwrap().cell.mean;
+        let ratio = s2 / s4;
+        assert!((1.5..=2.5).contains(&ratio), "stride ratio {ratio}");
+    }
+
+    #[test]
+    fn row_count_and_reps() {
+        let mut m = quiet_opteron(3);
+        let cfg = MultimapsConfig {
+            sizes: vec![4096, 8192],
+            strides: vec![1, 2, 4],
+            nloops: 10,
+            repetitions: 7,
+        };
+        let rows = run(&mut m, &cfg);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.cell.n == 7));
+    }
+
+    #[test]
+    fn aggregation_hides_scheduler_bimodality() {
+        // Run MultiMAPS on the RT-scheduled ARM: its mean+sd output cannot
+        // distinguish "noisy" from "bimodal" — the information needed for
+        // Figure 11 is destroyed. We verify the tool returns exactly one
+        // number pair per size while the machine demonstrably has two
+        // modes at the same configuration.
+        let mut m = MachineSim::new(
+            CpuSpec::arm_snowball(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedRealtime,
+            AllocPolicy::PooledRandomOffset,
+            4,
+        );
+        let cfg = MultimapsConfig {
+            sizes: vec![8 * 1024],
+            strides: vec![1],
+            nloops: 20,
+            repetitions: 200,
+        };
+        let rows = run(&mut m, &cfg);
+        assert_eq!(rows.len(), 1);
+        let cell = rows[0].cell;
+        // the only downstream trace of bimodality: a huge CV
+        assert!(cell.std_dev / cell.mean > 0.3, "cv = {}", cell.std_dev / cell.mean);
+    }
+}

@@ -1,0 +1,91 @@
+//! STREAM-style single-number bandwidth probe.
+//!
+//! STREAM (McCalpin, cited as the ancestor of MAPS/MultiMAPS) reports the
+//! best sustained bandwidth over a handful of trials of a large sweep —
+//! one number per machine. It is the input of roofline estimations
+//! (paper §II-C) and the logical extreme of aggregation: a single scalar
+//! stands for the entire memory system.
+
+use charm_simmem::compiler::{CodegenConfig, ElementWidth};
+use charm_simmem::kernel::KernelConfig;
+use charm_simmem::machine::MachineSim;
+
+/// STREAM-style configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Buffer size (bytes); STREAM mandates >> last-level cache.
+    pub buffer_bytes: u64,
+    /// Trials; the best is reported.
+    pub trials: u32,
+    /// Passes per trial.
+    pub nloops: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { buffer_bytes: 16 << 20, trials: 10, nloops: 10 }
+    }
+}
+
+/// The single number STREAM reports (MB/s), from the best trial of a
+/// wide unrolled sweep.
+pub fn peak_bandwidth_mbps(machine: &mut MachineSim, config: &StreamConfig) -> f64 {
+    let kcfg = KernelConfig {
+        buffer_bytes: config.buffer_bytes,
+        stride_elems: 1,
+        codegen: CodegenConfig::new(ElementWidth::W64, true),
+        nloops: config.nloops,
+    };
+    let mut best = 0.0f64;
+    for _ in 0..config.trials {
+        best = best.max(machine.run_kernel(&kcfg).bandwidth_mbps);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_simmem::dvfs::GovernorPolicy;
+    use charm_simmem::machine::CpuSpec;
+    use charm_simmem::paging::AllocPolicy;
+    use charm_simmem::sched::SchedPolicy;
+
+    fn machine(spec: CpuSpec, seed: u64) -> MachineSim {
+        MachineSim::new(
+            spec,
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::MallocPerSize,
+            seed,
+        )
+    }
+
+    #[test]
+    fn peak_is_positive_and_dram_bound() {
+        let mut m = machine(CpuSpec::opteron(), 1);
+        let cfg = StreamConfig { buffer_bytes: 8 << 20, trials: 3, nloops: 5 };
+        let peak = peak_bandwidth_mbps(&mut m, &cfg);
+        assert!(peak > 0.0);
+        // DRAM-resident: must be far below the L1-resident ideal
+        let l1 = m.ideal_bandwidth_mbps(
+            &KernelConfig {
+                buffer_bytes: 16 * 1024,
+                stride_elems: 1,
+                codegen: CodegenConfig::new(ElementWidth::W64, true),
+                nloops: 100,
+            },
+            2.8,
+        );
+        assert!(peak < l1 / 2.0, "peak {peak} vs L1 {l1}");
+    }
+
+    #[test]
+    fn best_of_trials_is_max() {
+        let mut a = machine(CpuSpec::pentium4(), 2);
+        let one = peak_bandwidth_mbps(&mut a, &StreamConfig { buffer_bytes: 8 << 20, trials: 1, nloops: 5 });
+        let mut b = machine(CpuSpec::pentium4(), 2);
+        let ten = peak_bandwidth_mbps(&mut b, &StreamConfig { buffer_bytes: 8 << 20, trials: 10, nloops: 5 });
+        assert!(ten >= one * 0.99, "more trials cannot reduce the best: {one} vs {ten}");
+    }
+}

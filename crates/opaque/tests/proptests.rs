@@ -1,0 +1,101 @@
+//! Property-based tests of the opaque tools' structural invariants
+//! (their *statistical* behaviour is covered by the pitfall tests).
+
+use charm_opaque::report::Welford;
+use charm_opaque::{loogp, netgauge, plogp, pmb};
+use charm_simnet::presets;
+use charm_simnet::NetOp;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn welford_matches_two_pass_formulas(
+        xs in prop::collection::vec(-1e6..1e6f64, 2..64)
+    ) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.std_dev() - var.sqrt()).abs() < 1e-6 * (1.0 + var.sqrt()));
+    }
+
+    #[test]
+    fn pmb_cell_count_and_order(max_pow in 2u32..12, reps in 1u32..8, seed in any::<u64>()) {
+        let mut sim = presets::myrinet_gm(seed);
+        let cells = pmb::run(
+            &mut sim,
+            &pmb::PmbConfig { max_pow, repetitions: reps, op: NetOp::PingPong },
+        );
+        prop_assert_eq!(cells.len(), max_pow as usize + 2); // 0 plus 2^0..2^max
+        prop_assert!(cells.windows(2).all(|w| w[0].x < w[1].x));
+        prop_assert!(cells.iter().all(|c| c.n == reps as u64 && c.mean > 0.0));
+    }
+
+    #[test]
+    fn netgauge_segments_tile_the_range(seed in any::<u64>()) {
+        let mut sim = presets::openmpi_fig3(seed);
+        let out = netgauge::run(
+            &mut sim,
+            &netgauge::NetgaugeConfig {
+                start: 1024,
+                step: 2048,
+                end: 64 * 1024,
+                repetitions: 3,
+                lsq_factor: 6.0,
+            },
+        );
+        // segments ordered and non-overlapping
+        for w in out.segments.windows(2) {
+            prop_assert!(w[0].to < w[1].from || w[0].to <= w[1].from + 2048);
+        }
+        for seg in &out.segments {
+            prop_assert!(seg.from <= seg.to);
+            prop_assert!(seg.params.gap_per_byte >= 0.0);
+            prop_assert!(seg.params.latency_us >= 0.0);
+        }
+    }
+
+    #[test]
+    fn plogp_probes_cover_ladder(max_pow in 3u32..14, seed in any::<u64>()) {
+        let mut sim = presets::taurus_openmpi_tcp(seed);
+        let out = plogp::run(
+            &mut sim,
+            &plogp::PlogpConfig { max_pow, repetitions: 2, tolerance: 0.1, max_attempts: 4 },
+        );
+        let sizes: std::collections::HashSet<u64> =
+            out.probed.iter().map(|p| p.0).collect();
+        for p in 0..=max_pow {
+            prop_assert!(sizes.contains(&(1u64 << p)), "ladder size 2^{p} missing");
+        }
+        prop_assert!(out.probed.iter().all(|&(_, t)| t > 0.0));
+        prop_assert!(out.breaks.iter().all(|&b| b <= 1 << max_pow));
+    }
+
+    #[test]
+    fn loogp_means_match_grid(step in 256u64..4096, seed in any::<u64>()) {
+        let mut sim = presets::myrinet_gm(seed);
+        let out = loogp::run(
+            &mut sim,
+            &loogp::LoogpConfig {
+                start: 512,
+                step,
+                end: 16 * 1024,
+                repetitions: 2,
+                neighborhood: 2,
+            },
+        );
+        let expected = charm_design::sampling::linear_sizes(512, step, 16 * 1024);
+        let got: Vec<u64> = out.means.iter().map(|m| m.0).collect();
+        prop_assert_eq!(got, expected);
+        // candidates are a subset of the measured grid
+        for c in &out.candidates {
+            prop_assert!(out.means.iter().any(|m| m.0 == *c));
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Analytic steady-state cache behaviour of cyclic access kernels.
+//!
+//! The Figure 6 kernel sweeps a buffer cyclically (`nloops` passes of the
+//! same access sequence). Under LRU, cyclic access has a sharp closed
+//! form per cache set:
+//!
+//! * if the number of distinct lines mapping to a set is ≤ the
+//!   associativity, every access hits from the second pass on;
+//! * if it exceeds the associativity, **every line misses once per pass,
+//!   forever** (the classic LRU worst case).
+//!
+//! So the steady-state behaviour of a pass is fully determined by the
+//! histogram of distinct lines per set — which depends on the *physical*
+//! page placement, which is exactly how the ARM paging anomaly of
+//! Figure 12 arises. This module computes that histogram and per-line
+//! service levels; `tests` validate it against the exact LRU simulator in
+//! [`crate::cache`].
+
+use crate::machine::CacheLevelSpec;
+
+/// The access pattern of one kernel pass, physically resolved.
+#[derive(Debug, Clone)]
+pub struct PhysicalPattern {
+    /// Physical byte address of the first byte of each *distinct* line
+    /// touched, in access order.
+    line_addrs: Vec<u64>,
+    /// Total accesses per pass.
+    accesses_per_pass: u64,
+}
+
+impl PhysicalPattern {
+    /// An empty pattern (no accesses); use with [`PhysicalPattern::merge`]
+    /// to build multi-array kernels.
+    pub fn empty() -> Self {
+        PhysicalPattern { line_addrs: Vec::new(), accesses_per_pass: 0 }
+    }
+
+    /// Merges another pattern's accesses into this one (multi-array
+    /// kernels: the union of streams competes for the same sets). The
+    /// arrays must not share physical pages — allocators never hand the
+    /// same page to two live arrays, so merged line sets stay disjoint.
+    pub fn merge(&mut self, other: PhysicalPattern) {
+        self.line_addrs.extend(other.line_addrs);
+        self.accesses_per_pass += other.accesses_per_pass;
+    }
+
+    /// Resolves the Figure 6 pattern (`for i in 0..n_elems/stride:
+    /// access buffer[stride*i]`) through a page mapping.
+    ///
+    /// * `phys_pages[v]` — physical page number backing virtual page `v`
+    ///   of the buffer;
+    /// * `page_bytes` — page size;
+    /// * `elem_bytes` — element size;
+    /// * `stride_elems` — stride in elements (≥ 1);
+    /// * `buffer_bytes` — buffer size;
+    /// * `line_bytes` — line size used to deduplicate (use the smallest
+    ///   line size in the hierarchy; all levels of the modelled CPUs share
+    ///   one line size).
+    pub fn resolve(
+        phys_pages: &[u64],
+        page_bytes: u64,
+        elem_bytes: u64,
+        stride_elems: u64,
+        buffer_bytes: u64,
+        line_bytes: u64,
+    ) -> Self {
+        assert!(stride_elems >= 1, "stride must be >= 1");
+        assert!(elem_bytes >= 1 && line_bytes >= 1 && page_bytes >= line_bytes);
+        let stride_bytes = stride_elems * elem_bytes;
+        let n_elems = buffer_bytes / elem_bytes;
+        let accesses_per_pass = n_elems.checked_div(stride_elems).unwrap_or(0);
+
+        let mut line_addrs = Vec::new();
+        let mut last_line = u64::MAX;
+        let mut off: u64 = 0;
+        for _ in 0..accesses_per_pass {
+            let vpage = off / page_bytes;
+            let phys = phys_pages[vpage as usize] * page_bytes + (off % page_bytes);
+            let line = phys / line_bytes;
+            if line != last_line {
+                line_addrs.push(line * line_bytes);
+                last_line = line;
+            }
+            off += stride_bytes;
+        }
+        PhysicalPattern { line_addrs, accesses_per_pass }
+    }
+
+    /// Number of accesses in one pass.
+    pub fn accesses_per_pass(&self) -> u64 {
+        self.accesses_per_pass
+    }
+
+    /// Number of distinct lines touched per pass.
+    pub fn distinct_lines(&self) -> u64 {
+        // Lines are deduplicated consecutively; with strides < page the
+        // pattern never revisits a line within a pass, so consecutive
+        // dedup is exact.
+        self.line_addrs.len() as u64
+    }
+
+    /// Physical addresses of the distinct lines (first byte).
+    pub fn line_addrs(&self) -> &[u64] {
+        &self.line_addrs
+    }
+
+    /// For a cache level, returns a mask over [`Self::line_addrs`]:
+    /// `true` where the line's set holds more distinct lines than the
+    /// associativity (the set thrashes under cyclic LRU).
+    pub fn thrash_mask(&self, level: &CacheLevelSpec) -> Vec<bool> {
+        let num_sets = level.num_sets();
+        let mut per_set = vec![0u32; num_sets as usize];
+        let sets: Vec<u64> = self
+            .line_addrs
+            .iter()
+            .map(|&addr| (addr / level.line_bytes) % num_sets)
+            .collect();
+        for &s in &sets {
+            per_set[s as usize] += 1;
+        }
+        sets.iter().map(|&s| per_set[s as usize] > level.assoc as u32).collect()
+    }
+
+    /// Steady-state misses per pass at a level: lines in thrashing sets
+    /// miss once per pass each.
+    pub fn steady_misses(&self, level: &CacheLevelSpec) -> u64 {
+        self.thrash_mask(level).iter().filter(|&&b| b).count() as u64
+    }
+}
+
+/// Per-pass service profile of a pattern through a whole hierarchy:
+/// how many line fetches per pass are served by each level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceProfile {
+    /// `served_by[i]` — line fetches per steady pass served by cache
+    /// level `i+1` (i.e. missing in levels `0..=i`, hitting in `i+1`).
+    /// Index 0 corresponds to fetches served by L2 (missed L1), etc.
+    pub served_by_level: Vec<u64>,
+    /// Line fetches per steady pass served by DRAM (missed everywhere).
+    pub served_by_dram: u64,
+    /// Distinct lines (all of which go to DRAM on the warm pass).
+    pub distinct_lines: u64,
+    /// Accesses per pass.
+    pub accesses_per_pass: u64,
+}
+
+impl ServiceProfile {
+    /// Computes the profile of `pattern` through `levels` (L1 first).
+    ///
+    /// A line is served by the first level whose set does not thrash; if
+    /// all levels thrash it goes to DRAM every pass.
+    pub fn compute(pattern: &PhysicalPattern, levels: &[CacheLevelSpec]) -> Self {
+        let masks: Vec<Vec<bool>> = levels.iter().map(|l| pattern.thrash_mask(l)).collect();
+        let n_lines = pattern.distinct_lines() as usize;
+        // served_by_level[i]: missed levels 0..=i, hit level i+1.
+        let mut served_by_level = vec![0u64; levels.len().saturating_sub(1)];
+        let mut served_by_dram = 0u64;
+        for line_idx in 0..n_lines {
+            if !masks[0][line_idx] {
+                continue; // steady L1 hit: no fetch
+            }
+            // find first deeper level that does not thrash
+            let mut served = None;
+            for (li, mask) in masks.iter().enumerate().skip(1) {
+                if !mask[line_idx] {
+                    served = Some(li);
+                    break;
+                }
+            }
+            match served {
+                Some(li) => served_by_level[li - 1] += 1,
+                None => served_by_dram += 1,
+            }
+        }
+        ServiceProfile {
+            served_by_level,
+            served_by_dram,
+            distinct_lines: pattern.distinct_lines(),
+            accesses_per_pass: pattern.accesses_per_pass(),
+        }
+    }
+
+    /// Issue cycles spent per fetched line: how much compute the core has
+    /// available to *hide* a miss latency behind (out-of-order execution
+    /// plus hardware prefetch on a constant-stride pattern).
+    fn issue_cycles_per_line(&self, issue_cycles_per_access: f64) -> f64 {
+        if self.distinct_lines == 0 {
+            return 0.0;
+        }
+        self.accesses_per_pass as f64 * issue_cycles_per_access / self.distinct_lines as f64
+    }
+
+    /// Effective stall of a fetch with raw latency `lat`: the machine
+    /// hides `overlap_factor · issue_cycles_per_line` of it. This is the
+    /// mechanism behind the paper's Figure 9 observation that the L1
+    /// boundary is *invisible* when the kernel "is not using the full
+    /// processor capacity in terms of memory access": a slow narrow kernel
+    /// gives the prefetcher enough slack to hide the entire L2 latency.
+    fn effective_stall(&self, lat: f64, issue_cycles_per_access: f64, overlap: f64) -> f64 {
+        (lat - overlap * self.issue_cycles_per_line(issue_cycles_per_access)).max(0.0)
+    }
+
+    /// Cycles of one steady-state pass: issue cost plus (overlap-reduced)
+    /// miss penalties.
+    ///
+    /// `issue_cycles_per_access` comes from the compiler model;
+    /// `levels[i].hit_latency_cycles` is the penalty for a fetch served by
+    /// level `i` (L1's own latency is folded into the issue cost);
+    /// `dram_latency_cycles` for fetches that reach memory;
+    /// `overlap_factor` in `[0, 1]` is the machine's ability to hide miss
+    /// latency behind compute on streaming patterns.
+    pub fn steady_pass_cycles(
+        &self,
+        issue_cycles_per_access: f64,
+        levels: &[CacheLevelSpec],
+        dram_latency_cycles: f64,
+        overlap_factor: f64,
+    ) -> f64 {
+        let mut cycles = self.accesses_per_pass as f64 * issue_cycles_per_access;
+        for (i, &fetches) in self.served_by_level.iter().enumerate() {
+            let stall = self.effective_stall(
+                levels[i + 1].hit_latency_cycles,
+                issue_cycles_per_access,
+                overlap_factor,
+            );
+            cycles += fetches as f64 * stall;
+        }
+        cycles += self.served_by_dram as f64
+            * self.effective_stall(dram_latency_cycles, issue_cycles_per_access, overlap_factor);
+        cycles
+    }
+
+    /// Cycles of the warm (first) pass: all distinct lines are compulsory
+    /// DRAM fetches (overlap applies — prefetchers stream ahead on the
+    /// first pass too).
+    pub fn warm_pass_cycles(
+        &self,
+        issue_cycles_per_access: f64,
+        dram_latency_cycles: f64,
+        overlap_factor: f64,
+    ) -> f64 {
+        self.accesses_per_pass as f64 * issue_cycles_per_access
+            + self.distinct_lines as f64
+                * self.effective_stall(dram_latency_cycles, issue_cycles_per_access, overlap_factor)
+    }
+
+    /// Total kernel cycles for `nloops` passes (first pass warm).
+    pub fn total_cycles(
+        &self,
+        nloops: u64,
+        issue_cycles_per_access: f64,
+        levels: &[CacheLevelSpec],
+        dram_latency_cycles: f64,
+        overlap_factor: f64,
+    ) -> f64 {
+        if nloops == 0 {
+            return 0.0;
+        }
+        self.warm_pass_cycles(issue_cycles_per_access, dram_latency_cycles, overlap_factor)
+            + (nloops - 1) as f64
+                * self.steady_pass_cycles(
+                    issue_cycles_per_access,
+                    levels,
+                    dram_latency_cycles,
+                    overlap_factor,
+                )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{Access, SetAssocCache};
+    use crate::machine::CacheLevelSpec;
+
+    fn l1_spec(size: u64, assoc: usize, line: u64) -> CacheLevelSpec {
+        CacheLevelSpec { size_bytes: size, assoc, line_bytes: line, hit_latency_cycles: 10.0 }
+    }
+
+    /// Identity paging: virtual page v -> physical page v.
+    fn identity_pages(buffer_bytes: u64, page: u64) -> Vec<u64> {
+        (0..buffer_bytes.div_ceil(page)).collect()
+    }
+
+    #[test]
+    fn pattern_counts_stride1() {
+        let pages = identity_pages(8192, 4096);
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 1, 8192, 64);
+        assert_eq!(p.accesses_per_pass(), 2048);
+        assert_eq!(p.distinct_lines(), 128);
+    }
+
+    #[test]
+    fn pattern_counts_large_stride() {
+        // stride 32 elements of 4B = 128B > 64B line: one line per access.
+        let pages = identity_pages(8192, 4096);
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 32, 8192, 64);
+        assert_eq!(p.accesses_per_pass(), 64);
+        assert_eq!(p.distinct_lines(), 64);
+    }
+
+    #[test]
+    fn fits_in_cache_no_thrash() {
+        let pages = identity_pages(4096, 4096);
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 1, 4096, 64);
+        let l1 = l1_spec(8192, 2, 64);
+        assert_eq!(p.steady_misses(&l1), 0);
+    }
+
+    #[test]
+    fn twice_cache_size_thrashes_everywhere() {
+        let pages = identity_pages(16384, 4096);
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 1, 16384, 64);
+        let l1 = l1_spec(8192, 2, 64);
+        // every line is in an overcommitted set -> every line misses per pass
+        assert_eq!(p.steady_misses(&l1), p.distinct_lines());
+    }
+
+    /// Cross-validation: analytic steady misses == exact LRU simulator
+    /// steady-state misses, across sizes around the cache capacity and
+    /// several strides.
+    #[test]
+    fn analytic_matches_lru_simulator() {
+        let (cache_size, assoc, line) = (4096u64, 4usize, 64u64);
+        let page = 1024u64;
+        for &buffer in &[1024u64, 2048, 4096, 5120, 8192, 12288] {
+            for &stride in &[1u64, 2, 4, 16, 32] {
+                // scrambled but fixed physical layout
+                let n_pages = buffer.div_ceil(page);
+                let pages: Vec<u64> = (0..n_pages).map(|v| (v * 7 + 3) % 64).collect();
+                let pattern = PhysicalPattern::resolve(&pages, page, 4, stride, buffer, line);
+                let spec = l1_spec(cache_size, assoc, line);
+
+                // exact simulation: 1 warm pass + 3 steady passes
+                let mut sim = SetAssocCache::new(cache_size, assoc, line);
+                let offsets: Vec<u64> =
+                    (0..pattern.accesses_per_pass()).map(|i| i * stride * 4).collect();
+                let addr = |off: u64| pages[(off / page) as usize] * page + off % page;
+                for &o in &offsets {
+                    sim.access(addr(o));
+                }
+                let mut steady_misses = 0u64;
+                for _ in 0..3 {
+                    for &o in &offsets {
+                        if sim.access(addr(o)) == Access::Miss {
+                            steady_misses += 1;
+                        }
+                    }
+                }
+                assert_eq!(
+                    steady_misses,
+                    3 * pattern.steady_misses(&spec),
+                    "mismatch at buffer={buffer} stride={stride}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn color_conflicts_cause_partial_thrash() {
+        // ARM-like: 2 colours. 6 pages all of colour 0 on a 4-way cache:
+        // each set in colour 0 sees 6 lines > 4 ways -> all thrash; buffer
+        // is only 24 KiB < 32 KiB cache.
+        let l1 = l1_spec(32 * 1024, 4, 32);
+        let pages: Vec<u64> = vec![0, 2, 4, 6, 8, 10]; // all even = colour 0
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 1, 6 * 4096, 32);
+        assert_eq!(p.steady_misses(&l1), p.distinct_lines());
+
+        // Balanced colours: 3 even + 3 odd -> 3 lines per set < 4 ways.
+        let pages_bal: Vec<u64> = vec![0, 1, 2, 3, 4, 5];
+        let p2 = PhysicalPattern::resolve(&pages_bal, 4096, 4, 1, 6 * 4096, 32);
+        assert_eq!(p2.steady_misses(&l1), 0);
+    }
+
+    #[test]
+    fn service_profile_levels() {
+        // L1 8K/2way, L2 64K/8way; buffer 16K: thrash L1, fit L2.
+        let levels = vec![l1_spec(8192, 2, 64), l1_spec(65536, 8, 64)];
+        let pages = identity_pages(16384, 4096);
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 1, 16384, 64);
+        let prof = ServiceProfile::compute(&p, &levels);
+        assert_eq!(prof.served_by_level[0], p.distinct_lines());
+        assert_eq!(prof.served_by_dram, 0);
+
+        // buffer 256K: thrash both -> DRAM.
+        let pages = identity_pages(262_144, 4096);
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 1, 262_144, 64);
+        let prof = ServiceProfile::compute(&p, &levels);
+        assert_eq!(prof.served_by_dram, p.distinct_lines());
+    }
+
+    #[test]
+    fn cycles_accounting() {
+        let levels = vec![l1_spec(8192, 2, 64), l1_spec(65536, 8, 64)];
+        let pages = identity_pages(4096, 4096);
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 1, 4096, 64);
+        let prof = ServiceProfile::compute(&p, &levels);
+        // fits L1: steady pass = pure issue cost
+        let steady = prof.steady_pass_cycles(2.0, &levels, 100.0, 0.0);
+        assert_eq!(steady, 1024.0 * 2.0);
+        // warm pass adds a DRAM fetch per line (no overlap here)
+        let warm = prof.warm_pass_cycles(2.0, 100.0, 0.0);
+        assert_eq!(warm, 1024.0 * 2.0 + 64.0 * 100.0);
+        // 3 loops = warm + 2 steady
+        let total = prof.total_cycles(3, 2.0, &levels, 100.0, 0.0);
+        assert_eq!(total, warm + 2.0 * steady);
+        assert_eq!(prof.total_cycles(0, 2.0, &levels, 100.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn overlap_hides_latency_when_issue_bound() {
+        // 16 accesses per line at 2 cycles each = 32 cycles of slack:
+        // with full overlap an L2 latency of 12 vanishes entirely.
+        let levels = vec![l1_spec(8192, 2, 64), l1_spec(65536, 8, 64)];
+        let pages = identity_pages(16384, 4096);
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 1, 16384, 64);
+        let prof = ServiceProfile::compute(&p, &levels);
+        assert!(prof.served_by_level[0] > 0, "must be L2-resident");
+        let no_overlap = prof.steady_pass_cycles(2.0, &levels, 100.0, 0.0);
+        let full_overlap = prof.steady_pass_cycles(2.0, &levels, 100.0, 1.0);
+        let issue_only = p.accesses_per_pass() as f64 * 2.0;
+        assert!(no_overlap > issue_only);
+        assert_eq!(full_overlap, issue_only, "L2 latency (10 < 32) fully hidden");
+        // DRAM latency (100 > 32) is only partially hidden.
+        let pages_big = identity_pages(262_144, 4096);
+        let pb = PhysicalPattern::resolve(&pages_big, 4096, 4, 1, 262_144, 64);
+        let prof_b = ServiceProfile::compute(&pb, &levels);
+        let with = prof_b.steady_pass_cycles(2.0, &levels, 100.0, 1.0);
+        assert!(with > pb.accesses_per_pass() as f64 * 2.0);
+    }
+}

@@ -1,0 +1,426 @@
+//! CPU specifications (the Figure 5 table) and the combined machine
+//! simulator.
+
+use crate::compiler::{CodegenConfig, ElementWidth, IssueModel};
+use crate::dvfs::{Governor, GovernorPolicy};
+use crate::kernel::{KernelConfig, KernelResult};
+use crate::layout::{PhysicalPattern, ServiceProfile};
+use crate::paging::{AllocPolicy, PageAllocator};
+use crate::sched::{IntruderConfig, SchedPolicy, Scheduler};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheLevelSpec {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Cycles to service a fetch that hits this level (for L1 this is
+    /// folded into the issue cost and ignored).
+    pub hit_latency_cycles: f64,
+}
+
+impl CacheLevelSpec {
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.assoc as u64 * self.line_bytes)
+    }
+
+    /// Bytes one way spans (`size / assoc`) — determines page colours.
+    pub fn way_bytes(&self) -> u64 {
+        self.size_bytes / self.assoc as u64
+    }
+}
+
+/// Full description of a CPU, mirroring one row of the paper's Figure 5.
+#[derive(Debug, Clone)]
+pub struct CpuSpec {
+    /// Marketing name as in Figure 5.
+    pub name: &'static str,
+    /// Word size in bits.
+    pub word_bits: u32,
+    /// Number of cores (informational; the benchmark is single-threaded).
+    pub cores: u32,
+    /// Available frequencies in GHz, ascending (one entry = no DVFS).
+    pub freqs_ghz: Vec<f64>,
+    /// Cache levels, L1 first.
+    pub levels: Vec<CacheLevelSpec>,
+    /// DRAM access latency in cycles (at nominal frequency).
+    pub dram_latency_cycles: f64,
+    /// OS page size in bytes.
+    pub page_bytes: u64,
+    /// Physical pages available to the benchmark.
+    pub pool_pages: usize,
+    /// Issue cost model.
+    pub issue: IssueModel,
+    /// Ability to hide miss latency behind compute on streaming patterns
+    /// (out-of-order window + hardware prefetchers), in `[0, 1]`.
+    pub overlap_factor: f64,
+    /// Baseline relative measurement noise of the platform timer/loop.
+    pub timer_noise_rel: f64,
+    /// Index (into `levels`) of the first *shared* cache level, if any —
+    /// threads on different cores compete for its capacity.
+    pub first_shared_level: Option<usize>,
+    /// Independent DRAM channels: concurrent memory streams beyond this
+    /// count contend for bandwidth.
+    pub dram_channels: u32,
+}
+
+impl CpuSpec {
+    /// AMD **Opteron**, 2.8 GHz, 2 cores, 64-bit; L1 64 KB 2-way,
+    /// L2 1 MB 16-way (Figure 5 row 1; the Figure 7 machine).
+    pub fn opteron() -> Self {
+        CpuSpec {
+            name: "Opteron 2.8GHz",
+            word_bits: 64,
+            cores: 2,
+            freqs_ghz: vec![2.8],
+            levels: vec![
+                CacheLevelSpec { size_bytes: 64 * 1024, assoc: 2, line_bytes: 64, hit_latency_cycles: 3.0 },
+                CacheLevelSpec { size_bytes: 1024 * 1024, assoc: 16, line_bytes: 64, hit_latency_cycles: 14.0 },
+            ],
+            dram_latency_cycles: 180.0,
+            page_bytes: 4096,
+            pool_pages: 8192, // 32 MiB of pool
+            issue: IssueModel::generic_ooo(),
+            overlap_factor: 0.2,
+            timer_noise_rel: 0.01,
+            first_shared_level: None,
+            dram_channels: 2,
+        }
+    }
+
+    /// Intel **Pentium 4**, 3.2 GHz, 64-bit; L1 16 KB 8-way, L2 2 MB 8-way
+    /// (Figure 5 row 2; the Figure 8 machine).
+    pub fn pentium4() -> Self {
+        CpuSpec {
+            name: "Intel Pentium 4 3.2GHz",
+            word_bits: 64,
+            cores: 2,
+            freqs_ghz: vec![3.2],
+            levels: vec![
+                CacheLevelSpec { size_bytes: 16 * 1024, assoc: 8, line_bytes: 64, hit_latency_cycles: 4.0 },
+                CacheLevelSpec { size_bytes: 2 * 1024 * 1024, assoc: 8, line_bytes: 64, hit_latency_cycles: 20.0 },
+            ],
+            dram_latency_cycles: 280.0,
+            page_bytes: 4096,
+            pool_pages: 8192,
+            issue: IssueModel {
+                // NetBurst: long pipeline, poor sustained load throughput.
+                rolled_cycles_per_access: 3.0,
+                unrolled_cycles_per_access: 1.5,
+                overrides: Default::default(),
+            },
+            overlap_factor: 0.3,
+            timer_noise_rel: 0.03,
+            first_shared_level: None,
+            dram_channels: 1,
+        }
+    }
+
+    /// Intel **Core i7-2600** (Sandy Bridge), 3.4 GHz, 8 threads; per-core
+    /// L1 32 KB 8-way, L2 256 KB 8-way, shared L3 8 MB 16-way (Figure 5
+    /// row 3; the Figures 9 and 10 machine). DVFS modes 1.6/3.4 GHz; the
+    /// 256-bit + unroll codegen anomaly of Figure 9 is an issue-model
+    /// override.
+    pub fn core_i7_2600() -> Self {
+        let anomaly = CodegenConfig::new(ElementWidth::W256, true);
+        CpuSpec {
+            name: "Intel Core i7-2600 3.4GHz",
+            word_bits: 64,
+            cores: 8,
+            freqs_ghz: vec![1.6, 3.4],
+            levels: vec![
+                CacheLevelSpec { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, hit_latency_cycles: 4.0 },
+                CacheLevelSpec { size_bytes: 256 * 1024, assoc: 8, line_bytes: 64, hit_latency_cycles: 12.0 },
+                CacheLevelSpec { size_bytes: 8 * 1024 * 1024, assoc: 16, line_bytes: 64, hit_latency_cycles: 30.0 },
+            ],
+            dram_latency_cycles: 200.0,
+            page_bytes: 4096,
+            pool_pages: 65536, // 256 MiB — large enough for 8-thread sweeps
+            issue: IssueModel::generic_ooo().with_override(anomaly, 12.0),
+            overlap_factor: 0.8,
+            timer_noise_rel: 0.01,
+            first_shared_level: Some(2), // the 8 MiB L3 is socket-shared
+            dram_channels: 2,
+        }
+    }
+
+    /// **ARM Snowball** (ARMv7 rev 1), 1.0 GHz, 2 cores, 32-bit; L1 32 KB
+    /// 4-way (the associativity §IV-4 reports for this generation; the
+    /// Figure 5 table itself lists 2-way — we follow §IV-4 because the
+    /// paging analysis depends on it), L2 512 KB (Figure 5 row 4; the
+    /// Figures 11 and 12 machine).
+    pub fn arm_snowball() -> Self {
+        CpuSpec {
+            name: "ARMv7 Snowball 1.0GHz",
+            word_bits: 32,
+            cores: 2,
+            freqs_ghz: vec![1.0],
+            levels: vec![
+                CacheLevelSpec { size_bytes: 32 * 1024, assoc: 4, line_bytes: 32, hit_latency_cycles: 4.0 },
+                CacheLevelSpec { size_bytes: 512 * 1024, assoc: 8, line_bytes: 32, hit_latency_cycles: 40.0 },
+            ],
+            dram_latency_cycles: 150.0,
+            page_bytes: 4096,
+            pool_pages: 512, // the paper's 2 MiB pooled block
+            issue: IssueModel {
+                // in-order-ish core
+                rolled_cycles_per_access: 3.0,
+                unrolled_cycles_per_access: 2.0,
+                overrides: Default::default(),
+            },
+            overlap_factor: 0.1,
+            timer_noise_rel: 0.008,
+            first_shared_level: Some(1), // the 512 KiB L2 is shared
+            dram_channels: 1,
+        }
+    }
+
+    /// All four Figure 5 presets.
+    pub fn all() -> Vec<CpuSpec> {
+        vec![Self::opteron(), Self::pentium4(), Self::core_i7_2600(), Self::arm_snowball()]
+    }
+
+    /// Renders the Figure 5 table row for this CPU.
+    pub fn table_row(&self) -> String {
+        let caches: Vec<String> = self
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                format!("L{}: {}KB {}-way", i + 1, l.size_bytes / 1024, l.assoc)
+            })
+            .collect();
+        format!(
+            "{:<28} {:>4} cores  {:>2}-bit  {}",
+            self.name,
+            self.cores,
+            self.word_bits,
+            caches.join("  ")
+        )
+    }
+}
+
+/// The combined machine: CPU spec + governor + scheduler + page allocator
+/// + virtual clock.
+///
+/// One instance models one *experiment run* (one boot): re-create with a
+/// new seed for an independent run.
+#[derive(Debug, Clone)]
+pub struct MachineSim {
+    spec: CpuSpec,
+    governor: Governor,
+    scheduler: Scheduler,
+    allocator: PageAllocator,
+    rng: ChaCha8Rng,
+    now_us: f64,
+    last_busy_end_us: f64,
+    /// Idle virtual time between measurements (setup, logging; µs).
+    pub inter_measurement_us: f64,
+    measurements_taken: u64,
+}
+
+impl MachineSim {
+    /// Builds a machine for one experiment run.
+    pub fn new(
+        spec: CpuSpec,
+        governor_policy: GovernorPolicy,
+        sched_policy: SchedPolicy,
+        alloc_policy: AllocPolicy,
+        seed: u64,
+    ) -> Self {
+        let governor = Governor::new(governor_policy, spec.freqs_ghz.clone());
+        let scheduler = Scheduler::new(sched_policy, IntruderConfig::figure11(), seed ^ 0x5eed);
+        let allocator =
+            PageAllocator::new(alloc_policy, spec.page_bytes, spec.pool_pages, seed ^ 0x9a9e);
+        MachineSim {
+            spec,
+            governor,
+            scheduler,
+            allocator,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            now_us: 0.0,
+            last_busy_end_us: 0.0,
+            inter_measurement_us: 300.0,
+            measurements_taken: 0,
+        }
+    }
+
+    /// The CPU specification.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Current virtual time (µs).
+    pub fn now_us(&self) -> f64 {
+        self.now_us
+    }
+
+    /// Measurements taken so far on this machine.
+    pub fn measurements_taken(&self) -> u64 {
+        self.measurements_taken
+    }
+
+    /// Replaces the intruder configuration (e.g. to disable it).
+    pub fn set_intruder(&mut self, cfg: IntruderConfig, seed: u64) {
+        self.scheduler = Scheduler::new(self.scheduler.policy(), cfg, seed);
+    }
+
+    /// Allocates `bytes` from the machine's page pool under its policy
+    /// and returns the backing physical pages (multi-array kernels split
+    /// one allocation into several arrays).
+    pub fn allocate_pages(&mut self, bytes: u64) -> Vec<u64> {
+        self.allocator.allocate(bytes)
+    }
+
+    /// Runs the Figure 6 kernel once and returns the measurement.
+    pub fn run_kernel(&mut self, cfg: &KernelConfig) -> KernelResult {
+        assert!(cfg.nloops >= 1, "nloops must be >= 1");
+        // 1. allocate the buffer (physical placement per the policy)
+        let phys_pages = self.allocator.allocate(cfg.buffer_bytes);
+
+        // 2. analytic cache behaviour
+        let line = self.spec.levels[0].line_bytes;
+        let pattern = PhysicalPattern::resolve(
+            &phys_pages,
+            self.spec.page_bytes,
+            cfg.codegen.width.bytes(),
+            cfg.stride_elems,
+            cfg.buffer_bytes,
+            line,
+        );
+        let profile = ServiceProfile::compute(&pattern, &self.spec.levels);
+        let issue = self.spec.issue.cycles_per_access(cfg.codegen);
+        let cycles = profile.total_cycles(
+            cfg.nloops,
+            issue,
+            &self.spec.levels,
+            self.spec.dram_latency_cycles,
+            self.spec.overlap_factor,
+        );
+        let bytes_touched =
+            pattern.accesses_per_pass() as f64 * cfg.nloops as f64 * cfg.codegen.width.bytes() as f64;
+        self.execute_cycles(cycles, bytes_touched)
+    }
+
+    /// Executes a pre-computed cycle count as one timed measurement:
+    /// governor (with idle decay), scheduler slowdown, timer noise, and
+    /// the virtual clock all apply. Returns the measurement with
+    /// bandwidth computed over `bytes_touched`.
+    pub fn execute_cycles(&mut self, cycles: f64, bytes_touched: f64) -> KernelResult {
+        // idle gap lets the governor decay
+        self.now_us += self.inter_measurement_us;
+        self.governor.note_idle(self.last_busy_end_us, self.now_us);
+
+        // execute under the governor
+        let outcome = self.governor.run_cycles(cycles, self.now_us);
+
+        // scheduler slowdown + noise
+        let (sched_mult, extra_rel) = self.scheduler.run_multiplier(self.now_us);
+        let rel = (self.spec.timer_noise_rel.powi(2) + extra_rel.powi(2)).sqrt();
+        let jitter = if rel > 0.0 {
+            let z = standard_normal(&mut self.rng);
+            (1.0 + rel * z).max(0.05)
+        } else {
+            1.0
+        };
+        let elapsed_us = outcome.elapsed_us * sched_mult * jitter;
+
+        self.now_us += elapsed_us;
+        self.last_busy_end_us = self.now_us;
+        self.measurements_taken += 1;
+
+        KernelResult {
+            elapsed_us,
+            bandwidth_mbps: bytes_touched / elapsed_us, // B/µs == MB/s
+            max_freq_fraction: outcome.max_freq_fraction,
+            intruded: sched_mult > 1.0,
+            start_us: self.last_busy_end_us - elapsed_us,
+            sequence: self.measurements_taken - 1,
+        }
+    }
+
+    /// Noise-free bandwidth the analytic model predicts for a
+    /// configuration at a fixed frequency (the "true" machine signature a
+    /// calibration should recover). Uses identity paging (best case).
+    pub fn ideal_bandwidth_mbps(&self, cfg: &KernelConfig, freq_ghz: f64) -> f64 {
+        let line = self.spec.levels[0].line_bytes;
+        let n_pages = cfg.buffer_bytes.div_ceil(self.spec.page_bytes).max(1);
+        // colour-balanced layout
+        let pages: Vec<u64> = (0..n_pages).collect();
+        let pattern = PhysicalPattern::resolve(
+            &pages,
+            self.spec.page_bytes,
+            cfg.codegen.width.bytes(),
+            cfg.stride_elems,
+            cfg.buffer_bytes,
+            line,
+        );
+        let profile = ServiceProfile::compute(&pattern, &self.spec.levels);
+        let issue = self.spec.issue.cycles_per_access(cfg.codegen);
+        let cycles = profile.total_cycles(
+            cfg.nloops,
+            issue,
+            &self.spec.levels,
+            self.spec.dram_latency_cycles,
+            self.spec.overlap_factor,
+        );
+        let elapsed_us = cycles / (freq_ghz * 1e3);
+        let bytes = pattern.accesses_per_pass() as f64
+            * cfg.nloops as f64
+            * cfg.codegen.width.bytes() as f64;
+        bytes / elapsed_us
+    }
+}
+
+/// Box–Muller standard normal (kept local; `rand_distr` is outside the
+/// approved dependency set).
+fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_presets_match_table() {
+        let all = CpuSpec::all();
+        assert_eq!(all.len(), 4);
+        let opteron = &all[0];
+        assert_eq!(opteron.levels[0].size_bytes, 64 * 1024);
+        assert_eq!(opteron.levels[0].assoc, 2);
+        assert_eq!(opteron.levels[1].size_bytes, 1024 * 1024);
+        let i7 = &all[2];
+        assert_eq!(i7.levels.len(), 3);
+        assert_eq!(i7.levels[2].size_bytes, 8 * 1024 * 1024);
+        assert_eq!(i7.freqs_ghz, vec![1.6, 3.4]);
+        let arm = &all[3];
+        assert_eq!(arm.word_bits, 32);
+        assert_eq!(arm.levels[0].assoc, 4);
+    }
+
+    #[test]
+    fn cache_level_helpers() {
+        let l = CacheLevelSpec { size_bytes: 32 * 1024, assoc: 4, line_bytes: 32, hit_latency_cycles: 4.0 };
+        assert_eq!(l.num_sets(), 256);
+        assert_eq!(l.way_bytes(), 8192);
+    }
+
+    #[test]
+    fn table_rows_render() {
+        for spec in CpuSpec::all() {
+            let row = spec.table_row();
+            assert!(row.contains("L1"));
+            assert!(row.contains(spec.name.split(' ').next().unwrap()));
+        }
+    }
+}

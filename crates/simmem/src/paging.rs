@@ -1,0 +1,211 @@
+//! Virtual→physical page mapping and allocation policies.
+//!
+//! Paper §IV-4: "operating systems allocate nonconsecutive 4 KB physical
+//! memory pages, choosing them randomly from a pool of available pages".
+//! On the ARM Snowball (low-associativity L1), an unlucky draw of page
+//! *colours* causes conflict misses and the unpredictable mid-size
+//! performance drops of Figure 12. Two behaviours interact:
+//!
+//! * with per-buffer `malloc`/`free`, **the same pages get reused** within
+//!   one experiment run ("the buffers actually start from the same
+//!   physical memory location for each memory size during one experiment")
+//!   — zero within-run variability, large *between*-run variability;
+//! * the fix: allocate **one large block** once and take each measurement
+//!   at a random offset inside it, sampling many physical layouts within a
+//!   single run ("physical address randomization").
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Allocation policy of the benchmark buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AllocPolicy {
+    /// `malloc`/`free` per buffer size: the OS hands back the same
+    /// physical pages every time within one run (the paper's first,
+    /// accidentally-deterministic technique).
+    MallocPerSize,
+    /// One large pooled block allocated up front; each measurement uses a
+    /// random page-aligned offset within it (the paper's §IV-4 fix).
+    PooledRandomOffset,
+}
+
+impl AllocPolicy {
+    /// CSV-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocPolicy::MallocPerSize => "malloc_per_size",
+            AllocPolicy::PooledRandomOffset => "pooled_random_offset",
+        }
+    }
+
+    /// Parses the CSV name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "malloc_per_size" => Some(AllocPolicy::MallocPerSize),
+            "pooled_random_offset" => Some(AllocPolicy::PooledRandomOffset),
+            _ => None,
+        }
+    }
+}
+
+/// A pool of physical pages with an allocation policy, standing in for the
+/// OS page allocator. Physical page numbers are randomly ordered at boot
+/// (seeded), which is what makes page colours unpredictable per run.
+#[derive(Debug, Clone)]
+pub struct PageAllocator {
+    page_bytes: u64,
+    /// Physical page numbers in pool order; `MallocPerSize` buffers always
+    /// occupy a prefix of this order.
+    pool: Vec<u64>,
+    policy: AllocPolicy,
+    rng: ChaCha8Rng,
+    /// Contiguous physical mapping of the pooled block (pool order) —
+    /// fixed once per run, like a real long-lived allocation.
+    pooled_block_pages: usize,
+}
+
+impl PageAllocator {
+    /// Creates an allocator over a pool of `pool_pages` physical pages of
+    /// `page_bytes` each, with the given policy. The physical ordering of
+    /// the pool is a seeded random permutation — a fresh seed models a
+    /// fresh boot / experiment run.
+    pub fn new(policy: AllocPolicy, page_bytes: u64, pool_pages: usize, seed: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(pool_pages > 0, "empty page pool");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pool: Vec<u64> = (0..pool_pages as u64).collect();
+        pool.shuffle(&mut rng);
+        PageAllocator { page_bytes, pool, policy, rng, pooled_block_pages: pool_pages }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    /// Returns the physical page numbers backing a fresh buffer of
+    /// `buffer_bytes`, in virtual-address order. Advances the allocator's
+    /// RNG only under `PooledRandomOffset` (offset draw); `MallocPerSize`
+    /// is deterministic, modelling page reuse.
+    ///
+    /// # Panics
+    /// Panics when the buffer needs more pages than the pool holds.
+    pub fn allocate(&mut self, buffer_bytes: u64) -> Vec<u64> {
+        let pages_needed = (buffer_bytes.div_ceil(self.page_bytes)).max(1) as usize;
+        match self.policy {
+            AllocPolicy::MallocPerSize => {
+                assert!(pages_needed <= self.pool.len(), "buffer exceeds page pool");
+                // Freed pages are immediately reused in LIFO order, so a
+                // same-or-smaller allocation always lands on the same
+                // physical prefix.
+                self.pool[..pages_needed].to_vec()
+            }
+            AllocPolicy::PooledRandomOffset => {
+                assert!(
+                    pages_needed <= self.pooled_block_pages,
+                    "buffer exceeds pooled block"
+                );
+                let max_start = self.pooled_block_pages - pages_needed;
+                let start = if max_start == 0 { 0 } else { self.rng.random_range(0..=max_start) };
+                self.pool[start..start + pages_needed].to_vec()
+            }
+        }
+    }
+
+    /// Colour of a physical page with respect to a cache where one way
+    /// spans `way_bytes` (= cache size / associativity): pages of equal
+    /// colour compete for the same sets.
+    pub fn page_color(&self, phys_page: u64, way_bytes: u64) -> u64 {
+        let colors = (way_bytes / self.page_bytes).max(1);
+        phys_page % colors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_per_size_reuses_pages() {
+        let mut a = PageAllocator::new(AllocPolicy::MallocPerSize, 4096, 512, 7);
+        let first = a.allocate(20_000);
+        let second = a.allocate(20_000);
+        assert_eq!(first, second, "same size must reuse identical pages");
+        assert_eq!(first.len(), 5);
+        // smaller buffer gets a prefix of the same pages
+        let small = a.allocate(8192);
+        assert_eq!(&first[..2], &small[..]);
+    }
+
+    #[test]
+    fn different_seed_different_physical_layout() {
+        let mut a = PageAllocator::new(AllocPolicy::MallocPerSize, 4096, 512, 1);
+        let mut b = PageAllocator::new(AllocPolicy::MallocPerSize, 4096, 512, 2);
+        assert_ne!(a.allocate(40_000), b.allocate(40_000));
+    }
+
+    #[test]
+    fn pooled_offsets_vary_within_run() {
+        let mut a = PageAllocator::new(AllocPolicy::PooledRandomOffset, 4096, 512, 3);
+        let draws: Vec<Vec<u64>> = (0..20).map(|_| a.allocate(16_384)).collect();
+        let distinct: std::collections::HashSet<_> = draws.iter().collect();
+        assert!(distinct.len() > 5, "offsets should vary: {} distinct", distinct.len());
+        // all draws are contiguous slices of the same fixed block
+        for d in &draws {
+            assert_eq!(d.len(), 4);
+        }
+    }
+
+    #[test]
+    fn pooled_layout_is_fixed_even_though_offsets_move() {
+        // Two allocators with the same seed draw the same offsets and the
+        // same underlying block.
+        let mut a = PageAllocator::new(AllocPolicy::PooledRandomOffset, 4096, 128, 9);
+        let mut b = PageAllocator::new(AllocPolicy::PooledRandomOffset, 4096, 128, 9);
+        for _ in 0..10 {
+            assert_eq!(a.allocate(12_288), b.allocate(12_288));
+        }
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        let mut a = PageAllocator::new(AllocPolicy::MallocPerSize, 4096, 64, 0);
+        assert_eq!(a.allocate(1).len(), 1);
+        assert_eq!(a.allocate(4096).len(), 1);
+        assert_eq!(a.allocate(4097).len(), 2);
+    }
+
+    #[test]
+    fn colors_partition_pages() {
+        let a = PageAllocator::new(AllocPolicy::MallocPerSize, 4096, 64, 0);
+        // ARM-like: 32 KiB 4-way -> way spans 8 KiB -> 2 colours.
+        for p in 0..16 {
+            let c = a.page_color(p, 8192);
+            assert_eq!(c, p % 2);
+        }
+        // way smaller than a page -> single colour
+        assert_eq!(a.page_color(5, 2048), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overflow_pool_panics() {
+        let mut a = PageAllocator::new(AllocPolicy::MallocPerSize, 4096, 4, 0);
+        a.allocate(5 * 4096);
+    }
+
+    #[test]
+    fn policy_names_roundtrip() {
+        for p in [AllocPolicy::MallocPerSize, AllocPolicy::PooledRandomOffset] {
+            assert_eq!(AllocPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(AllocPolicy::parse("x"), None);
+    }
+}

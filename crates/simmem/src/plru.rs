@@ -1,0 +1,237 @@
+//! Tree pseudo-LRU replacement — the policy real L1s actually implement.
+//!
+//! True LRU needs a full ordering per set; hardware approximates it with
+//! a binary tree of direction bits (tree-PLRU). The approximation matters
+//! for this repository because the cyclic-access worst case the analytic
+//! model relies on ("every line misses once per pass when the set is
+//! overcommitted") is an *LRU* property; PLRU deviates slightly, and the
+//! deviation is one more reason measured bandwidth curves refuse to be as
+//! clean as a textbook model predicts. The simulator here lets tests
+//! quantify that gap.
+
+use crate::cache::Access;
+
+/// A set-associative cache with tree-PLRU replacement. Associativity must
+/// be a power of two (the hardware constraint that makes the bit tree
+/// work).
+#[derive(Debug, Clone)]
+pub struct PlruCache {
+    line_bytes: u64,
+    num_sets: u64,
+    assoc: usize,
+    /// `tags[set * assoc + way]`; `u64::MAX` = empty.
+    tags: Vec<u64>,
+    /// Per-set PLRU direction bits: `assoc − 1` inner nodes per set,
+    /// stored as a bitmask in a u64 (supports assoc up to 64).
+    tree_bits: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlruCache {
+    /// Builds the cache.
+    ///
+    /// # Panics
+    /// Panics on inconsistent geometry or non-power-of-two associativity.
+    pub fn new(size_bytes: u64, assoc: usize, line_bytes: u64) -> Self {
+        assert!(size_bytes > 0 && assoc > 0 && line_bytes > 0, "zero cache geometry");
+        assert!(assoc.is_power_of_two() && assoc <= 64, "PLRU needs power-of-two assoc <= 64");
+        assert_eq!(size_bytes % (assoc as u64 * line_bytes), 0, "geometry must divide");
+        let num_sets = size_bytes / (assoc as u64 * line_bytes);
+        PlruCache {
+            line_bytes,
+            num_sets,
+            assoc,
+            tags: vec![u64::MAX; (num_sets as usize) * assoc],
+            tree_bits: vec![0; num_sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Walks the tree toward the PLRU victim way.
+    fn victim_way(&self, set: usize) -> usize {
+        let bits = self.tree_bits[set];
+        let mut node = 0usize; // root at index 0; children of i: 2i+1, 2i+2
+        let levels = self.assoc.trailing_zeros() as usize;
+        let mut way = 0usize;
+        for _ in 0..levels {
+            let bit = (bits >> node) & 1;
+            // bit = 0 -> go left (victim on the left), 1 -> right
+            way = (way << 1) | bit as usize;
+            node = 2 * node + 1 + bit as usize;
+        }
+        way
+    }
+
+    /// Flips the tree bits on the path to `way` so they point *away*
+    /// from it (marking it most-recently used).
+    fn touch(&mut self, set: usize, way: usize) {
+        let levels = self.assoc.trailing_zeros() as usize;
+        let mut node = 0usize;
+        for level in (0..levels).rev() {
+            let dir = (way >> level) & 1;
+            // point the bit away from the taken direction
+            if dir == 0 {
+                self.tree_bits[set] |= 1 << node;
+            } else {
+                self.tree_bits[set] &= !(1 << node);
+            }
+            node = 2 * node + 1 + dir;
+        }
+    }
+
+    /// Accesses a physical byte address.
+    pub fn access(&mut self, addr: u64) -> Access {
+        let line = addr / self.line_bytes;
+        let set = (line % self.num_sets) as usize;
+        let base = set * self.assoc;
+        for way in 0..self.assoc {
+            if self.tags[base + way] == line {
+                self.touch(set, way);
+                self.hits += 1;
+                return Access::Hit;
+            }
+        }
+        // prefer an empty way; otherwise the PLRU victim
+        let way = (0..self.assoc)
+            .find(|&w| self.tags[base + w] == u64::MAX)
+            .unwrap_or_else(|| self.victim_way(set));
+        self.tags[base + way] = line;
+        self.touch(set, way);
+        self.misses += 1;
+        Access::Miss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::SetAssocCache;
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut c = PlruCache::new(1024, 2, 64);
+        assert_eq!(c.access(0), Access::Miss);
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(64), Access::Miss);
+        assert_eq!(c.counters(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two_assoc() {
+        PlruCache::new(3 * 64, 3, 64);
+    }
+
+    #[test]
+    fn working_set_within_assoc_all_hits() {
+        // fits: PLRU never evicts a member of the active set when the
+        // working set <= assoc
+        let mut c = PlruCache::new(4 * 64, 4, 64); // 1 set, 4 ways
+        let lines = [0u64, 64, 128, 192];
+        for &l in &lines {
+            c.access(l);
+        }
+        for _ in 0..20 {
+            for &l in &lines {
+                assert_eq!(c.access(l), Access::Hit);
+            }
+        }
+    }
+
+    #[test]
+    fn plru_agrees_with_lru_on_two_ways() {
+        // 2-way PLRU *is* LRU (one bit = exact)
+        let mut plru = PlruCache::new(2 * 64, 2, 64);
+        let mut lru = SetAssocCache::new(2 * 64, 2, 64);
+        let pattern = [0u64, 64, 0, 128, 64, 0, 128, 128, 64, 0];
+        for &a in &pattern {
+            assert_eq!(plru.access(a), lru.access(a), "diverged at {a}");
+        }
+    }
+
+    #[test]
+    fn plru_deviates_from_lru_on_wider_sets() {
+        // for >= 4 ways there exist sequences where PLRU evicts a
+        // non-LRU line; find one by brute force over short sequences
+        let lines: Vec<u64> = (0..6u64).map(|i| i * 64).collect();
+        let mut diverged = false;
+        // deterministic pseudo-random sequences
+        for seed in 0..200u64 {
+            let mut plru = PlruCache::new(4 * 64, 4, 64);
+            let mut lru = SetAssocCache::new(4 * 64, 4, 64);
+            let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+            for _ in 0..24 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = lines[(state >> 33) as usize % lines.len()];
+                if plru.access(a) != lru.access(a) {
+                    diverged = true;
+                    break;
+                }
+            }
+            if diverged {
+                break;
+            }
+        }
+        assert!(diverged, "PLRU should deviate from LRU on some 4-way sequence");
+    }
+
+    #[test]
+    fn cyclic_overcommit_still_mostly_misses() {
+        // the analytic model's worst case holds approximately under PLRU:
+        // cycling 5 lines through 4 ways misses at a high rate (LRU: 100%)
+        let mut c = PlruCache::new(4 * 64, 4, 64);
+        let lines: Vec<u64> = (0..5u64).map(|i| i * 64).collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        let (h0, m0) = c.counters();
+        for _ in 0..40 {
+            for &l in &lines {
+                c.access(l);
+            }
+        }
+        let (h, m) = c.counters();
+        let miss_rate = (m - m0) as f64 / ((h - h0) + (m - m0)) as f64;
+        assert!(
+            miss_rate > 0.4,
+            "PLRU cyclic overcommit should still miss heavily: {miss_rate}"
+        );
+    }
+
+    #[test]
+    fn victim_rotation_covers_all_ways() {
+        // consecutive misses with no hits rotate the victim around the set
+        let mut c = PlruCache::new(4 * 64, 4, 64);
+        for i in 0..4u64 {
+            c.access(i * 64); // fill
+        }
+        let mut victims = std::collections::HashSet::new();
+        // observe evictions indirectly: after filling, 4 more distinct
+        // lines must evict 4 distinct ways for all old lines to miss
+        for i in 4..8u64 {
+            c.access(i * 64);
+            victims.insert(c.victim_way(0));
+        }
+        assert!(!victims.is_empty());
+        // all original lines must have been evicted by now or soon after
+        let mut evicted = 0;
+        for i in 0..4u64 {
+            if c.access(i * 64) == Access::Miss {
+                evicted += 1;
+            }
+        }
+        assert!(evicted >= 3, "old lines should be mostly gone: {evicted}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the memory substrate.
+
+use charm_simmem::cache::{Access, SetAssocCache};
+use charm_simmem::dvfs::{Governor, GovernorPolicy};
+use charm_simmem::kernel::KernelConfig;
+use charm_simmem::layout::{PhysicalPattern, ServiceProfile};
+use charm_simmem::machine::{CacheLevelSpec, CpuSpec, MachineSim};
+use charm_simmem::paging::{AllocPolicy, PageAllocator};
+use charm_simmem::sched::SchedPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(
+        addrs in prop::collection::vec(0u64..100_000, 1..500)
+    ) {
+        let mut c = SetAssocCache::new(4096, 4, 64);
+        for &a in &addrs {
+            c.access(a);
+        }
+        let (h, m) = c.counters();
+        prop_assert_eq!(h + m, addrs.len() as u64);
+    }
+
+    #[test]
+    fn cache_second_access_hits_if_immediate(addr in 0u64..1_000_000) {
+        let mut c = SetAssocCache::new(8192, 2, 64);
+        c.access(addr);
+        prop_assert_eq!(c.access(addr), Access::Hit);
+    }
+
+    #[test]
+    fn working_set_within_assoc_never_misses_after_warmup(
+        set_count in 1u64..8, reps in 1usize..10
+    ) {
+        // touch exactly `assoc` lines per set: never thrashes
+        let assoc = 4usize;
+        let line = 64u64;
+        let sets = 16u64;
+        let mut c = SetAssocCache::new(sets * assoc as u64 * line, assoc, line);
+        let lines: Vec<u64> = (0..set_count)
+            .flat_map(|s| (0..assoc as u64).map(move |w| (w * sets + s) * line))
+            .collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        c.reset_counters();
+        for _ in 0..reps {
+            for &l in &lines {
+                prop_assert_eq!(c.access(l), Access::Hit);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_access_count_formula(
+        pages_count in 1u64..16, stride in 1u64..64, elem_pow in 2u32..6
+    ) {
+        let elem = 1u64 << elem_pow; // 4..32
+        let page = 4096u64;
+        let buffer = pages_count * page;
+        let pages: Vec<u64> = (0..pages_count).collect();
+        let p = PhysicalPattern::resolve(&pages, page, elem, stride, buffer, 64);
+        prop_assert_eq!(p.accesses_per_pass(), (buffer / elem) / stride);
+        prop_assert!(p.distinct_lines() <= buffer / 64 + 1);
+        prop_assert!(p.distinct_lines() >= 1);
+    }
+
+    #[test]
+    fn steady_misses_never_exceed_lines(
+        pages_count in 1u64..16, stride in 1u64..32, seed_off in 0u64..64
+    ) {
+        let page = 4096u64;
+        let buffer = pages_count * page;
+        let pages: Vec<u64> = (0..pages_count).map(|v| (v * 13 + seed_off) % 128).collect();
+        let p = PhysicalPattern::resolve(&pages, page, 4, stride, buffer, 32);
+        let level = CacheLevelSpec { size_bytes: 32 * 1024, assoc: 4, line_bytes: 32, hit_latency_cycles: 4.0 };
+        prop_assert!(p.steady_misses(&level) <= p.distinct_lines());
+    }
+
+    #[test]
+    fn service_profile_conserves_fetches(
+        pages_count in 1u64..32, stride in 1u64..16
+    ) {
+        let page = 4096u64;
+        let buffer = pages_count * page;
+        let pages: Vec<u64> = (0..pages_count).collect();
+        let p = PhysicalPattern::resolve(&pages, page, 4, stride, buffer, 64);
+        let levels = vec![
+            CacheLevelSpec { size_bytes: 16 * 1024, assoc: 4, line_bytes: 64, hit_latency_cycles: 4.0 },
+            CacheLevelSpec { size_bytes: 128 * 1024, assoc: 8, line_bytes: 64, hit_latency_cycles: 12.0 },
+        ];
+        let prof = ServiceProfile::compute(&p, &levels);
+        let l1_misses = p.steady_misses(&levels[0]);
+        let total: u64 = prof.served_by_level.iter().sum::<u64>() + prof.served_by_dram;
+        prop_assert_eq!(total, l1_misses, "every L1 miss must be served somewhere");
+    }
+
+    #[test]
+    fn total_cycles_monotone_in_nloops(nloops in 1u64..50) {
+        let pages: Vec<u64> = (0..4).collect();
+        let p = PhysicalPattern::resolve(&pages, 4096, 4, 1, 16384, 64);
+        let levels = vec![
+            CacheLevelSpec { size_bytes: 8192, assoc: 2, line_bytes: 64, hit_latency_cycles: 10.0 },
+        ];
+        let prof = ServiceProfile::compute(&p, &levels);
+        let a = prof.total_cycles(nloops, 2.0, &levels, 100.0, 0.5);
+        let b = prof.total_cycles(nloops + 1, 2.0, &levels, 100.0, 0.5);
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn allocator_never_duplicates_pages_in_buffer(
+        policy_idx in 0usize..2, kb in 1u64..64, seed in any::<u64>()
+    ) {
+        let policy = [AllocPolicy::MallocPerSize, AllocPolicy::PooledRandomOffset][policy_idx];
+        let mut a = PageAllocator::new(policy, 4096, 256, seed);
+        let pages = a.allocate(kb * 1024);
+        let distinct: std::collections::HashSet<u64> = pages.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), pages.len());
+    }
+
+    #[test]
+    fn governor_elapsed_bounded_by_freq_extremes(
+        cycles in 1.0e3..1.0e9f64, start in 0.0..1.0e6f64, period in 10.0..10_000.0f64
+    ) {
+        let mut g = Governor::new(
+            GovernorPolicy::Ondemand { sample_period_us: period },
+            vec![1.6, 3.4],
+        );
+        let out = g.run_cycles(cycles, start);
+        let fast = cycles / (3.4 * 1e3);
+        let slow = cycles / (1.6 * 1e3);
+        prop_assert!(out.elapsed_us >= fast - 1e-6);
+        prop_assert!(out.elapsed_us <= slow + 1e-6);
+        prop_assert!((0.0..=1.0).contains(&out.max_freq_fraction));
+    }
+
+    #[test]
+    fn kernel_measurements_always_positive(
+        kb in 1u64..512, stride in 1u64..16, nloops in 1u64..20, seed in any::<u64>()
+    ) {
+        let mut m = MachineSim::new(
+            CpuSpec::core_i7_2600(),
+            GovernorPolicy::Ondemand { sample_period_us: 1000.0 },
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::PooledRandomOffset,
+            seed,
+        );
+        let r = m.run_kernel(&KernelConfig::baseline(kb * 1024, nloops).with_stride(stride));
+        prop_assert!(r.elapsed_us > 0.0 && r.elapsed_us.is_finite());
+        prop_assert!(r.bandwidth_mbps > 0.0 && r.bandwidth_mbps.is_finite());
+    }
+
+    #[test]
+    fn machine_clock_monotone(seed in any::<u64>()) {
+        let mut m = MachineSim::new(
+            CpuSpec::arm_snowball(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedRealtime,
+            AllocPolicy::MallocPerSize,
+            seed,
+        );
+        let mut prev = m.now_us();
+        for i in 1..=20u64 {
+            m.run_kernel(&KernelConfig::baseline(((i % 8) + 1) * 4096, 3));
+            prop_assert!(m.now_us() > prev);
+            prev = m.now_us();
+        }
+    }
+}

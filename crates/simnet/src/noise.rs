@@ -1,0 +1,247 @@
+//! Noise processes perturbing the substrate's deterministic times.
+//!
+//! Three kinds, each corresponding to a phenomenon the paper documents:
+//!
+//! * **white noise** — per-measurement multiplicative jitter (OS and
+//!   timer granularity); always present on real systems;
+//! * **bursty temporal perturbation** (§III-1) — a two-state Gilbert
+//!   process: the system is occasionally in a degraded state for a
+//!   contiguous stretch of measurements ("external activity in a poorly
+//!   isolated system"), inflating every measurement taken during the
+//!   burst. Measured *sequentially*, the burst masquerades as a
+//!   size-dependent effect; randomized designs expose it;
+//! * **per-size anomalies** (§III-2) — specific sizes behave differently
+//!   ("some values, such as 1024 … may have special behavior coded into
+//!   the network layers"), which power-of-two ladders hit or miss
+//!   systematically.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Standard normal deviate via Box–Muller (rand itself ships no normal
+/// distribution and `rand_distr` is outside the approved crate set).
+pub(crate) fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Two-state Gilbert burst process over the *sequence* of measurements.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BurstConfig {
+    /// Probability of entering a burst at each measurement while quiet.
+    pub enter_prob: f64,
+    /// Probability of leaving the burst at each measurement while bursting.
+    pub exit_prob: f64,
+    /// Multiplier applied to measurements taken during a burst (e.g. 5.0
+    /// slows everything 5×; the Figure 11 interloper is ≈ 5×).
+    pub slowdown: f64,
+    /// Additive extra delay during a burst (µs).
+    pub extra_us: f64,
+}
+
+impl BurstConfig {
+    /// A disabled burst process.
+    pub fn off() -> Self {
+        BurstConfig { enter_prob: 0.0, exit_prob: 1.0, slowdown: 1.0, extra_us: 0.0 }
+    }
+
+    /// Expected long-run fraction of measurements inside bursts.
+    pub fn duty_cycle(&self) -> f64 {
+        if self.enter_prob == 0.0 {
+            0.0
+        } else {
+            self.enter_prob / (self.enter_prob + self.exit_prob)
+        }
+    }
+}
+
+/// Full noise model: white jitter + burst process + size anomalies.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    rng: ChaCha8Rng,
+    /// Relative sd of baseline white noise (applied on top of any
+    /// regime-specific noise the caller supplies).
+    pub white_rel: f64,
+    /// Burst process configuration.
+    pub burst: BurstConfig,
+    /// Sizes with anomalous behaviour and the multiplier applied to them
+    /// (e.g. `(1024, 0.6)` = the 1024-byte fast path is 40 % cheaper).
+    pub size_anomalies: Vec<(u64, f64)>,
+    /// Global multiplier on all *relative* noise (both this model's white
+    /// term and any regime-specific term the caller passes). `silent()`
+    /// sets it to zero so tests get fully deterministic times.
+    pub noise_scale: f64,
+    in_burst: bool,
+}
+
+impl NoiseModel {
+    /// Creates a noise model with the given seed.
+    pub fn new(seed: u64, white_rel: f64, burst: BurstConfig) -> Self {
+        NoiseModel {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            white_rel,
+            burst,
+            size_anomalies: Vec::new(),
+            noise_scale: 1.0,
+            in_burst: false,
+        }
+    }
+
+    /// A silent model: no white noise, no bursts, and any regime-specific
+    /// relative noise the caller passes is muted too — fully
+    /// deterministic times for tests and ground-truth probes.
+    pub fn silent(seed: u64) -> Self {
+        let mut m = NoiseModel::new(seed, 0.0, BurstConfig::off());
+        m.noise_scale = 0.0;
+        m
+    }
+
+    /// Registers a per-size anomaly multiplier.
+    pub fn with_anomaly(mut self, size: u64, multiplier: f64) -> Self {
+        self.size_anomalies.push((size, multiplier));
+        self
+    }
+
+    /// Whether the process is currently inside a burst (advances only on
+    /// [`NoiseModel::perturb`] calls).
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+
+    /// Steps the burst state machine one measurement forward.
+    fn step_burst(&mut self) {
+        let p: f64 = self.rng.random();
+        if self.in_burst {
+            if p < self.burst.exit_prob {
+                self.in_burst = false;
+            }
+        } else if p < self.burst.enter_prob {
+            self.in_burst = true;
+        }
+    }
+
+    /// Perturbs a deterministic duration `base_us` for a message of
+    /// `size` bytes, with `extra_rel` additional relative noise from the
+    /// active protocol regime. Advances the burst state machine.
+    pub fn perturb(&mut self, base_us: f64, size: u64, extra_rel: f64) -> f64 {
+        self.step_burst();
+        let mut t = base_us;
+        // Size anomaly first (it is a property of the deterministic path).
+        for &(s, m) in &self.size_anomalies {
+            if s == size {
+                t *= m;
+            }
+        }
+        // Multiplicative white + regime noise, truncated to keep times
+        // positive (a timer never reports negative durations).
+        let rel =
+            (self.white_rel * self.white_rel + extra_rel * extra_rel).sqrt() * self.noise_scale;
+        if rel > 0.0 {
+            let z = standard_normal(&mut self.rng);
+            t *= (1.0 + rel * z).max(0.05);
+        }
+        // Burst effect last (the interloper delays whatever happens).
+        if self.in_burst {
+            t = t * self.burst.slowdown + self.burst.extra_us;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_model_is_identity() {
+        let mut n = NoiseModel::silent(1);
+        for s in [0u64, 1, 1024, 1 << 20] {
+            assert_eq!(n.perturb(42.0, s, 0.0), 42.0);
+        }
+    }
+
+    #[test]
+    fn white_noise_centered_and_bounded_spread() {
+        let mut n = NoiseModel::new(7, 0.05, BurstConfig::off());
+        let xs: Vec<f64> = (0..4000).map(|_| n.perturb(100.0, 8, 0.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean = {mean}");
+        let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!((sd - 5.0).abs() < 1.0, "sd = {sd}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn regime_noise_adds_in_quadrature() {
+        let mut a = NoiseModel::new(3, 0.03, BurstConfig::off());
+        let mut b = NoiseModel::new(3, 0.03, BurstConfig::off());
+        let xa: Vec<f64> = (0..4000).map(|_| a.perturb(100.0, 8, 0.0)).collect();
+        let xb: Vec<f64> = (0..4000).map(|_| b.perturb(100.0, 8, 0.04)).collect();
+        let sd = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        assert!((sd(&xa) - 3.0).abs() < 0.6);
+        assert!((sd(&xb) - 5.0).abs() < 0.8); // sqrt(9+16) = 5
+    }
+
+    #[test]
+    fn anomaly_applies_to_exact_size_only() {
+        let mut n = NoiseModel::silent(1).with_anomaly(1024, 0.5);
+        assert_eq!(n.perturb(100.0, 1024, 0.0), 50.0);
+        assert_eq!(n.perturb(100.0, 1023, 0.0), 100.0);
+        assert_eq!(n.perturb(100.0, 1025, 0.0), 100.0);
+    }
+
+    #[test]
+    fn burst_duty_cycle_matches_theory() {
+        let burst = BurstConfig { enter_prob: 0.02, exit_prob: 0.08, slowdown: 5.0, extra_us: 0.0 };
+        assert!((burst.duty_cycle() - 0.2).abs() < 1e-12);
+        let mut n = NoiseModel::new(11, 0.0, burst);
+        let xs: Vec<f64> = (0..20_000).map(|_| n.perturb(100.0, 8, 0.0)).collect();
+        let slowed = xs.iter().filter(|&&x| x > 300.0).count() as f64 / xs.len() as f64;
+        assert!((slowed - 0.2).abs() < 0.04, "burst fraction = {slowed}");
+    }
+
+    #[test]
+    fn bursts_are_temporally_clustered() {
+        // Runs of consecutive slow measurements should be much longer than
+        // under independent sampling with the same duty cycle.
+        let burst = BurstConfig { enter_prob: 0.01, exit_prob: 0.05, slowdown: 5.0, extra_us: 0.0 };
+        let mut n = NoiseModel::new(5, 0.0, burst);
+        let slow: Vec<bool> = (0..30_000).map(|_| n.perturb(1.0, 8, 0.0) > 3.0).collect();
+        // Mean run length of `true` stretches ≈ 1/exit_prob = 20.
+        let mut runs = Vec::new();
+        let mut cur = 0usize;
+        for &s in &slow {
+            if s {
+                cur += 1;
+            } else if cur > 0 {
+                runs.push(cur);
+                cur = 0;
+            }
+        }
+        if cur > 0 {
+            runs.push(cur);
+        }
+        assert!(!runs.is_empty());
+        let mean_run = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(mean_run > 10.0, "mean run = {mean_run}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = |seed| {
+            let mut n = NoiseModel::new(
+                seed,
+                0.05,
+                BurstConfig { enter_prob: 0.01, exit_prob: 0.1, slowdown: 3.0, extra_us: 1.0 },
+            );
+            (0..100).map(|i| n.perturb(10.0, i, 0.01)).collect::<Vec<f64>>()
+        };
+        assert_eq!(mk(9), mk(9));
+        assert_ne!(mk(9), mk(10));
+    }
+}

@@ -1,0 +1,196 @@
+//! The network simulator: protocol model + noise + virtual clock.
+
+use crate::clock::VirtualClock;
+use crate::noise::NoiseModel;
+use crate::protocol::{PiecewiseProtocol, ProtocolMode};
+
+/// The three measurable network operations of the methodology (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NetOp {
+    /// Asynchronous send; elapsed time = send software overhead.
+    AsyncSend,
+    /// Blocking receive of an already-arrived message; elapsed time =
+    /// receive software overhead.
+    BlockingRecv,
+    /// Ping-pong round trip.
+    PingPong,
+}
+
+impl NetOp {
+    /// CSV-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetOp::AsyncSend => "async_send",
+            NetOp::BlockingRecv => "blocking_recv",
+            NetOp::PingPong => "ping_pong",
+        }
+    }
+
+    /// Parses the CSV name back.
+    pub fn parse(s: &str) -> Option<NetOp> {
+        match s {
+            "async_send" => Some(NetOp::AsyncSend),
+            "blocking_recv" => Some(NetOp::BlockingRecv),
+            "ping_pong" => Some(NetOp::PingPong),
+            _ => None,
+        }
+    }
+}
+
+/// A virtual-time network endpoint pair under a piecewise protocol model.
+///
+/// Each measurement advances the virtual clock by the (noisy) operation
+/// duration plus a small inter-measurement overhead, so temporal noise
+/// processes interact with measurement *order* exactly as on a real system.
+#[derive(Debug, Clone)]
+pub struct NetworkSim {
+    protocol: PiecewiseProtocol,
+    noise: NoiseModel,
+    clock: VirtualClock,
+    /// Fixed virtual cost between consecutive measurements (loop overhead,
+    /// timer reads); µs.
+    pub inter_measurement_us: f64,
+    measurements_taken: u64,
+}
+
+impl NetworkSim {
+    /// Creates a simulator from a protocol model and noise model.
+    pub fn new(protocol: PiecewiseProtocol, noise: NoiseModel) -> Self {
+        NetworkSim {
+            protocol,
+            noise,
+            clock: VirtualClock::new(),
+            inter_measurement_us: 1.0,
+            measurements_taken: 0,
+        }
+    }
+
+    /// The protocol model in force.
+    pub fn protocol(&self) -> &PiecewiseProtocol {
+        &self.protocol
+    }
+
+    /// Replaces the noise model (e.g. to enable a burst process on a
+    /// preset platform).
+    pub fn set_noise(&mut self, noise: NoiseModel) {
+        self.noise = noise;
+    }
+
+    /// Mutable access to the noise model.
+    pub fn noise_mut(&mut self) -> &mut NoiseModel {
+        &mut self.noise
+    }
+
+    /// Virtual time elapsed so far (µs).
+    pub fn now_us(&self) -> f64 {
+        self.clock.now_us()
+    }
+
+    /// Number of measurements taken so far.
+    pub fn measurements_taken(&self) -> u64 {
+        self.measurements_taken
+    }
+
+    /// Protocol mode used for `size`-byte messages.
+    pub fn mode_for(&self, size: u64) -> ProtocolMode {
+        self.protocol.regime(size).mode
+    }
+
+    /// Performs one measured operation and returns its duration (µs).
+    pub fn measure(&mut self, op: NetOp, size: u64) -> f64 {
+        let regime = *self.protocol.regime(size);
+        let (base, rel) = match op {
+            NetOp::AsyncSend => (regime.params.send_overhead(size), regime.send_noise_rel),
+            NetOp::BlockingRecv => (regime.params.recv_overhead(size), regime.recv_noise_rel),
+            NetOp::PingPong => (self.protocol.pingpong_rtt(size), regime.rtt_noise_rel),
+        };
+        let t = self.noise.perturb(base, size, rel);
+        self.clock.advance_us(t + self.inter_measurement_us);
+        self.measurements_taken += 1;
+        t
+    }
+
+    /// Deterministic (noise-free) duration the model assigns to an
+    /// operation — the ground truth a calibration should recover.
+    pub fn true_time(&self, op: NetOp, size: u64) -> f64 {
+        match op {
+            NetOp::AsyncSend => self.protocol.send_overhead(size),
+            NetOp::BlockingRecv => self.protocol.recv_overhead(size),
+            NetOp::PingPong => self.protocol.pingpong_rtt(size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{BurstConfig, NoiseModel};
+    use crate::params::LogGpParams;
+    use crate::protocol::Regime;
+
+    fn quiet_sim() -> NetworkSim {
+        let regime = Regime {
+            mode: ProtocolMode::Eager,
+            params: LogGpParams {
+                latency_us: 20.0,
+                send_overhead_us: 2.0,
+                send_overhead_per_byte: 0.001,
+                recv_overhead_us: 3.0,
+                recv_overhead_per_byte: 0.001,
+                gap_us: 0.5,
+                gap_per_byte: 0.01,
+            },
+            send_noise_rel: 0.0,
+            recv_noise_rel: 0.0,
+            rtt_noise_rel: 0.0,
+        };
+        NetworkSim::new(PiecewiseProtocol::uniform(regime), NoiseModel::silent(1))
+    }
+
+    #[test]
+    fn quiet_measurements_equal_true_time() {
+        let mut sim = quiet_sim();
+        for op in [NetOp::AsyncSend, NetOp::BlockingRecv, NetOp::PingPong] {
+            for size in [0u64, 64, 4096] {
+                let expect = sim.true_time(op, size);
+                assert_eq!(sim.measure(op, size), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_each_measurement() {
+        let mut sim = quiet_sim();
+        let t0 = sim.now_us();
+        let d = sim.measure(NetOp::PingPong, 1000);
+        assert!((sim.now_us() - t0 - d - sim.inter_measurement_us).abs() < 1e-9);
+        assert_eq!(sim.measurements_taken(), 1);
+    }
+
+    #[test]
+    fn op_names_roundtrip() {
+        for op in [NetOp::AsyncSend, NetOp::BlockingRecv, NetOp::PingPong] {
+            assert_eq!(NetOp::parse(op.name()), Some(op));
+        }
+        assert_eq!(NetOp::parse("bogus"), None);
+    }
+
+    #[test]
+    fn noisy_sim_is_deterministic_per_seed() {
+        let mk = |seed: u64| {
+            let mut sim = quiet_sim();
+            sim.noise = NoiseModel::new(seed, 0.05, BurstConfig::off());
+            (0..50).map(|i| sim.measure(NetOp::PingPong, 64 * i)).collect::<Vec<f64>>()
+        };
+        assert_eq!(mk(4), mk(4));
+        assert_ne!(mk(4), mk(5));
+    }
+
+    #[test]
+    fn send_overhead_cheaper_than_rtt() {
+        let mut sim = quiet_sim();
+        for size in [1u64, 1000, 100_000] {
+            assert!(sim.measure(NetOp::AsyncSend, size) < sim.measure(NetOp::PingPong, size));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the network substrate.
+
+use charm_simnet::noise::{BurstConfig, NoiseModel};
+use charm_simnet::presets;
+use charm_simnet::{NetOp, NetworkSim};
+use proptest::prelude::*;
+
+fn presets_under_test() -> Vec<fn(u64) -> NetworkSim> {
+    vec![presets::taurus_openmpi_tcp, presets::myrinet_gm, presets::openmpi_fig3]
+}
+
+proptest! {
+    #[test]
+    fn true_times_positive_and_finite(size in 0u64..(1 << 22), seed in any::<u64>()) {
+        for mk in presets_under_test() {
+            let sim = mk(seed);
+            for op in [NetOp::AsyncSend, NetOp::BlockingRecv, NetOp::PingPong] {
+                let t = sim.true_time(op, size);
+                prop_assert!(t.is_finite() && t > 0.0, "bad time {t} for {op:?} @ {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_times_positive(size in 0u64..(1 << 22), seed in any::<u64>()) {
+        for mk in presets_under_test() {
+            let mut sim = mk(seed);
+            for op in [NetOp::AsyncSend, NetOp::BlockingRecv, NetOp::PingPong] {
+                let t = sim.measure(op, size);
+                prop_assert!(t.is_finite() && t > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clock_monotone(ops in prop::collection::vec((0u8..3, 0u64..(1 << 20)), 1..50),
+                      seed in any::<u64>()) {
+        let mut sim = presets::taurus_openmpi_tcp(seed);
+        let mut prev = sim.now_us();
+        for (op_idx, size) in ops {
+            let op = [NetOp::AsyncSend, NetOp::BlockingRecv, NetOp::PingPong][op_idx as usize];
+            sim.measure(op, size);
+            prop_assert!(sim.now_us() > prev);
+            prev = sim.now_us();
+        }
+    }
+
+    #[test]
+    fn rtt_weakly_monotone_in_size_within_regime(seed in any::<u64>()) {
+        let sim = presets::taurus_openmpi_tcp(seed);
+        // within eager regime only (below 32K)
+        let mut prev = 0.0;
+        for size in (0..32 * 1024).step_by(1024) {
+            let t = sim.true_time(NetOp::PingPong, size as u64);
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace(seed in any::<u64>()) {
+        let run = |seed| {
+            let mut sim = presets::myrinet_gm(seed);
+            (0..30).map(|i| sim.measure(NetOp::PingPong, i * 977)).collect::<Vec<f64>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn burst_slowdown_never_speeds_up(seed in any::<u64>(), base in 1.0..1e4f64) {
+        let cfg = BurstConfig { enter_prob: 1.0, exit_prob: 0.0, slowdown: 3.0, extra_us: 5.0 };
+        let mut noisy = NoiseModel::new(seed, 0.0, cfg);
+        // always in burst after the first step
+        let t = noisy.perturb(base, 64, 0.0);
+        prop_assert!(t >= base * 3.0);
+    }
+}
