@@ -66,8 +66,7 @@ pub fn one_way(groups: &[Vec<f64>]) -> Result<OneWayAnova> {
     if n <= groups.len() {
         return Err(AnalysisError::TooFewObservations { needed: groups.len() + 1, got: n });
     }
-    let grand_mean: f64 =
-        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n as f64;
+    let grand_mean: f64 = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n as f64;
 
     let mut ss_between = 0.0;
     let mut ss_within = 0.0;
@@ -80,8 +79,7 @@ pub fn one_way(groups: &[Vec<f64>]) -> Result<OneWayAnova> {
     let df_w = (n - groups.len()) as f64;
     let ms_between = ss_between / df_b;
     let ms_within = ss_within / df_w;
-    let f_statistic =
-        if ms_within > 0.0 { ms_between / ms_within } else { f64::INFINITY };
+    let f_statistic = if ms_within > 0.0 { ms_between / ms_within } else { f64::INFINITY };
     let ss_total = ss_between + ss_within;
     let eta_squared = if ss_total > 0.0 { ss_between / ss_total } else { 0.0 };
     Ok(OneWayAnova { groups: groups.len(), n, ss_between, ss_within, f_statistic, eta_squared })

@@ -5,13 +5,55 @@
 //! intervals make no normality assumption, which matters because the whole
 //! point of the paper is that benchmark distributions are *not* normal
 //! (bimodal scheduler modes, heteroscedastic protocol regimes, …).
+//!
+//! Each replicate draws from its **own derived RNG stream**
+//! (`ChaCha8Rng` seeded by a hash of `(seed, replicate)`), never from a
+//! shared sequential stream. That makes the replicates embarrassingly
+//! parallel without changing a single draw: above
+//! [`PARALLEL_REPS_THRESHOLD`] replicates the work is split across
+//! threads, and the resulting interval is bit-identical to the
+//! sequential one.
 
-use crate::error::AnalysisError;
 use crate::error::ensure_sample;
+use crate::error::AnalysisError;
 use crate::Result;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Replicate count at and above which [`bootstrap_ci`] fans the
+/// resampling out across threads. Below it, thread startup would cost
+/// more than the resampling itself.
+pub const PARALLEL_REPS_THRESHOLD: usize = 256;
+
+/// Seed of replicate `rep`'s private RNG stream: a splitmix64-style
+/// finalizer over `(seed, rep)` so neighbouring replicates get unrelated
+/// streams and the draws of replicate `rep` do not depend on how many
+/// replicates ran before it (that independence is what lets the parallel
+/// path reproduce the sequential intervals exactly).
+fn rep_seed(seed: u64, rep: u64) -> u64 {
+    let mut z = seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(23);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One replicate's statistic: resample `xs` with replacement using the
+/// replicate's derived stream, then evaluate `stat`.
+fn replicate_stat<F: Fn(&[f64]) -> f64>(
+    xs: &[f64],
+    stat: &F,
+    seed: u64,
+    rep: u64,
+    scratch: &mut [f64],
+) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(rep_seed(seed, rep));
+    let n = xs.len();
+    for slot in scratch.iter_mut() {
+        *slot = xs[rng.random_range(0..n)];
+    }
+    stat(scratch)
+}
 
 /// A percentile bootstrap confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,7 +73,8 @@ pub struct BootstrapCi {
 /// * `stat` — the statistic (e.g. `|xs| charm_analysis::descriptive::median(xs).unwrap()`);
 /// * `reps` — number of bootstrap resamples (≥ 100 recommended);
 /// * `level` — confidence level in `(0, 1)`;
-/// * `seed` — RNG seed; results are fully deterministic given the seed.
+/// * `seed` — RNG seed; results are fully deterministic given the seed
+///   and independent of whether the replicates ran on one thread or many.
 pub fn bootstrap_ci<F>(
     xs: &[f64],
     stat: F,
@@ -40,7 +83,7 @@ pub fn bootstrap_ci<F>(
     seed: u64,
 ) -> Result<BootstrapCi>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Sync,
 {
     ensure_sample(xs)?;
     if reps < 10 {
@@ -50,16 +93,35 @@ where
         return Err(AnalysisError::InvalidParameter("confidence level must be in (0,1)"));
     }
     let estimate = stat(xs);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = xs.len();
-    let mut resample = vec![0.0; n];
-    let mut stats = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        for slot in resample.iter_mut() {
-            *slot = xs[rng.random_range(0..n)];
-        }
-        stats.push(stat(&resample));
-    }
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let mut stats: Vec<f64> = if reps >= PARALLEL_REPS_THRESHOLD && threads > 1 {
+        // Chunk the replicate indices across threads; every replicate
+        // derives its own stream from (seed, rep), so the chunking is
+        // invisible in the results.
+        let chunks: Vec<(u64, u64)> = (0..threads)
+            .map(|t| ((t * reps / threads) as u64, ((t + 1) * reps / threads) as u64))
+            .collect();
+        let stat = &stat;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(lo, hi)| {
+                    scope.spawn(move |_| {
+                        let mut scratch = vec![0.0; n];
+                        (lo..hi)
+                            .map(|rep| replicate_stat(xs, stat, seed, rep, &mut scratch))
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("bootstrap thread panicked")).collect()
+        })
+        .expect("scope panicked")
+    } else {
+        let mut scratch = vec![0.0; n];
+        (0..reps as u64).map(|rep| replicate_stat(xs, &stat, seed, rep, &mut scratch)).collect()
+    };
     stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
     let alpha = (1.0 - level) / 2.0;
     let lo = crate::descriptive::quantile_sorted(&stats, alpha);
@@ -129,6 +191,33 @@ mod tests {
         let xs: Vec<f64> = (0..99).map(|i| i as f64).collect();
         let ci = median_ci(&xs, 500, 0.95, 11).unwrap();
         assert!(ci.lo <= 49.0 && 49.0 <= ci.hi);
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_path() {
+        // 500 reps crosses PARALLEL_REPS_THRESHOLD, 20 reps stays below;
+        // the shared prefix of per-rep streams must agree bit-for-bit, so
+        // quantiles of the first 20 replicate statistics coincide.
+        let xs: Vec<f64> = (0..80).map(|i| ((i * 37) % 23) as f64).collect();
+        let mut seq_scratch = vec![0.0; xs.len()];
+        let sequential: Vec<f64> = (0..500u64)
+            .map(|rep| {
+                replicate_stat(
+                    &xs,
+                    &|s: &[f64]| s.iter().sum::<f64>() / s.len() as f64,
+                    9,
+                    rep,
+                    &mut seq_scratch,
+                )
+            })
+            .collect();
+        let ci = mean_ci(&xs, 500, 0.95, 9).unwrap();
+        let mut sorted = sequential.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = crate::descriptive::quantile_sorted(&sorted, 0.025);
+        let hi = crate::descriptive::quantile_sorted(&sorted, 0.975);
+        assert_eq!(ci.lo, lo);
+        assert_eq!(ci.hi, hi);
     }
 
     #[test]

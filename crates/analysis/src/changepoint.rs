@@ -13,8 +13,8 @@
 //! The offline [`binary_segmentation`] detector operates on retained raw
 //! data after the campaign ends — the methodology's preferred route.
 
-use crate::regression::ols;
 use crate::error::AnalysisError;
+use crate::regression::ols;
 use crate::Result;
 
 /// Configuration of the NetGauge-style online detector.
@@ -79,12 +79,10 @@ impl OnlineLsqDetector {
         if self.seg_x.len() < 3 {
             return None;
         }
-        ols(&self.seg_x, &self.seg_y)
-            .ok()
-            .map(|f| {
-                let mean_lsq = f.sse / self.seg_x.len() as f64;
-                (f, mean_lsq)
-            })
+        ols(&self.seg_x, &self.seg_y).ok().map(|f| {
+            let mean_lsq = f.sse / self.seg_x.len() as f64;
+            (f, mean_lsq)
+        })
     }
 
     /// Feeds one measurement. Returns `Some(x)` when a break has just been
@@ -145,8 +143,17 @@ pub fn binary_segmentation(y: &[f64], min_segment: usize, penalty: f64) -> Resul
     if penalty < 0.0 {
         return Err(AnalysisError::InvalidParameter("penalty must be >= 0"));
     }
+    // Build the moment prefix sums once; every recursion level reuses
+    // them (rebuilding per level made deep segmentations O(n²) in the
+    // build step alone).
+    let mut pref = vec![0.0; y.len() + 1];
+    let mut pref2 = vec![0.0; y.len() + 1];
+    for (i, &v) in y.iter().enumerate() {
+        pref[i + 1] = pref[i] + v;
+        pref2[i + 1] = pref2[i] + v * v;
+    }
     let mut splits = Vec::new();
-    recurse(y, 0, y.len(), min_segment, penalty, &mut splits);
+    recurse(&pref, &pref2, 0, y.len(), min_segment, penalty, &mut splits);
     splits.sort_unstable();
     Ok(splits)
 }
@@ -159,7 +166,8 @@ fn sse_constant(pref: &[f64], pref2: &[f64], a: usize, b: usize) -> f64 {
 }
 
 fn recurse(
-    y: &[f64],
+    pref: &[f64],
+    pref2: &[f64],
     lo: usize,
     hi: usize,
     min_segment: usize,
@@ -169,17 +177,11 @@ fn recurse(
     if hi - lo < 2 * min_segment {
         return;
     }
-    let mut pref = vec![0.0; y.len() + 1];
-    let mut pref2 = vec![0.0; y.len() + 1];
-    for i in 0..y.len() {
-        pref[i + 1] = pref[i] + y[i];
-        pref2[i + 1] = pref2[i] + y[i] * y[i];
-    }
-    let whole = sse_constant(&pref, &pref2, lo, hi);
+    let whole = sse_constant(pref, pref2, lo, hi);
     let mut best_gain = 0.0;
     let mut best_split = None;
     for s in (lo + min_segment)..=(hi - min_segment) {
-        let gain = whole - sse_constant(&pref, &pref2, lo, s) - sse_constant(&pref, &pref2, s, hi);
+        let gain = whole - sse_constant(pref, pref2, lo, s) - sse_constant(pref, pref2, s, hi);
         if gain > best_gain {
             best_gain = gain;
             best_split = Some(s);
@@ -188,8 +190,8 @@ fn recurse(
     if let Some(s) = best_split {
         if best_gain > penalty {
             splits.push(s);
-            recurse(y, lo, s, min_segment, penalty, splits);
-            recurse(y, s, hi, min_segment, penalty, splits);
+            recurse(pref, pref2, lo, s, min_segment, penalty, splits);
+            recurse(pref, pref2, s, hi, min_segment, penalty, splits);
         }
     }
 }
@@ -240,10 +242,7 @@ mod tests {
                 breaks.push(b);
             }
         }
-        assert!(
-            !breaks.is_empty(),
-            "the opaque online heuristic should be misled by the burst"
-        );
+        assert!(!breaks.is_empty(), "the opaque online heuristic should be misled by the burst");
     }
 
     #[test]

@@ -226,10 +226,7 @@ mod tests {
 
     #[test]
     fn variance_needs_two_points() {
-        assert_eq!(
-            variance(&[1.0]),
-            Err(AnalysisError::TooFewObservations { needed: 2, got: 1 })
-        );
+        assert_eq!(variance(&[1.0]), Err(AnalysisError::TooFewObservations { needed: 2, got: 1 }));
     }
 
     #[test]

@@ -90,9 +90,7 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(AnalysisError::EmptyInput.to_string().contains("empty"));
-        assert!(AnalysisError::TooFewObservations { needed: 3, got: 1 }
-            .to_string()
-            .contains("3"));
+        assert!(AnalysisError::TooFewObservations { needed: 3, got: 1 }.to_string().contains("3"));
         assert!(AnalysisError::LengthMismatch { x: 2, y: 5 }.to_string().contains("x=2"));
         assert!(AnalysisError::NonFiniteInput.to_string().contains("non-finite"));
         assert!(AnalysisError::DegeneratePredictor.to_string().contains("slope"));

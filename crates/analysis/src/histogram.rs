@@ -93,12 +93,7 @@ impl Histogram {
 
     /// Index of the fullest bin.
     pub fn mode_bin(&self) -> usize {
-        self.counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        self.counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
     }
 
     /// Count of local maxima in the (lightly smoothed) bin profile: a crude

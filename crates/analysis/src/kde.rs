@@ -78,10 +78,9 @@ impl Kde {
     /// sample range padded by 3 bandwidths on both sides.
     pub fn grid(&self, n: usize) -> Vec<(f64, f64)> {
         let n = n.max(2);
-        let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min)
-            - 3.0 * self.bandwidth;
-        let hi = self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            + 3.0 * self.bandwidth;
+        let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
+        let hi =
+            self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
         (0..n)
             .map(|i| {
                 let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
@@ -120,9 +119,7 @@ mod tests {
 
     #[test]
     fn unimodal_sample_one_mode() {
-        let xs: Vec<f64> = (0..100)
-            .map(|i| 10.0 + ((i * 37) % 11) as f64 * 0.2)
-            .collect();
+        let xs: Vec<f64> = (0..100).map(|i| 10.0 + ((i * 37) % 11) as f64 * 0.2).collect();
         let kde = Kde::fit(&xs, Bandwidth::Silverman).unwrap();
         assert_eq!(kde.modes(256).len(), 1, "modes: {:?}", kde.modes(256));
     }

@@ -23,7 +23,11 @@
 //!   Figure 11 that plain mean/variance reporting hides);
 //! * [`changepoint`] — both the *online* least-squares detector that
 //!   NetGauge-style tools embed, and offline binary segmentation;
-//! * [`bootstrap`] — resampling confidence intervals.
+//! * [`prefix`] — prefix-sum incremental least squares: O(1) stretch SSE
+//!   queries that turn the free segmentation search from O(n³) to O(n²);
+//! * [`bootstrap`] — resampling confidence intervals (parallel above a
+//!   replicate threshold, with per-replicate derived RNG streams so the
+//!   intervals are identical either way).
 //!
 //! All routines are deterministic; anything stochastic takes an explicit
 //! seed. Nothing here performs I/O.
@@ -43,10 +47,11 @@ pub mod loess;
 pub mod modes;
 pub mod outliers;
 pub mod piecewise;
+pub mod prefix;
 pub mod ranktests;
-pub mod sequence;
 pub mod regression;
 pub mod segmented;
+pub mod sequence;
 
 pub use error::AnalysisError;
 

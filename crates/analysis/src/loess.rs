@@ -5,8 +5,8 @@
 //! evaluation point, fit a weighted line over the `span` nearest neighbours
 //! with tricube weights, and report the local prediction.
 
-use crate::regression::weighted_ols;
 use crate::error::AnalysisError;
+use crate::regression::weighted_ols;
 use crate::Result;
 
 /// LOESS smoother configuration.
@@ -112,15 +112,10 @@ fn local_fit(sx: &[f64], sy: &[f64], rw: &[f64], x0: f64, q: usize) -> Result<f6
             hi += 1;
         }
     }
-    let dmax = sx[lo..=hi]
-        .iter()
-        .map(|&v| (v - x0).abs())
-        .fold(0.0f64, f64::max)
-        .max(f64::MIN_POSITIVE);
+    let dmax =
+        sx[lo..=hi].iter().map(|&v| (v - x0).abs()).fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
 
-    let wx: Vec<f64> = (lo..=hi)
-        .map(|i| tricube((sx[i] - x0) / dmax) * rw[i])
-        .collect();
+    let wx: Vec<f64> = (lo..=hi).map(|i| tricube((sx[i] - x0) / dmax) * rw[i]).collect();
     let xs = &sx[lo..=hi];
     let ys = &sy[lo..=hi];
     if wx.iter().filter(|&&w| w > 0.0).count() < 2 {
@@ -164,11 +159,7 @@ mod tests {
         let out = loess(&x, &y, &x, &LoessConfig { span: 0.3, robustness_iters: 0 }).unwrap();
         // Residual variance of the smooth vs the true trend must be far
         // below the jitter variance (1.0).
-        let mse: f64 = out
-            .iter()
-            .zip(&x)
-            .map(|(o, v)| (o - (5.0 + 0.1 * v)).powi(2))
-            .sum::<f64>()
+        let mse: f64 = out.iter().zip(&x).map(|(o, v)| (o - (5.0 + 0.1 * v)).powi(2)).sum::<f64>()
             / x.len() as f64;
         assert!(mse < 0.1, "mse = {mse}");
     }
@@ -178,8 +169,10 @@ mod tests {
         let x: Vec<f64> = (0..60).map(|i| i as f64).collect();
         let mut y: Vec<f64> = x.iter().map(|v| 10.0 + 0.5 * v).collect();
         y[30] = 1e4; // wild outlier
-        let plain = loess(&x, &y, &[30.0], &LoessConfig { span: 0.4, robustness_iters: 0 }).unwrap();
-        let robust = loess(&x, &y, &[30.0], &LoessConfig { span: 0.4, robustness_iters: 2 }).unwrap();
+        let plain =
+            loess(&x, &y, &[30.0], &LoessConfig { span: 0.4, robustness_iters: 0 }).unwrap();
+        let robust =
+            loess(&x, &y, &[30.0], &LoessConfig { span: 0.4, robustness_iters: 2 }).unwrap();
         let truth = 10.0 + 0.5 * 30.0;
         assert!((robust[0] - truth).abs() < (plain[0] - truth).abs() / 10.0);
     }

@@ -8,8 +8,8 @@
 //! the linearity assumption, if the breakpoints are coherent, and the
 //! outcome of the regressions".
 
-use crate::regression::{ols, LinearFit};
 use crate::error::AnalysisError;
+use crate::regression::{ols, LinearFit};
 use crate::Result;
 
 /// One fitted segment of a piecewise model, over `[lo, hi)` in predictor
@@ -54,6 +54,26 @@ impl PiecewiseLinear {
             ));
         }
 
+        // Fast path for x already ascending (the segmentation search and
+        // most callers sort first): each segment is a contiguous slice
+        // found by binary search, so the fit is O(n + s·log n) instead of
+        // rescanning all n points for each of the s segments.
+        if x.windows(2).all(|w| w[0] <= w[1]) {
+            let mut segments = Vec::with_capacity(edges.len() - 1);
+            for w in edges.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let last = hi == *edges.last().expect("edges nonempty");
+                let a = x.partition_point(|&xi| xi < lo);
+                let b = if last { x.len() } else { x.partition_point(|&xi| xi < hi) };
+                if b - a < 2 {
+                    return Err(AnalysisError::TooFewObservations { needed: 2, got: b - a });
+                }
+                let fit = ols(&x[a..b], &y[a..b])?;
+                segments.push(Segment { lo, hi, fit });
+            }
+            return Ok(PiecewiseLinear { segments });
+        }
+
         let mut segments = Vec::with_capacity(edges.len() - 1);
         for (i, w) in edges.windows(2).enumerate() {
             let (lo, hi) = (w[0], w[1]);
@@ -89,17 +109,13 @@ impl PiecewiseLinear {
     /// Predicts the response at `x`, using the segment containing it
     /// (clamping to the first/last segment outside the fitted range).
     pub fn predict(&self, x: f64) -> f64 {
-        let seg = self
-            .segments
-            .iter()
-            .find(|s| x >= s.lo && x < s.hi)
-            .unwrap_or_else(|| {
-                if x < self.segments[0].lo {
-                    &self.segments[0]
-                } else {
-                    self.segments.last().expect("fit produces >= 1 segment")
-                }
-            });
+        let seg = self.segments.iter().find(|s| x >= s.lo && x < s.hi).unwrap_or_else(|| {
+            if x < self.segments[0].lo {
+                &self.segments[0]
+            } else {
+                self.segments.last().expect("fit produces >= 1 segment")
+            }
+        });
         seg.fit.predict(x)
     }
 
@@ -192,6 +208,23 @@ mod tests {
         // extrapolation clamps to the outermost segments' lines
         assert!((pw.predict(-1.0) + 1.0).abs() < 1e-9);
         assert!((pw.predict(100.0) - 520.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_fast_path_matches_general_scan() {
+        let (x, y) = two_regime();
+        let sorted = PiecewiseLinear::fit(&x, &y, &[10.0]).unwrap();
+        // same data, deliberately out of order -> general scan path
+        let mut xr = x.clone();
+        let mut yr = y.clone();
+        xr.reverse();
+        yr.reverse();
+        let scanned = PiecewiseLinear::fit(&xr, &yr, &[10.0]).unwrap();
+        assert_eq!(sorted.num_segments(), scanned.num_segments());
+        for (a, b) in sorted.segments().iter().zip(scanned.segments()) {
+            assert!((a.fit.slope - b.fit.slope).abs() < 1e-12);
+            assert!((a.fit.intercept - b.fit.intercept).abs() < 1e-12);
+        }
     }
 
     #[test]

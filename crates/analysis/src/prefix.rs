@@ -1,0 +1,276 @@
+//! Incremental least squares over contiguous stretches via prefix sums.
+//!
+//! The free segmentation DP of [`crate::segmented`] evaluates the OLS
+//! residual sum of squares of `O(n²)` candidate stretches `[i, j)`. A
+//! naive refit costs `O(j − i)` per candidate, which makes the whole
+//! search `O(n³)` — prohibitive on Figure-4-sized campaigns (thousands of
+//! points). [`PrefixOls`] precomputes prefix sums of the (globally
+//! centered) moments once in `O(n)` and then answers any stretch's SSE in
+//! `O(1)`, giving an `O(n²)` search overall.
+//!
+//! Numerical care: the raw moments `Σx², Σxy` of benchmark data (message
+//! sizes up to 2²², times in µs) overflow the comfortable precision range
+//! of running sums. All sums are therefore taken over *globally centered*
+//! coordinates `(x − x̄, y − ȳ)`, which keeps catastrophic cancellation
+//! in the per-stretch second moments at bay; the reference-vs-prefix
+//! property test in `tests/proptests.rs` pins the agreement to a relative
+//! error of 1e-9.
+
+use crate::regression::ols;
+
+/// A Neumaier (improved Kahan) compensated accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+struct Compensated {
+    sum: f64,
+    comp: f64,
+}
+
+impl Compensated {
+    fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        self.comp +=
+            if self.sum.abs() >= v.abs() { (self.sum - t) + v } else { (v - t) + self.sum };
+        self.sum = t;
+    }
+}
+
+/// Prefix-sum tables over a sorted-by-x dataset answering "what is the
+/// OLS SSE of the stretch `[i, j)`?" in constant time.
+#[derive(Debug, Clone)]
+pub struct PrefixOls {
+    /// Global mean of x (centering offset).
+    mean_x: f64,
+    /// Global mean of y (centering offset).
+    mean_y: f64,
+    /// Prefix sums of centered x.
+    px: Vec<Compensated>,
+    /// Prefix sums of centered y.
+    py: Vec<Compensated>,
+    /// Prefix sums of centered x².
+    pxx: Vec<Compensated>,
+    /// Prefix sums of centered x·y.
+    pxy: Vec<Compensated>,
+    /// Prefix sums of centered y².
+    pyy: Vec<Compensated>,
+}
+
+/// Difference of two compensated prefix entries, `b − a`, carried out in
+/// the two-float representation: the principal sums subtract with little
+/// cancellation error (they share magnitude), and the compensation terms
+/// restore the bits a single rounded f64 per entry would lose.
+fn diff(b: Compensated, a: Compensated) -> f64 {
+    (b.sum - a.sum) + (b.comp - a.comp)
+}
+
+impl PrefixOls {
+    /// Builds the tables in `O(n)`. `x` and `y` must be the same length;
+    /// the stretch queries refer to indices of these slices (callers sort
+    /// by x first when segmenting a response curve).
+    ///
+    /// # Panics
+    /// Panics when `x` and `y` differ in length.
+    pub fn new(x: &[f64], y: &[f64]) -> Self {
+        assert_eq!(x.len(), y.len(), "paired data required");
+        let n = x.len();
+        let mean_x = if n == 0 { 0.0 } else { x.iter().sum::<f64>() / n as f64 };
+        let mean_y = if n == 0 { 0.0 } else { y.iter().sum::<f64>() / n as f64 };
+        // Neumaier-compensated running sums: the stored prefixes carry at
+        // most one rounding each instead of accumulating error over n
+        // additions, which matters because sse() subtracts prefixes of
+        // nearly equal magnitude.
+        let mut acc = [Compensated::default(); 5];
+        let zero = Compensated::default();
+        let mut px = vec![zero];
+        let mut py = vec![zero];
+        let mut pxx = vec![zero];
+        let mut pxy = vec![zero];
+        let mut pyy = vec![zero];
+        px.reserve(n);
+        py.reserve(n);
+        pxx.reserve(n);
+        pxy.reserve(n);
+        pyy.reserve(n);
+        for (&xi, &yi) in x.iter().zip(y) {
+            let cx = xi - mean_x;
+            let cy = yi - mean_y;
+            acc[0].add(cx);
+            acc[1].add(cy);
+            acc[2].add(cx * cx);
+            acc[3].add(cx * cy);
+            acc[4].add(cy * cy);
+            px.push(acc[0]);
+            py.push(acc[1]);
+            pxx.push(acc[2]);
+            pxy.push(acc[3]);
+            pyy.push(acc[4]);
+        }
+        PrefixOls { mean_x, mean_y, px, py, pxx, pxy, pyy }
+    }
+
+    /// Number of observations covered by the tables.
+    pub fn len(&self) -> usize {
+        self.px.len() - 1
+    }
+
+    /// Whether the tables cover no observations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// OLS residual sum of squares of the half-open stretch `[i, j)`,
+    /// exactly like fitting `y = a + b·x` to `x[i..j]`, `y[i..j]` and
+    /// summing squared residuals. Returns `f64::INFINITY` for degenerate
+    /// stretches (fewer than two points, or all x equal), mirroring the
+    /// naive refit's error path so DP search code can treat both
+    /// implementations interchangeably.
+    ///
+    /// # Panics
+    /// Panics when `i > j` or `j > len()`.
+    pub fn sse(&self, i: usize, j: usize) -> f64 {
+        assert!(i <= j && j < self.px.len(), "stretch [{i}, {j}) out of bounds");
+        let m = (j - i) as f64;
+        if j - i < 2 {
+            return f64::INFINITY;
+        }
+        let sx = diff(self.px[j], self.px[i]);
+        let sy = diff(self.py[j], self.py[i]);
+        let sxx = diff(self.pxx[j], self.pxx[i]) - sx * sx / m;
+        if sxx <= 0.0 {
+            // All x in the stretch are (numerically) equal: the naive
+            // fit reports DegeneratePredictor.
+            return f64::INFINITY;
+        }
+        if j - i == 2 {
+            // Two points with distinct x are fitted exactly; computing
+            // the zero through the moment formula would instead leave
+            // cancellation residue of the global moments' magnitude.
+            return 0.0;
+        }
+        let sxy = diff(self.pxy[j], self.pxy[i]) - sx * sy / m;
+        let syy = diff(self.pyy[j], self.pyy[i]) - sy * sy / m;
+        (syy - sxy * sxy / sxx).max(0.0)
+    }
+
+    /// Slope and intercept (in the original, uncentered coordinates) of
+    /// the OLS line over `[i, j)`, or `None` for degenerate stretches.
+    pub fn line(&self, i: usize, j: usize) -> Option<(f64, f64)> {
+        assert!(i <= j && j < self.px.len(), "stretch [{i}, {j}) out of bounds");
+        let m = (j - i) as f64;
+        if j - i < 2 {
+            return None;
+        }
+        let sx = diff(self.px[j], self.px[i]);
+        let sy = diff(self.py[j], self.py[i]);
+        let sxx = diff(self.pxx[j], self.pxx[i]) - sx * sx / m;
+        if sxx <= 0.0 {
+            return None;
+        }
+        let sxy = diff(self.pxy[j], self.pxy[i]) - sx * sy / m;
+        let slope = sxy / sxx;
+        // centered intercept, then shift back to original coordinates
+        let intercept_c = (sy - slope * sx) / m;
+        let intercept = intercept_c + self.mean_y - slope * self.mean_x;
+        Some((slope, intercept))
+    }
+}
+
+/// Reference implementation: OLS SSE of `x[i..j]`, `y[i..j]` by a full
+/// refit (`O(j − i)` per call). [`PrefixOls::sse`] must agree with this
+/// to high relative precision; property tests and the old-vs-new
+/// segmentation benchmark both call it.
+pub fn naive_stretch_sse(x: &[f64], y: &[f64], i: usize, j: usize) -> f64 {
+    match ols(&x[i..j], &y[i..j]) {
+        Ok(f) => f.sse,
+        Err(_) => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_close(a: f64, b: f64, scale: f64) -> bool {
+        (a - b).abs() <= 1e-9 * scale.max(1.0)
+    }
+
+    #[test]
+    fn matches_naive_on_smooth_curve() {
+        let x: Vec<f64> = (0..120).map(|i| (i as f64) * 3.5 + 1.0).collect();
+        let y: Vec<f64> =
+            x.iter().map(|&v| 4.0 + 0.8 * v + ((v * 12.9898).sin() * 43758.5453).fract()).collect();
+        let p = PrefixOls::new(&x, &y);
+        for i in (0..100).step_by(7) {
+            for j in ((i + 2)..=120).step_by(11) {
+                let fast = p.sse(i, j);
+                let slow = naive_stretch_sse(&x, &y, i, j);
+                assert!(rel_close(fast, slow, slow), "[{i},{j}): {fast} vs {slow}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_stretches_are_infinite() {
+        let x = [1.0, 1.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = PrefixOls::new(&x, &y);
+        assert_eq!(p.sse(0, 1), f64::INFINITY); // single point
+        assert_eq!(p.sse(0, 3), f64::INFINITY); // constant x
+        assert!(p.sse(0, 5).is_finite());
+        assert_eq!(naive_stretch_sse(&x, &y, 0, 3), f64::INFINITY);
+    }
+
+    #[test]
+    fn exact_line_has_zero_sse() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 - 2.0 * v).collect();
+        let p = PrefixOls::new(&x, &y);
+        assert!(p.sse(5, 45) < 1e-9);
+        let (slope, intercept) = p.line(5, 45).unwrap();
+        assert!((slope + 2.0).abs() < 1e-9);
+        assert!((intercept - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_matches_ols_fit() {
+        let x: Vec<f64> = (0..40).map(|i| 8.0 * (1.25f64).powi(i)).collect();
+        let y: Vec<f64> =
+            x.iter().enumerate().map(|(i, &v)| 20.0 + 0.003 * v + (i % 5) as f64).collect();
+        let p = PrefixOls::new(&x, &y);
+        let f = ols(&x[10..30], &y[10..30]).unwrap();
+        let (slope, intercept) = p.line(10, 30).unwrap();
+        assert!((slope - f.slope).abs() <= 1e-9 * f.slope.abs().max(1.0));
+        assert!((intercept - f.intercept).abs() <= 1e-9 * f.intercept.abs().max(1.0));
+    }
+
+    #[test]
+    fn survives_large_offsets() {
+        // Deliberately ill-conditioned: a huge shared offset on x and a
+        // near-perfect trend, so the stretch SSE (~1e2) is the residue of
+        // moments of magnitude ~1e8 (condition number κ = Syy/SSE ≈ 1e6).
+        // The moment formula's intrinsic f64 error is ~ε·κ relative, so
+        // the bound here is wider than the 1e-9 that realistic
+        // benchmark-scale data meets (see `matches_naive_on_smooth_curve`
+        // and the property tests).
+        let x: Vec<f64> = (0..200).map(|i| 1.0e6 + (i as f64) * 2.0e4).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 5.0e4 + 2.5e-3 * v + ((i % 7) as f64 - 3.0))
+            .collect();
+        let p = PrefixOls::new(&x, &y);
+        for (i, j) in [(0usize, 200usize), (13, 57), (100, 180), (190, 200)] {
+            let fast = p.sse(i, j);
+            let slow = naive_stretch_sse(&x, &y, i, j);
+            assert!((fast - slow).abs() <= 5e-8 * slow.max(1.0), "[{i},{j}): {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn empty_and_bounds() {
+        let p = PrefixOls::new(&[], &[]);
+        assert!(p.is_empty());
+        let p2 = PrefixOls::new(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(p2.len(), 2);
+        assert!(p2.sse(0, 2).is_finite());
+    }
+}

@@ -164,9 +164,7 @@ mod tests {
     #[test]
     fn spearman_independent_near_zero() {
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let y: Vec<f64> = (0..100)
-            .map(|i| ((i * 2654435761u64) % 97) as f64)
-            .collect();
+        let y: Vec<f64> = (0..100).map(|i| ((i * 2654435761u64) % 97) as f64).collect();
         let r = spearman(&x, &y).unwrap();
         assert!(r.abs() < 0.25, "r = {r}");
     }

@@ -73,12 +73,7 @@ pub fn weighted_ols(x: &[f64], y: &[f64], w: &[f64]) -> Result<LinearFit> {
     if sxx == 0.0 {
         return Err(AnalysisError::DegeneratePredictor);
     }
-    let sxy: f64 = x
-        .iter()
-        .zip(y)
-        .zip(w)
-        .map(|((xi, yi), wi)| wi * (xi - mx) * (yi - my))
-        .sum();
+    let sxy: f64 = x.iter().zip(y).zip(w).map(|((xi, yi), wi)| wi * (xi - mx) * (yi - my)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
 
@@ -177,7 +172,10 @@ mod tests {
 
     #[test]
     fn degenerate_predictor_rejected() {
-        assert_eq!(ols(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]), Err(AnalysisError::DegeneratePredictor));
+        assert_eq!(
+            ols(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(AnalysisError::DegeneratePredictor)
+        );
     }
 
     #[test]
@@ -224,8 +222,11 @@ mod tests {
         // Same line + same noise pattern, more points -> smaller slope SE.
         let make = |n: usize| -> (Vec<f64>, Vec<f64>) {
             let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
-            let y: Vec<f64> =
-                x.iter().enumerate().map(|(i, v)| 2.0 * v + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+            let y: Vec<f64> = x
+                .iter()
+                .enumerate()
+                .map(|(i, v)| 2.0 * v + if i % 2 == 0 { 0.5 } else { -0.5 })
+                .collect();
             (x, y)
         };
         let (x1, y1) = make(8);

@@ -11,9 +11,9 @@
 //! "initial neutral look regarding the number of breakpoints" that the
 //! caption of Figure 4 calls for.
 
-use crate::piecewise::PiecewiseLinear;
-use crate::regression::ols;
 use crate::error::AnalysisError;
+use crate::piecewise::PiecewiseLinear;
+use crate::prefix::PrefixOls;
 use crate::Result;
 
 /// Result of an optimal segmentation search.
@@ -54,15 +54,6 @@ fn sort_paired(x: &[f64], y: &[f64]) -> (Vec<f64>, Vec<f64>) {
     (idx.iter().map(|&i| x[i]).collect(), idx.iter().map(|&i| y[i]).collect())
 }
 
-/// SSE of an OLS line over `x[i..j]`, `y[i..j]` (half-open). Returns
-/// `f64::INFINITY` when the stretch is degenerate.
-fn stretch_sse(x: &[f64], y: &[f64], i: usize, j: usize) -> f64 {
-    match ols(&x[i..j], &y[i..j]) {
-        Ok(f) => f.sse,
-        Err(_) => f64::INFINITY,
-    }
-}
-
 /// Robust residual-variance estimate from **second** differences of y
 /// (after sorting by x). Second differences cancel any locally-linear
 /// trend, so the estimate reflects measurement noise rather than slope —
@@ -74,10 +65,8 @@ fn robust_noise_variance(y_sorted_by_x: &[f64]) -> f64 {
     if y_sorted_by_x.len() < 4 {
         return 1.0;
     }
-    let mut dd: Vec<f64> = y_sorted_by_x
-        .windows(3)
-        .map(|w| (w[2] - 2.0 * w[1] + w[0]).abs())
-        .collect();
+    let mut dd: Vec<f64> =
+        y_sorted_by_x.windows(3).map(|w| (w[2] - 2.0 * w[1] + w[0]).abs()).collect();
     dd.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
     let med = dd[dd.len() / 2];
     let sigma = med / (0.6745 * 6.0f64.sqrt());
@@ -99,24 +88,30 @@ pub fn segment(x: &[f64], y: &[f64], config: &SegmentConfig) -> Result<Segmentat
     let (sx, sy) = sort_paired(x, y);
     let n = sx.len();
     let penalty = config.penalty.unwrap_or_else(|| {
-        2.0 * robust_noise_variance(&sy) * (n as f64).ln() * 2.0
+        // Floor the derived penalty above the numerical jitter of the
+        // O(1) prefix-sum SSE (~machine epsilon of the total variation):
+        // on numerically-exact data the noise estimate is 0 and sub-ulp
+        // SSE differences must not buy extra segments.
+        let my = sy.iter().sum::<f64>() / n as f64;
+        let syy: f64 = sy.iter().map(|v| (v - my) * (v - my)).sum();
+        let bic = 2.0 * robust_noise_variance(&sy) * (n as f64).ln() * 2.0;
+        bic.max(64.0 * f64::EPSILON * syy)
     });
 
     let kmax = config.max_breaks + 1; // max segments
-    // cost[j][k] = min penalized SSE of fitting y[0..j] with exactly k segments.
-    // back[j][k] = split index i for the last segment y[i..j].
+                                      // cost[j][k] = min penalized SSE of fitting y[0..j] with exactly k segments.
+                                      // back[j][k] = split index i for the last segment y[i..j].
     let inf = f64::INFINITY;
     let mut cost = vec![vec![inf; kmax + 1]; n + 1];
     let mut back = vec![vec![0usize; kmax + 1]; n + 1];
     cost[0][0] = 0.0;
 
-    // Precompute stretch SSE lazily via memo to avoid O(n²) ols calls with
-    // redundant slicing cost — for our data sizes a direct double loop is
-    // fine, but memoize anyway since segment() runs inside analysis loops.
-    let mut memo = std::collections::HashMap::new();
-    let mut sse_of = |i: usize, j: usize| -> f64 {
-        *memo.entry((i, j)).or_insert_with(|| stretch_sse(&sx, &sy, i, j))
-    };
+    // Prefix-sum least squares: every candidate stretch's SSE in O(1)
+    // after an O(n) build, instead of an O(j − i) OLS refit per
+    // candidate. This is what makes the free search viable on
+    // Figure-4-sized campaigns (the DP below touches O(n²·k) stretches).
+    let prefix = PrefixOls::new(&sx, &sy);
+    let sse_of = |i: usize, j: usize| -> f64 { prefix.sse(i, j) };
 
     #[allow(clippy::needless_range_loop)] // cost[j][k] and cost[i][k-1] both indexed
     for k in 1..=kmax {
@@ -165,8 +160,7 @@ pub fn segment(x: &[f64], y: &[f64], config: &SegmentConfig) -> Result<Segmentat
     splits.sort_unstable();
 
     // Convert split indices to x-breakpoints at midpoints.
-    let breakpoints: Vec<f64> =
-        splits.iter().map(|&i| (sx[i - 1] + sx[i]) / 2.0).collect();
+    let breakpoints: Vec<f64> = splits.iter().map(|&i| (sx[i - 1] + sx[i]) / 2.0).collect();
 
     let model = PiecewiseLinear::fit(&sx, &sy, &breakpoints)?;
     let sse = model.sse();

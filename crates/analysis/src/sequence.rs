@@ -30,10 +30,7 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64> {
     if denom == 0.0 {
         return Ok(0.0);
     }
-    let num: f64 = xs
-        .windows(lag + 1)
-        .map(|w| (w[0] - mean) * (w[lag] - mean))
-        .sum();
+    let num: f64 = xs.windows(lag + 1).map(|w| (w[0] - mean) * (w[lag] - mean)).sum();
     Ok(num / denom)
 }
 

@@ -6,6 +6,7 @@ use charm_analysis::histogram::{BinRule, Histogram};
 use charm_analysis::modes;
 use charm_analysis::outliers::{self, Rule};
 use charm_analysis::piecewise::PiecewiseLinear;
+use charm_analysis::prefix::{naive_stretch_sse, PrefixOls};
 use charm_analysis::regression;
 use proptest::prelude::*;
 
@@ -164,6 +165,38 @@ proptest! {
         if let (Ok(a), Ok(b)) = (s1, s2) {
             let scale = 1.0 + a.threshold.abs() + c.abs();
             prop_assert!((a.threshold + c - b.threshold).abs() <= 1e-6 * scale);
+        }
+    }
+
+    #[test]
+    fn prefix_sse_matches_naive_refit(
+        n in 16usize..64,
+        slope in 1.0e-3..0.1f64,
+        intercept in 0.0..500.0f64,
+        noise in prop::collection::vec(-20.0..20.0f64, 64),
+    ) {
+        // Benchmark-scale stretch: geometric message sizes (bytes) and a
+        // linear cost model (µs, ~ns/byte slopes) with bounded noise —
+        // the regime segment() runs in. Stretches of ≥ 8 points keep the
+        // noise-dominated SSE well above the conditioning floor of the
+        // moment formula; 2-point stretches are an exact-zero fast path
+        // covered by the unit tests.
+        let x: Vec<f64> = (0..n).map(|i| 8.0 * (1.12f64).powi(i as i32)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .zip(&noise)
+            .map(|(&v, &e)| intercept + slope * v + e)
+            .collect();
+        let prefix = PrefixOls::new(&x, &y);
+        for i in (0..n).step_by(3) {
+            for j in ((i + 8)..=n).step_by(5) {
+                let fast = prefix.sse(i, j);
+                let slow = naive_stretch_sse(&x, &y, i, j);
+                prop_assert!(
+                    (fast - slow).abs() <= 1e-9 * slow.max(1.0),
+                    "stretch [{}, {}): prefix {} vs naive {}", i, j, fast, slow
+                );
+            }
         }
     }
 }

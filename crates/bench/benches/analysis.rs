@@ -57,9 +57,8 @@ fn loess(c: &mut Criterion) {
 }
 
 fn modes(c: &mut Criterion) {
-    let vals: Vec<f64> = (0..2000)
-        .map(|i| if i % 5 == 0 { 300.0 } else { 1500.0 } + (i % 13) as f64)
-        .collect();
+    let vals: Vec<f64> =
+        (0..2000).map(|i| if i % 5 == 0 { 300.0 } else { 1500.0 } + (i % 13) as f64).collect();
     c.bench_function("two_means_2k", |b| {
         b.iter(|| black_box(charm_analysis::modes::two_means(&vals).unwrap()))
     });

@@ -29,8 +29,7 @@ fn main() {
     let mut rows = Vec::new();
     println!("cross-run median bandwidth at 24 KiB (the conflict-prone zone), 8 runs:");
     for alloc in [AllocPolicy::MallocPerSize, AllocPolicy::PooledRandomOffset] {
-        let medians: Vec<f64> =
-            (0..8).map(|i| median_bw(alloc, base + i, 24, 30)).collect();
+        let medians: Vec<f64> = (0..8).map(|i| median_bw(alloc, base + i, 24, 30)).collect();
         let max = medians.iter().cloned().fold(f64::MIN, f64::max);
         let min = medians.iter().cloned().fold(f64::MAX, f64::min);
         println!(

@@ -32,8 +32,16 @@ fn main() {
     let csv = charm_core::experiments::plot::csv(
         &["fit", "breaks", "sse"],
         &[
-            vec!["forced_1".into(), format!("{:?}", forced.breakpoints).replace(',', ";"), forced.sse.to_string()],
-            vec!["free".into(), format!("{:?}", free.breakpoints).replace(',', ";"), free.sse.to_string()],
+            vec![
+                "forced_1".into(),
+                format!("{:?}", forced.breakpoints).replace(',', ";"),
+                forced.sse.to_string(),
+            ],
+            vec![
+                "free".into(),
+                format!("{:?}", free.breakpoints).replace(',', ";"),
+                free.sse.to_string(),
+            ],
         ],
     );
     charm_bench::write_artifact("ablation_breakpoints.csv", &csv);

@@ -39,7 +39,8 @@ fn main() {
 
     // 2. the neighbour probe finds the planted anomaly
     let mut sim = platform();
-    let found = pitfalls::probe_size_bias(&mut sim, &sampling::power_of_two_sizes(12, false), 15, 0.1);
+    let found =
+        pitfalls::probe_size_bias(&mut sim, &sampling::power_of_two_sizes(12, false), 15, 0.1);
     println!("neighbour-probe over the power-of-two grid flags:");
     for p in &found {
         println!(

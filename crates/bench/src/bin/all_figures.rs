@@ -1,7 +1,22 @@
 //! Regenerates every table and figure in one go (the EXPERIMENTS.md
 //! refresh path).
+//!
+//! `--shards N` pins the shard count the shard-invariant experiments
+//! (fig04, fig09) use, instead of `Study::auto_shards`' plan-size and
+//! core-count heuristic. The time-dependent experiments always run
+//! sequentially regardless.
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--shards") {
+        match args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => std::env::set_var("CHARM_SHARDS", n.to_string()),
+            _ => {
+                eprintln!("--shards needs a positive integer");
+                std::process::exit(1);
+            }
+        }
+    }
     let seed = charm_bench::default_seed();
     println!("== table05 ==");
     let t = charm_core::experiments::table05::run();

@@ -1,0 +1,252 @@
+//! One-shot wall-clock comparison of the sequential vs sharded campaign
+//! engine and of the refit-DP vs prefix-sum segmentation search, written
+//! to `results/BENCH_campaign.json` (the machine-readable counterpart of
+//! `cargo bench -p charm-bench --bench campaign`).
+//!
+//! ```text
+//! bench_campaign_summary [rows] [segment_points]
+//! ```
+//!
+//! Defaults: 6000 campaign rows, 6000 segmentation points. The refit DP
+//! is timed a single time — at 6000 points it is O(n³) and needs tens of
+//! seconds, which is exactly the point.
+
+use charm_analysis::prefix::naive_stretch_sse;
+use charm_analysis::segmented::{segment, SegmentConfig};
+use charm_design::doe::FullFactorial;
+use charm_design::plan::ExperimentPlan;
+use charm_design::{sampling, Factor};
+use charm_engine::record::Campaign;
+use charm_engine::target::{MemoryTarget, NetworkTarget, ParallelTarget};
+use charm_engine::{run_campaign, run_campaign_parallel};
+use charm_simmem::dvfs::GovernorPolicy;
+use charm_simmem::machine::{CpuSpec, MachineSim};
+use charm_simmem::paging::AllocPolicy;
+use charm_simmem::sched::SchedPolicy;
+use charm_simnet::presets;
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn network_plan(rows_target: usize, seed: u64) -> ExperimentPlan {
+    // 3 ops × 40 unique sizes × replicates ≈ rows_target rows
+    let reps = (rows_target / 120).max(1) as u32;
+    let sizes: Vec<i64> = sampling::log_uniform_sizes_unique(8, 1 << 22, 40, seed)
+        .into_iter()
+        .map(|s| s as i64)
+        .collect();
+    let mut plan = FullFactorial::new()
+        .factor(Factor::new("op", vec!["async_send", "blocking_recv", "ping_pong"]))
+        .factor(Factor::new("size", sizes))
+        .replicates(reps)
+        .build()
+        .unwrap();
+    plan.shuffle(seed);
+    plan
+}
+
+/// Best-of-3 wall-clock seconds.
+fn best_of_3<F: FnMut()>(mut f: F) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn piecewise_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            let f = x / n as f64;
+            let base = if f < 0.3 {
+                2.0 * x
+            } else if f < 0.7 {
+                0.6 * n as f64 + 0.5 * x
+            } else {
+                0.25 * n as f64 + x
+            };
+            base + ((x * 12.9898).sin() * 43758.5453).fract() * 8.0
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// The pre-optimization DP (O(j − i) refit per candidate, memoized).
+fn refit_dp(x: &[f64], y: &[f64], config: &SegmentConfig) -> Vec<f64> {
+    let n = x.len();
+    let m = config.min_points_per_segment.max(2);
+    let penalty = config.penalty.expect("explicit penalty");
+    let kmax = config.max_breaks + 1;
+    let inf = f64::INFINITY;
+    let mut memo: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut sse_of =
+        |i: usize, j: usize| *memo.entry((i, j)).or_insert_with(|| naive_stretch_sse(x, y, i, j));
+    let mut cost = vec![vec![inf; kmax + 1]; n + 1];
+    let mut back = vec![vec![0usize; kmax + 1]; n + 1];
+    cost[0][0] = 0.0;
+    for k in 1..=kmax {
+        for j in (k * m)..=n {
+            for i in ((k - 1) * m)..=(j - m) {
+                if cost[i][k - 1] == inf {
+                    continue;
+                }
+                let c = cost[i][k - 1] + sse_of(i, j);
+                if c < cost[j][k] {
+                    cost[j][k] = c;
+                    back[j][k] = i;
+                }
+            }
+        }
+    }
+    let mut best_k = 1;
+    let mut best_score = inf;
+    for (k, row) in cost[n].iter().enumerate().take(kmax + 1).skip(1) {
+        let score = row + penalty * k as f64;
+        if score < best_score {
+            best_score = score;
+            best_k = k;
+        }
+    }
+    let mut splits = Vec::new();
+    let mut j = n;
+    for k in (1..=best_k).rev() {
+        let i = back[j][k];
+        if i > 0 {
+            splits.push(i);
+        }
+        j = i;
+    }
+    splits.sort_unstable();
+    splits.iter().map(|&i| (x[i - 1] + x[i]) / 2.0).collect()
+}
+
+/// A Figure-6-shaped memory campaign: buffer sizes crossing every cache
+/// level, fixed stride/nloops. Per-row cost is dominated by the
+/// physical-placement resolve, the campaign shape where sharding pays.
+fn memory_plan(rows_target: usize, seed: u64) -> ExperimentPlan {
+    let reps = (rows_target / 25).max(1) as u32;
+    let sizes: Vec<i64> = sampling::log_uniform_sizes_unique(16 * 1024, 16 << 20, 25, seed)
+        .into_iter()
+        .map(|s| s as i64)
+        .collect();
+    let mut plan = FullFactorial::new()
+        .factor(Factor::new("size_bytes", sizes))
+        .factor(Factor::new("stride", vec![2i64]))
+        .factor(Factor::new("nloops", vec![100i64]))
+        .replicates(reps)
+        .build()
+        .unwrap();
+    plan.shuffle(seed);
+    plan
+}
+
+/// Times the sequential runner and 1/2/4/8 shards on `base`, checking
+/// every parallel run reproduces the sequential records. Returns
+/// `(sequential_s, parallel_s per shard count)`.
+fn time_campaign<T: ParallelTarget>(
+    label: &str,
+    plan: &ExperimentPlan,
+    base: &T,
+    shard_counts: &[usize],
+) -> (f64, Vec<f64>) {
+    println!("campaign: {} rows on {label}", plan.len());
+    let reference: Campaign = {
+        let mut t = base.fork(base.stream_seed());
+        run_campaign(plan, &mut t, Some(base.stream_seed())).unwrap()
+    };
+    let sequential_s = best_of_3(|| {
+        let mut t = base.fork(base.stream_seed());
+        let c = run_campaign(plan, &mut t, Some(base.stream_seed())).unwrap();
+        assert_eq!(c.records.len(), plan.len());
+    });
+    println!("  sequential          {:>8.1} ms", sequential_s * 1e3);
+    let mut parallel_s = Vec::new();
+    for &k in shard_counts {
+        let s = best_of_3(|| {
+            let c = run_campaign_parallel(plan, base, k, Some(base.stream_seed())).unwrap();
+            // determinism spot-check against the sequential reference
+            assert!(c
+                .records
+                .iter()
+                .zip(&reference.records)
+                .all(|(a, b)| a.value == b.value && a.levels == b.levels));
+        });
+        println!("  parallel {k} shard(s) {:>8.1} ms  ({:.2}x)", s * 1e3, sequential_s / s);
+        parallel_s.push(s);
+    }
+    (sequential_s, parallel_s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let points: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let seed = charm_bench::default_seed();
+    let shard_counts = [1usize, 2, 4, 8];
+
+    let net_plan = network_plan(rows, seed);
+    let net_base = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
+    let (net_seq_s, net_par_s) = time_campaign("taurus", &net_plan, &net_base, &shard_counts);
+
+    let mem_plan = memory_plan(rows, seed);
+    let mem_base = MemoryTarget::new(
+        "opteron",
+        MachineSim::new(
+            CpuSpec::opteron(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::PooledRandomOffset,
+            seed,
+        ),
+    );
+    let (mem_seq_s, mem_par_s) = time_campaign("opteron", &mem_plan, &mem_base, &shard_counts);
+
+    // --- segmentation search ---
+    let config = SegmentConfig { max_breaks: 4, min_points_per_segment: 5, penalty: Some(500.0) };
+    let (xs, ys) = piecewise_data(points);
+    println!("segment: {points} points");
+
+    let prefix_s = best_of_3(|| {
+        segment(&xs, &ys, &config).unwrap();
+    });
+    println!("  prefix DP           {:>8.1} ms", prefix_s * 1e3);
+
+    let t = Instant::now();
+    let old_breaks = refit_dp(&xs, &ys, &config);
+    let refit_s = t.elapsed().as_secs_f64();
+    println!(
+        "  refit DP (1 run)    {:>8.1} ms  ({:.1}x slower)",
+        refit_s * 1e3,
+        refit_s / prefix_s
+    );
+    assert_eq!(old_breaks, segment(&xs, &ys, &config).unwrap().breakpoints);
+
+    let shard_map = |times: &[f64]| {
+        shard_counts
+            .iter()
+            .zip(times)
+            .map(|(k, s)| format!("      \"{k}\": {s:.6}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let json = format!(
+        "{{\n  \"cores\": {},\n  \"network_campaign\": {{\n    \"rows\": {},\n    \"sequential_s\": {:.6},\n    \"parallel_s\": {{\n{}\n    }},\n    \"speedup_4_shards\": {:.2}\n  }},\n  \"memory_campaign\": {{\n    \"rows\": {},\n    \"sequential_s\": {:.6},\n    \"parallel_s\": {{\n{}\n    }},\n    \"speedup_4_shards\": {:.2}\n  }},\n  \"segment\": {{\n    \"points\": {},\n    \"refit_dp_s\": {:.6},\n    \"prefix_dp_s\": {:.6},\n    \"speedup\": {:.1}\n  }}\n}}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        net_plan.len(),
+        net_seq_s,
+        shard_map(&net_par_s),
+        net_seq_s / net_par_s[2],
+        mem_plan.len(),
+        mem_seq_s,
+        shard_map(&mem_par_s),
+        mem_seq_s / mem_par_s[2],
+        points,
+        refit_s,
+        prefix_s,
+        refit_s / prefix_s,
+    );
+    charm_bench::write_artifact("BENCH_campaign.json", &json);
+}

@@ -32,7 +32,10 @@ fn main() {
         );
         println!("[{label}]");
         for r in &rows {
-            println!("  {} threads: {:>9.0} ± {:>6.0} MB/s", r.threads, r.cell.mean, r.cell.std_dev);
+            println!(
+                "  {} threads: {:>9.0} ± {:>6.0} MB/s",
+                r.threads, r.cell.mean, r.cell.std_dev
+            );
             rows_out.push(vec![
                 label.to_string(),
                 r.threads.to_string(),

@@ -2,7 +2,7 @@
 //! of the simulated platforms, and write the raw campaign CSV.
 //!
 //! ```text
-//! run_campaign <plan.dsl> <platform> [seed]
+//! run_campaign <plan.dsl> <platform> [seed] [--shards N]
 //!
 //! platforms: taurus | myrinet | openmpi |
 //!            opteron | pentium4 | i7 | arm
@@ -10,9 +10,17 @@
 //!
 //! Network plans need factors `op` and `size`; memory plans need
 //! `size_bytes` (plus optional `stride`, `width`, `unroll`, `nloops`).
+//!
+//! `--shards N` fans the campaign out over N forks of the target (all
+//! platforms offered here are shard-invariant, so the records are
+//! identical to a sequential run — see DESIGN.md on the determinism
+//! contract). The default is [`Study::auto_shards`]: sequential below
+//! the row threshold, one shard per core above it.
 
+use charm_core::pipeline::Study;
 use charm_design::dsl;
-use charm_engine::target::{MemoryTarget, NetworkTarget, Target};
+use charm_engine::run_campaign_parallel;
+use charm_engine::target::{MemoryTarget, NetworkTarget};
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
@@ -30,14 +38,39 @@ fn machine(spec: CpuSpec, seed: u64) -> MachineSim {
     )
 }
 
+/// Concrete target dispatch: the parallel runner forks the target, which
+/// needs the concrete type (`ParallelTarget` is not object-safe).
+enum Platform {
+    Net(NetworkTarget),
+    Mem(Box<MemoryTarget>),
+}
+
+fn mem(name: &str, spec: CpuSpec, seed: u64) -> Platform {
+    Platform::Mem(Box::new(MemoryTarget::new(name, machine(spec, seed))))
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let mut shards: Option<usize> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--shards") {
+        match args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => {
+                shards = Some(n);
+                args.drain(pos..=pos + 1);
+            }
+            _ => {
+                eprintln!("--shards needs a positive integer");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if args.len() < 3 {
-        eprintln!("usage: run_campaign <plan.dsl> <platform> [seed]");
+        eprintln!("usage: run_campaign <plan.dsl> <platform> [seed] [--shards N]");
         eprintln!("platforms: taurus myrinet openmpi opteron pentium4 i7 arm");
         return ExitCode::FAILURE;
     }
-    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or_else(charm_bench::default_seed);
+    let seed: u64 =
+        args.get(3).and_then(|s| s.parse().ok()).unwrap_or_else(charm_bench::default_seed);
 
     let text = match std::fs::read_to_string(&args[1]) {
         Ok(t) => t,
@@ -53,23 +86,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("compiled plan: {} rows, factors {:?}", plan.len(), plan.factor_names());
+    let shards = shards.unwrap_or_else(|| Study::auto_shards(plan.len()));
+    println!(
+        "compiled plan: {} rows, factors {:?}, {} shard(s)",
+        plan.len(),
+        plan.factor_names(),
+        shards
+    );
 
-    let mut target: Box<dyn Target> = match args[2].as_str() {
-        "taurus" => Box::new(NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed))),
-        "myrinet" => Box::new(NetworkTarget::new("myrinet", presets::myrinet_gm(seed))),
-        "openmpi" => Box::new(NetworkTarget::new("openmpi", presets::openmpi_fig3(seed))),
-        "opteron" => Box::new(MemoryTarget::new("opteron", machine(CpuSpec::opteron(), seed))),
-        "pentium4" => Box::new(MemoryTarget::new("pentium4", machine(CpuSpec::pentium4(), seed))),
-        "i7" => Box::new(MemoryTarget::new("i7", machine(CpuSpec::core_i7_2600(), seed))),
-        "arm" => Box::new(MemoryTarget::new("arm", machine(CpuSpec::arm_snowball(), seed))),
+    let platform = match args[2].as_str() {
+        "taurus" => Platform::Net(NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed))),
+        "myrinet" => Platform::Net(NetworkTarget::new("myrinet", presets::myrinet_gm(seed))),
+        "openmpi" => Platform::Net(NetworkTarget::new("openmpi", presets::openmpi_fig3(seed))),
+        "opteron" => mem("opteron", CpuSpec::opteron(), seed),
+        "pentium4" => mem("pentium4", CpuSpec::pentium4(), seed),
+        "i7" => mem("i7", CpuSpec::core_i7_2600(), seed),
+        "arm" => mem("arm", CpuSpec::arm_snowball(), seed),
         other => {
             eprintln!("unknown platform {other:?}");
             return ExitCode::FAILURE;
         }
     };
 
-    match charm_engine::run_campaign(&plan, target.as_mut(), None) {
+    let result = match &platform {
+        Platform::Net(t) => run_campaign_parallel(&plan, t, shards, None),
+        Platform::Mem(t) => run_campaign_parallel(&plan, t.as_ref(), shards, None),
+    };
+    match result {
         Ok(campaign) => {
             let name = format!("campaign_{}.csv", args[2]);
             charm_bench::write_artifact(&name, &campaign.to_csv());

@@ -16,20 +16,18 @@ use std::path::{Path, PathBuf};
 /// Resolves the `results/` directory (created on demand) next to the
 /// workspace root, honouring `CHARM_RESULTS_DIR` when set.
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("CHARM_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| {
-            // walk up from the executable's cwd to find the workspace root
-            let mut p = std::env::current_dir().expect("cwd");
-            loop {
-                if p.join("Cargo.toml").exists() && p.join("crates").exists() {
-                    return p.join("results");
-                }
-                if !p.pop() {
-                    return PathBuf::from("results");
-                }
+    let dir = std::env::var("CHARM_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+        // walk up from the executable's cwd to find the workspace root
+        let mut p = std::env::current_dir().expect("cwd");
+        loop {
+            if p.join("Cargo.toml").exists() && p.join("crates").exists() {
+                return p.join("results");
             }
-        });
+            if !p.pop() {
+                return PathBuf::from("results");
+            }
+        }
+    });
     fs::create_dir_all(&dir).expect("create results dir");
     dir
 }

@@ -106,11 +106,8 @@ pub fn convolve(app: &AppSignature, machine: &MachineSignature) -> Prediction {
         .iter()
         .map(|b| b.repeat as f64 * machine.memory.predict_us(b.bytes_touched, b.working_set_bytes))
         .sum();
-    let network_us: f64 = app
-        .comm
-        .iter()
-        .map(|e| e.repeat as f64 * machine.network.predict(e.op, e.size))
-        .sum();
+    let network_us: f64 =
+        app.comm.iter().map(|e| e.repeat as f64 * machine.network.predict(e.op, e.size)).sum();
     Prediction { memory_us, network_us }
 }
 
@@ -137,10 +134,8 @@ mod tests {
     }
 
     fn taurus_model() -> NetworkModel {
-        let sizes: Vec<i64> = sampling::log_uniform_sizes(8, 1 << 20, 50, 1)
-            .into_iter()
-            .map(|s| s as i64)
-            .collect();
+        let sizes: Vec<i64> =
+            sampling::log_uniform_sizes(8, 1 << 20, 50, 1).into_iter().map(|s| s as i64).collect();
         let mut plan = FullFactorial::new()
             .factor(Factor::new("op", vec!["async_send", "blocking_recv", "ping_pong"]))
             .factor(Factor::new("size", sizes))
@@ -196,14 +191,9 @@ mod tests {
         let machine = MachineSignature { memory: toy_memory(), network: taurus_model() };
         let sim = presets::taurus_openmpi_tcp(0);
         let sizes = [1000u64, 20_000, 60_000, 300_000];
-        let app = sizes.iter().fold(AppSignature::new(), |a, &s| {
-            a.message(NetOp::PingPong, s, 2)
-        });
+        let app = sizes.iter().fold(AppSignature::new(), |a, &s| a.message(NetOp::PingPong, s, 2));
         let predicted = convolve(&app, &machine).network_us;
-        let truth: f64 = sizes
-            .iter()
-            .map(|&s| 2.0 * sim.true_time(NetOp::PingPong, s))
-            .sum();
+        let truth: f64 = sizes.iter().map(|&s| 2.0 * sim.true_time(NetOp::PingPong, s)).sum();
         let rel = (predicted - truth).abs() / truth;
         assert!(rel < 0.1, "convolved {predicted} vs truth {truth}");
     }

@@ -156,9 +156,19 @@ mod tests {
     #[test]
     fn catalog_covers_every_paper_figure() {
         let ids: Vec<&str> = catalog().iter().map(|e| e.id).collect();
-        for required in
-            ["fig03", "fig04", "table05", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "convolution"]
-        {
+        for required in [
+            "fig03",
+            "fig04",
+            "table05",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "convolution",
+        ] {
             assert!(ids.contains(&required), "missing {required}");
         }
     }

@@ -53,10 +53,8 @@ pub struct ConvolutionStudy {
 
 /// Instantiates the white-box network model (the §V-A procedure).
 fn whitebox_model(seed: u64) -> NetworkModel {
-    let sizes: Vec<i64> = sampling::log_uniform_sizes(8, 1 << 21, 80, seed)
-        .into_iter()
-        .map(|s| s as i64)
-        .collect();
+    let sizes: Vec<i64> =
+        sampling::log_uniform_sizes(8, 1 << 21, 80, seed).into_iter().map(|s| s as i64).collect();
     let mut plan = FullFactorial::new()
         .factor(Factor::new("op", vec!["async_send", "blocking_recv", "ping_pong"]))
         .factor(Factor::new("size", sizes))
@@ -100,15 +98,19 @@ pub fn applications() -> Vec<(String, AppSignature)> {
     vec![
         (
             "halo-exchange (many small)".into(),
-            AppSignature::new()
-                .message(NetOp::PingPong, 700, 400)
-                .message(NetOp::AsyncSend, 1500, 400),
+            AppSignature::new().message(NetOp::PingPong, 700, 400).message(
+                NetOp::AsyncSend,
+                1500,
+                400,
+            ),
         ),
         (
             "pipeline (medium, detached band)".into(),
-            AppSignature::new()
-                .message(NetOp::PingPong, 50_000, 60)
-                .message(NetOp::BlockingRecv, 80_000, 60),
+            AppSignature::new().message(NetOp::PingPong, 50_000, 60).message(
+                NetOp::BlockingRecv,
+                80_000,
+                60,
+            ),
         ),
         (
             "bulk-io (large, rendez-vous)".into(),
@@ -126,10 +128,7 @@ pub fn applications() -> Vec<(String, AppSignature)> {
 
 /// Ground truth: the substrate's deterministic times.
 fn truth(sim: &NetworkSim, app: &AppSignature) -> f64 {
-    app.comm
-        .iter()
-        .map(|e| e.repeat as f64 * sim.true_time(e.op, e.size))
-        .sum()
+    app.comm.iter().map(|e| e.repeat as f64 * sim.true_time(e.op, e.size)).sum()
 }
 
 /// Runs the study.
@@ -199,13 +198,9 @@ mod tests {
     #[test]
     fn whitebox_beats_opaque_overall() {
         let study = run(1);
-        let wb: f64 =
-            study.results.iter().map(AppResult::whitebox_error).sum::<f64>() / 4.0;
+        let wb: f64 = study.results.iter().map(AppResult::whitebox_error).sum::<f64>() / 4.0;
         let op: f64 = study.results.iter().map(AppResult::opaque_error).sum::<f64>() / 4.0;
-        assert!(
-            wb < op,
-            "white-box mean error {wb} should beat opaque {op}"
-        );
+        assert!(wb < op, "white-box mean error {wb} should beat opaque {op}");
         assert!(wb < 0.10, "white-box error should be small: {wb}");
     }
 
@@ -213,12 +208,7 @@ mod tests {
     fn whitebox_accurate_on_every_app() {
         let study = run(2);
         for r in &study.results {
-            assert!(
-                r.whitebox_error() < 0.15,
-                "{}: white-box err {}",
-                r.app,
-                r.whitebox_error()
-            );
+            assert!(r.whitebox_error() < 0.15, "{}: white-box err {}", r.app, r.whitebox_error());
         }
     }
 
@@ -226,11 +216,7 @@ mod tests {
     fn opaque_worst_where_regimes_matter() {
         let study = run(3);
         let by_name = |needle: &str| {
-            study
-                .results
-                .iter()
-                .find(|r| r.app.contains(needle))
-                .expect("app present")
+            study.results.iter().find(|r| r.app.contains(needle)).expect("app present")
         };
         // the medium-size app straddles the detached regime the
         // single-segment fit cannot represent

@@ -70,9 +70,7 @@ pub fn run(seed: u64) -> Fig03 {
 
     let xs: Vec<f64> = openmpi_rtt.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = openmpi_rtt.iter().map(|p| p.1).collect();
-    let forced = segment_with_k_breaks(&xs, &ys, 1, 5)
-        .map(|s| s.breakpoints)
-        .unwrap_or_default();
+    let forced = segment_with_k_breaks(&xs, &ys, 1, 5).map(|s| s.breakpoints).unwrap_or_default();
     let free = segment(
         &xs,
         &ys,
@@ -99,12 +97,8 @@ impl Fig03 {
     /// Terminal rendering: the scatter plus the breakpoint comparison.
     pub fn report(&self) -> String {
         let glyphs = ['o', '.', 'x', ','];
-        let views: Vec<(&[(f64, f64)], char)> = self
-            .series
-            .iter()
-            .zip(glyphs)
-            .map(|(s, g)| (s.points.as_slice(), g))
-            .collect();
+        let views: Vec<(&[(f64, f64)], char)> =
+            self.series.iter().zip(glyphs).map(|(s, g)| (s.points.as_slice(), g)).collect();
         let mut out = String::from("Figure 3 — time vs message size (o=OpenMPI rtt, .=OpenMPI o, x=Myrinet rtt, ,=Myrinet o)\n");
         out.push_str(&super::plot::scatter(&views, 70, 18));
         out.push_str(&format!(

@@ -50,7 +50,9 @@ pub struct Fig04 {
 /// Runs the experiment: `n_sizes` log-uniform sizes × `reps` replicates
 /// of the three operations on the Taurus preset.
 pub fn run(seed: u64, n_sizes: usize, reps: u32) -> Fig04 {
-    let sizes: Vec<i64> = sampling::log_uniform_sizes(8, 1 << 22, n_sizes, seed)
+    // Unique sizes: duplicate draws would silently merge design cells
+    // (two identical factor levels -> double-size groups downstream).
+    let sizes: Vec<i64> = sampling::log_uniform_sizes_unique(8, 1 << 22, n_sizes, seed)
         .into_iter()
         .map(|s| s as i64)
         .collect();
@@ -60,9 +62,12 @@ pub fn run(seed: u64, n_sizes: usize, reps: u32) -> Fig04 {
         .replicates(reps)
         .build()
         .expect("static plan");
-    let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
-    let campaign =
-        Study::new(plan).randomized(seed).run(&mut target).expect("simulated target");
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
+    let study = Study::new(plan).randomized(seed);
+    // Sharded above the threshold (the full figure is 3 ops × 2000 sizes
+    // × reps); shard count cannot change the retained data.
+    let shards = Study::auto_shards(study.plan().len());
+    let campaign = study.run_sharded(&target, shards).expect("simulated target");
 
     let breakpoints = vec![32 * 1024u64, 128 * 1024];
     let model = NetworkModel::fit(&campaign, &breakpoints).expect("fit");
@@ -131,7 +136,8 @@ impl Fig04 {
 
     /// Terminal report: three panels + the variability table.
     pub fn report(&self) -> String {
-        let mut out = String::from("Figure 4 — Taurus network modeling (randomized log-uniform sizes)\n");
+        let mut out =
+            String::from("Figure 4 — Taurus network modeling (randomized log-uniform sizes)\n");
         for op in ["async_send", "blocking_recv", "ping_pong"] {
             let sub = self.campaign.filtered("op", |l| l.as_text() == Some(op));
             let (xs, ys) = sub.paired("size").expect("numeric size");

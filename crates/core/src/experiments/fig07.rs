@@ -89,7 +89,8 @@ impl Fig07 {
 
     /// Terminal report with plateau summary.
     pub fn report(&self) -> String {
-        let mut out = String::from("Figure 7 — MultiMAPS on the Opteron (2=stride2, 4=stride4, 8=stride8)\n");
+        let mut out =
+            String::from("Figure 7 — MultiMAPS on the Opteron (2=stride2, 4=stride4, 8=stride8)\n");
         let per_stride: Vec<(Vec<(f64, f64)>, char)> = [2u64, 4, 8]
             .iter()
             .zip(['2', '4', '8'])

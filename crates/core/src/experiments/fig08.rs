@@ -63,8 +63,7 @@ pub fn run(seed: u64, reps: u32) -> Fig08 {
             trends.push((stride, eval.iter().copied().zip(sm).collect()));
         }
         let mean = ys.iter().sum::<f64>() / ys.len() as f64;
-        let sd =
-            (ys.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / ys.len() as f64).sqrt();
+        let sd = (ys.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / ys.len() as f64).sqrt();
         cv_per_stride.push((stride, sd / mean));
     }
     Fig08 { campaign, trends, cv_per_stride }
@@ -130,9 +129,7 @@ mod tests {
         let trend_at_8k: Vec<f64> = fig
             .trends
             .iter()
-            .map(|(_, pts)| {
-                pts.iter().find(|&&(x, _)| x == 8.0 * 1024.0).map(|&(_, y)| y).unwrap()
-            })
+            .map(|(_, pts)| pts.iter().find(|&&(x, _)| x == 8.0 * 1024.0).map(|&(_, y)| y).unwrap())
             .collect();
         let max = trend_at_8k.iter().cloned().fold(f64::MIN, f64::max);
         let min = trend_at_8k.iter().cloned().fold(f64::MAX, f64::min);

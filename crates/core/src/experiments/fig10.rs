@@ -63,8 +63,7 @@ pub fn run(seed: u64, reps: u32) -> Fig10 {
     let facets = NLOOPS_FACETS
         .iter()
         .map(|&nl| {
-            let vals =
-                campaign.filtered("nloops", |l| l.as_int() == Some(nl)).values();
+            let vals = campaign.filtered("nloops", |l| l.as_int() == Some(nl)).values();
             let median = descriptive::median(&vals).unwrap_or(0.0);
             let cv = descriptive::coeff_of_variation(&vals).unwrap_or(0.0);
             NloopsFacet { nloops: nl, median_mbps: median, cv }
@@ -86,7 +85,8 @@ impl Fig10 {
 
     /// Terminal report: per-facet scatter.
     pub fn report(&self) -> String {
-        let mut out = String::from("Figure 10 — ondemand governor: bandwidth vs size, faceted by nloops\n");
+        let mut out =
+            String::from("Figure 10 — ondemand governor: bandwidth vs size, faceted by nloops\n");
         for f in &self.facets {
             let sub = self.campaign.filtered("nloops", |l| l.as_int() == Some(f.nloops));
             let (xs, ys) = sub.paired("size_bytes").expect("numeric");

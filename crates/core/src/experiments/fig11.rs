@@ -91,12 +91,8 @@ impl Fig11 {
         let left: Vec<(f64, f64)> = xs.into_iter().zip(ys.iter().copied()).collect();
         out.push_str("\n[left: bandwidth vs buffer size]\n");
         out.push_str(&super::plot::scatter(&[(&left, '·')], 64, 12));
-        let right: Vec<(f64, f64)> = self
-            .campaign
-            .records
-            .iter()
-            .map(|r| (r.sequence as f64, r.value))
-            .collect();
+        let right: Vec<(f64, f64)> =
+            self.campaign.records.iter().map(|r| (r.sequence as f64, r.value)).collect();
         out.push_str("\n[right: the same data vs sequence order]\n");
         out.push_str(&super::plot::scatter(&[(&right, '·')], 64, 12));
         out.push_str(&format!(
@@ -106,10 +102,7 @@ impl Fig11 {
         ));
         out.push_str(&format!(
             "temporal windows detected in sequence order: {:?}\n",
-            self.anomalies
-                .iter()
-                .map(|a| (a.from_seq, a.to_seq))
-                .collect::<Vec<_>>()
+            self.anomalies.iter().map(|a| (a.from_seq, a.to_seq)).collect::<Vec<_>>()
         ));
         out.push_str("mean and variance alone would have hidden all of this\n");
         out
@@ -128,10 +121,7 @@ mod tests {
         let figs: Vec<Fig11> = (0..4).map(|s| run(100 + s)).collect();
         let mean_frac: f64 =
             figs.iter().map(|f| f.slow_fraction()).sum::<f64>() / figs.len() as f64;
-        assert!(
-            (0.08..=0.40).contains(&mean_frac),
-            "mean slow fraction {mean_frac} implausible"
-        );
+        assert!((0.08..=0.40).contains(&mean_frac), "mean slow fraction {mean_frac} implausible");
         let any_ratio_ok = figs.iter().any(|f| (3.0..=7.0).contains(&f.mode_ratio()));
         assert!(any_ratio_ok, "no campaign shows the ~5x mode ratio");
     }

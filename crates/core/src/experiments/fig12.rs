@@ -54,17 +54,13 @@ fn analyze_run(seed: u64, campaign: Campaign) -> Run {
     let mut boxplots: Vec<(u64, Summary)> = campaign
         .group_by(&["size_bytes"])
         .into_iter()
-        .filter_map(|(key, values)| {
-            Some((key[0].as_int()? as u64, Summary::of(&values).ok()?))
-        })
+        .filter_map(|(key, values)| Some((key[0].as_int()? as u64, Summary::of(&values).ok()?)))
         .collect();
     boxplots.sort_by_key(|&(s, _)| s);
 
     let reference = boxplots.first().map(|(_, s)| s.median).unwrap_or(1.0);
-    let drop_point_bytes = boxplots
-        .iter()
-        .find(|(_, s)| s.median < 0.6 * reference)
-        .map(|&(size, _)| size);
+    let drop_point_bytes =
+        boxplots.iter().find(|(_, s)| s.median < 0.6 * reference).map(|&(size, _)| size);
     Run { seed, campaign, boxplots, drop_point_bytes }
 }
 
@@ -79,8 +75,7 @@ fn one_run(seed: u64, alloc: AllocPolicy) -> Run {
             seed,
         ),
     );
-    let campaign =
-        Study::new(paging_plan()).randomized(seed).run(&mut target).expect("simulated");
+    let campaign = Study::new(paging_plan()).randomized(seed).run(&mut target).expect("simulated");
     analyze_run(seed, campaign)
 }
 
@@ -102,11 +97,8 @@ pub fn run(base_seed: u64) -> Fig12 {
         )
     })
     .expect("simulated");
-    let malloc_runs: Vec<Run> = seeds
-        .iter()
-        .zip(campaigns)
-        .map(|(&seed, c)| analyze_run(seed, c))
-        .collect();
+    let malloc_runs: Vec<Run> =
+        seeds.iter().zip(campaigns).map(|(&seed, c)| analyze_run(seed, c)).collect();
     let pooled_run = one_run(base_seed + 100, AllocPolicy::PooledRandomOffset);
     Fig12 { malloc_runs, pooled_run, l1_bytes: CpuSpec::arm_snowball().levels[0].size_bytes }
 }
@@ -161,8 +153,8 @@ impl Fig12 {
                 r.boxplots.iter().map(|(_, s)| s.iqr() / s.median.max(1e-9)).collect();
             ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
         };
-        let malloc_mean: f64 = self.malloc_runs.iter().map(iqr_ratio).sum::<f64>()
-            / self.malloc_runs.len() as f64;
+        let malloc_mean: f64 =
+            self.malloc_runs.iter().map(iqr_ratio).sum::<f64>() / self.malloc_runs.len() as f64;
         out.push_str(&format!(
             "  malloc_per_size: {:.4}   pooled_random_offset: {:.4}\n",
             malloc_mean,
@@ -185,10 +177,7 @@ mod tests {
             let p = r.drop_point_bytes.expect("every run eventually drops");
             // between ~50 % of L1 (first size where 5 pages can collide)
             // and a little past L1
-            assert!(
-                (16 * 1024..=40 * 1024).contains(&p),
-                "drop at {p} outside window"
-            );
+            assert!((16 * 1024..=40 * 1024).contains(&p), "drop at {p} outside window");
             points.push(p);
         }
         let distinct: std::collections::HashSet<u64> = points.iter().copied().collect();
@@ -220,14 +209,10 @@ mod tests {
             r.boxplots.iter().find(|&&(s, _)| s == size).map(|(_, sm)| sm.median).unwrap()
         };
         for &size in &[4 * 1024u64, 48 * 1024] {
-            let meds: Vec<f64> =
-                fig.malloc_runs.iter().map(|r| median_at(r, size)).collect();
+            let meds: Vec<f64> = fig.malloc_runs.iter().map(|r| median_at(r, size)).collect();
             let max = meds.iter().cloned().fold(f64::MIN, f64::max);
             let min = meds.iter().cloned().fold(f64::MAX, f64::min);
-            assert!(
-                max / min < 1.3,
-                "size {size}: run medians should agree: {meds:?}"
-            );
+            assert!(max / min < 1.3, "size {size}: run medians should agree: {meds:?}");
         }
     }
 

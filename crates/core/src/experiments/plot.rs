@@ -6,8 +6,7 @@
 pub fn scatter(series: &[(&[(f64, f64)], char)], width: usize, height: usize) -> String {
     let width = width.max(10);
     let height = height.max(5);
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|(pts, _)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(pts, _)| pts.iter().copied()).collect();
     if all.is_empty() {
         return String::from("(no data)\n");
     }
@@ -51,13 +50,7 @@ pub fn scatter_logx(series: &[(&[(f64, f64)], char)], width: usize, height: usiz
     let logged: Vec<(Vec<(f64, f64)>, char)> = series
         .iter()
         .map(|&(pts, g)| {
-            (
-                pts.iter()
-                    .filter(|&&(x, _)| x > 0.0)
-                    .map(|&(x, y)| (x.log10(), y))
-                    .collect(),
-                g,
-            )
+            (pts.iter().filter(|&&(x, _)| x > 0.0).map(|&(x, y)| (x.log10(), y)).collect(), g)
         })
         .collect();
     let views: Vec<(&[(f64, f64)], char)> =

@@ -85,8 +85,7 @@ impl NetworkModel {
             let s = &send_fit.segments()[i];
             let r = &recv_fit.segments()[i];
             let p = &rtt_fit.segments()[i];
-            let latency_us =
-                (p.fit.intercept / 2.0 - s.fit.intercept - r.fit.intercept).max(0.0);
+            let latency_us = (p.fit.intercept / 2.0 - s.fit.intercept - r.fit.intercept).max(0.0);
             let gap_per_byte = (p.fit.slope / 2.0 - s.fit.slope - r.fit.slope).max(0.0);
             // scale-free fit quality: RMSE over the segment's mean RTT
             let last = i == rtt_fit.num_segments() - 1;

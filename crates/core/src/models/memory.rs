@@ -49,19 +49,16 @@ impl MemoryModel {
         }
         let mut size_medians: Vec<(u64, f64)> = Vec::with_capacity(groups.len());
         for (key, values) in &groups {
-            let size = key[0]
-                .as_int()
-                .ok_or(AnalysisError::InvalidParameter("size_bytes not integer"))? as u64;
+            let size =
+                key[0].as_int().ok_or(AnalysisError::InvalidParameter("size_bytes not integer"))?
+                    as u64;
             size_medians.push((size, descriptive::median(values)?));
         }
         size_medians.sort_by_key(|&(s, _)| s);
 
         let band_estimate = |lo: u64, hi: u64| -> Option<f64> {
-            let vals: Vec<f64> = size_medians
-                .iter()
-                .filter(|&&(s, _)| s > lo && s <= hi)
-                .map(|&(_, m)| m)
-                .collect();
+            let vals: Vec<f64> =
+                size_medians.iter().filter(|&&(s, _)| s > lo && s <= hi).map(|&(_, m)| m).collect();
             descriptive::median(&vals).ok()
         };
 

@@ -93,9 +93,7 @@ impl PLogPModel {
         let os = SizeFunction::from_pairs(table(NetOp::AsyncSend)?)?;
         let or = SizeFunction::from_pairs(table(NetOp::BlockingRecv)?)?;
         let rtt_pairs = table(NetOp::PingPong)?;
-        let g = SizeFunction::from_pairs(
-            rtt_pairs.iter().map(|&(s, t)| (s, t / 2.0)).collect(),
-        )?;
+        let g = SizeFunction::from_pairs(rtt_pairs.iter().map(|&(s, t)| (s, t / 2.0)).collect())?;
         // L = g(m0) − os(m0) − or(m0) at the smallest measured size: for
         // tiny messages the one-way time is os + L + or.
         let m0 = g.knots()[0].0 as u64;

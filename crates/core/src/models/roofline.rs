@@ -118,8 +118,10 @@ mod tests {
             AllocPolicy::MallocPerSize,
             1,
         );
-        let peak =
-            peak_bandwidth_mbps(&mut m, &StreamConfig { buffer_bytes: 8 << 20, trials: 3, nloops: 5 });
+        let peak = peak_bandwidth_mbps(
+            &mut m,
+            &StreamConfig { buffer_bytes: 8 << 20, trials: 3, nloops: 5 },
+        );
         let r = Roofline::new(2.8 * 2.0, peak); // 2 flops/cycle nominal
         assert!(r.ridge_intensity() > 0.0);
         // a stride-1 sum kernel: 1 FLOP per 4 bytes = 0.25 FLOP/B ->

@@ -15,7 +15,7 @@ use charm_analysis::outliers::{self, Rule};
 use charm_design::factors::Level;
 use charm_design::plan::ExperimentPlan;
 use charm_engine::record::Campaign;
-use charm_engine::target::{Target, TargetError};
+use charm_engine::target::{ParallelTarget, Target, TargetError};
 
 /// Stage-1 wrapper: a design ready to run.
 #[derive(Debug, Clone)]
@@ -55,6 +55,42 @@ impl Study {
     pub fn run<T: Target>(&self, target: &mut T) -> Result<Campaign, TargetError> {
         charm_engine::run_campaign(&self.plan, target, self.shuffle_seed)
     }
+
+    /// Stage 2, sharded: runs the campaign across `shards` forks of
+    /// `base` on separate threads (see
+    /// [`charm_engine::run_campaign_parallel`]). For shard-invariant
+    /// targets the retained `(levels, replicate, value)` data is
+    /// identical to [`Study::run`] no matter the shard count; pass
+    /// [`Study::auto_shards`] of the plan size to let plan size and
+    /// machine width pick the count.
+    pub fn run_sharded<T: ParallelTarget>(
+        &self,
+        base: &T,
+        shards: usize,
+    ) -> Result<Campaign, TargetError> {
+        charm_engine::run_campaign_parallel(&self.plan, base, shards, self.shuffle_seed)
+    }
+
+    /// A sensible shard count for a campaign of `rows` rows: the
+    /// machine's available parallelism, except that small campaigns run
+    /// on one shard (below [`Study::SHARD_THRESHOLD_ROWS`] rows, thread
+    /// startup would rival the measurement loop itself). The
+    /// `CHARM_SHARDS` environment variable overrides both (the
+    /// regenerator binaries' `--shards N` flag sets it).
+    pub fn auto_shards(rows: usize) -> usize {
+        if let Some(n) = std::env::var("CHARM_SHARDS").ok().and_then(|s| s.parse::<usize>().ok()) {
+            return n.max(1);
+        }
+        if rows < Self::SHARD_THRESHOLD_ROWS {
+            1
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// Minimum campaign size (plan rows) at which
+    /// [`Study::auto_shards`] turns on parallel execution.
+    pub const SHARD_THRESHOLD_ROWS: usize = 1024;
 }
 
 /// Stage-3 result for one factor combination.
@@ -168,6 +204,26 @@ mod tests {
         let cells = analyze_cells(&campaign, &["size"]);
         assert_eq!(cells.len(), 1);
         assert!(cells[0].is_bimodal(), "burst should split the cell into modes");
+    }
+
+    #[test]
+    fn sharded_study_retains_identical_data() {
+        let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
+        let sequential = study().run(&mut target).unwrap();
+        let base = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
+        let sharded = study().run_sharded(&base, 4).unwrap();
+        let data = |c: &Campaign| {
+            c.records.iter().map(|r| (r.levels.clone(), r.replicate, r.value)).collect::<Vec<_>>()
+        };
+        assert_eq!(data(&sequential), data(&sharded));
+        assert_eq!(sharded.metadata["shards"], "4");
+    }
+
+    #[test]
+    fn auto_shards_spares_small_campaigns() {
+        assert_eq!(Study::auto_shards(10), 1);
+        assert_eq!(Study::auto_shards(Study::SHARD_THRESHOLD_ROWS - 1), 1);
+        assert!(Study::auto_shards(Study::SHARD_THRESHOLD_ROWS) >= 1);
     }
 
     #[test]

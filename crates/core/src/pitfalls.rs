@@ -51,10 +51,8 @@ pub fn temporal_anomalies(
             medians_per_group.push(descriptive::median(values).unwrap_or(1.0));
         }
         // reconstruct per-record medians by re-grouping in the same order
-        let idxs: Vec<usize> = cell_factors
-            .iter()
-            .filter_map(|f| campaign.factor_index(f))
-            .collect();
+        let idxs: Vec<usize> =
+            cell_factors.iter().filter_map(|f| campaign.factor_index(f)).collect();
         campaign
             .records
             .iter()
@@ -132,8 +130,7 @@ pub fn sequence_diagnostics(
         return None;
     }
     let groups = campaign.group_by(cell_factors);
-    let idxs: Vec<usize> =
-        cell_factors.iter().filter_map(|f| campaign.factor_index(f)).collect();
+    let idxs: Vec<usize> = cell_factors.iter().filter_map(|f| campaign.factor_index(f)).collect();
     let mut normalized: Vec<(u64, f64)> = campaign
         .records
         .iter()
@@ -172,11 +169,7 @@ pub fn bimodal_cells(campaign: &Campaign, cell_factors: &[&str]) -> Vec<BimodalC
         .filter_map(|(key, values)| {
             let split = modes::two_means(&values).ok()?;
             if split.is_bimodal(2.0, 0.05) {
-                let key = key
-                    .iter()
-                    .map(|l| l.to_string())
-                    .collect::<Vec<_>>()
-                    .join("/");
+                let key = key.iter().map(|l| l.to_string()).collect::<Vec<_>>().join("/");
                 Some(BimodalCell { key, split })
             } else {
                 None
@@ -218,8 +211,7 @@ pub fn probe_size_bias(
     threshold: f64,
 ) -> Vec<SizeBiasProbe> {
     let median_of = |sim: &mut NetworkSim, size: u64, reps: u32| -> f64 {
-        let mut v: Vec<f64> =
-            (0..reps).map(|_| sim.measure(NetOp::PingPong, size)).collect();
+        let mut v: Vec<f64> = (0..reps).map(|_| sim.measure(NetOp::PingPong, size)).collect();
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         v[v.len() / 2]
     };
@@ -231,8 +223,7 @@ pub fn probe_size_bias(
         let on = median_of(sim, size, repetitions);
         let below = median_of(sim, size - 1, repetitions);
         let above = median_of(sim, size + 1, repetitions);
-        let probe =
-            SizeBiasProbe { size, on_grid_us: on, neighbours_us: (below + above) / 2.0 };
+        let probe = SizeBiasProbe { size, on_grid_us: on, neighbours_us: (below + above) / 2.0 };
         if probe.deviation().abs() > threshold {
             out.push(probe);
         }
@@ -295,9 +286,7 @@ mod tests {
         let anomalies = temporal_anomalies(&campaign, &["size_bytes"], 1.0);
         assert!(!anomalies.is_empty(), "intruder window should be detected");
         // the anomalous windows sit ~5x off
-        assert!(anomalies
-            .iter()
-            .any(|a| a.level_ratio < 0.5 || a.level_ratio > 2.0));
+        assert!(anomalies.iter().any(|a| a.level_ratio < 0.5 || a.level_ratio > 2.0));
     }
 
     #[test]
@@ -398,15 +387,19 @@ mod tests {
     #[test]
     fn network_burst_campaign_detected_too() {
         let mut sim = presets::myrinet_gm(4);
+        // Burst long enough (mean 1/exit = 100 measurements) and frequent
+        // enough (duty = enter/(enter+exit) = 1/3) that a 600-row
+        // campaign reliably straddles several ON windows — the original
+        // 240-row / 1-expected-burst setup hinged on one lucky draw.
         sim.set_noise(NoiseModel::new(
             4,
             0.02,
-            BurstConfig { enter_prob: 0.004, exit_prob: 0.02, slowdown: 6.0, extra_us: 100.0 },
+            BurstConfig { enter_prob: 0.005, exit_prob: 0.01, slowdown: 6.0, extra_us: 100.0 },
         ));
         let mut plan = FullFactorial::new()
             .factor(Factor::new("op", vec!["ping_pong"]))
             .factor(Factor::new("size", vec![512i64, 2048, 8192]))
-            .replicates(80)
+            .replicates(200)
             .build()
             .unwrap();
         plan.shuffle(4);

@@ -279,10 +279,7 @@ mod tests {
     #[test]
     fn bad_rank_detected() {
         let traces = vec![vec![Event::Send { peer: 7, size: 1 }]];
-        assert_eq!(
-            replay(&traces, &network(), &memory()).unwrap_err(),
-            ReplayError::BadRank(7)
-        );
+        assert_eq!(replay(&traces, &network(), &memory()).unwrap_err(), ReplayError::BadRank(7));
     }
 
     #[test]

@@ -170,7 +170,11 @@ impl ClusterReport {
 
         md.push_str(&format!(
             "\n## Verdict\n\ncalibration-grade: **{}**\n",
-            if self.is_calibration_grade() { "yes" } else { "no — investigate before instantiating models" }
+            if self.is_calibration_grade() {
+                "yes"
+            } else {
+                "no — investigate before instantiating models"
+            }
         ));
         md
     }
@@ -220,8 +224,13 @@ mod tests {
             cache_capacities: &[],
         })
         .unwrap();
-        assert!(report.is_calibration_grade(), "temporal: {:?}, bimodal: {}, rel_rmse: {}",
-            report.temporal, report.bimodal.len(), report.network_model.max_rel_rmse());
+        assert!(
+            report.is_calibration_grade(),
+            "temporal: {:?}, bimodal: {}, rel_rmse: {}",
+            report.temporal,
+            report.bimodal.len(),
+            report.network_model.max_rel_rmse()
+        );
         let md = report.to_markdown();
         assert!(md.contains("# Platform characterization — taurus"));
         assert!(md.contains("calibration-grade: **yes**"));
@@ -253,10 +262,7 @@ mod tests {
 
         let net = network_campaign(3, false);
         let plan = FullFactorial::new()
-            .factor(Factor::new(
-                "size_bytes",
-                vec![16 * 1024i64, 48 * 1024, 512 * 1024, 4 << 20],
-            ))
+            .factor(Factor::new("size_bytes", vec![16 * 1024i64, 48 * 1024, 512 * 1024, 4 << 20]))
             .factor(Factor::new("nloops", vec![500i64]))
             .replicates(4)
             .build()

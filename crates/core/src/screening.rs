@@ -34,18 +34,13 @@ pub fn screen_factors(campaign: &Campaign) -> Vec<FactorEffect> {
         .factor_names()
         .iter()
         .filter_map(|name| {
-            let groups: Vec<Vec<f64>> = campaign
-                .group_by(&[name.as_str()])
-                .into_iter()
-                .map(|(_, v)| v)
-                .collect();
+            let groups: Vec<Vec<f64>> =
+                campaign.group_by(&[name.as_str()]).into_iter().map(|(_, v)| v).collect();
             let anova = anova::one_way(&groups).ok()?;
             Some(FactorEffect { factor: name.clone(), anova })
         })
         .collect();
-    out.sort_by(|a, b| {
-        b.eta_squared().partial_cmp(&a.eta_squared()).expect("finite eta")
-    });
+    out.sort_by(|a, b| b.eta_squared().partial_cmp(&a.eta_squared()).expect("finite eta"));
     out
 }
 
@@ -117,8 +112,12 @@ mod tests {
     fn size_dominates_the_ranking() {
         let c = campaign(1);
         let effects = screen_factors(&c);
-        assert_eq!(effects[0].factor, "size_bytes", "ranking: {:?}",
-            effects.iter().map(|e| (&e.factor, e.eta_squared())).collect::<Vec<_>>());
+        assert_eq!(
+            effects[0].factor,
+            "size_bytes",
+            "ranking: {:?}",
+            effects.iter().map(|e| (&e.factor, e.eta_squared())).collect::<Vec<_>>()
+        );
         assert!(effects[0].eta_squared() > 0.5);
         // the near-inert nloops tweak explains almost nothing
         let nloops = effects.iter().find(|e| e.factor == "nloops").unwrap();

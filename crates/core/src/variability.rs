@@ -50,9 +50,8 @@ impl VariabilityProfile {
         }
         let mut cells = Vec::with_capacity(groups.len());
         for (key, values) in groups {
-            let x = key[0]
-                .as_float()
-                .ok_or(AnalysisError::InvalidParameter("factor not numeric"))?;
+            let x =
+                key[0].as_float().ok_or(AnalysisError::InvalidParameter("factor not numeric"))?;
             let summary = Summary::of(&values)?;
             let ecdf = Ecdf::new(&values)?;
             let p05 = ecdf.inverse(0.05);
@@ -117,9 +116,7 @@ pub fn compare_campaigns(
         let Some((_, vb)) = gb.iter().find(|(k, _)| k == key) else {
             continue;
         };
-        let x = key[0]
-            .as_float()
-            .ok_or(AnalysisError::InvalidParameter("factor not numeric"))?;
+        let x = key[0].as_float().ok_or(AnalysisError::InvalidParameter("factor not numeric"))?;
         let ea = Ecdf::new(va)?;
         let eb = Ecdf::new(vb)?;
         out.push((x, ea.ks_distance(&eb)));
@@ -131,13 +128,10 @@ pub fn compare_campaigns(
 /// Convenience: overall median of per-cell medians (a robust single
 /// number for dashboards; everything else stays available).
 pub fn robust_center(campaign: &Campaign) -> Result<f64, AnalysisError> {
-    let groups = campaign.group_by(
-        &campaign.factor_names.iter().map(String::as_str).collect::<Vec<_>>(),
-    );
-    let medians: Vec<f64> = groups
-        .iter()
-        .map(|(_, v)| descriptive::median(v))
-        .collect::<Result<_, _>>()?;
+    let groups =
+        campaign.group_by(&campaign.factor_names.iter().map(String::as_str).collect::<Vec<_>>());
+    let medians: Vec<f64> =
+        groups.iter().map(|(_, v)| descriptive::median(v)).collect::<Result<_, _>>()?;
     descriptive::median(&medians)
 }
 
@@ -152,8 +146,7 @@ mod tests {
 
     fn taurus_campaign(seed: u64) -> Campaign {
         // sizes spanning eager and detached regimes
-        let sizes: Vec<i64> =
-            vec![1000, 4000, 16_000, 40_000, 64_000, 100_000, 200_000, 1 << 20];
+        let sizes: Vec<i64> = vec![1000, 4000, 16_000, 40_000, 64_000, 100_000, 200_000, 1 << 20];
         let plan = FullFactorial::new()
             .factor(Factor::new("op", vec!["blocking_recv"]))
             .factor(Factor::new("size", sizes))
@@ -204,8 +197,7 @@ mod tests {
     fn different_platform_large_ks() {
         let a = taurus_campaign(5);
         // same design, different machine: myrinet
-        let sizes: Vec<i64> =
-            vec![1000, 4000, 16_000, 40_000, 64_000, 100_000, 200_000, 1 << 20];
+        let sizes: Vec<i64> = vec![1000, 4000, 16_000, 40_000, 64_000, 100_000, 200_000, 1 << 20];
         let plan = FullFactorial::new()
             .factor(Factor::new("op", vec!["blocking_recv"]))
             .factor(Factor::new("size", sizes))

@@ -43,11 +43,13 @@ fn scaled_segment(seg: &ModelSegment, scenario: Scenario) -> ModelSegment {
             s.send_overhead = (seg.send_overhead.0 * f, seg.send_overhead.1 * f);
             s.recv_overhead = (seg.recv_overhead.0 * f, seg.recv_overhead.1 * f);
             s.rtt.0 = seg.rtt.0
-                - 2.0 * ((seg.send_overhead.0 - s.send_overhead.0)
-                    + (seg.recv_overhead.0 - s.recv_overhead.0));
+                - 2.0
+                    * ((seg.send_overhead.0 - s.send_overhead.0)
+                        + (seg.recv_overhead.0 - s.recv_overhead.0));
             s.rtt.1 = seg.rtt.1
-                - 2.0 * ((seg.send_overhead.1 - s.send_overhead.1)
-                    + (seg.recv_overhead.1 - s.recv_overhead.1));
+                - 2.0
+                    * ((seg.send_overhead.1 - s.send_overhead.1)
+                        + (seg.recv_overhead.1 - s.recv_overhead.1));
         }
         Scenario::ScaleMemoryBandwidth(_) => {}
     }
@@ -166,9 +168,7 @@ mod tests {
     #[test]
     fn memory_upgrade_only_touches_compute() {
         let m = machine();
-        let app = AppSignature::new()
-            .block(1e7, 8 << 20, 1)
-            .message(NetOp::PingPong, 4096, 10);
+        let app = AppSignature::new().block(1e7, 8 << 20, 1).message(NetOp::PingPong, 4096, 10);
         let w = evaluate(&app, &m, Scenario::ScaleMemoryBandwidth(2.0));
         assert!((w.modified.network_us - w.baseline.network_us).abs() < 1e-9);
         assert!((w.baseline.memory_us / w.modified.memory_us - 2.0).abs() < 1e-9);
@@ -177,9 +177,7 @@ mod tests {
     #[test]
     fn identity_scenarios_change_nothing() {
         let m = machine();
-        let app = AppSignature::new()
-            .block(1e6, 1024, 3)
-            .message(NetOp::PingPong, 10_000, 5);
+        let app = AppSignature::new().block(1e6, 1024, 3).message(NetOp::PingPong, 10_000, 5);
         for sc in [
             Scenario::ScaleLatency(1.0),
             Scenario::ScaleBandwidth(1.0),
@@ -187,11 +185,7 @@ mod tests {
             Scenario::ScaleMemoryBandwidth(1.0),
         ] {
             let w = evaluate(&app, &m, sc);
-            assert!(
-                (w.speedup() - 1.0).abs() < 1e-9,
-                "{sc:?} should be identity: {}",
-                w.speedup()
-            );
+            assert!((w.speedup() - 1.0).abs() < 1e-9, "{sc:?} should be identity: {}", w.speedup());
         }
     }
 }

@@ -57,13 +57,14 @@ impl CauseEffectDiagram {
     /// influence the memory benchmark's measured bandwidth.
     pub fn figure13() -> Self {
         CauseEffectDiagram::new("Bandwidth")
-            .branch("Experiment plan", &["Sequence order", "Repetitions", "Size", "Stride", "Cycles"])
-            .branch("Operating system", &[
-                "Scheduling priority",
-                "CPU frequency",
-                "Core pinning",
-                "Dedication",
-            ])
+            .branch(
+                "Experiment plan",
+                &["Sequence order", "Repetitions", "Size", "Stride", "Cycles"],
+            )
+            .branch(
+                "Operating system",
+                &["Scheduling priority", "CPU frequency", "Core pinning", "Dedication"],
+            )
             .branch("Memory allocation", &["Allocation technique", "Element type"])
             .branch("Architecture", &["Intel", "ARM"])
             .branch("Compilation", &["Optimization", "Loop unrolling"])

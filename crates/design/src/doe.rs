@@ -43,8 +43,7 @@ impl FullFactorial {
 
     /// Total number of rows the built plan will have.
     pub fn size(&self) -> usize {
-        self.factors.iter().map(Factor::cardinality).product::<usize>()
-            * self.replicates as usize
+        self.factors.iter().map(Factor::cardinality).product::<usize>() * self.replicates as usize
     }
 
     /// Builds the plan in *systematic* order (replicates innermost). Call
@@ -91,7 +90,8 @@ mod tests {
         // every (a, b) combination appears exactly once
         let mut seen = std::collections::HashSet::new();
         for row in plan.rows() {
-            let key = (row.levels[0].as_int().unwrap(), row.levels[1].as_text().unwrap().to_owned());
+            let key =
+                (row.levels[0].as_int().unwrap(), row.levels[1].as_text().unwrap().to_owned());
             assert!(seen.insert(key), "duplicate combination");
         }
         assert_eq!(seen.len(), 6);

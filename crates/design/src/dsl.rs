@@ -240,8 +240,7 @@ mod tests {
 
     #[test]
     fn sequential_order() {
-        let plan =
-            compile("factor x from 1 to 5 step 1\norder sequential\n").unwrap();
+        let plan = compile("factor x from 1 to 5 step 1\norder sequential\n").unwrap();
         let vals: Vec<i64> = plan.rows().iter().map(|r| r.levels[0].as_int().unwrap()).collect();
         let mut sorted = vals.clone();
         sorted.sort_unstable();
@@ -276,10 +275,9 @@ mod tests {
     #[test]
     fn compiled_plan_feeds_the_engine_shape() {
         // the DSL output is a normal plan: CSV round-trip works
-        let plan = compile(
-            "factor op in [ping_pong]\nfactor size from 64 to 256 step 64\nreplicates 2\n",
-        )
-        .unwrap();
+        let plan =
+            compile("factor op in [ping_pong]\nfactor size from 64 to 256 step 64\nreplicates 2\n")
+                .unwrap();
         let back = crate::plan::ExperimentPlan::from_csv(&plan.to_csv()).unwrap();
         assert_eq!(plan, back);
     }

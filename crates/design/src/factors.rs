@@ -149,12 +149,9 @@ mod tests {
 
     #[test]
     fn level_display_roundtrip() {
-        for l in [
-            Level::Int(-4),
-            Level::Float(2.5),
-            Level::Text("ondemand".into()),
-            Level::Flag(false),
-        ] {
+        for l in
+            [Level::Int(-4), Level::Float(2.5), Level::Text("ondemand".into()), Level::Flag(false)]
+        {
             assert_eq!(Level::parse(&l.to_string()), l);
         }
     }

@@ -23,8 +23,8 @@
 #![warn(missing_docs)]
 
 pub mod diagram;
-pub mod dsl;
 pub mod doe;
+pub mod dsl;
 pub mod factors;
 pub mod plan;
 pub mod sampling;

@@ -122,10 +122,7 @@ impl ExperimentPlan {
     pub fn sequential(&self) -> ExperimentPlan {
         let mut rows = self.rows.clone();
         rows.sort_by_key(|r| {
-            (
-                r.levels.iter().map(|l| format!("{l:>24}")).collect::<Vec<_>>().join(","),
-                r.replicate,
-            )
+            (r.levels.iter().map(|l| format!("{l:>24}")).collect::<Vec<_>>().join(","), r.replicate)
         });
         ExperimentPlan { factor_names: self.factor_names.clone(), rows }
     }
@@ -163,10 +160,9 @@ impl ExperimentPlan {
                 return Err(PlanError::ArityMismatch { expected: ncols + 1, got: fields.len() });
             }
             let levels = fields[..ncols].iter().map(|s| Level::parse(s)).collect();
-            let replicate = fields[ncols].parse::<u32>().map_err(|_| PlanError::ArityMismatch {
-                expected: ncols + 1,
-                got: fields.len(),
-            })?;
+            let replicate = fields[ncols]
+                .parse::<u32>()
+                .map_err(|_| PlanError::ArityMismatch { expected: ncols + 1, got: fields.len() })?;
             rows.push(PlanRow { levels, replicate });
         }
         ExperimentPlan::new(cols, rows)
@@ -246,8 +242,7 @@ mod tests {
         let mut p = small_plan();
         p.shuffle(7);
         let s = p.sequential();
-        let sizes: Vec<i64> =
-            s.rows().iter().map(|r| r.levels[0].as_int().unwrap()).collect();
+        let sizes: Vec<i64> = s.rows().iter().map(|r| r.levels[0].as_int().unwrap()).collect();
         let mut expected = sizes.clone();
         expected.sort_unstable();
         assert_eq!(sizes, expected);

@@ -35,6 +35,38 @@ pub fn log_uniform_sizes(a: u64, b: u64, n: usize, seed: u64) -> Vec<u64> {
         .collect()
 }
 
+/// Like [`log_uniform_sizes`], but the returned sizes are pairwise
+/// distinct (draws that collide after rounding are rejected and redrawn).
+///
+/// Use this whenever the sizes become *factor levels*: duplicate levels
+/// make a full-factorial design contain identical rows, which silently
+/// merges cells in any downstream per-level analysis (two "replicate
+/// groups" of the same size collapse into one oversized group).
+///
+/// # Panics
+/// Panics if `a == 0`, `a > b`, or the integer range `[a, b]` holds fewer
+/// than `n` values — caller bug, not data-dependent.
+pub fn log_uniform_sizes_unique(a: u64, b: u64, n: usize, seed: u64) -> Vec<u64> {
+    assert!(a > 0, "log-uniform lower bound must be positive");
+    assert!(a <= b, "bounds must be ordered");
+    assert!(
+        (b - a).checked_add(1).is_none_or(|span| span as u128 >= n as u128),
+        "range [{a}, {b}] cannot hold {n} distinct sizes"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (la, lb) = ((a as f64).log10(), (b as f64).log10());
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let x: f64 = rng.random_range(la..=lb);
+        let s = (10f64.powf(x).round() as u64).clamp(a, b);
+        if seen.insert(s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
 /// The biased ladder opaque tools use: powers of two from `1` up to and
 /// including `2^max_pow` (with an optional leading `0`-byte probe, as the
 /// Figure 2 pseudo-code does: `0, 1, 2, 4, …, 2^16`).

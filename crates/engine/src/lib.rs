@@ -31,5 +31,5 @@ pub mod runner;
 pub mod target;
 
 pub use record::{Campaign, RawRecord};
-pub use runner::run_campaign;
-pub use target::{Measurement, Target, TargetError};
+pub use runner::{run_campaign, run_campaign_parallel};
+pub use target::{Measurement, ParallelTarget, Target, TargetError};

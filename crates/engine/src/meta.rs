@@ -31,8 +31,7 @@ impl MetadataBuilder {
 
     /// Adds the engine's own identity entries.
     pub fn with_engine_info(self) -> Self {
-        self.set("engine", "charm-engine")
-            .set("engine_version", env!("CARGO_PKG_VERSION"))
+        self.set("engine", "charm-engine").set("engine_version", env!("CARGO_PKG_VERSION"))
     }
 
     /// Adds campaign-level entries: plan size, seed, randomization state.

@@ -78,8 +78,7 @@ impl Campaign {
     /// Groups record values by the levels of the given factors, keyed by
     /// the rendered level tuple. Order of groups follows first appearance.
     pub fn group_by(&self, factors: &[&str]) -> Vec<(Vec<Level>, Vec<f64>)> {
-        let idxs: Vec<usize> =
-            factors.iter().filter_map(|f| self.factor_index(f)).collect();
+        let idxs: Vec<usize> = factors.iter().filter_map(|f| self.factor_index(f)).collect();
         let mut order: Vec<Vec<Level>> = Vec::new();
         let mut groups: Vec<Vec<f64>> = Vec::new();
         for rec in &self.records {
@@ -121,12 +120,7 @@ impl Campaign {
         Campaign {
             metadata: self.metadata.clone(),
             factor_names: self.factor_names.clone(),
-            records: self
-                .records
-                .iter()
-                .filter(|r| keep(&r.levels[idx]))
-                .cloned()
-                .collect(),
+            records: self.records.iter().filter(|r| keep(&r.levels[idx])).cloned().collect(),
         }
     }
 
@@ -147,10 +141,7 @@ impl Campaign {
                 out.push_str(&l.to_string());
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{},{},{},{}\n",
-                r.replicate, r.sequence, r.start_us, r.value
-            ));
+            out.push_str(&format!("{},{},{},{}\n", r.replicate, r.sequence, r.start_us, r.value));
         }
         out
     }
@@ -183,14 +174,11 @@ impl Campaign {
         }
         let header = lines.next().ok_or(CampaignParseError::MissingHeader)?;
         let cols: Vec<&str> = header.split(',').map(str::trim).collect();
-        if cols.len() < FIXED_COLS.len()
-            || cols[cols.len() - FIXED_COLS.len()..] != FIXED_COLS
-        {
+        if cols.len() < FIXED_COLS.len() || cols[cols.len() - FIXED_COLS.len()..] != FIXED_COLS {
             return Err(CampaignParseError::BadHeader(header.to_string()));
         }
         let n_factors = cols.len() - FIXED_COLS.len();
-        let factor_names: Vec<String> =
-            cols[..n_factors].iter().map(|s| s.to_string()).collect();
+        let factor_names: Vec<String> = cols[..n_factors].iter().map(|s| s.to_string()).collect();
 
         let mut records = Vec::new();
         for line in lines {
@@ -324,9 +312,13 @@ mod tests {
     #[test]
     fn read_from_rejects_garbage_file() {
         let path = std::env::temp_dir().join("charm_campaign_bad_test.csv");
-        std::fs::write(&path, "not,a,campaign
+        std::fs::write(
+            &path,
+            "not,a,campaign
 1,2,3
-").unwrap();
+",
+        )
+        .unwrap();
         let err = Campaign::read_from(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);

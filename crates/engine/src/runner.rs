@@ -2,7 +2,7 @@
 
 use crate::meta::MetadataBuilder;
 use crate::record::{Campaign, RawRecord};
-use crate::target::{Assignment, Target, TargetError};
+use crate::target::{Assignment, ParallelTarget, Target, TargetError};
 use charm_design::plan::ExperimentPlan;
 
 /// Executes every row of `plan` (in the plan's order) against `target`.
@@ -34,6 +34,108 @@ pub fn run_campaign<T: Target + ?Sized>(
         .with_engine_info()
         .with_campaign_info(plan.len(), shuffle_seed)
         .with_target_info(&target.metadata())
+        .build();
+    Ok(Campaign { metadata, factor_names: plan.factor_names().to_vec(), records })
+}
+
+/// Executes `plan` against `shards` forks of `base`, one OS thread per
+/// shard, and merges the per-shard records back into canonical plan order.
+///
+/// The plan's rows are split into `shards` contiguous blocks. Each shard
+/// gets an independent fork of `base` (same configuration, same stream
+/// seed — see [`ParallelTarget::fork`]) positioned at its block's first
+/// measurement index via [`ParallelTarget::skip_to`]. Because every
+/// random draw of a shard-invariant target is a pure function of
+/// `(stream seed, measurement index)`, shard `b` produces bit-for-bit
+/// the values a sequential run produces for its rows, so the merged
+/// campaign has exactly the sequential `(levels, replicate, value)`
+/// multiset regardless of shard count.
+///
+/// Virtual clocks are shard-local: each fork starts at time 0, and the
+/// runner shifts shard `b`'s timestamps by the summed elapsed time of
+/// shards `0..b` before merging. With deterministic per-measurement
+/// durations this reconstructs the sequential timeline up to float
+/// rounding in the offset sums (for `shards == 1` the offset is 0 and
+/// the campaign equals [`run_campaign`] record-for-record). The applied
+/// offsets are recorded in metadata under `shard_clock_offsets`, next to
+/// `shards`.
+///
+/// `base` is not mutated; the run behaves as if a fresh target with
+/// `base`'s configuration and stream seed had executed the plan.
+///
+/// # Errors
+///
+/// Returns [`TargetError::NotShardable`] when `shards > 1` and the
+/// target reports [`ParallelTarget::shard_invariant`] `== false`
+/// (time-dependent physics such as `ondemand` DVFS or intruder
+/// scheduling): sharding such a target would silently change its
+/// science, so the runner refuses instead. Measurement errors fail the
+/// campaign like [`run_campaign`]; the error for the earliest failing
+/// plan row wins.
+pub fn run_campaign_parallel<T: ParallelTarget>(
+    plan: &ExperimentPlan,
+    base: &T,
+    shards: usize,
+    shuffle_seed: Option<u64>,
+) -> Result<Campaign, TargetError> {
+    let n = plan.len();
+    let shards = shards.clamp(1, n.max(1));
+    if shards > 1 && !base.shard_invariant() {
+        return Err(TargetError::NotShardable { target: base.name() });
+    }
+    let seed = base.stream_seed();
+    // Contiguous blocks [b*n/k, (b+1)*n/k): sizes differ by at most one.
+    let bounds: Vec<(usize, usize)> =
+        (0..shards).map(|b| (b * n / shards, (b + 1) * n / shards)).collect();
+    let shard_results: Vec<Result<(Vec<RawRecord>, f64), TargetError>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    let mut target = base.fork(seed);
+                    scope.spawn(move |_| -> Result<(Vec<RawRecord>, f64), TargetError> {
+                        target.skip_to(lo as u64);
+                        let mut records = Vec::with_capacity(hi - lo);
+                        for sequence in lo..hi {
+                            let row = &plan.rows()[sequence];
+                            let m = target.measure(&Assignment::new(plan, row))?;
+                            records.push(RawRecord {
+                                levels: row.levels.clone(),
+                                replicate: row.replicate,
+                                sequence: sequence as u64,
+                                start_us: m.start_us,
+                                value: m.value,
+                            });
+                        }
+                        Ok((records, target.now_us()))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+        })
+        .expect("scope panicked");
+
+    let mut records = Vec::with_capacity(n);
+    let mut offsets = Vec::with_capacity(shards);
+    let mut clock_us = 0.0f64;
+    for result in shard_results {
+        // Blocks are in canonical order, so the first failing shard holds
+        // the earliest failing plan row.
+        let (mut shard_records, shard_elapsed_us) = result?;
+        offsets.push(clock_us);
+        for r in &mut shard_records {
+            r.start_us += clock_us;
+        }
+        records.append(&mut shard_records);
+        clock_us += shard_elapsed_us;
+    }
+    let offsets_str = offsets.iter().map(|o| format!("{o:.3}")).collect::<Vec<_>>().join(",");
+    let metadata = MetadataBuilder::new()
+        .with_engine_info()
+        .with_campaign_info(plan.len(), shuffle_seed)
+        .with_target_info(&base.metadata())
+        .set("shards", shards)
+        .set("shard_clock_offsets", offsets_str)
         .build();
     Ok(Campaign { metadata, factor_names: plan.factor_names().to_vec(), records })
 }
@@ -125,6 +227,137 @@ mod tests {
             .unwrap();
         let mut target = NetworkTarget::new("x", presets::myrinet_gm(1));
         assert!(run_campaign(&plan, &mut target, None).is_err());
+    }
+
+    fn shuffled_net_plan(reps: u32, seed: u64) -> ExperimentPlan {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong", "async_send", "blocking_recv"]))
+            .factor(Factor::new("size", vec![64i64, 1024, 16384, 262144]))
+            .replicates(reps)
+            .build()
+            .unwrap();
+        plan.shuffle(seed);
+        plan
+    }
+
+    #[test]
+    fn parallel_one_shard_equals_sequential() {
+        let plan = shuffled_net_plan(5, 11);
+        let mut seq_target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(11));
+        let sequential = run_campaign(&plan, &mut seq_target, Some(11)).unwrap();
+        let base = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(11));
+        let parallel = run_campaign_parallel(&plan, &base, 1, Some(11)).unwrap();
+        assert_eq!(sequential.records, parallel.records);
+        assert_eq!(sequential.factor_names, parallel.factor_names);
+        assert_eq!(parallel.metadata["shards"], "1");
+        assert_eq!(parallel.metadata["shard_clock_offsets"], "0.000");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let plan = shuffled_net_plan(6, 3);
+        let mut seq_target = NetworkTarget::new("myrinet", presets::myrinet_gm(42));
+        let sequential = run_campaign(&plan, &mut seq_target, Some(3)).unwrap();
+        for shards in [2usize, 3, 7] {
+            let base = NetworkTarget::new("myrinet", presets::myrinet_gm(42));
+            let parallel = run_campaign_parallel(&plan, &base, shards, Some(3)).unwrap();
+            assert_eq!(parallel.records.len(), sequential.records.len());
+            for (s, p) in sequential.records.iter().zip(&parallel.records) {
+                assert_eq!(s.levels, p.levels, "{shards} shards");
+                assert_eq!(s.replicate, p.replicate, "{shards} shards");
+                assert_eq!(s.sequence, p.sequence, "{shards} shards");
+                // values are counter-derived: bit-for-bit equal
+                assert_eq!(s.value, p.value, "{shards} shards, seq {}", s.sequence);
+                // timestamps are reconstructed from shard offsets: equal
+                // up to float rounding of the offset sums
+                let tol = 1e-6 * s.start_us.abs().max(1.0);
+                assert!(
+                    (s.start_us - p.start_us).abs() <= tol,
+                    "{shards} shards, seq {}: {} vs {}",
+                    s.sequence,
+                    s.start_us,
+                    p.start_us
+                );
+            }
+            assert_eq!(parallel.metadata["shards"], shards.to_string());
+            let offsets = parallel.metadata["shard_clock_offsets"].split(',').count();
+            assert_eq!(offsets, shards);
+        }
+    }
+
+    #[test]
+    fn memory_target_shards_reproduce_sequential() {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![4096i64, 16384, 65536, 262144]))
+            .factor(Factor::new("stride", vec![1i64, 4]))
+            .replicates(4)
+            .build()
+            .unwrap();
+        plan.shuffle(8);
+        let mk = || {
+            MemoryTarget::new(
+                "arm",
+                MachineSim::new(
+                    CpuSpec::arm_snowball(),
+                    GovernorPolicy::Performance,
+                    SchedPolicy::PinnedDefault,
+                    AllocPolicy::PooledRandomOffset,
+                    21,
+                ),
+            )
+        };
+        let mut seq_target = mk();
+        let sequential = run_campaign(&plan, &mut seq_target, Some(8)).unwrap();
+        let parallel = run_campaign_parallel(&plan, &mk(), 4, Some(8)).unwrap();
+        let values = |c: &Campaign| {
+            c.records.iter().map(|r| (r.levels.clone(), r.replicate, r.value)).collect::<Vec<_>>()
+        };
+        assert_eq!(values(&sequential), values(&parallel));
+    }
+
+    #[test]
+    fn time_dependent_target_refuses_to_shard() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![8192i64]))
+            .replicates(4)
+            .build()
+            .unwrap();
+        let base = MemoryTarget::new(
+            "i7",
+            MachineSim::new(
+                CpuSpec::core_i7_2600(),
+                GovernorPolicy::Ondemand { sample_period_us: 10_000.0 },
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::MallocPerSize,
+                5,
+            ),
+        );
+        let err = run_campaign_parallel(&plan, &base, 2, None).unwrap_err();
+        assert!(matches!(err, TargetError::NotShardable { .. }));
+        // one shard is always fine: it is just the sequential run
+        assert!(run_campaign_parallel(&plan, &base, 1, None).is_ok());
+    }
+
+    #[test]
+    fn shards_clamp_to_plan_rows() {
+        let plan = shuffled_net_plan(1, 1); // 12 rows
+        let base = NetworkTarget::new("t", presets::taurus_openmpi_tcp(1));
+        let campaign = run_campaign_parallel(&plan, &base, 99, Some(1)).unwrap();
+        assert_eq!(campaign.records.len(), 12);
+        assert_eq!(campaign.metadata["shards"], "12");
+    }
+
+    #[test]
+    fn parallel_error_reports_earliest_failing_row() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["nonsense"]))
+            .factor(Factor::new("size", vec![64i64]))
+            .replicates(6)
+            .build()
+            .unwrap();
+        let base = NetworkTarget::new("m", presets::myrinet_gm(1));
+        let err = run_campaign_parallel(&plan, &base, 3, None).unwrap_err();
+        assert!(matches!(err, TargetError::BadFactor { name: "op", .. }));
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub enum TargetError {
         /// What was found, rendered.
         got: String,
     },
+    /// A sharded run was requested against a target whose values depend
+    /// on measurement timing ([`ParallelTarget::shard_invariant`] is
+    /// false), so parallel execution would change the science.
+    NotShardable {
+        /// Platform label of the refusing target.
+        target: String,
+    },
 }
 
 impl fmt::Display for TargetError {
@@ -33,6 +40,13 @@ impl fmt::Display for TargetError {
             TargetError::MissingFactor(name) => write!(f, "plan lacks factor {name:?}"),
             TargetError::BadFactor { name, got } => {
                 write!(f, "factor {name:?} has unusable value {got:?}")
+            }
+            TargetError::NotShardable { target } => {
+                write!(
+                    f,
+                    "target {target:?} is time-dependent and cannot be sharded \
+                     (run it sequentially or with shards = 1)"
+                )
             }
         }
     }
@@ -111,6 +125,45 @@ pub trait Target {
     fn measure(&mut self, a: &Assignment<'_>) -> Result<Measurement, TargetError>;
 }
 
+/// A target whose measurement values are a pure function of
+/// `(assignment, stream seed, measurement index)` — the capability the
+/// parallel campaign runner builds on.
+///
+/// The contract (see `DESIGN.md` for the full determinism contract):
+///
+/// * `fork(seed)` yields an independent instance with identical
+///   configuration whose random streams come from `seed`, positioned at
+///   measurement index 0 and virtual time 0;
+/// * `skip_to(i)` repositions the measurement index, so the next
+///   `measure` call behaves as the `i`-th measurement of a sequential
+///   run (virtual time is *not* skipped — shard clocks are local, and
+///   the runner records their offsets in campaign metadata);
+/// * when [`ParallelTarget::shard_invariant`] returns `true`,
+///   `fork(self.stream_seed())` + `skip_to(i)` reproduces the value the
+///   sequential run produces for measurement `i` bit-for-bit, so the
+///   merged campaign of any shard count has exactly the sequential
+///   campaign's `(levels, replicate, value)` multiset.
+///
+/// Targets whose physics is deliberately time-dependent (DVFS ramping,
+/// intruder processes) report `shard_invariant() == false`; the runner
+/// refuses to shard them rather than silently change their science.
+pub trait ParallelTarget: Target + Send + Sized {
+    /// The seed identifying this target's random streams.
+    fn stream_seed(&self) -> u64;
+    /// An independent same-configuration instance on `seed`'s streams.
+    fn fork(&self, seed: u64) -> Self;
+    /// Repositions the measurement index.
+    fn skip_to(&mut self, index: u64);
+    /// Current virtual time (µs) of this instance's local clock. The
+    /// parallel runner reads it after a shard finishes to compute the
+    /// clock offsets that map shard-local timestamps onto one campaign
+    /// timeline.
+    fn now_us(&self) -> f64;
+    /// Whether per-index values are independent of measurement timing,
+    /// i.e. whether sharding this target preserves values exactly.
+    fn shard_invariant(&self) -> bool;
+}
+
 /// Adapter: network substrate. Expects factors `op` (text:
 /// `async_send` / `blocking_recv` / `ping_pong`) and `size` (bytes).
 pub struct NetworkTarget {
@@ -139,10 +192,7 @@ impl Target for NetworkTarget {
         vec![
             ("target_kind".into(), "network".into()),
             ("platform".into(), self.label.clone()),
-            (
-                "protocol_thresholds".into(),
-                format!("{:?}", self.sim.protocol().thresholds()),
-            ),
+            ("protocol_thresholds".into(), format!("{:?}", self.sim.protocol().thresholds())),
             ("value_unit".into(), "us".into()),
         ]
     }
@@ -158,6 +208,30 @@ impl Target for NetworkTarget {
         let start_us = self.sim.now_us();
         let value = self.sim.measure(op, size as u64);
         Ok(Measurement { value, start_us })
+    }
+}
+
+impl ParallelTarget for NetworkTarget {
+    fn stream_seed(&self) -> u64 {
+        self.sim.stream_seed()
+    }
+
+    fn fork(&self, seed: u64) -> Self {
+        NetworkTarget { sim: self.sim.fork(seed), label: self.label.clone() }
+    }
+
+    fn skip_to(&mut self, index: u64) {
+        self.sim.skip_to(index);
+    }
+
+    fn now_us(&self) -> f64 {
+        self.sim.now_us()
+    }
+
+    fn shard_invariant(&self) -> bool {
+        // All network noise (white, burst, anomalies) is counter-based;
+        // the virtual clock only affects `start_us`, never values.
+        true
     }
 }
 
@@ -220,10 +294,8 @@ impl Target for MemoryTarget {
             None => ElementWidth::W32,
             Some(l) => {
                 let name = l.as_text().unwrap_or_default();
-                ElementWidth::parse(name).ok_or(TargetError::BadFactor {
-                    name: "width",
-                    got: l.to_string(),
-                })?
+                ElementWidth::parse(name)
+                    .ok_or(TargetError::BadFactor { name: "width", got: l.to_string() })?
             }
         };
         let unroll = a.flag_or("unroll", false)?;
@@ -239,6 +311,30 @@ impl Target for MemoryTarget {
         };
         let r = self.machine.run_kernel(&cfg);
         Ok(Measurement { value: r.bandwidth_mbps, start_us: r.start_us })
+    }
+}
+
+impl ParallelTarget for MemoryTarget {
+    fn stream_seed(&self) -> u64 {
+        self.machine.stream_seed()
+    }
+
+    fn fork(&self, seed: u64) -> Self {
+        MemoryTarget { machine: self.machine.fork(seed), label: self.label.clone() }
+    }
+
+    fn skip_to(&mut self, index: u64) {
+        self.machine.skip_to(index);
+    }
+
+    fn now_us(&self) -> f64 {
+        self.machine.now_us()
+    }
+
+    fn shard_invariant(&self) -> bool {
+        // Ondemand DVFS and non-default scheduling make values depend on
+        // measurement start times — those studies must stay sequential.
+        self.machine.order_invariant()
     }
 }
 
@@ -286,10 +382,7 @@ mod tests {
 
     #[test]
     fn network_target_missing_factor() {
-        let plan = FullFactorial::new()
-            .factor(Factor::new("size", vec![64i64]))
-            .build()
-            .unwrap();
+        let plan = FullFactorial::new().factor(Factor::new("size", vec![64i64])).build().unwrap();
         let mut t = NetworkTarget::new("x", presets::myrinet_gm(1));
         let err = t.measure(&Assignment::new(&plan, &plan.rows()[0])).unwrap_err();
         assert_eq!(err, TargetError::MissingFactor("op"));
@@ -322,10 +415,8 @@ mod tests {
 
     #[test]
     fn memory_target_defaults_optional_factors() {
-        let plan = FullFactorial::new()
-            .factor(Factor::new("size_bytes", vec![4096i64]))
-            .build()
-            .unwrap();
+        let plan =
+            FullFactorial::new().factor(Factor::new("size_bytes", vec![4096i64])).build().unwrap();
         let mut t = MemoryTarget::new(
             "arm",
             MachineSim::new(
@@ -341,10 +432,8 @@ mod tests {
 
     #[test]
     fn memory_target_validates_values() {
-        let plan = FullFactorial::new()
-            .factor(Factor::new("size_bytes", vec![0i64]))
-            .build()
-            .unwrap();
+        let plan =
+            FullFactorial::new().factor(Factor::new("size_bytes", vec![0i64])).build().unwrap();
         let mut t = MemoryTarget::new(
             "arm",
             MachineSim::new(

@@ -100,7 +100,13 @@ mod tests {
         sim.set_noise(NoiseModel::silent(0));
         let out = run(
             &mut sim,
-            &LoogpConfig { start: 1024, step: 1024, end: 64 * 1024, repetitions: 2, neighborhood: 3 },
+            &LoogpConfig {
+                start: 1024,
+                step: 1024,
+                end: 64 * 1024,
+                repetitions: 2,
+                neighborhood: 3,
+            },
         );
         assert!(
             out.candidates.iter().any(|&c| (c as i64 - 33 * 1024).unsigned_abs() <= 2048),
@@ -118,7 +124,13 @@ mod tests {
             let mut sim = presets::taurus_openmpi_tcp(seed);
             run(
                 &mut sim,
-                &LoogpConfig { start: 2048, step: 2048, end: 160 * 1024, repetitions: 6, neighborhood: k },
+                &LoogpConfig {
+                    start: 2048,
+                    step: 2048,
+                    end: 160 * 1024,
+                    repetitions: 6,
+                    neighborhood: k,
+                },
             )
             .candidates
         };
@@ -132,7 +144,13 @@ mod tests {
         sim.set_noise(NoiseModel::silent(0));
         let out = run(
             &mut sim,
-            &LoogpConfig { start: 1024, step: 1024, end: 24 * 1024, repetitions: 2, neighborhood: 3 },
+            &LoogpConfig {
+                start: 1024,
+                step: 1024,
+                end: 24 * 1024,
+                repetitions: 2,
+                neighborhood: 3,
+            },
         );
         assert!(out.candidates.is_empty(), "spurious: {:?}", out.candidates);
     }

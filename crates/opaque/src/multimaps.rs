@@ -146,11 +146,16 @@ mod tests {
             AllocPolicy::PooledRandomOffset,
             4,
         );
+        // Spread the repetitions across many ~155 ms intruder cycles
+        // (5 ms setup gap, 600 reps ≈ 3 s of virtual time); with the
+        // default cadence the whole run fits inside a single scheduler
+        // phase and whether it shows two modes is a coin flip.
+        m.inter_measurement_us = 5_000.0;
         let cfg = MultimapsConfig {
             sizes: vec![8 * 1024],
             strides: vec![1],
             nloops: 20,
-            repetitions: 200,
+            repetitions: 600,
         };
         let rows = run(&mut m, &cfg);
         assert_eq!(rows.len(), 1);

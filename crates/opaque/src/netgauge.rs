@@ -125,8 +125,7 @@ pub fn run(sim: &mut NetworkSim, config: &NetgaugeConfig) -> NetgaugeOutput {
         // its model); invert: the wire gap is the RTT's per-byte cost
         // minus the CPU-side per-byte overheads.
         let gap_per_byte = (rtt_fit.slope / 2.0 - os_fit.slope - or_fit.slope).max(0.0);
-        let latency_us =
-            (rtt_fit.intercept / 2.0 - os_fit.intercept - or_fit.intercept).max(0.0);
+        let latency_us = (rtt_fit.intercept / 2.0 - os_fit.intercept - or_fit.intercept).max(0.0);
         segments.push(NetgaugeSegment {
             from: sizes[a],
             to: sizes[b - 1],
@@ -156,7 +155,13 @@ mod tests {
         sim.set_noise(NoiseModel::silent(0));
         let out = run(
             &mut sim,
-            &NetgaugeConfig { start: 1024, step: 1024, end: 64 * 1024, repetitions: 3, lsq_factor: 6.0 },
+            &NetgaugeConfig {
+                start: 1024,
+                step: 1024,
+                end: 64 * 1024,
+                repetitions: 3,
+                lsq_factor: 6.0,
+            },
         );
         assert!(
             out.breaks.iter().any(|&b| (b - 32768.0).abs() <= 4096.0),
@@ -171,14 +176,21 @@ mod tests {
         sim.set_noise(NoiseModel::silent(0));
         let out = run(
             &mut sim,
-            &NetgaugeConfig { start: 1024, step: 512, end: 24 * 1024, repetitions: 2, lsq_factor: 8.0 },
+            &NetgaugeConfig {
+                start: 1024,
+                step: 512,
+                end: 24 * 1024,
+                repetitions: 2,
+                lsq_factor: 8.0,
+            },
         );
         assert!(!out.segments.is_empty());
         let seg = &out.segments[0];
         // truth inside the eager regime: RTT slope/2 = o_s' + G + o_r'
         // = 0.0006 + 0.004 + 0.0006
         assert!(
-            (seg.params.gap_per_byte + seg.params.send_overhead_per_byte
+            (seg.params.gap_per_byte
+                + seg.params.send_overhead_per_byte
                 + seg.params.recv_overhead_per_byte
                 - 0.0052)
                 .abs()
@@ -220,7 +232,13 @@ mod tests {
             ));
             let out = run(
                 &mut s,
-                &NetgaugeConfig { start: 512, step: 512, end: 24 * 1024, repetitions: 4, lsq_factor: 6.0 },
+                &NetgaugeConfig {
+                    start: 512,
+                    step: 512,
+                    end: 24 * 1024,
+                    repetitions: 4,
+                    lsq_factor: 6.0,
+                },
             );
             if !out.breaks.is_empty() {
                 spurious += 1;
@@ -235,7 +253,13 @@ mod tests {
         sim.set_noise(NoiseModel::silent(0));
         let out = run(
             &mut sim,
-            &NetgaugeConfig { start: 512, step: 512, end: 24 * 1024, repetitions: 2, lsq_factor: 6.0 },
+            &NetgaugeConfig {
+                start: 512,
+                step: 512,
+                end: 24 * 1024,
+                repetitions: 2,
+                lsq_factor: 6.0,
+            },
         );
         assert!(out.breaks.is_empty(), "spurious breaks: {:?}", out.breaks);
     }

@@ -104,7 +104,10 @@ mod tests {
     fn localizes_the_rendezvous_break() {
         let mut sim = presets::openmpi_fig3(1);
         sim.set_noise(NoiseModel::silent(0));
-        let out = run(&mut sim, &PlogpConfig { max_pow: 17, repetitions: 2, tolerance: 0.06, max_attempts: 12 });
+        let out = run(
+            &mut sim,
+            &PlogpConfig { max_pow: 17, repetitions: 2, tolerance: 0.06, max_attempts: 12 },
+        );
         assert!(
             out.breaks.iter().any(|&b| (b as i64 - 32768).unsigned_abs() <= 2048),
             "32K break not localized: {:?}",
@@ -120,7 +123,10 @@ mod tests {
         // size" from "protocol change" because it never samples 1023/1025.
         let mut sim = presets::taurus_openmpi_tcp(2);
         sim.set_noise(NoiseModel::silent(0).with_anomaly(1024, 0.6));
-        let out = run(&mut sim, &PlogpConfig { max_pow: 14, repetitions: 2, tolerance: 0.10, max_attempts: 6 });
+        let out = run(
+            &mut sim,
+            &PlogpConfig { max_pow: 14, repetitions: 2, tolerance: 0.10, max_attempts: 6 },
+        );
         assert!(
             out.breaks.iter().any(|&b| (1024..=2048).contains(&b)),
             "anomaly should masquerade as a break: {:?}",
@@ -132,7 +138,10 @@ mod tests {
     fn no_breaks_on_smooth_network() {
         let mut sim = presets::myrinet_gm(1);
         sim.set_noise(NoiseModel::silent(0));
-        let out = run(&mut sim, &PlogpConfig { max_pow: 14, repetitions: 2, tolerance: 0.15, max_attempts: 6 });
+        let out = run(
+            &mut sim,
+            &PlogpConfig { max_pow: 14, repetitions: 2, tolerance: 0.15, max_attempts: 6 },
+        );
         assert!(out.breaks.is_empty(), "spurious: {:?}", out.breaks);
         // probing grid is the power-of-two ladder
         let sizes: Vec<u64> = out.probed.iter().map(|p| p.0).collect();

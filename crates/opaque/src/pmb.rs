@@ -80,9 +80,7 @@ mod tests {
         // With a burst process active, PMB still returns one mean+sd per
         // size; the bimodality is unrecoverable from its output.
         let mut sim = presets::myrinet_gm(4);
-        sim.set_noise(
-            charm_simnet::noise::NoiseModel::new(4, 0.02, presets::default_burst()),
-        );
+        sim.set_noise(charm_simnet::noise::NoiseModel::new(4, 0.02, presets::default_burst()));
         let cells = run(&mut sim, &PmbConfig { max_pow: 10, repetitions: 60, op: NetOp::PingPong });
         // All we can observe downstream is an inflated standard deviation.
         assert!(cells.iter().all(|c| c.std_dev.is_finite()));

@@ -83,9 +83,15 @@ mod tests {
     #[test]
     fn best_of_trials_is_max() {
         let mut a = machine(CpuSpec::pentium4(), 2);
-        let one = peak_bandwidth_mbps(&mut a, &StreamConfig { buffer_bytes: 8 << 20, trials: 1, nloops: 5 });
+        let one = peak_bandwidth_mbps(
+            &mut a,
+            &StreamConfig { buffer_bytes: 8 << 20, trials: 1, nloops: 5 },
+        );
         let mut b = machine(CpuSpec::pentium4(), 2);
-        let ten = peak_bandwidth_mbps(&mut b, &StreamConfig { buffer_bytes: 8 << 20, trials: 10, nloops: 5 });
+        let ten = peak_bandwidth_mbps(
+            &mut b,
+            &StreamConfig { buffer_bytes: 8 << 20, trials: 10, nloops: 5 },
+        );
         assert!(ten >= one * 0.99, "more trials cannot reduce the best: {one} vs {ten}");
     }
 }

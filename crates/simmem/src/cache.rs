@@ -94,9 +94,7 @@ impl SetAssocCache {
             }
         }
         // Miss: fill LRU way (empty ways have stamp 0, oldest).
-        let lru = (0..self.assoc)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("assoc >= 1");
+        let lru = (0..self.assoc).min_by_key(|&w| self.stamps[base + w]).expect("assoc >= 1");
         self.tags[base + lru] = line;
         self.stamps[base + lru] = self.tick;
         self.misses += 1;

@@ -112,10 +112,7 @@ impl Governor {
         match self.policy {
             GovernorPolicy::Performance => {
                 self.current = self.freqs_ghz.len() - 1;
-                RunOutcome {
-                    elapsed_us: cycles / (self.max_ghz() * 1e3),
-                    max_freq_fraction: 1.0,
-                }
+                RunOutcome { elapsed_us: cycles / (self.max_ghz() * 1e3), max_freq_fraction: 1.0 }
             }
             GovernorPolicy::Powersave => {
                 self.current = 0;
@@ -131,8 +128,7 @@ impl Governor {
                 let mut cycles_at_max = 0.0;
                 let max_idx = self.freqs_ghz.len() - 1;
                 // next free-running tick strictly after `now`
-                let mut next_tick =
-                    ((now / sample_period_us).floor() + 1.0) * sample_period_us;
+                let mut next_tick = ((now / sample_period_us).floor() + 1.0) * sample_period_us;
                 while remaining > 0.0 {
                     let f_ghz = self.freqs_ghz[self.current];
                     let cycles_per_us = f_ghz * 1e3;
@@ -216,10 +212,8 @@ mod tests {
         // fractions: the Figure 10 multimodality mechanism.
         let work = 1.6e6 * 1.5; // 1.5 low-freq periods of cycles
         let run = |start: f64| {
-            let mut g = Governor::new(
-                GovernorPolicy::Ondemand { sample_period_us: 1000.0 },
-                i7_freqs(),
-            );
+            let mut g =
+                Governor::new(GovernorPolicy::Ondemand { sample_period_us: 1000.0 }, i7_freqs());
             g.run_cycles(work, start).max_freq_fraction
         };
         let fractions: Vec<f64> = (0..10).map(|i| run(i as f64 * 137.0)).collect();
@@ -234,8 +228,7 @@ mod tests {
 
     #[test]
     fn ondemand_decays_after_idle() {
-        let mut g =
-            Governor::new(GovernorPolicy::Ondemand { sample_period_us: 100.0 }, i7_freqs());
+        let mut g = Governor::new(GovernorPolicy::Ondemand { sample_period_us: 100.0 }, i7_freqs());
         g.run_cycles(3.4e6, 0.0); // ramps to max
         assert_eq!(g.current_ghz(), 3.4);
         g.note_idle(10_000.0, 10_050.0); // idle < one period: stays hot
@@ -246,8 +239,7 @@ mod tests {
 
     #[test]
     fn elapsed_between_min_and_max_bounds() {
-        let mut g =
-            Governor::new(GovernorPolicy::Ondemand { sample_period_us: 500.0 }, i7_freqs());
+        let mut g = Governor::new(GovernorPolicy::Ondemand { sample_period_us: 500.0 }, i7_freqs());
         let cycles = 5e6;
         let out = g.run_cycles(cycles, 123.0);
         let t_fast = cycles / (3.4 * 1e3);

@@ -180,8 +180,7 @@ mod tests {
         let m = quiet_machine(CpuSpec::core_i7_2600(), 5);
         let bw = |w: ElementWidth| {
             m.ideal_bandwidth_mbps(
-                &KernelConfig::baseline(16 * 1024, 2000)
-                    .with_codegen(CodegenConfig::new(w, false)),
+                &KernelConfig::baseline(16 * 1024, 2000).with_codegen(CodegenConfig::new(w, false)),
                 3.4,
             )
         };

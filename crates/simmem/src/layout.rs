@@ -110,11 +110,8 @@ impl PhysicalPattern {
     pub fn thrash_mask(&self, level: &CacheLevelSpec) -> Vec<bool> {
         let num_sets = level.num_sets();
         let mut per_set = vec![0u32; num_sets as usize];
-        let sets: Vec<u64> = self
-            .line_addrs
-            .iter()
-            .map(|&addr| (addr / level.line_bytes) % num_sets)
-            .collect();
+        let sets: Vec<u64> =
+            self.line_addrs.iter().map(|&addr| (addr / level.line_bytes) % num_sets).collect();
         for &s in &sets {
             per_set[s as usize] += 1;
         }

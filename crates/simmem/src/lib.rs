@@ -41,9 +41,10 @@ pub mod kernel;
 pub mod layout;
 pub mod machine;
 pub mod paging;
-pub mod plru;
 pub mod parallel;
+pub mod plru;
 pub mod sched;
+mod stream;
 pub mod stream_kernels;
 pub mod validate;
 

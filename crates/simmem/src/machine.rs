@@ -7,9 +7,10 @@ use crate::kernel::{KernelConfig, KernelResult};
 use crate::layout::{PhysicalPattern, ServiceProfile};
 use crate::paging::{AllocPolicy, PageAllocator};
 use crate::sched::{IntruderConfig, SchedPolicy, Scheduler};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use crate::stream;
+
+/// Salt for the per-measurement timer-jitter draw.
+const JITTER_SALT: u64 = 0x7177_E200_0000_0004;
 
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -81,8 +82,18 @@ impl CpuSpec {
             cores: 2,
             freqs_ghz: vec![2.8],
             levels: vec![
-                CacheLevelSpec { size_bytes: 64 * 1024, assoc: 2, line_bytes: 64, hit_latency_cycles: 3.0 },
-                CacheLevelSpec { size_bytes: 1024 * 1024, assoc: 16, line_bytes: 64, hit_latency_cycles: 14.0 },
+                CacheLevelSpec {
+                    size_bytes: 64 * 1024,
+                    assoc: 2,
+                    line_bytes: 64,
+                    hit_latency_cycles: 3.0,
+                },
+                CacheLevelSpec {
+                    size_bytes: 1024 * 1024,
+                    assoc: 16,
+                    line_bytes: 64,
+                    hit_latency_cycles: 14.0,
+                },
             ],
             dram_latency_cycles: 180.0,
             page_bytes: 4096,
@@ -104,8 +115,18 @@ impl CpuSpec {
             cores: 2,
             freqs_ghz: vec![3.2],
             levels: vec![
-                CacheLevelSpec { size_bytes: 16 * 1024, assoc: 8, line_bytes: 64, hit_latency_cycles: 4.0 },
-                CacheLevelSpec { size_bytes: 2 * 1024 * 1024, assoc: 8, line_bytes: 64, hit_latency_cycles: 20.0 },
+                CacheLevelSpec {
+                    size_bytes: 16 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    hit_latency_cycles: 4.0,
+                },
+                CacheLevelSpec {
+                    size_bytes: 2 * 1024 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    hit_latency_cycles: 20.0,
+                },
             ],
             dram_latency_cycles: 280.0,
             page_bytes: 4096,
@@ -136,9 +157,24 @@ impl CpuSpec {
             cores: 8,
             freqs_ghz: vec![1.6, 3.4],
             levels: vec![
-                CacheLevelSpec { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, hit_latency_cycles: 4.0 },
-                CacheLevelSpec { size_bytes: 256 * 1024, assoc: 8, line_bytes: 64, hit_latency_cycles: 12.0 },
-                CacheLevelSpec { size_bytes: 8 * 1024 * 1024, assoc: 16, line_bytes: 64, hit_latency_cycles: 30.0 },
+                CacheLevelSpec {
+                    size_bytes: 32 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    hit_latency_cycles: 4.0,
+                },
+                CacheLevelSpec {
+                    size_bytes: 256 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    hit_latency_cycles: 12.0,
+                },
+                CacheLevelSpec {
+                    size_bytes: 8 * 1024 * 1024,
+                    assoc: 16,
+                    line_bytes: 64,
+                    hit_latency_cycles: 30.0,
+                },
             ],
             dram_latency_cycles: 200.0,
             page_bytes: 4096,
@@ -163,8 +199,18 @@ impl CpuSpec {
             cores: 2,
             freqs_ghz: vec![1.0],
             levels: vec![
-                CacheLevelSpec { size_bytes: 32 * 1024, assoc: 4, line_bytes: 32, hit_latency_cycles: 4.0 },
-                CacheLevelSpec { size_bytes: 512 * 1024, assoc: 8, line_bytes: 32, hit_latency_cycles: 40.0 },
+                CacheLevelSpec {
+                    size_bytes: 32 * 1024,
+                    assoc: 4,
+                    line_bytes: 32,
+                    hit_latency_cycles: 4.0,
+                },
+                CacheLevelSpec {
+                    size_bytes: 512 * 1024,
+                    assoc: 8,
+                    line_bytes: 32,
+                    hit_latency_cycles: 40.0,
+                },
             ],
             dram_latency_cycles: 150.0,
             page_bytes: 4096,
@@ -193,9 +239,7 @@ impl CpuSpec {
             .levels
             .iter()
             .enumerate()
-            .map(|(i, l)| {
-                format!("L{}: {}KB {}-way", i + 1, l.size_bytes / 1024, l.assoc)
-            })
+            .map(|(i, l)| format!("L{}: {}KB {}-way", i + 1, l.size_bytes / 1024, l.assoc))
             .collect();
         format!(
             "{:<28} {:>4} cores  {:>2}-bit  {}",
@@ -212,13 +256,19 @@ impl CpuSpec {
 ///
 /// One instance models one *experiment run* (one boot): re-create with a
 /// new seed for an independent run.
+///
+/// Timer jitter and pooled-allocation offsets are counter-based — pure
+/// functions of `(seed, measurement index)` — so for configurations whose
+/// physics is time-independent (see [`MachineSim::order_invariant`]) a
+/// campaign can be split across [`MachineSim::fork`]ed instances and
+/// reproduce the sequential measurement values exactly.
 #[derive(Debug, Clone)]
 pub struct MachineSim {
     spec: CpuSpec,
     governor: Governor,
     scheduler: Scheduler,
     allocator: PageAllocator,
-    rng: ChaCha8Rng,
+    stream_seed: u64,
     now_us: f64,
     last_busy_end_us: f64,
     /// Idle virtual time between measurements (setup, logging; µs).
@@ -244,7 +294,7 @@ impl MachineSim {
             governor,
             scheduler,
             allocator,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            stream_seed: seed,
             now_us: 0.0,
             last_busy_end_us: 0.0,
             inter_measurement_us: 300.0,
@@ -255,6 +305,50 @@ impl MachineSim {
     /// The CPU specification.
     pub fn spec(&self) -> &CpuSpec {
         &self.spec
+    }
+
+    /// The seed identifying this machine's random streams.
+    pub fn stream_seed(&self) -> u64 {
+        self.stream_seed
+    }
+
+    /// A fresh machine with identical configuration (spec, policies,
+    /// intruder, pacing) at virtual time 0, drawing from `stream_seed`'s
+    /// random streams. Forking with the parent's own
+    /// [`MachineSim::stream_seed`] reproduces its measurement values on
+    /// [`MachineSim::order_invariant`] configurations.
+    pub fn fork(&self, stream_seed: u64) -> Self {
+        let mut m = MachineSim::new(
+            self.spec.clone(),
+            self.governor.policy(),
+            self.scheduler.policy(),
+            self.allocator.policy(),
+            stream_seed,
+        );
+        m.set_intruder(self.scheduler.intruder(), stream_seed ^ 0x5eed);
+        m.inter_measurement_us = self.inter_measurement_us;
+        m
+    }
+
+    /// Jumps the measurement counter to `index`: the next
+    /// [`MachineSim::run_kernel`] produces the jitter and buffer placement
+    /// the sequential run would use for measurement `index`. The virtual
+    /// clock is left untouched (shard clocks are per-shard; the campaign
+    /// runner records their offsets in metadata).
+    pub fn skip_to(&mut self, index: u64) {
+        self.measurements_taken = index;
+    }
+
+    /// Whether measurement values on this configuration are independent
+    /// of when (in virtual time) each measurement runs — the requirement
+    /// for sharded campaigns to reproduce sequential values. `Ondemand`
+    /// frequency scaling and non-default scheduling are start-time- or
+    /// order-dependent by design (they model exactly the temporal
+    /// phenomena of paper §IV), so campaigns studying them must stay
+    /// sequential.
+    pub fn order_invariant(&self) -> bool {
+        !matches!(self.governor.policy(), GovernorPolicy::Ondemand { .. })
+            && self.scheduler.policy() == SchedPolicy::PinnedDefault
     }
 
     /// Current virtual time (µs).
@@ -282,8 +376,9 @@ impl MachineSim {
     /// Runs the Figure 6 kernel once and returns the measurement.
     pub fn run_kernel(&mut self, cfg: &KernelConfig) -> KernelResult {
         assert!(cfg.nloops >= 1, "nloops must be >= 1");
-        // 1. allocate the buffer (physical placement per the policy)
-        let phys_pages = self.allocator.allocate(cfg.buffer_bytes);
+        // 1. allocate the buffer (physical placement per the policy);
+        //    indexed by measurement so placement is shard-invariant
+        let phys_pages = self.allocator.allocate_at(self.measurements_taken, cfg.buffer_bytes);
 
         // 2. analytic cache behaviour
         let line = self.spec.levels[0].line_bytes;
@@ -304,8 +399,9 @@ impl MachineSim {
             self.spec.dram_latency_cycles,
             self.spec.overlap_factor,
         );
-        let bytes_touched =
-            pattern.accesses_per_pass() as f64 * cfg.nloops as f64 * cfg.codegen.width.bytes() as f64;
+        let bytes_touched = pattern.accesses_per_pass() as f64
+            * cfg.nloops as f64
+            * cfg.codegen.width.bytes() as f64;
         self.execute_cycles(cycles, bytes_touched)
     }
 
@@ -325,7 +421,7 @@ impl MachineSim {
         let (sched_mult, extra_rel) = self.scheduler.run_multiplier(self.now_us);
         let rel = (self.spec.timer_noise_rel.powi(2) + extra_rel.powi(2)).sqrt();
         let jitter = if rel > 0.0 {
-            let z = standard_normal(&mut self.rng);
+            let z = stream::normal_at(self.stream_seed, self.measurements_taken, JITTER_SALT);
             (1.0 + rel * z).max(0.05)
         } else {
             1.0
@@ -379,14 +475,6 @@ impl MachineSim {
     }
 }
 
-/// Box–Muller standard normal (kept local; `rand_distr` is outside the
-/// approved dependency set).
-fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
-    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.random_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,9 +498,56 @@ mod tests {
 
     #[test]
     fn cache_level_helpers() {
-        let l = CacheLevelSpec { size_bytes: 32 * 1024, assoc: 4, line_bytes: 32, hit_latency_cycles: 4.0 };
+        let l = CacheLevelSpec {
+            size_bytes: 32 * 1024,
+            assoc: 4,
+            line_bytes: 32,
+            hit_latency_cycles: 4.0,
+        };
         assert_eq!(l.num_sets(), 256);
         assert_eq!(l.way_bytes(), 8192);
+    }
+
+    #[test]
+    fn forked_shards_reproduce_sequential_kernels() {
+        let mut base = MachineSim::new(
+            CpuSpec::opteron(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::PooledRandomOffset,
+            77,
+        );
+        assert!(base.order_invariant());
+        let cfgs: Vec<KernelConfig> =
+            (0u64..60).map(|i| KernelConfig::baseline(4096 * (1 + i % 9), 10 + i % 5)).collect();
+        let sequential: Vec<f64> = cfgs.iter().map(|c| base.run_kernel(c).bandwidth_mbps).collect();
+        for (lo, hi) in [(0usize, 25usize), (25, 60)] {
+            let mut shard = base.fork(base.stream_seed());
+            shard.skip_to(lo as u64);
+            for i in lo..hi {
+                assert_eq!(
+                    shard.run_kernel(&cfgs[i]).bandwidth_mbps,
+                    sequential[i],
+                    "measurement {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ondemand_or_realtime_not_order_invariant() {
+        let m = |g, s| {
+            MachineSim::new(CpuSpec::core_i7_2600(), g, s, AllocPolicy::MallocPerSize, 1)
+                .order_invariant()
+        };
+        assert!(m(GovernorPolicy::Performance, SchedPolicy::PinnedDefault));
+        assert!(m(GovernorPolicy::Powersave, SchedPolicy::PinnedDefault));
+        assert!(!m(
+            GovernorPolicy::Ondemand { sample_period_us: 1000.0 },
+            SchedPolicy::PinnedDefault
+        ));
+        assert!(!m(GovernorPolicy::Performance, SchedPolicy::PinnedRealtime));
+        assert!(!m(GovernorPolicy::Performance, SchedPolicy::TimeshareNoisy));
     }
 
     #[test]

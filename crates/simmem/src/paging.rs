@@ -61,6 +61,10 @@ pub struct PageAllocator {
     pool: Vec<u64>,
     policy: AllocPolicy,
     rng: ChaCha8Rng,
+    /// Seed the allocator was built with; [`PageAllocator::allocate_at`]
+    /// derives per-index offsets from it so that the pages backing
+    /// measurement `i` do not depend on allocation order.
+    seed: u64,
     /// Contiguous physical mapping of the pooled block (pool order) —
     /// fixed once per run, like a real long-lived allocation.
     pooled_block_pages: usize,
@@ -77,7 +81,12 @@ impl PageAllocator {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut pool: Vec<u64> = (0..pool_pages as u64).collect();
         pool.shuffle(&mut rng);
-        PageAllocator { page_bytes, pool, policy, rng, pooled_block_pages: pool_pages }
+        PageAllocator { page_bytes, pool, policy, rng, seed, pooled_block_pages: pool_pages }
+    }
+
+    /// The seed this allocator was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Page size in bytes.
@@ -108,12 +117,40 @@ impl PageAllocator {
                 self.pool[..pages_needed].to_vec()
             }
             AllocPolicy::PooledRandomOffset => {
-                assert!(
-                    pages_needed <= self.pooled_block_pages,
-                    "buffer exceeds pooled block"
-                );
+                assert!(pages_needed <= self.pooled_block_pages, "buffer exceeds pooled block");
                 let max_start = self.pooled_block_pages - pages_needed;
                 let start = if max_start == 0 { 0 } else { self.rng.random_range(0..=max_start) };
+                self.pool[start..start + pages_needed].to_vec()
+            }
+        }
+    }
+
+    /// Like [`PageAllocator::allocate`], but the offset draw under
+    /// `PooledRandomOffset` is a pure function of `(seed, index)` instead
+    /// of consuming the sequential RNG: the pages backing measurement
+    /// `index` are the same no matter how many allocations happened
+    /// before, which is what lets forked shard simulators reproduce a
+    /// sequential campaign's buffers (see `DESIGN.md`). `MallocPerSize`
+    /// is unchanged (it never draws).
+    ///
+    /// # Panics
+    /// Panics when the buffer needs more pages than the pool holds.
+    pub fn allocate_at(&self, index: u64, buffer_bytes: u64) -> Vec<u64> {
+        let pages_needed = (buffer_bytes.div_ceil(self.page_bytes)).max(1) as usize;
+        match self.policy {
+            AllocPolicy::MallocPerSize => {
+                assert!(pages_needed <= self.pool.len(), "buffer exceeds page pool");
+                self.pool[..pages_needed].to_vec()
+            }
+            AllocPolicy::PooledRandomOffset => {
+                assert!(pages_needed <= self.pooled_block_pages, "buffer exceeds pooled block");
+                let max_start = self.pooled_block_pages - pages_needed;
+                let start = if max_start == 0 {
+                    0
+                } else {
+                    (crate::stream::derive_u64(self.seed, index, 0xA110_C000_0000_0003)
+                        % (max_start as u64 + 1)) as usize
+                };
                 self.pool[start..start + pages_needed].to_vec()
             }
         }
@@ -192,6 +229,27 @@ mod tests {
         }
         // way smaller than a page -> single colour
         assert_eq!(a.page_color(5, 2048), 0);
+    }
+
+    #[test]
+    fn allocate_at_is_order_independent() {
+        let a = PageAllocator::new(AllocPolicy::PooledRandomOffset, 4096, 256, 5);
+        let forward: Vec<Vec<u64>> = (0..50).map(|i| a.allocate_at(i, 16_384)).collect();
+        let backward: Vec<Vec<u64>> = (0..50).rev().map(|i| a.allocate_at(i, 16_384)).collect();
+        for (i, d) in backward.into_iter().rev().enumerate() {
+            assert_eq!(d, forward[i], "index {i}");
+        }
+        // offsets still vary across indices
+        let distinct: std::collections::HashSet<_> = forward.iter().collect();
+        assert!(distinct.len() > 5, "{} distinct layouts", distinct.len());
+    }
+
+    #[test]
+    fn allocate_at_malloc_matches_allocate() {
+        let mut a = PageAllocator::new(AllocPolicy::MallocPerSize, 4096, 64, 11);
+        for i in 0..5 {
+            assert_eq!(a.allocate_at(i, 12_288), a.allocate(12_288));
+        }
     }
 
     #[test]

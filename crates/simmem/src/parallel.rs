@@ -39,7 +39,11 @@ impl ParallelResult {
 
 /// Levels as one thread sees them with `threads` active: shared levels
 /// shrink to their competitive share.
-fn effective_levels(levels: &[CacheLevelSpec], first_shared: Option<usize>, threads: u32) -> Vec<CacheLevelSpec> {
+fn effective_levels(
+    levels: &[CacheLevelSpec],
+    first_shared: Option<usize>,
+    threads: u32,
+) -> Vec<CacheLevelSpec> {
     levels
         .iter()
         .enumerate()
@@ -49,8 +53,7 @@ fn effective_levels(levels: &[CacheLevelSpec], first_shared: Option<usize>, thre
                 if i >= fs && threads > 1 {
                     // competitive partitioning: capacity share shrinks;
                     // geometry stays valid by dividing the sets
-                    let share = (l.size_bytes / threads as u64)
-                        .max(l.assoc as u64 * l.line_bytes);
+                    let share = (l.size_bytes / threads as u64).max(l.assoc as u64 * l.line_bytes);
                     // round down to a power-of-two multiple of one way row
                     let way_row = l.assoc as u64 * l.line_bytes;
                     eff.size_bytes = (share / way_row).max(1) * way_row;
@@ -149,10 +152,7 @@ mod tests {
         let cfg = KernelConfig::baseline(16 << 20, 4);
         let two = run_kernel_parallel(&mut m, &cfg, 2).measurement.bandwidth_mbps;
         let eight = run_kernel_parallel(&mut m, &cfg, 8).measurement.bandwidth_mbps;
-        assert!(
-            eight < 1.3 * two,
-            "DRAM-bound aggregate should saturate: 2T {two} vs 8T {eight}"
-        );
+        assert!(eight < 1.3 * two, "DRAM-bound aggregate should saturate: 2T {two} vs 8T {eight}");
     }
 
     #[test]

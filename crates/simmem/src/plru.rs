@@ -204,10 +204,7 @@ mod tests {
         }
         let (h, m) = c.counters();
         let miss_rate = (m - m0) as f64 / ((h - h0) + (m - m0)) as f64;
-        assert!(
-            miss_rate > 0.4,
-            "PLRU cyclic overcommit should still miss heavily: {miss_rate}"
-        );
+        assert!(miss_rate > 0.4, "PLRU cyclic overcommit should still miss heavily: {miss_rate}");
     }
 
     #[test]

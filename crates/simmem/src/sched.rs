@@ -109,6 +109,11 @@ impl Scheduler {
         self.policy
     }
 
+    /// The intruder configuration in force.
+    pub fn intruder(&self) -> IntruderConfig {
+        self.intruder
+    }
+
     /// Exponential deviate with the given mean.
     fn exp(&mut self, mean: f64) -> f64 {
         let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
@@ -119,11 +124,8 @@ impl Scheduler {
     fn advance_to(&mut self, now_us: f64) {
         while now_us >= self.phase_end_us {
             self.intruder_on = !self.intruder_on;
-            let mean = if self.intruder_on {
-                self.intruder.mean_on_us
-            } else {
-                self.intruder.mean_off_us
-            };
+            let mean =
+                if self.intruder_on { self.intruder.mean_on_us } else { self.intruder.mean_off_us };
             self.phase_end_us += self.exp(mean);
         }
     }
@@ -187,9 +189,8 @@ mod tests {
         let cfg = IntruderConfig::figure11();
         let mut s = Scheduler::new(SchedPolicy::PinnedRealtime, cfg, 42);
         let n = 20_000;
-        let slowed = (0..n)
-            .filter(|&i| s.run_multiplier(i as f64 * 5_000.0).0 > 1.0)
-            .count() as f64
+        let slowed = (0..n).filter(|&i| s.run_multiplier(i as f64 * 5_000.0).0 > 1.0).count()
+            as f64
             / n as f64;
         let duty = cfg.duty_cycle();
         assert!(
@@ -200,8 +201,7 @@ mod tests {
 
     #[test]
     fn slow_runs_temporally_clustered() {
-        let mut s =
-            Scheduler::new(SchedPolicy::PinnedRealtime, IntruderConfig::figure11(), 3);
+        let mut s = Scheduler::new(SchedPolicy::PinnedRealtime, IntruderConfig::figure11(), 3);
         let slow: Vec<bool> =
             (0..20_000).map(|i| s.run_multiplier(i as f64 * 1_000.0).0 > 1.0).collect();
         // Mean run length of slow stretches must far exceed 1 (ON phases

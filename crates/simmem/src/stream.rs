@@ -1,0 +1,74 @@
+//! Counter-based random-stream derivation.
+//!
+//! Every stochastic effect in the machine simulator that must survive
+//! campaign sharding draws its randomness as a pure function of
+//! `(stream_seed, measurement index, salt)` instead of consuming a
+//! sequential generator. The value of measurement *i* then never depends
+//! on how many draws earlier measurements made, so a campaign can be
+//! split across forked simulators at any boundary and reproduce the
+//! sequential values bit-for-bit (the determinism contract in
+//! `DESIGN.md`).
+
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a decorrelated 64-bit value from `(stream_seed, index, salt)`.
+#[inline]
+pub(crate) fn derive_u64(stream_seed: u64, index: u64, salt: u64) -> u64 {
+    let z = stream_seed
+        ^ salt.rotate_left(24)
+        ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+    mix64(mix64(z).wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Uniform in the half-open interval `(0, 1]` — safe to feed to `ln`.
+#[inline]
+pub(crate) fn unit_open01(bits: u64) -> f64 {
+    ((bits >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard normal deviate derived purely from `(stream_seed, index,
+/// salt)`, via Box–Muller (`rand_distr` is outside the approved
+/// dependency set).
+#[inline]
+pub(crate) fn normal_at(stream_seed: u64, index: u64, salt: u64) -> f64 {
+    let u1 = unit_open01(derive_u64(stream_seed, index, salt));
+    let u2 = unit_open01(derive_u64(stream_seed, index, salt ^ 0xA5A5_A5A5_5A5A_5A5A));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_pure_and_seed_sensitive() {
+        assert_eq!(derive_u64(1, 2, 3), derive_u64(1, 2, 3));
+        assert_ne!(derive_u64(1, 2, 3), derive_u64(2, 2, 3));
+        assert_ne!(derive_u64(1, 2, 3), derive_u64(1, 3, 3));
+        assert_ne!(derive_u64(1, 2, 3), derive_u64(1, 2, 4));
+    }
+
+    #[test]
+    fn unit_open01_in_range() {
+        for bits in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            let u = unit_open01(bits);
+            assert!(u > 0.0 && u <= 1.0, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn normals_have_unit_scale() {
+        let n = 20_000;
+        let zs: Vec<f64> = (0..n).map(|i| normal_at(7, i, 0x11)).collect();
+        let mean = zs.iter().sum::<f64>() / n as f64;
+        let var = zs.iter().map(|z| (z - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+}

@@ -180,7 +180,13 @@ mod tests {
     #[test]
     fn all_kernels_run_and_report_positive_bandwidth() {
         let mut m = machine(1);
-        for k in [StreamKernel::Sum, StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad] {
+        for k in [
+            StreamKernel::Sum,
+            StreamKernel::Copy,
+            StreamKernel::Scale,
+            StreamKernel::Add,
+            StreamKernel::Triad,
+        ] {
             let r = run_stream(&mut m, &cfg(k, 2048));
             assert!(r.bandwidth_mbps > 0.0 && r.bandwidth_mbps.is_finite(), "{k:?}");
         }
@@ -207,7 +213,12 @@ mod tests {
         let add = run_stream(&mut m, &cfg(StreamKernel::Add, 2048));
         let triad = run_stream(&mut m, &cfg(StreamKernel::Triad, 2048));
         let ratio = add.bandwidth_mbps / triad.bandwidth_mbps;
-        assert!((0.8..1.25).contains(&ratio), "add {} vs triad {}", add.bandwidth_mbps, triad.bandwidth_mbps);
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "add {} vs triad {}",
+            add.bandwidth_mbps,
+            triad.bandwidth_mbps
+        );
     }
 
     #[test]
@@ -233,6 +244,11 @@ mod tests {
         let copy = run_stream(&mut m, &cfg(StreamKernel::Copy, 4));
         let add = run_stream(&mut m, &cfg(StreamKernel::Add, 4));
         let ratio = copy.bandwidth_mbps / add.bandwidth_mbps;
-        assert!((0.85..1.18).contains(&ratio), "copy {} vs add {}", copy.bandwidth_mbps, add.bandwidth_mbps);
+        assert!(
+            (0.85..1.18).contains(&ratio),
+            "copy {} vs add {}",
+            copy.bandwidth_mbps,
+            add.bandwidth_mbps
+        );
     }
 }

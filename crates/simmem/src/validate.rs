@@ -109,23 +109,14 @@ mod tests {
     #[test]
     fn all_shipped_presets_validate() {
         for spec in CpuSpec::all() {
-            assert_eq!(
-                validate_spec(&spec),
-                None,
-                "analytic model diverges on {}",
-                spec.name
-            );
+            assert_eq!(validate_spec(&spec), None, "analytic model diverges on {}", spec.name);
         }
     }
 
     #[test]
     fn validation_detects_agreement_on_simple_case() {
-        let level = CacheLevelSpec {
-            size_bytes: 8192,
-            assoc: 2,
-            line_bytes: 64,
-            hit_latency_cycles: 4.0,
-        };
+        let level =
+            CacheLevelSpec { size_bytes: 8192, assoc: 2, line_bytes: 64, hit_latency_cycles: 4.0 };
         let pages: Vec<u64> = (0..4).collect();
         let v = validate_level(&level, &pages, 4096, 4, 1, 16384, 3);
         assert!(v.agrees());
@@ -142,8 +133,7 @@ mod tests {
             hit_latency_cycles: 4.0,
         };
         for seed in 0..5u64 {
-            let pages: Vec<u64> =
-                (0..8).map(|v| (v * 7 + seed * 13) % 64).collect();
+            let pages: Vec<u64> = (0..8).map(|v| (v * 7 + seed * 13) % 64).collect();
             let v = validate_level(&level, &pages, 4096, 4, 1, 8 * 4096, 2);
             assert!(v.agrees(), "seed {seed}: {v:?}");
         }
@@ -152,12 +142,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "steady pass")]
     fn zero_passes_rejected() {
-        let level = CacheLevelSpec {
-            size_bytes: 8192,
-            assoc: 2,
-            line_bytes: 64,
-            hit_latency_cycles: 4.0,
-        };
+        let level =
+            CacheLevelSpec { size_bytes: 8192, assoc: 2, line_bytes: 64, hit_latency_cycles: 4.0 };
         validate_level(&level, &[0], 4096, 4, 1, 4096, 0);
     }
 }

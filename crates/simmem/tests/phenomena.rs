@@ -91,9 +91,20 @@ fn realtime_scheduler_bimodality() {
             AllocPolicy::PooledRandomOffset,
             seed,
         );
-        // 42 reps x a few sizes, as the paper does
+        // Setup/logging time between measurements must dominate kernel
+        // time, as in the paper's harness: measurement *starts* sample
+        // the intruder phase process, and if slowed (ON-phase) kernels
+        // took a comparable share of the cadence they would thin their
+        // own sampling rate and bias the observed slow fraction well
+        // below the 22 % duty cycle.
+        m.inter_measurement_us = 5_000.0;
+        // Many replicates so the campaign spans many intruder ON/OFF
+        // cycles (~155 ms each vs ~5-6 ms per measurement): with the
+        // paper's 42 reps the slow-mode *fraction* of a single run is
+        // dominated by where the handful of phase boundaries happen to
+        // fall and the test would be a coin flip on the seed.
         let mut out = Vec::new();
-        for _rep in 0..42 {
+        for _rep in 0..1000 {
             // sizes capped at 16 KiB = 4 pages: with 4 ways, page colours
             // can never conflict, so any slow mode here is the scheduler's
             for size_kb in [4u64, 8, 12, 16] {
@@ -115,16 +126,9 @@ fn realtime_scheduler_bimodality() {
     let med = median(&rt);
     let slow: Vec<f64> = rt.iter().copied().filter(|&b| b < med / 2.0).collect();
     let frac = slow.len() as f64 / rt.len() as f64;
-    assert!(
-        (0.10..=0.40).contains(&frac),
-        "slow-mode fraction {frac} outside the plausible band"
-    );
+    assert!((0.10..=0.40).contains(&frac), "slow-mode fraction {frac} outside the plausible band");
     let slow_med = median(&slow);
-    assert!(
-        (3.0..=7.0).contains(&(med / slow_med)),
-        "mode ratio {} should be ~5",
-        med / slow_med
-    );
+    assert!((3.0..=7.0).contains(&(med / slow_med)), "mode ratio {} should be ~5", med / slow_med);
     // default policy: no such mode
     let dmed = median(&default);
     let dslow = default.iter().filter(|&&b| b < dmed / 2.0).count();
@@ -142,8 +146,9 @@ fn realtime_slow_mode_is_temporally_clustered() {
         AllocPolicy::PooledRandomOffset,
         11,
     );
-    let bws: Vec<f64> =
-        (0..400).map(|_| m.run_kernel(&KernelConfig::baseline(16 * 1024, 20)).bandwidth_mbps).collect();
+    let bws: Vec<f64> = (0..400)
+        .map(|_| m.run_kernel(&KernelConfig::baseline(16 * 1024, 20)).bandwidth_mbps)
+        .collect();
     let med = {
         let mut s = bws.clone();
         s.sort_by(|a, b| a.partial_cmp(b).unwrap());

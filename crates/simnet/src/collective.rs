@@ -66,12 +66,7 @@ impl Collective {
 /// is measured on the substrate (so noise and protocol regimes apply per
 /// round). `AllReduce` pays the payload in every round; `Barrier` moves
 /// zero bytes.
-pub fn measure_collective(
-    sim: &mut NetworkSim,
-    op: Collective,
-    size: u64,
-    procs: u32,
-) -> f64 {
+pub fn measure_collective(sim: &mut NetworkSim, op: Collective, size: u64, procs: u32) -> f64 {
     let rounds = op.rounds(procs);
     let payload = match op {
         Collective::Barrier => 0,
@@ -87,12 +82,7 @@ pub fn measure_collective(
 }
 
 /// Deterministic (noise-free) collective time under the protocol model.
-pub fn true_collective_time(
-    sim: &NetworkSim,
-    op: Collective,
-    size: u64,
-    procs: u32,
-) -> f64 {
+pub fn true_collective_time(sim: &NetworkSim, op: Collective, size: u64, procs: u32) -> f64 {
     let rounds = op.rounds(procs);
     let payload = match op {
         Collective::Barrier => 0,
@@ -154,12 +144,9 @@ mod tests {
 
     #[test]
     fn names_roundtrip() {
-        for c in [
-            Collective::Broadcast,
-            Collective::Reduce,
-            Collective::AllReduce,
-            Collective::Barrier,
-        ] {
+        for c in
+            [Collective::Broadcast, Collective::Reduce, Collective::AllReduce, Collective::Barrier]
+        {
             assert_eq!(Collective::parse(c.name()), Some(c));
         }
         assert_eq!(Collective::parse("gossip"), None);

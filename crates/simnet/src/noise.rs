@@ -14,18 +14,57 @@
 //!   ("some values, such as 1024 … may have special behavior coded into
 //!   the network layers"), which power-of-two ladders hit or miss
 //!   systematically.
+//!
+//! # Counter-based randomness
+//!
+//! Every random draw is a pure function of `(stream_seed, measurement
+//! index, salt)`: the model hashes the triple and feeds the result
+//! through Box–Muller. Nothing about the value of measurement *i*
+//! depends on how many draws earlier measurements consumed, so a
+//! campaign can be split across shards at any boundary and still produce
+//! bit-identical values (see the determinism contract in `DESIGN.md`).
+//! The burst process keeps its Gilbert *state* chain — temporal
+//! clustering is the whole point — but each transition consumes exactly
+//! one counter-derived uniform, so the state at index `i` is likewise a
+//! pure function of `(stream_seed, i)`.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-/// Standard normal deviate via Box–Muller (rand itself ships no normal
-/// distribution and `rand_distr` is outside the approved crate set).
-pub(crate) fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
-    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.random_range(0.0..1.0);
+/// Derives a decorrelated 64-bit value from `(stream_seed, index, salt)`.
+/// Two finalizer rounds so that adjacent indices land far apart.
+#[inline]
+pub(crate) fn derive_u64(stream_seed: u64, index: u64, salt: u64) -> u64 {
+    let z = stream_seed
+        ^ salt.rotate_left(24)
+        ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+    mix64(mix64(z).wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Uniform in the half-open interval `(0, 1]` — safe to feed to `ln`.
+#[inline]
+pub(crate) fn unit_open01(bits: u64) -> f64 {
+    ((bits >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard normal deviate derived purely from `(stream_seed, index,
+/// salt)` — the counter-based analogue of [`standard_normal`].
+#[inline]
+pub(crate) fn normal_at(stream_seed: u64, index: u64, salt: u64) -> f64 {
+    let u1 = unit_open01(derive_u64(stream_seed, index, salt));
+    let u2 = unit_open01(derive_u64(stream_seed, index, salt ^ 0xA5A5_A5A5_5A5A_5A5A));
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
+
+/// Salt for the white-noise draw of each measurement.
+const WHITE_SALT: u64 = 0x57E1_7E00_0000_0001;
+/// Salt for the burst-transition draw of each measurement.
+const BURST_SALT: u64 = 0xB025_7000_0000_0002;
 
 /// Two-state Gilbert burst process over the *sequence* of measurements.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -58,9 +97,15 @@ impl BurstConfig {
 }
 
 /// Full noise model: white jitter + burst process + size anomalies.
+///
+/// Draws are counter-based (see the module docs): the perturbation of
+/// measurement `i` depends only on `(stream_seed, i)` and the call's
+/// arguments, never on the call history. [`NoiseModel::perturb`] keeps a
+/// running index for sequential use; [`NoiseModel::perturb_at`] addresses
+/// an explicit index (what the parallel campaign runner uses).
 #[derive(Debug, Clone)]
 pub struct NoiseModel {
-    rng: ChaCha8Rng,
+    stream_seed: u64,
     /// Relative sd of baseline white noise (applied on top of any
     /// regime-specific noise the caller supplies).
     pub white_rel: f64,
@@ -73,6 +118,11 @@ pub struct NoiseModel {
     /// term and any regime-specific term the caller passes). `silent()`
     /// sets it to zero so tests get fully deterministic times.
     pub noise_scale: f64,
+    /// Next index used by the sequential [`NoiseModel::perturb`] API.
+    next_index: u64,
+    /// Number of burst transitions already applied: `in_burst` is the
+    /// Gilbert state after consuming draws for indices `0..burst_pos`.
+    burst_pos: u64,
     in_burst: bool,
 }
 
@@ -80,11 +130,13 @@ impl NoiseModel {
     /// Creates a noise model with the given seed.
     pub fn new(seed: u64, white_rel: f64, burst: BurstConfig) -> Self {
         NoiseModel {
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            stream_seed: seed,
             white_rel,
             burst,
             size_anomalies: Vec::new(),
             noise_scale: 1.0,
+            next_index: 0,
+            burst_pos: 0,
             in_burst: false,
         }
     }
@@ -104,29 +156,79 @@ impl NoiseModel {
         self
     }
 
-    /// Whether the process is currently inside a burst (advances only on
-    /// [`NoiseModel::perturb`] calls).
+    /// The seed identifying this model's random stream.
+    pub fn stream_seed(&self) -> u64 {
+        self.stream_seed
+    }
+
+    /// A fresh model with identical configuration whose draws come from
+    /// `stream_seed`'s stream, positioned at index 0. Passing the same
+    /// seed reproduces this model's stream exactly.
+    pub fn fork(&self, stream_seed: u64) -> Self {
+        NoiseModel {
+            stream_seed,
+            white_rel: self.white_rel,
+            burst: self.burst,
+            size_anomalies: self.size_anomalies.clone(),
+            noise_scale: self.noise_scale,
+            next_index: 0,
+            burst_pos: 0,
+            in_burst: false,
+        }
+    }
+
+    /// Repositions the sequential cursor: the next [`NoiseModel::perturb`]
+    /// call perturbs measurement `index`.
+    pub fn skip_to(&mut self, index: u64) {
+        self.next_index = index;
+    }
+
+    /// Whether the process was inside a burst at the most recently
+    /// perturbed index.
     pub fn in_burst(&self) -> bool {
         self.in_burst
     }
 
-    /// Steps the burst state machine one measurement forward.
-    fn step_burst(&mut self) {
-        let p: f64 = self.rng.random();
-        if self.in_burst {
-            if p < self.burst.exit_prob {
-                self.in_burst = false;
-            }
-        } else if p < self.burst.enter_prob {
-            self.in_burst = true;
+    /// Gilbert state at measurement `index`: replays counter-derived
+    /// transitions from the last cached position (O(1) when indices are
+    /// consumed sequentially; restarts from 0 on a backward jump).
+    fn burst_at(&mut self, index: u64) -> bool {
+        if self.burst.enter_prob <= 0.0 {
+            return false;
         }
+        if index + 1 < self.burst_pos {
+            self.burst_pos = 0;
+            self.in_burst = false;
+        }
+        while self.burst_pos <= index {
+            let p = unit_open01(derive_u64(self.stream_seed, self.burst_pos, BURST_SALT));
+            if self.in_burst {
+                if p < self.burst.exit_prob {
+                    self.in_burst = false;
+                }
+            } else if p < self.burst.enter_prob {
+                self.in_burst = true;
+            }
+            self.burst_pos += 1;
+        }
+        self.in_burst
     }
 
     /// Perturbs a deterministic duration `base_us` for a message of
-    /// `size` bytes, with `extra_rel` additional relative noise from the
-    /// active protocol regime. Advances the burst state machine.
+    /// `size` bytes at the sequential cursor, with `extra_rel` additional
+    /// relative noise from the active protocol regime. Advances the
+    /// cursor.
     pub fn perturb(&mut self, base_us: f64, size: u64, extra_rel: f64) -> f64 {
-        self.step_burst();
+        let index = self.next_index;
+        self.next_index = index + 1;
+        self.perturb_at(index, base_us, size, extra_rel)
+    }
+
+    /// Perturbs measurement `index` explicitly. The result is a pure
+    /// function of `(stream_seed, index, base_us, size, extra_rel)` and
+    /// the model configuration — independent of call order.
+    pub fn perturb_at(&mut self, index: u64, base_us: f64, size: u64, extra_rel: f64) -> f64 {
+        let bursting = self.burst_at(index);
         let mut t = base_us;
         // Size anomaly first (it is a property of the deterministic path).
         for &(s, m) in &self.size_anomalies {
@@ -139,11 +241,11 @@ impl NoiseModel {
         let rel =
             (self.white_rel * self.white_rel + extra_rel * extra_rel).sqrt() * self.noise_scale;
         if rel > 0.0 {
-            let z = standard_normal(&mut self.rng);
+            let z = normal_at(self.stream_seed, index, WHITE_SALT);
             t *= (1.0 + rel * z).max(0.05);
         }
         // Burst effect last (the interloper delays whatever happens).
-        if self.in_burst {
+        if bursting {
             t = t * self.burst.slowdown + self.burst.extra_us;
         }
         t
@@ -243,5 +345,41 @@ mod tests {
         };
         assert_eq!(mk(9), mk(9));
         assert_ne!(mk(9), mk(10));
+    }
+
+    #[test]
+    fn perturb_at_is_order_independent() {
+        let cfg = BurstConfig { enter_prob: 0.02, exit_prob: 0.1, slowdown: 4.0, extra_us: 2.0 };
+        let mut fwd = NoiseModel::new(21, 0.05, cfg).with_anomaly(64, 0.5);
+        let sequential: Vec<f64> =
+            (0..500).map(|i| fwd.perturb_at(i, 10.0, i % 128, 0.02)).collect();
+        // Same indices visited in reverse on a forked model: identical values.
+        let mut rev = fwd.fork(21);
+        for i in (0..500).rev() {
+            let v = rev.perturb_at(i, 10.0, i % 128, 0.02);
+            assert_eq!(v, sequential[i as usize], "index {i}");
+        }
+    }
+
+    #[test]
+    fn skip_to_matches_explicit_index() {
+        let cfg = BurstConfig { enter_prob: 0.05, exit_prob: 0.2, slowdown: 3.0, extra_us: 0.0 };
+        let mut a = NoiseModel::new(8, 0.03, cfg);
+        let full: Vec<f64> = (0..100).map(|_| a.perturb(5.0, 32, 0.01)).collect();
+        let mut b = a.fork(8);
+        b.skip_to(60);
+        for (i, &expect) in full.iter().enumerate().skip(60) {
+            assert_eq!(b.perturb(5.0, 32, 0.01), expect, "index {i}");
+        }
+    }
+
+    #[test]
+    fn fork_preserves_configuration() {
+        let base = NoiseModel::new(1, 0.07, BurstConfig::off()).with_anomaly(256, 0.9);
+        let f = base.fork(99);
+        assert_eq!(f.white_rel, 0.07);
+        assert_eq!(f.size_anomalies, vec![(256, 0.9)]);
+        assert_eq!(f.stream_seed(), 99);
+        assert_ne!(base.stream_seed(), f.stream_seed());
     }
 }

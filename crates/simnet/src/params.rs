@@ -56,7 +56,9 @@ impl LogGpParams {
     /// per-byte overheads folded into the o's).
     pub fn one_way(&self, size: u64) -> f64 {
         let wire_bytes = size.saturating_sub(1) as f64;
-        self.send_overhead(size) + wire_bytes * self.gap_per_byte + self.latency_us
+        self.send_overhead(size)
+            + wire_bytes * self.gap_per_byte
+            + self.latency_us
             + self.recv_overhead(size)
     }
 

@@ -105,9 +105,7 @@ impl PiecewiseProtocol {
         let one_way = r.params.one_way(size);
         let sync = match r.mode {
             ProtocolMode::Rendezvous => {
-                2.0 * (r.params.latency_us
-                    + r.params.send_overhead_us
-                    + r.params.recv_overhead_us)
+                2.0 * (r.params.latency_us + r.params.send_overhead_us + r.params.recv_overhead_us)
             }
             ProtocolMode::Detached => {
                 // One extra buffer copy on each side, folded into per-byte

@@ -97,6 +97,11 @@ impl NetworkSim {
     }
 
     /// Performs one measured operation and returns its duration (µs).
+    ///
+    /// The duration of the `i`-th measurement is a pure function of
+    /// `(op, size, stream seed, i)` — noise draws are counter-based (see
+    /// [`NoiseModel`]) — so a campaign split across forked simulators
+    /// reproduces the sequential values exactly.
     pub fn measure(&mut self, op: NetOp, size: u64) -> f64 {
         let regime = *self.protocol.regime(size);
         let (base, rel) = match op {
@@ -104,10 +109,37 @@ impl NetworkSim {
             NetOp::BlockingRecv => (regime.params.recv_overhead(size), regime.recv_noise_rel),
             NetOp::PingPong => (self.protocol.pingpong_rtt(size), regime.rtt_noise_rel),
         };
-        let t = self.noise.perturb(base, size, rel);
+        let t = self.noise.perturb_at(self.measurements_taken, base, size, rel);
         self.clock.advance_us(t + self.inter_measurement_us);
         self.measurements_taken += 1;
         t
+    }
+
+    /// A fresh simulator on the same protocol and noise configuration,
+    /// drawing from `stream_seed`'s random stream, with clock and
+    /// measurement counter reset. Forking with the parent's own
+    /// [`NoiseModel::stream_seed`] reproduces its measurement values.
+    pub fn fork(&self, stream_seed: u64) -> Self {
+        NetworkSim {
+            protocol: self.protocol.clone(),
+            noise: self.noise.fork(stream_seed),
+            clock: VirtualClock::new(),
+            inter_measurement_us: self.inter_measurement_us,
+            measurements_taken: 0,
+        }
+    }
+
+    /// The seed identifying this simulator's noise stream.
+    pub fn stream_seed(&self) -> u64 {
+        self.noise.stream_seed()
+    }
+
+    /// Jumps the measurement counter to `index` without advancing the
+    /// clock: the next [`NetworkSim::measure`] produces the value the
+    /// sequential run would produce for measurement `index`.
+    pub fn skip_to(&mut self, index: u64) {
+        self.measurements_taken = index;
+        self.noise.skip_to(index);
     }
 
     /// Deterministic (noise-free) duration the model assigns to an
@@ -184,6 +216,30 @@ mod tests {
         };
         assert_eq!(mk(4), mk(4));
         assert_ne!(mk(4), mk(5));
+    }
+
+    #[test]
+    fn forked_shards_reproduce_sequential_values() {
+        let mut sim = quiet_sim();
+        sim.noise = NoiseModel::new(
+            13,
+            0.05,
+            BurstConfig { enter_prob: 0.02, exit_prob: 0.1, slowdown: 4.0, extra_us: 5.0 },
+        );
+        let sizes: Vec<u64> = (0..200).map(|i| 64 * (i % 17) + 8).collect();
+        let sequential: Vec<f64> = sizes.iter().map(|&s| sim.measure(NetOp::PingPong, s)).collect();
+        // Split in two shards forked from the parent's own stream.
+        for (lo, hi) in [(0usize, 120usize), (120, 200)] {
+            let mut shard = sim.fork(sim.stream_seed());
+            shard.skip_to(lo as u64);
+            for i in lo..hi {
+                assert_eq!(
+                    shard.measure(NetOp::PingPong, sizes[i]),
+                    sequential[i],
+                    "measurement {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,10 +21,8 @@ use charm::simnet::noise::{BurstConfig, NoiseModel};
 use charm::simnet::presets;
 
 fn network_campaign(seed: u64, bursty: bool) -> Campaign {
-    let sizes: Vec<i64> = sampling::log_uniform_sizes(8, 1 << 21, 80, seed)
-        .into_iter()
-        .map(|s| s as i64)
-        .collect();
+    let sizes: Vec<i64> =
+        sampling::log_uniform_sizes(8, 1 << 21, 80, seed).into_iter().map(|s| s as i64).collect();
     let plan = FullFactorial::new()
         .factor(Factor::new("op", vec!["async_send", "blocking_recv", "ping_pong"]))
         .factor(Factor::new("size", sizes))
@@ -44,8 +42,7 @@ fn network_campaign(seed: u64, bursty: bool) -> Campaign {
 }
 
 fn memory_campaign(seed: u64) -> Campaign {
-    let sizes: Vec<i64> =
-        vec![16 * 1024, 48 * 1024, 128 * 1024, 512 * 1024, 2 << 20, 6 << 20];
+    let sizes: Vec<i64> = vec![16 * 1024, 48 * 1024, 128 * 1024, 512 * 1024, 2 << 20, 6 << 20];
     let plan = FullFactorial::new()
         .factor(Factor::new("size_bytes", sizes))
         .factor(Factor::new("nloops", vec![500i64]))
@@ -80,9 +77,6 @@ fn main() {
         .expect("report");
         let path = format!("results/cluster_report_{label}.md");
         std::fs::write(&path, report.to_markdown()).expect("write report");
-        println!(
-            "{label}: calibration-grade = {} -> {path}",
-            report.is_calibration_grade()
-        );
+        println!("{label}: calibration-grade = {} -> {path}", report.is_calibration_grade());
     }
 }

@@ -15,10 +15,8 @@ use charm::simnet::{presets, NetOp};
 
 fn main() {
     // a denser calibration: 150 log-uniform sizes x 12 replicates x 3 ops
-    let sizes: Vec<i64> = sampling::log_uniform_sizes(8, 1 << 22, 150, 7)
-        .into_iter()
-        .map(|s| s as i64)
-        .collect();
+    let sizes: Vec<i64> =
+        sampling::log_uniform_sizes(8, 1 << 22, 150, 7).into_iter().map(|s| s as i64).collect();
     let plan = FullFactorial::new()
         .factor(Factor::new("op", vec!["async_send", "blocking_recv", "ping_pong"]))
         .factor(Factor::new("size", sizes))
@@ -41,7 +39,10 @@ fn main() {
     let breakpoints = [32 * 1024u64, 128 * 1024];
     let model = NetworkModel::fit(&campaign, &breakpoints).expect("model");
     println!("\npiecewise LogGP model (breakpoints at {breakpoints:?} bytes):");
-    println!("{:<10} {:>10} {:>10} {:>12} {:>12} {:>8}", "regime", "from", "to", "latency_us", "MB/s", "R²");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "regime", "from", "to", "latency_us", "MB/s", "R²"
+    );
     for (i, seg) in model.segments.iter().enumerate() {
         println!(
             "{:<10} {:>10} {:>10} {:>12.2} {:>12.0} {:>8.4}",

@@ -14,10 +14,8 @@ use charm::simnet::presets;
 
 fn main() {
     // Stage 1 — design: factors, levels, replication, randomization.
-    let sizes: Vec<i64> = sampling::log_uniform_sizes(8, 1 << 20, 50, 42)
-        .into_iter()
-        .map(|s| s as i64)
-        .collect();
+    let sizes: Vec<i64> =
+        sampling::log_uniform_sizes(8, 1 << 20, 50, 42).into_iter().map(|s| s as i64).collect();
     let plan = FullFactorial::new()
         .factor(Factor::new("op", vec!["async_send", "blocking_recv", "ping_pong"]))
         .factor(Factor::new("size", sizes))

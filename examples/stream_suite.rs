@@ -66,9 +66,6 @@ fn main() {
             roofline.ridge_intensity()
         );
         // the Figure 6 sum kernel: 1 add per 4-byte element = 0.25 FLOP/B
-        println!(
-            "  the paper's kernel (0.25 FLOP/B) is {:?}-bound here",
-            roofline.bound(0.25)
-        );
+        println!("  the paper's kernel (0.25 FLOP/B) is {:?}-bound here", roofline.bound(0.25));
     }
 }

@@ -16,7 +16,8 @@ use charm::simmem::sched::SchedPolicy;
 use charm::simnet::{presets, NetOp};
 
 fn network_campaign(seed: u64) -> Campaign {
-    let sizes: Vec<i64> = sampling::log_uniform_sizes(8, 1 << 21, 60, seed)
+    // unique draws: duplicate sizes would merge design cells downstream
+    let sizes: Vec<i64> = sampling::log_uniform_sizes_unique(8, 1 << 21, 60, seed)
         .into_iter()
         .map(|s| s as i64)
         .collect();
@@ -31,15 +32,8 @@ fn network_campaign(seed: u64) -> Campaign {
 }
 
 fn memory_campaign(seed: u64) -> Campaign {
-    let sizes: Vec<i64> = vec![
-        8 * 1024,
-        32 * 1024,
-        48 * 1024,
-        256 * 1024,
-        768 * 1024,
-        2 << 20,
-        6 << 20,
-    ];
+    let sizes: Vec<i64> =
+        vec![8 * 1024, 32 * 1024, 48 * 1024, 256 * 1024, 768 * 1024, 2 << 20, 6 << 20];
     let plan = FullFactorial::new()
         .factor(Factor::new("size_bytes", sizes))
         .factor(Factor::new("stride", vec![2i64]))
@@ -91,8 +85,8 @@ fn cells_then_model_then_convolution() {
     let pred = convolve(&app, &machine);
 
     let sim = presets::taurus_openmpi_tcp(0);
-    let net_truth =
-        50.0 * sim.true_time(NetOp::PingPong, 2000) + 10.0 * sim.true_time(NetOp::PingPong, 300_000);
+    let net_truth = 50.0 * sim.true_time(NetOp::PingPong, 2000)
+        + 10.0 * sim.true_time(NetOp::PingPong, 300_000);
     let rel = (pred.network_us - net_truth).abs() / net_truth;
     assert!(rel < 0.15, "network prediction off by {rel}");
     assert!(pred.memory_us > 0.0);
