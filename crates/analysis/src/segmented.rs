@@ -111,7 +111,13 @@ pub fn segment(x: &[f64], y: &[f64], config: &SegmentConfig) -> Result<Segmentat
     // candidate. This is what makes the free search viable on
     // Figure-4-sized campaigns (the DP below touches O(n²·k) stretches).
     let prefix = PrefixOls::new(&sx, &sy);
-    let sse_of = |i: usize, j: usize| -> f64 { prefix.sse(i, j) };
+    // Local tally flushed once per call: keeps the DP hot loop free of
+    // thread-local lookups while still reporting search effort.
+    let sse_evals = std::cell::Cell::new(0u64);
+    let sse_of = |i: usize, j: usize| -> f64 {
+        sse_evals.set(sse_evals.get() + 1);
+        prefix.sse(i, j)
+    };
 
     #[allow(clippy::needless_range_loop)] // cost[j][k] and cost[i][k-1] both indexed
     for k in 1..=kmax {
@@ -127,6 +133,10 @@ pub fn segment(x: &[f64], y: &[f64], config: &SegmentConfig) -> Result<Segmentat
                 }
             }
         }
+    }
+    if charm_obs::process::is_enabled() {
+        charm_obs::process::add("analysis.sse_evals", sse_evals.get());
+        charm_obs::process::add("analysis.segment_calls", 1);
     }
 
     // Choose k minimizing SSE + penalty*k.
@@ -297,5 +307,21 @@ mod tests {
         let s = segment_with_k_breaks(&x, &y, 2, 5).unwrap();
         assert_eq!(s.breakpoints.len(), 2);
         assert!(segment_with_k_breaks(&x[..8], &y[..8], 3, 5).is_err());
+    }
+
+    #[test]
+    fn process_counters_report_search_effort() {
+        let (x, y) = three_regime(20);
+        charm_obs::process::enable();
+        let with = segment(&x, &y, &SegmentConfig::default()).unwrap();
+        let counters = charm_obs::process::take();
+        assert_eq!(counters.get("analysis.segment_calls"), 1);
+        // the free DP over 60 points touches far more than n stretches
+        assert!(counters.get("analysis.sse_evals") > 60, "counters: {counters:?}");
+        // counting must not change the result
+        let without = segment(&x, &y, &SegmentConfig::default()).unwrap();
+        assert!(charm_obs::process::take().is_empty());
+        assert_eq!(with.breakpoints, without.breakpoints);
+        assert_eq!(with.sse.to_bits(), without.sse.to_bits());
     }
 }

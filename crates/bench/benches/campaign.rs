@@ -1,8 +1,8 @@
 //! Criterion benchmarks of the deterministic parallel campaign engine
-//! (sequential runner vs `run_campaign_parallel` at 1/2/4/8 shards) and
-//! of the segmentation search (pre-optimization O(j − i) refit DP vs the
-//! prefix-sum O(1)-SSE DP). `bench_campaign_summary` produces the
-//! machine-readable `BENCH_campaign.json` counterpart.
+//! (the sequential `Campaign` builder vs its sharded form at 1/2/4/8
+//! shards) and of the segmentation search (pre-optimization O(j − i)
+//! refit DP vs the prefix-sum O(1)-SSE DP). `bench_campaign_summary`
+//! produces the machine-readable `BENCH_campaign.json` counterpart.
 
 use charm_analysis::prefix::naive_stretch_sse;
 use charm_analysis::segmented::{segment, SegmentConfig};
@@ -10,7 +10,6 @@ use charm_design::doe::FullFactorial;
 use charm_design::plan::ExperimentPlan;
 use charm_design::{sampling, Factor};
 use charm_engine::target::{MemoryTarget, NetworkTarget, ParallelTarget};
-use charm_engine::{run_campaign, run_campaign_parallel};
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
@@ -82,13 +81,22 @@ fn campaign_engine(c: &mut Criterion) {
         b.iter(|| {
             // fresh fork per iteration: the sequential runner advances
             // the target's virtual clock
-            let mut target = base.fork(base.stream_seed());
-            black_box(run_campaign(&plan, &mut target, Some(SEED)).unwrap())
+            let target = base.fork(base.stream_seed());
+            black_box(charm_engine::Campaign::new(&plan, target).seed(SEED).run().unwrap().data)
         })
     });
     for shards in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::new("parallel", shards), &shards, |b, &s| {
-            b.iter(|| black_box(run_campaign_parallel(&plan, &base, s, Some(SEED)).unwrap()))
+            b.iter(|| {
+                black_box(
+                    charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+                        .shards(s)
+                        .seed(SEED)
+                        .run()
+                        .unwrap()
+                        .data,
+                )
+            })
         });
     }
     g.finish();
@@ -99,13 +107,22 @@ fn campaign_engine(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("sequential", |b| {
         b.iter(|| {
-            let mut target = base.fork(base.stream_seed());
-            black_box(run_campaign(&plan, &mut target, Some(SEED)).unwrap())
+            let target = base.fork(base.stream_seed());
+            black_box(charm_engine::Campaign::new(&plan, target).seed(SEED).run().unwrap().data)
         })
     });
     for shards in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::new("parallel", shards), &shards, |b, &s| {
-            b.iter(|| black_box(run_campaign_parallel(&plan, &base, s, Some(SEED)).unwrap()))
+            b.iter(|| {
+                black_box(
+                    charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+                        .shards(s)
+                        .seed(SEED)
+                        .run()
+                        .unwrap()
+                        .data,
+                )
+            })
         });
     }
     g.finish();

@@ -14,7 +14,7 @@ use charm_simmem::paging::AllocPolicy;
 use charm_simmem::sched::SchedPolicy;
 
 fn main() {
-    let seed = charm_bench::default_seed();
+    let seed = charm_bench::cli::CommonArgs::parse("").seed;
     let mut plan = FullFactorial::new()
         .factor(Factor::new("size_bytes", vec![8192i64, 16384]))
         .factor(Factor::new("nloops", vec![40i64]))
@@ -32,7 +32,7 @@ fn main() {
             seed,
         ),
     );
-    let campaign = charm_engine::run_campaign(&plan, &mut target, Some(seed)).unwrap();
+    let campaign = charm_engine::Campaign::new(&plan, &mut target).seed(seed).run().unwrap().data;
 
     let mut rows = Vec::new();
     for (key, values) in campaign.group_by(&["size_bytes"]) {

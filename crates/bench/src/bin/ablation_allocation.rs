@@ -25,7 +25,7 @@ fn median_bw(alloc: AllocPolicy, seed: u64, kb: u64, reps: u32) -> f64 {
 }
 
 fn main() {
-    let base = charm_bench::default_seed();
+    let base = charm_bench::cli::CommonArgs::parse("").seed;
     let mut rows = Vec::new();
     println!("cross-run median bandwidth at 24 KiB (the conflict-prone zone), 8 runs:");
     for alloc in [AllocPolicy::MallocPerSize, AllocPolicy::PooledRandomOffset] {

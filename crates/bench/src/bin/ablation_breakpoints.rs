@@ -6,7 +6,7 @@ use charm_simnet::noise::{BurstConfig, NoiseModel};
 use charm_simnet::{presets, NetOp};
 
 fn main() {
-    let seed = charm_bench::default_seed();
+    let seed = charm_bench::cli::CommonArgs::parse("").seed;
     let mut sim = presets::openmpi_fig3(seed);
     sim.set_noise(NoiseModel::new(seed, 0.005, BurstConfig::off()));
     let mut xs = Vec::new();

@@ -33,8 +33,8 @@ fn campaign(randomize: bool, seed: u64) -> charm_engine::record::Campaign {
         0.02,
         BurstConfig { enter_prob: 0.002, exit_prob: 0.012, slowdown: 5.0, extra_us: 100.0 },
     ));
-    let mut target = NetworkTarget::new("myrinet-bursty", sim);
-    charm_engine::run_campaign(&plan, &mut target, randomize.then_some(seed)).unwrap()
+    let target = NetworkTarget::new("myrinet-bursty", sim);
+    charm_engine::Campaign::new(&plan, target).seed(randomize.then_some(seed)).run().unwrap().data
 }
 
 /// Relative spread of per-size medians: phantom size effects inflate it.
@@ -56,7 +56,7 @@ fn per_size_median_spread(c: &charm_engine::record::Campaign) -> f64 {
 }
 
 fn main() {
-    let seed = charm_bench::default_seed();
+    let seed = charm_bench::cli::CommonArgs::parse("").seed;
     let mut rows = Vec::new();
     for (label, randomize) in [("sequential", false), ("randomized", true)] {
         let c = campaign(randomize, seed);

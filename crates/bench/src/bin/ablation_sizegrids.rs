@@ -14,7 +14,7 @@ fn median_time(sim: &mut charm_simnet::NetworkSim, size: u64, reps: u32) -> f64 
 }
 
 fn main() {
-    let seed = charm_bench::default_seed();
+    let seed = charm_bench::cli::CommonArgs::parse("").seed;
     let platform = || {
         let mut sim = presets::taurus_openmpi_tcp(seed);
         sim.set_noise(NoiseModel::new(seed, 0.02, BurstConfig::off()).with_anomaly(1024, 0.7));

@@ -1,23 +1,41 @@
 //! Regenerates every table and figure in one go (the EXPERIMENTS.md
 //! refresh path).
 //!
-//! `--shards N` pins the shard count the shard-invariant experiments
-//! (fig04, fig09) use, instead of `Study::auto_shards`' plan-size and
-//! core-count heuristic. The time-dependent experiments always run
-//! sequentially regardless.
+//! Shared flags (see [`charm_bench::cli`]): `--seed N`, `--out DIR`,
+//! `--quick` (reduced replicate counts for the expensive figures — the
+//! CI smoke configuration), `--shards N` (pins the shard count the
+//! shard-invariant experiments use, instead of `Study::auto_shards`'
+//! plan-size and core-count heuristic; the time-dependent experiments
+//! always run sequentially regardless), and `--obs-jsonl` (writes the
+//! fig10/fig11 observability reports and fails loudly if the exported
+//! JSONL does not parse back to the identical report).
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--shards") {
-        match args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
-            Some(n) if n >= 1 => std::env::set_var("CHARM_SHARDS", n.to_string()),
-            _ => {
-                eprintln!("--shards needs a positive integer");
-                std::process::exit(1);
-            }
+use charm_obs::CampaignReport;
+
+/// Writes `report` as JSONL after proving the text round-trips: the
+/// exported lines must parse back to an identical report.
+fn write_validated(name: &str, report: &CampaignReport) {
+    let text = report.to_jsonl();
+    match CampaignReport::from_jsonl(&text) {
+        Ok(parsed) if &parsed == report => {
+            charm_bench::write_artifact(name, &text);
+        }
+        Ok(_) => {
+            eprintln!("{name}: JSONL round-trip changed the report");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{name}: JSONL round-trip failed: {e}");
+            std::process::exit(1);
         }
     }
-    let seed = charm_bench::default_seed();
+}
+
+fn main() {
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let seed = args.seed;
+    let quick = args.quick;
+
     println!("== table05 ==");
     let t = charm_core::experiments::table05::run();
     charm_bench::write_artifact("table05.csv", &t.to_csv());
@@ -29,35 +47,41 @@ fn main() {
     print!("{}", f.report());
 
     println!("\n== fig04 ==");
-    let f = charm_core::experiments::fig04::run(seed, 100, 20);
+    let f = charm_core::experiments::fig04::run(seed, if quick { 30 } else { 100 }, 20);
     charm_bench::write_artifact("fig04_raw.csv", &f.raw_csv());
     charm_bench::write_artifact("fig04_model.csv", &f.summary_csv());
     print!("{}", f.report());
 
     println!("\n== fig07 ==");
-    let f = charm_core::experiments::fig07::run(seed, 10);
+    let f = charm_core::experiments::fig07::run(seed, if quick { 4 } else { 10 });
     charm_bench::write_artifact("fig07.csv", &f.to_csv());
     print!("{}", f.report());
 
     println!("\n== fig08 ==");
-    let f = charm_core::experiments::fig08::run(seed, 42);
+    let f = charm_core::experiments::fig08::run(seed, if quick { 10 } else { 42 });
     charm_bench::write_artifact("fig08_raw.csv", &f.raw_csv());
     charm_bench::write_artifact("fig08_trends.csv", &f.trend_csv());
     print!("{}", f.report());
 
     println!("\n== fig09 ==");
-    let f = charm_core::experiments::fig09::run(seed, 10);
+    let f = charm_core::experiments::fig09::run(seed, if quick { 4 } else { 10 });
     charm_bench::write_artifact("fig09.csv", &f.to_csv());
     print!("{}", f.report());
 
     println!("\n== fig10 ==");
-    let f = charm_core::experiments::fig10::run(seed, 42);
+    let f = charm_core::experiments::fig10::run(seed, if quick { 10 } else { 42 });
     charm_bench::write_artifact("fig10.csv", &f.to_csv());
+    if args.obs_jsonl {
+        write_validated("fig10_obs.jsonl", &f.report);
+    }
     print!("{}", f.report());
 
     println!("\n== fig11 ==");
     let f = charm_core::experiments::fig11::run(seed);
     charm_bench::write_artifact("fig11_raw.csv", &f.raw_csv());
+    if args.obs_jsonl {
+        write_validated("fig11_obs.jsonl", &f.report);
+    }
     print!("{}", f.report());
 
     println!("\n== fig12 ==");

@@ -18,7 +18,6 @@ use charm_design::plan::ExperimentPlan;
 use charm_design::{sampling, Factor};
 use charm_engine::record::Campaign;
 use charm_engine::target::{MemoryTarget, NetworkTarget, ParallelTarget};
-use charm_engine::{run_campaign, run_campaign_parallel};
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
@@ -154,19 +153,24 @@ fn time_campaign<T: ParallelTarget>(
 ) -> (f64, Vec<f64>) {
     println!("campaign: {} rows on {label}", plan.len());
     let reference: Campaign = {
-        let mut t = base.fork(base.stream_seed());
-        run_campaign(plan, &mut t, Some(base.stream_seed())).unwrap()
+        let t = base.fork(base.stream_seed());
+        charm_engine::Campaign::new(plan, t).seed(base.stream_seed()).run().unwrap().data
     };
     let sequential_s = best_of_3(|| {
-        let mut t = base.fork(base.stream_seed());
-        let c = run_campaign(plan, &mut t, Some(base.stream_seed())).unwrap();
+        let t = base.fork(base.stream_seed());
+        let c = charm_engine::Campaign::new(plan, t).seed(base.stream_seed()).run().unwrap().data;
         assert_eq!(c.records.len(), plan.len());
     });
     println!("  sequential          {:>8.1} ms", sequential_s * 1e3);
     let mut parallel_s = Vec::new();
     for &k in shard_counts {
         let s = best_of_3(|| {
-            let c = run_campaign_parallel(plan, base, k, Some(base.stream_seed())).unwrap();
+            let c = charm_engine::Campaign::new(plan, base.fork(base.stream_seed()))
+                .shards(k)
+                .seed(base.stream_seed())
+                .run()
+                .unwrap()
+                .data;
             // determinism spot-check against the sequential reference
             assert!(c
                 .records
@@ -181,10 +185,10 @@ fn time_campaign<T: ParallelTarget>(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6000);
-    let points: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6000);
-    let seed = charm_bench::default_seed();
+    let args = charm_bench::cli::CommonArgs::parse("[rows] [segment_points]");
+    let rows: usize = args.rest.first().and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let points: usize = args.rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let seed = args.seed;
     let shard_counts = [1usize, 2, 4, 8];
 
     let net_plan = network_plan(rows, seed);

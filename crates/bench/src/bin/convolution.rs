@@ -2,7 +2,8 @@
 //! vs white-box-instantiated models.
 
 fn main() {
-    let study = charm_core::experiments::convolution::run(charm_bench::default_seed());
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let study = charm_core::experiments::convolution::run(args.seed);
     charm_bench::write_artifact("convolution.csv", &study.to_csv());
     print!("{}", study.report());
 }

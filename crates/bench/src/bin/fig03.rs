@@ -2,7 +2,8 @@
 //! the forced-vs-free breakpoint comparison of §III-3.
 
 fn main() {
-    let fig = charm_core::experiments::fig03::run(charm_bench::default_seed());
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let fig = charm_core::experiments::fig03::run(args.seed);
     charm_bench::write_artifact("fig03.csv", &fig.to_csv());
     print!("{}", fig.report());
 }

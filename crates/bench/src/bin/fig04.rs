@@ -2,7 +2,9 @@
 //! piecewise fit, per-regime variability bands.
 
 fn main() {
-    let fig = charm_core::experiments::fig04::run(charm_bench::default_seed(), 100, 20);
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let n_sizes = if args.quick { 30 } else { 100 };
+    let fig = charm_core::experiments::fig04::run(args.seed, n_sizes, 20);
     charm_bench::write_artifact("fig04_raw.csv", &fig.raw_csv());
     charm_bench::write_artifact("fig04_model.csv", &fig.summary_csv());
     print!("{}", fig.report());

@@ -1,7 +1,8 @@
 //! Regenerates Figure 7: MultiMAPS plateaus and stride effect (Opteron).
 
 fn main() {
-    let fig = charm_core::experiments::fig07::run(charm_bench::default_seed(), 10);
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let fig = charm_core::experiments::fig07::run(args.seed, if args.quick { 4 } else { 10 });
     charm_bench::write_artifact("fig07.csv", &fig.to_csv());
     print!("{}", fig.report());
 }

@@ -1,7 +1,8 @@
 //! Regenerates Figure 8: the noisy Pentium 4 replication attempt.
 
 fn main() {
-    let fig = charm_core::experiments::fig08::run(charm_bench::default_seed(), 42);
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let fig = charm_core::experiments::fig08::run(args.seed, if args.quick { 10 } else { 42 });
     charm_bench::write_artifact("fig08_raw.csv", &fig.raw_csv());
     charm_bench::write_artifact("fig08_trends.csv", &fig.trend_csv());
     print!("{}", fig.report());

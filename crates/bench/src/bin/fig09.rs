@@ -1,7 +1,8 @@
 //! Regenerates Figure 9: vectorization × unrolling facets (i7-2600).
 
 fn main() {
-    let fig = charm_core::experiments::fig09::run(charm_bench::default_seed(), 10);
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let fig = charm_core::experiments::fig09::run(args.seed, if args.quick { 4 } else { 10 });
     charm_bench::write_artifact("fig09.csv", &fig.to_csv());
     print!("{}", fig.report());
 }

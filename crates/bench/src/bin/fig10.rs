@@ -1,7 +1,14 @@
 //! Regenerates Figure 10: DVFS ondemand nloops facets (i7-2600).
+//! `--obs-jsonl` also writes the governor's counters and per-measurement
+//! provenance events (the multimodality mechanism, attributable record
+//! by record).
 
 fn main() {
-    let fig = charm_core::experiments::fig10::run(charm_bench::default_seed(), 42);
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let fig = charm_core::experiments::fig10::run(args.seed, if args.quick { 10 } else { 42 });
     charm_bench::write_artifact("fig10.csv", &fig.to_csv());
+    if args.obs_jsonl {
+        charm_bench::write_artifact("fig10_obs.jsonl", &fig.report.to_jsonl());
+    }
     print!("{}", fig.report());
 }

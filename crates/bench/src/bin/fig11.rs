@@ -1,7 +1,14 @@
 //! Regenerates Figure 11: RT-scheduler bimodality (ARM Snowball).
+//! `--obs-jsonl` also writes the scheduler's counters and
+//! per-measurement provenance events (which records the interloper
+//! preempted).
 
 fn main() {
-    let fig = charm_core::experiments::fig11::run(charm_bench::default_seed());
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let fig = charm_core::experiments::fig11::run(args.seed);
     charm_bench::write_artifact("fig11_raw.csv", &fig.raw_csv());
+    if args.obs_jsonl {
+        charm_bench::write_artifact("fig11_obs.jsonl", &fig.report.to_jsonl());
+    }
     print!("{}", fig.report());
 }

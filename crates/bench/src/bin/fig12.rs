@@ -1,7 +1,8 @@
 //! Regenerates Figure 12: the ARM paging anomaly across four runs.
 
 fn main() {
-    let fig = charm_core::experiments::fig12::run(charm_bench::default_seed());
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let fig = charm_core::experiments::fig12::run(args.seed);
     charm_bench::write_artifact("fig12.csv", &fig.to_csv());
     print!("{}", fig.report());
 }

@@ -10,7 +10,7 @@ use charm_simmem::paging::AllocPolicy;
 use charm_simmem::sched::SchedPolicy;
 
 fn main() {
-    let seed = charm_bench::default_seed();
+    let seed = charm_bench::cli::CommonArgs::parse("").seed;
     let mut rows_out = Vec::new();
     println!("PChase-style interference sweep on the i7-2600 (aggregate MB/s by thread count)\n");
     for (label, buffer) in [("l1_resident_8KiB", 8 * 1024u64), ("dram_bound_8MiB", 8 << 20)] {

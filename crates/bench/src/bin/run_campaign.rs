@@ -2,7 +2,8 @@
 //! of the simulated platforms, and write the raw campaign CSV.
 //!
 //! ```text
-//! run_campaign <plan.dsl> <platform> [seed] [--shards N]
+//! run_campaign <plan.dsl> <platform> [--seed N] [--shards N]
+//!              [--out DIR] [--obs-jsonl]
 //!
 //! platforms: taurus | myrinet | openmpi |
 //!            opteron | pentium4 | i7 | arm
@@ -15,12 +16,15 @@
 //! platforms offered here are shard-invariant, so the records are
 //! identical to a sequential run — see DESIGN.md on the determinism
 //! contract). The default is [`Study::auto_shards`]: sequential below
-//! the row threshold, one shard per core above it.
+//! the row threshold, one shard per core above it. `--obs-jsonl` also
+//! writes the campaign's counters and provenance events next to the CSV.
 
 use charm_core::pipeline::Study;
 use charm_design::dsl;
-use charm_engine::run_campaign_parallel;
+use charm_design::plan::ExperimentPlan;
 use charm_engine::target::{MemoryTarget, NetworkTarget};
+use charm_engine::{Campaign, CampaignRun, ParallelTarget, TargetError};
+use charm_obs::Observer;
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
@@ -38,44 +42,45 @@ fn machine(spec: CpuSpec, seed: u64) -> MachineSim {
     )
 }
 
-/// Concrete target dispatch: the parallel runner forks the target, which
+/// Concrete target dispatch: the sharded builder forks the target, which
 /// needs the concrete type (`ParallelTarget` is not object-safe).
 enum Platform {
-    Net(NetworkTarget),
+    Net(Box<NetworkTarget>),
     Mem(Box<MemoryTarget>),
+}
+
+fn net(name: &'static str, sim: charm_simnet::NetworkSim) -> Platform {
+    Platform::Net(Box::new(NetworkTarget::new(name, sim)))
 }
 
 fn mem(name: &str, spec: CpuSpec, seed: u64) -> Platform {
     Platform::Mem(Box::new(MemoryTarget::new(name, machine(spec, seed))))
 }
 
+fn execute<T: ParallelTarget>(
+    plan: &ExperimentPlan,
+    target: T,
+    shards: usize,
+    observe: bool,
+) -> Result<CampaignRun, TargetError> {
+    let sharded = Campaign::new(plan, target).shards(shards);
+    let sharded = if observe { sharded.observer(Observer::default()) } else { sharded };
+    sharded.run()
+}
+
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().collect();
-    let mut shards: Option<usize> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--shards") {
-        match args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
-            Some(n) if n >= 1 => {
-                shards = Some(n);
-                args.drain(pos..=pos + 1);
-            }
-            _ => {
-                eprintln!("--shards needs a positive integer");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    if args.len() < 3 {
-        eprintln!("usage: run_campaign <plan.dsl> <platform> [seed] [--shards N]");
+    let args = charm_bench::cli::CommonArgs::parse("<plan.dsl> <platform>");
+    if args.rest.len() != 2 {
+        eprintln!("usage: run_campaign <plan.dsl> <platform> [--seed N] [--shards N] [--out DIR] [--obs-jsonl]");
         eprintln!("platforms: taurus myrinet openmpi opteron pentium4 i7 arm");
         return ExitCode::FAILURE;
     }
-    let seed: u64 =
-        args.get(3).and_then(|s| s.parse().ok()).unwrap_or_else(charm_bench::default_seed);
+    let seed = args.seed;
 
-    let text = match std::fs::read_to_string(&args[1]) {
+    let text = match std::fs::read_to_string(&args.rest[0]) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("cannot read {}: {e}", args[1]);
+            eprintln!("cannot read {}: {e}", args.rest[0]);
             return ExitCode::FAILURE;
         }
     };
@@ -86,7 +91,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let shards = shards.unwrap_or_else(|| Study::auto_shards(plan.len()));
+    let shards = args.shards.unwrap_or_else(|| Study::auto_shards(plan.len()));
     println!(
         "compiled plan: {} rows, factors {:?}, {} shard(s)",
         plan.len(),
@@ -94,10 +99,11 @@ fn main() -> ExitCode {
         shards
     );
 
-    let platform = match args[2].as_str() {
-        "taurus" => Platform::Net(NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed))),
-        "myrinet" => Platform::Net(NetworkTarget::new("myrinet", presets::myrinet_gm(seed))),
-        "openmpi" => Platform::Net(NetworkTarget::new("openmpi", presets::openmpi_fig3(seed))),
+    let platform_name = args.rest[1].as_str();
+    let platform = match platform_name {
+        "taurus" => net("taurus", presets::taurus_openmpi_tcp(seed)),
+        "myrinet" => net("myrinet", presets::myrinet_gm(seed)),
+        "openmpi" => net("openmpi", presets::openmpi_fig3(seed)),
         "opteron" => mem("opteron", CpuSpec::opteron(), seed),
         "pentium4" => mem("pentium4", CpuSpec::pentium4(), seed),
         "i7" => mem("i7", CpuSpec::core_i7_2600(), seed),
@@ -108,15 +114,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let result = match &platform {
-        Platform::Net(t) => run_campaign_parallel(&plan, t, shards, None),
-        Platform::Mem(t) => run_campaign_parallel(&plan, t.as_ref(), shards, None),
+    let result = match platform {
+        Platform::Net(t) => execute(&plan, *t, shards, args.obs_jsonl),
+        Platform::Mem(t) => execute(&plan, *t, shards, args.obs_jsonl),
     };
     match result {
-        Ok(campaign) => {
-            let name = format!("campaign_{}.csv", args[2]);
-            charm_bench::write_artifact(&name, &campaign.to_csv());
-            println!("{} raw measurements retained", campaign.records.len());
+        Ok(run) => {
+            let name = format!("campaign_{platform_name}.csv");
+            charm_bench::write_artifact(&name, &run.data.to_csv());
+            if let Some(report) = &run.report {
+                let name = format!("campaign_{platform_name}_obs.jsonl");
+                charm_bench::write_artifact(&name, &report.to_jsonl());
+            }
+            println!("{} raw measurements retained", run.data.records.len());
             ExitCode::SUCCESS
         }
         Err(e) => {

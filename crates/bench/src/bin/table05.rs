@@ -1,6 +1,7 @@
 //! Regenerates Figure 5: the CPU characteristics table.
 
 fn main() {
+    charm_bench::cli::CommonArgs::parse("");
     let t = charm_core::experiments::table05::run();
     charm_bench::write_artifact("table05.csv", &t.to_csv());
     print!("{}", t.report());

@@ -146,7 +146,7 @@ mod tests {
         let mut sim = presets::taurus_openmpi_tcp(1);
         sim.set_noise(NoiseModel::silent(0));
         let mut target = NetworkTarget::new("taurus", sim);
-        let campaign = charm_engine::run_campaign(&plan, &mut target, Some(1)).unwrap();
+        let campaign = charm_engine::Campaign::new(&plan, &mut target).seed(1).run().unwrap().data;
         NetworkModel::fit(&campaign, &[32 * 1024, 128 * 1024]).unwrap()
     }
 

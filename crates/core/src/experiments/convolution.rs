@@ -63,7 +63,8 @@ fn whitebox_model(seed: u64) -> NetworkModel {
         .expect("static plan");
     plan.shuffle(seed);
     let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
-    let campaign = charm_engine::run_campaign(&plan, &mut target, Some(seed)).expect("sim");
+    let campaign =
+        charm_engine::Campaign::new(&plan, &mut target).seed(seed).run().expect("sim").data;
     NetworkModel::fit(&campaign, &[32 * 1024, 128 * 1024]).expect("fit")
 }
 
@@ -80,7 +81,7 @@ fn opaque_model(seed: u64) -> NetworkModel {
         .expect("static plan");
     // sequential order, as the opaque loop of Figure 2 does
     let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
-    let campaign = charm_engine::run_campaign(&plan, &mut target, None).expect("sim");
+    let campaign = charm_engine::Campaign::new(&plan, &mut target).run().expect("sim").data;
     NetworkModel::fit(&campaign, &[]).expect("fit")
 }
 

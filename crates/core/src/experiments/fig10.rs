@@ -11,6 +11,7 @@ use charm_design::doe::FullFactorial;
 use charm_design::Factor;
 use charm_engine::record::Campaign;
 use charm_engine::target::MemoryTarget;
+use charm_obs::{CampaignReport, Observer};
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
@@ -34,6 +35,11 @@ pub struct Fig10 {
     pub campaign: Campaign,
     /// Facet summaries in nloops order.
     pub facets: Vec<NloopsFacet>,
+    /// The governor's side of the story: DVFS transition counts,
+    /// frequency residency, and one provenance event per measurement
+    /// carrying its `max_freq_fraction` — the mechanism behind the
+    /// multimodal facets, attributable record by record.
+    pub report: CampaignReport,
 }
 
 /// The four facet values used (geometric ladder like the paper's).
@@ -58,7 +64,12 @@ pub fn run(seed: u64, reps: u32) -> Fig10 {
             seed,
         ),
     );
-    let campaign = Study::new(plan).randomized(seed).run(&mut target).expect("simulated");
+    let run = Study::new(plan)
+        .randomized(seed)
+        .run_observed(&mut target, Observer::default())
+        .expect("simulated");
+    let campaign = run.data;
+    let report = run.report.expect("observer attached");
 
     let facets = NLOOPS_FACETS
         .iter()
@@ -69,7 +80,7 @@ pub fn run(seed: u64, reps: u32) -> Fig10 {
             NloopsFacet { nloops: nl, median_mbps: median, cv }
         })
         .collect();
-    Fig10 { campaign, facets }
+    Fig10 { campaign, facets, report }
 }
 
 impl Fig10 {
@@ -133,5 +144,48 @@ mod tests {
         let fig = run(3, 10);
         assert!(fig.to_csv().lines().count() == 5);
         assert!(fig.report().contains("nloops = 8192"));
+    }
+
+    #[test]
+    fn report_attributes_multimodality_to_the_governor() {
+        let fig = run(4, 42);
+        let n = fig.campaign.records.len() as u64;
+        assert_eq!(fig.report.counters.get("simmem.measurements"), n);
+        // the governor actually moved, and every measurement landed in a
+        // residency bucket
+        assert!(fig.report.counters.get("simmem.dvfs.transitions") > 0);
+        let residency: u64 = ["low", "mid", "high"]
+            .iter()
+            .map(|b| fig.report.counters.get(&format!("simmem.dvfs.residency.{b}")))
+            .sum();
+        assert_eq!(residency, n);
+        // record-by-record attribution: within the multimodal facet, the
+        // fast half of the records are the ones whose provenance event
+        // shows more time at the maximum frequency
+        let frac_for = |seq: u64| {
+            let events = fig.report.provenance_for(seq);
+            assert_eq!(events.len(), 1, "seq {seq}");
+            events[0].attr("max_freq_fraction").unwrap().parse::<f64>().unwrap()
+        };
+        let facet = fig.campaign.filtered("nloops", |l| l.as_int() == Some(192));
+        let mut vals = facet.values();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[vals.len() / 2];
+        let mean_frac = |fast: bool| {
+            let fracs: Vec<f64> = facet
+                .records
+                .iter()
+                .filter(|r| (r.value > median) == fast)
+                .map(|r| frac_for(r.sequence))
+                .collect();
+            assert!(!fracs.is_empty());
+            fracs.iter().sum::<f64>() / fracs.len() as f64
+        };
+        assert!(
+            mean_frac(true) > mean_frac(false) + 0.2,
+            "fast records should run at max frequency: {} vs {}",
+            mean_frac(true),
+            mean_frac(false)
+        );
     }
 }

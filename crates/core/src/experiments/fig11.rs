@@ -15,6 +15,7 @@ use charm_design::doe::FullFactorial;
 use charm_design::Factor;
 use charm_engine::record::Campaign;
 use charm_engine::target::MemoryTarget;
+use charm_obs::{CampaignReport, Observer};
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
@@ -29,6 +30,10 @@ pub struct Fig11 {
     pub split: ModeSplit,
     /// Detected temporal windows.
     pub anomalies: Vec<TemporalAnomaly>,
+    /// The scheduler's side of the story: a preemption counter and one
+    /// provenance event per measurement carrying its `intruded` flag, so
+    /// the slow mode is attributable to the interloper record by record.
+    pub report: CampaignReport,
 }
 
 /// Runs the experiment: sizes 1–50 KiB (keeping each ≤ 4 pages-per-colour
@@ -53,7 +58,12 @@ pub fn run(seed: u64) -> Fig11 {
             seed,
         ),
     );
-    let campaign = Study::new(plan).randomized(seed).run(&mut target).expect("simulated");
+    let run = Study::new(plan)
+        .randomized(seed)
+        .run_observed(&mut target, Observer::default())
+        .expect("simulated");
+    let campaign = run.data;
+    let report = run.report.expect("observer attached");
     // Mode analysis on values normalized by their size-cell median —
     // otherwise the L1-capacity bandwidth drop across sizes would
     // masquerade as a "mode". The paper's per-size view does the same
@@ -65,7 +75,7 @@ pub fn run(seed: u64) -> Fig11 {
     }
     let split = modes::two_means(&normalized).expect("enough samples");
     let anomalies = pitfalls::temporal_anomalies(&campaign, &["size_bytes"], 1.0);
-    Fig11 { campaign, split, anomalies }
+    Fig11 { campaign, split, anomalies, report }
 }
 
 impl Fig11 {
@@ -144,5 +154,40 @@ mod tests {
         let rep = fig.report();
         assert!(rep.contains("left:"));
         assert!(rep.contains("right:"));
+    }
+
+    #[test]
+    fn report_attributes_slow_mode_to_preemptions() {
+        let fig = run(7);
+        // the preemption counter counts exactly the intruded measurements
+        let intruded: Vec<u64> = fig
+            .report
+            .events
+            .iter()
+            .filter(|e| e.attr("intruded") == Some("true"))
+            .map(|e| e.seq)
+            .collect();
+        assert!(!intruded.is_empty(), "no preemptions observed");
+        assert_eq!(fig.report.counters.get("simmem.sched.preemptions"), intruded.len() as u64);
+        // record-by-record attribution: the slow-mode records are the
+        // preempted ones (per-size normalization, as in the mode split)
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        let size_idx = fig.campaign.factor_index("size_bytes").unwrap();
+        let sizes: std::collections::BTreeSet<i64> =
+            fig.campaign.records.iter().filter_map(|r| r.levels[size_idx].as_int()).collect();
+        for size in sizes {
+            let cell = fig.campaign.filtered("size_bytes", |l| l.as_int() == Some(size));
+            let med = charm_analysis::descriptive::median(&cell.values()).unwrap();
+            for r in &cell.records {
+                let slow = r.value < 0.6 * med;
+                if slow == intruded.contains(&r.sequence) {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        let ratio = agree as f64 / total as f64;
+        assert!(ratio >= 0.9, "slow mode should track the intruder: agreement {ratio}");
     }
 }

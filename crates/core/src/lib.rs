@@ -16,12 +16,15 @@
 //!   temporal anomalies (sequence-order changepoints), per-cell
 //!   multimodality, grid-induced size bias, aggregation loss;
 //! * [`experiments`] — one driver per paper figure/table, producing the
-//!   rows the bench binaries print.
+//!   rows the bench binaries print;
+//! * [`error`] — [`CharmError`], the workspace-level error every stage
+//!   error converts into.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod convolution;
+pub mod error;
 pub mod experiments;
 pub mod models;
 pub mod pipeline;
@@ -31,3 +34,5 @@ pub mod report;
 pub mod screening;
 pub mod variability;
 pub mod whatif;
+
+pub use error::CharmError;

@@ -159,7 +159,7 @@ mod tests {
                 seed,
             ),
         );
-        charm_engine::run_campaign(&plan, &mut target, Some(seed)).unwrap()
+        charm_engine::Campaign::new(&plan, &mut target).seed(seed).run().unwrap().data
     }
 
     #[test]

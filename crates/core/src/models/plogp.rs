@@ -147,7 +147,7 @@ mod tests {
             sim.set_noise(NoiseModel::silent(0));
         }
         let mut target = NetworkTarget::new("taurus", sim);
-        charm_engine::run_campaign(&plan, &mut target, Some(seed)).unwrap()
+        charm_engine::Campaign::new(&plan, &mut target).seed(seed).run().unwrap().data
     }
 
     #[test]

@@ -16,6 +16,8 @@ use charm_design::factors::Level;
 use charm_design::plan::ExperimentPlan;
 use charm_engine::record::Campaign;
 use charm_engine::target::{ParallelTarget, Target, TargetError};
+use charm_engine::CampaignRun;
+use charm_obs::Observer;
 
 /// Stage-1 wrapper: a design ready to run.
 #[derive(Debug, Clone)]
@@ -53,12 +55,30 @@ impl Study {
 
     /// Stage 2: runs the campaign on a target, retaining raw data.
     pub fn run<T: Target>(&self, target: &mut T) -> Result<Campaign, TargetError> {
-        charm_engine::run_campaign(&self.plan, target, self.shuffle_seed)
+        charm_engine::Campaign::new(&self.plan, target)
+            .seed(self.shuffle_seed)
+            .run()
+            .map(|run| run.data)
+    }
+
+    /// Stage 2 with observability: like [`Study::run`] but with the
+    /// target's instrumentation switched on, so the result also carries
+    /// the campaign's counters and provenance events. Observation never
+    /// changes measurement values.
+    pub fn run_observed<T: Target>(
+        &self,
+        target: &mut T,
+        observer: Observer,
+    ) -> Result<CampaignRun, TargetError> {
+        charm_engine::Campaign::new(&self.plan, target)
+            .seed(self.shuffle_seed)
+            .observer(observer)
+            .run()
     }
 
     /// Stage 2, sharded: runs the campaign across `shards` forks of
     /// `base` on separate threads (see
-    /// [`charm_engine::run_campaign_parallel`]). For shard-invariant
+    /// [`charm_engine::ShardedCampaign::run`]). For shard-invariant
     /// targets the retained `(levels, replicate, value)` data is
     /// identical to [`Study::run`] no matter the shard count; pass
     /// [`Study::auto_shards`] of the plan size to let plan size and
@@ -68,7 +88,27 @@ impl Study {
         base: &T,
         shards: usize,
     ) -> Result<Campaign, TargetError> {
-        charm_engine::run_campaign_parallel(&self.plan, base, shards, self.shuffle_seed)
+        charm_engine::Campaign::new(&self.plan, base.fork(base.stream_seed()))
+            .shards(shards)
+            .seed(self.shuffle_seed)
+            .run()
+            .map(|run| run.data)
+    }
+
+    /// Stage 2, sharded and observed: [`Study::run_sharded`] with
+    /// counters and provenance. Per-shard counters merge into a
+    /// shard-count-invariant report for shard-invariant targets.
+    pub fn run_sharded_observed<T: ParallelTarget>(
+        &self,
+        base: &T,
+        shards: usize,
+        observer: Observer,
+    ) -> Result<CampaignRun, TargetError> {
+        charm_engine::Campaign::new(&self.plan, base.fork(base.stream_seed()))
+            .shards(shards)
+            .seed(self.shuffle_seed)
+            .observer(observer)
+            .run()
     }
 
     /// A sensible shard count for a campaign of `rows` rows: the
@@ -217,6 +257,21 @@ mod tests {
         };
         assert_eq!(data(&sequential), data(&sharded));
         assert_eq!(sharded.metadata["shards"], "4");
+    }
+
+    #[test]
+    fn observed_study_reports_without_changing_data() {
+        let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
+        let plain = study().run(&mut target).unwrap();
+        let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
+        let observed = study().run_observed(&mut target, Observer::default()).unwrap();
+        assert_eq!(plain.records, observed.data.records);
+        let report = observed.report.expect("observer attached");
+        assert_eq!(report.counters.get("engine.rows"), plain.records.len() as u64);
+        // sharding leaves the merged counters untouched
+        let base = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
+        let sharded = study().run_sharded_observed(&base, 3, Observer::default()).unwrap();
+        assert_eq!(report.counters, sharded.report.unwrap().counters);
     }
 
     #[test]

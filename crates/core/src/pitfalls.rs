@@ -277,7 +277,7 @@ mod tests {
                 seed,
             ),
         );
-        charm_engine::run_campaign(&plan, &mut target, Some(seed)).unwrap()
+        charm_engine::Campaign::new(&plan, &mut target).seed(seed).run().unwrap().data
     }
 
     #[test]
@@ -307,7 +307,7 @@ mod tests {
                 3,
             ),
         );
-        let campaign = charm_engine::run_campaign(&plan, &mut target, Some(3)).unwrap();
+        let campaign = charm_engine::Campaign::new(&plan, &mut target).seed(3).run().unwrap().data;
         let anomalies = temporal_anomalies(&campaign, &["size_bytes"], 1.0);
         assert!(anomalies.is_empty(), "spurious anomalies: {anomalies:?}");
     }
@@ -379,7 +379,7 @@ mod tests {
                 6,
             ),
         );
-        let campaign = charm_engine::run_campaign(&plan, &mut target, Some(6)).unwrap();
+        let campaign = charm_engine::Campaign::new(&plan, &mut target).seed(6).run().unwrap().data;
         let d = sequence_diagnostics(&campaign, &["size_bytes"]).unwrap();
         assert!(!d.suspicious(), "spurious: {d:?}");
     }
@@ -404,7 +404,7 @@ mod tests {
             .unwrap();
         plan.shuffle(4);
         let mut target = NetworkTarget::new("bursty", sim);
-        let campaign = charm_engine::run_campaign(&plan, &mut target, Some(4)).unwrap();
+        let campaign = charm_engine::Campaign::new(&plan, &mut target).seed(4).run().unwrap().data;
         let anomalies = temporal_anomalies(&campaign, &["op", "size"], 1.0);
         assert!(!anomalies.is_empty());
     }

@@ -125,7 +125,7 @@ mod tests {
         let mut sim = presets::taurus_openmpi_tcp(1);
         sim.set_noise(NoiseModel::silent(0));
         let mut target = NetworkTarget::new("t", sim);
-        let campaign = charm_engine::run_campaign(&plan, &mut target, Some(1)).unwrap();
+        let campaign = charm_engine::Campaign::new(&plan, &mut target).seed(1).run().unwrap().data;
         MachineSignature {
             memory: MemoryModel {
                 plateaus: vec![Plateau { capacity_bytes: 1 << 20, bandwidth_mbps: 10_000.0 }],

@@ -25,7 +25,7 @@ fn quick_model(seed: u64) -> NetworkModel {
     let mut sim = presets::taurus_openmpi_tcp(seed);
     sim.set_noise(NoiseModel::silent(0));
     let mut target = NetworkTarget::new("t", sim);
-    let campaign = charm_engine::run_campaign(&plan, &mut target, Some(seed)).unwrap();
+    let campaign = charm_engine::Campaign::new(&plan, &mut target).seed(seed).run().unwrap().data;
     NetworkModel::fit(&campaign, &[32 * 1024, 128 * 1024]).unwrap()
 }
 

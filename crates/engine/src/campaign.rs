@@ -1,0 +1,541 @@
+//! The [`Campaign`] builder: the single front door for campaign
+//! execution — sequential or sharded, observed or not.
+//!
+//! The free functions in [`crate::runner`] grew incompatible call shapes
+//! (`&mut T` vs `&T`, trailing seed/shard positionals) as the engine
+//! gained capabilities. The builder unifies them:
+//!
+//! ```text
+//! Campaign::new(&plan, target).seed(9).run()?                    // sequential
+//! Campaign::new(&plan, target).shards(4).seed(9).run()?          // sharded
+//! Campaign::new(&plan, target).observer(Observer::default())     // observed
+//!     .run()?
+//! ```
+//!
+//! [`Campaign::run`] returns a [`CampaignRun`]: the retained-everything
+//! [`CampaignData`] plus, when an [`Observer`] was attached, a
+//! [`CampaignReport`] of counters, provenance events and spans. Attaching
+//! an observer never changes measurement values — targets record counters
+//! outside their noise streams and virtual clocks (tested here and in the
+//! simulator crates), so observed and unobserved campaigns are
+//! bit-identical.
+
+use crate::meta::MetadataBuilder;
+use crate::record::{Campaign as CampaignData, RawRecord};
+use crate::target::{Assignment, ParallelTarget, Target, TargetError};
+use charm_design::plan::ExperimentPlan;
+use charm_obs::{CampaignReport, Observation, Observer, Span};
+use std::time::Instant;
+
+/// The outcome of a [`Campaign::run`]: the campaign data itself plus the
+/// observability report when an [`Observer`] was attached.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The retained-everything campaign (records + metadata), exactly as
+    /// the deprecated free functions returned it.
+    pub data: CampaignData,
+    /// Counters, provenance events and spans — `Some` iff an observer
+    /// was attached with [`Campaign::observer`].
+    pub report: Option<CampaignReport>,
+}
+
+/// Builder for one campaign execution over a plan and a target.
+///
+/// Construct with [`Campaign::new`], configure with the chainable
+/// methods, execute with [`Campaign::run`]. For sharded execution on a
+/// [`ParallelTarget`], [`Campaign::shards`] converts the builder into a
+/// [`ShardedCampaign`].
+#[derive(Debug)]
+pub struct Campaign<'p, T> {
+    plan: &'p ExperimentPlan,
+    target: T,
+    shuffle_seed: Option<u64>,
+    observer: Option<Observer>,
+}
+
+impl<'p, T: Target> Campaign<'p, T> {
+    /// Starts a builder over `plan` and `target`. The target may be owned
+    /// or a `&mut` borrow (a `&mut Target` is itself a [`Target`]).
+    pub fn new(plan: &'p ExperimentPlan, target: T) -> Self {
+        Campaign { plan, target, shuffle_seed: None, observer: None }
+    }
+
+    /// Records the shuffle seed in the campaign metadata. Pass the seed
+    /// used to shuffle the plan, or `None` for a deliberately sequential
+    /// — opaque-style — campaign (the default), so the artifact says so.
+    pub fn seed(mut self, shuffle_seed: impl Into<Option<u64>>) -> Self {
+        self.shuffle_seed = shuffle_seed.into();
+        self
+    }
+
+    /// Attaches an observer: the target's instrumentation is switched on
+    /// for the run and [`CampaignRun::report`] carries the drained
+    /// counters, events and spans. Observation never changes values.
+    pub fn observer(mut self, observer: Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Executes every row of the plan (in the plan's order) against the
+    /// target.
+    ///
+    /// Fails fast on the first target error: a mis-specified plan is a
+    /// setup bug, and partial campaigns silently passed to analysis are
+    /// exactly the kind of artifact the methodology bans.
+    pub fn run(mut self) -> Result<CampaignRun, TargetError> {
+        let wall_start = Instant::now();
+        if let Some(observer) = &self.observer {
+            self.target.observe(observer);
+        }
+        let mut records = Vec::with_capacity(self.plan.len());
+        for (sequence, row) in self.plan.rows().iter().enumerate() {
+            let m = self.target.measure(&Assignment::new(self.plan, row))?;
+            records.push(RawRecord {
+                levels: row.levels.clone(),
+                replicate: row.replicate,
+                sequence: sequence as u64,
+                start_us: m.start_us,
+                value: m.value,
+            });
+        }
+        let mut metadata = MetadataBuilder::new()
+            .with_engine_info()
+            .with_campaign_info(self.plan.len(), self.shuffle_seed)
+            .with_target_info(&self.target.metadata());
+        let report = if self.observer.is_some() {
+            metadata = metadata.set("observed", "true");
+            let mut report = CampaignReport::merge(vec![self.target.take_observation()]);
+            report.counters.add("engine.rows", records.len() as u64);
+            report.spans.push(Span {
+                name: "campaign".to_string(),
+                t_start_us: 0.0,
+                t_end_us: records.last().map_or(0.0, |r| r.start_us),
+                wall_ns: wall_start.elapsed().as_nanos() as u64,
+            });
+            Some(report)
+        } else {
+            None
+        };
+        let data = CampaignData {
+            metadata: metadata.build(),
+            factor_names: self.plan.factor_names().to_vec(),
+            records,
+        };
+        Ok(CampaignRun { data, report })
+    }
+}
+
+impl<'p, T: ParallelTarget> Campaign<'p, T> {
+    /// Converts the builder into a sharded execution over `shards`
+    /// contiguous blocks of the plan, one OS thread per shard. Requires a
+    /// [`ParallelTarget`]; the shard count is clamped to `1..=plan rows`
+    /// at run time.
+    pub fn shards(self, shards: usize) -> ShardedCampaign<'p, T> {
+        ShardedCampaign { inner: self, shards }
+    }
+}
+
+/// A [`Campaign`] configured for sharded execution (see
+/// [`Campaign::shards`]). The same chainable configuration applies;
+/// [`ShardedCampaign::run`] executes and merges.
+#[derive(Debug)]
+pub struct ShardedCampaign<'p, T> {
+    inner: Campaign<'p, T>,
+    shards: usize,
+}
+
+/// What one shard thread reports back: its records, its local clock's
+/// final reading, its drained observation (when observing) and its wall
+/// time.
+type ShardYield = (Vec<RawRecord>, f64, Option<Observation>, u64);
+
+impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
+    /// Records the shuffle seed in the campaign metadata (see
+    /// [`Campaign::seed`]).
+    pub fn seed(mut self, shuffle_seed: impl Into<Option<u64>>) -> Self {
+        self.inner = self.inner.seed(shuffle_seed);
+        self
+    }
+
+    /// Attaches an observer to every shard fork (see
+    /// [`Campaign::observer`]). Per-shard counters are merged with
+    /// integer sums, so the merged report is shard-count-invariant for
+    /// shard-invariant targets; events keep their global sequence numbers
+    /// and get their timestamps shifted onto the campaign timeline.
+    pub fn observer(mut self, observer: Observer) -> Self {
+        self.inner = self.inner.observer(observer);
+        self
+    }
+
+    /// Executes the plan against forks of the target, one thread per
+    /// shard, and merges the per-shard records back into canonical plan
+    /// order.
+    ///
+    /// The plan's rows are split into contiguous blocks
+    /// `[b*n/k, (b+1)*n/k)`. Each shard gets an independent fork of the
+    /// target (same configuration, same stream seed — see
+    /// [`ParallelTarget::fork`]) positioned at its block's first
+    /// measurement index via [`ParallelTarget::skip_to`]. Because every
+    /// random draw of a shard-invariant target is a pure function of
+    /// `(stream seed, measurement index)`, shard `b` produces bit-for-bit
+    /// the values a sequential run produces for its rows, so the merged
+    /// campaign has exactly the sequential `(levels, replicate, value)`
+    /// multiset regardless of shard count.
+    ///
+    /// Virtual clocks are shard-local: each fork starts at time 0, and
+    /// the merge shifts shard `b`'s timestamps (records *and* events) by
+    /// the summed elapsed time of shards `0..b`. With deterministic
+    /// per-measurement durations this reconstructs the sequential
+    /// timeline up to float rounding in the offset sums (for
+    /// `shards == 1` the offset is 0 and the campaign equals the
+    /// sequential run record-for-record). The applied offsets are
+    /// recorded in metadata under `shard_clock_offsets`, next to
+    /// `shards`.
+    ///
+    /// The original target is consumed but only forked, never measured;
+    /// the run behaves as if a fresh target with its configuration and
+    /// stream seed had executed the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TargetError::NotShardable`] when `shards > 1` and the
+    /// target reports [`ParallelTarget::shard_invariant`] `== false`
+    /// (time-dependent physics such as `ondemand` DVFS or intruder
+    /// scheduling): sharding such a target would silently change its
+    /// science, so the engine refuses instead. Measurement errors fail
+    /// the campaign like the sequential run; the error for the earliest
+    /// failing plan row wins.
+    pub fn run(self) -> Result<CampaignRun, TargetError> {
+        let wall_start = Instant::now();
+        let ShardedCampaign { inner, shards } = self;
+        let Campaign { plan, target: base, shuffle_seed, observer } = inner;
+        let n = plan.len();
+        let shards = shards.clamp(1, n.max(1));
+        if shards > 1 && !base.shard_invariant() {
+            return Err(TargetError::NotShardable { target: base.name() });
+        }
+        let seed = base.stream_seed();
+        // Contiguous blocks [b*n/k, (b+1)*n/k): sizes differ by at most one.
+        let bounds: Vec<(usize, usize)> =
+            (0..shards).map(|b| (b * n / shards, (b + 1) * n / shards)).collect();
+        let shard_results: Vec<Result<ShardYield, TargetError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let mut target = base.fork(seed);
+                        if let Some(observer) = &observer {
+                            target.observe(observer);
+                        }
+                        let observed = observer.is_some();
+                        scope.spawn(move |_| -> Result<ShardYield, TargetError> {
+                            let shard_start = Instant::now();
+                            target.skip_to(lo as u64);
+                            let mut records = Vec::with_capacity(hi - lo);
+                            for sequence in lo..hi {
+                                let row = &plan.rows()[sequence];
+                                let m = target.measure(&Assignment::new(plan, row))?;
+                                records.push(RawRecord {
+                                    levels: row.levels.clone(),
+                                    replicate: row.replicate,
+                                    sequence: sequence as u64,
+                                    start_us: m.start_us,
+                                    value: m.value,
+                                });
+                            }
+                            let observation = observed.then(|| target.take_observation());
+                            let wall_ns = shard_start.elapsed().as_nanos() as u64;
+                            Ok((records, target.now_us(), observation, wall_ns))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+            })
+            .expect("scope panicked");
+
+        let mut records = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(shards);
+        let mut observations = Vec::with_capacity(shards);
+        let mut spans = Vec::with_capacity(shards);
+        let mut clock_us = 0.0f64;
+        for (b, result) in shard_results.into_iter().enumerate() {
+            // Blocks are in canonical order, so the first failing shard
+            // holds the earliest failing plan row.
+            let (mut shard_records, shard_elapsed_us, observation, wall_ns) = result?;
+            offsets.push(clock_us);
+            for r in &mut shard_records {
+                r.start_us += clock_us;
+            }
+            records.append(&mut shard_records);
+            if let Some(mut obs) = observation {
+                // Shift shard-local event timestamps onto the campaign
+                // timeline, like record timestamps above. Sequence
+                // numbers are already global (skip_to set the index).
+                for e in &mut obs.events {
+                    e.t_us += clock_us;
+                }
+                spans.push(Span {
+                    name: format!("shard{b}"),
+                    t_start_us: clock_us,
+                    t_end_us: clock_us + shard_elapsed_us,
+                    wall_ns,
+                });
+                observations.push(obs);
+            }
+            clock_us += shard_elapsed_us;
+        }
+        let offsets_str = offsets.iter().map(|o| format!("{o:.3}")).collect::<Vec<_>>().join(",");
+        let mut metadata = MetadataBuilder::new()
+            .with_engine_info()
+            .with_campaign_info(plan.len(), shuffle_seed)
+            .with_target_info(&base.metadata())
+            .set("shards", shards)
+            .set("shard_clock_offsets", offsets_str);
+        let report = if observer.is_some() {
+            metadata = metadata.set("observed", "true");
+            let mut report = CampaignReport::merge(observations);
+            report.counters.add("engine.rows", records.len() as u64);
+            report.spans = spans;
+            report.spans.push(Span {
+                name: "campaign".to_string(),
+                t_start_us: 0.0,
+                t_end_us: clock_us,
+                wall_ns: wall_start.elapsed().as_nanos() as u64,
+            });
+            Some(report)
+        } else {
+            None
+        };
+        let data = CampaignData {
+            metadata: metadata.build(),
+            factor_names: plan.factor_names().to_vec(),
+            records,
+        };
+        Ok(CampaignRun { data, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{MemoryTarget, NetworkTarget};
+    use charm_design::doe::FullFactorial;
+    use charm_design::Factor;
+    use charm_simmem::dvfs::GovernorPolicy;
+    use charm_simmem::machine::{CpuSpec, MachineSim};
+    use charm_simmem::paging::AllocPolicy;
+    use charm_simmem::sched::SchedPolicy;
+    use charm_simnet::presets;
+
+    fn shuffled_net_plan(reps: u32, seed: u64) -> ExperimentPlan {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong", "async_send", "blocking_recv"]))
+            .factor(Factor::new("size", vec![64i64, 1024, 16384, 262144]))
+            .replicates(reps)
+            .build()
+            .unwrap();
+        plan.shuffle(seed);
+        plan
+    }
+
+    fn arm_machine(seed: u64) -> MachineSim {
+        MachineSim::new(
+            CpuSpec::arm_snowball(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::PooledRandomOffset,
+            seed,
+        )
+    }
+
+    #[test]
+    fn builder_matches_sequential_free_function() {
+        let plan = shuffled_net_plan(4, 17);
+        let mut old_target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(17));
+        #[allow(deprecated)]
+        let old = crate::runner::run_campaign(&plan, &mut old_target, Some(17)).unwrap();
+        let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(17));
+        let new = Campaign::new(&plan, target).seed(17).run().unwrap();
+        assert_eq!(old, new.data);
+        assert!(new.report.is_none());
+    }
+
+    #[test]
+    fn builder_runs_borrowed_targets() {
+        let plan = shuffled_net_plan(2, 5);
+        let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(5));
+        let by_ref = Campaign::new(&plan, &mut target).seed(5).run().unwrap();
+        // the borrow ends with run(); the same target advanced its clock
+        assert_eq!(target.sim().measurements_taken(), plan.len() as u64);
+        assert_eq!(by_ref.data.records.len(), plan.len());
+    }
+
+    #[test]
+    fn observer_never_changes_records() {
+        let plan = shuffled_net_plan(5, 23);
+        let plain = Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(23)))
+            .seed(23)
+            .run()
+            .unwrap();
+        let observed = Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(23)))
+            .seed(23)
+            .observer(Observer::default())
+            .run()
+            .unwrap();
+        assert_eq!(plain.data.records.len(), observed.data.records.len());
+        for (a, b) in plain.data.records.iter().zip(&observed.data.records) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "seq {}", a.sequence);
+            assert_eq!(a.start_us.to_bits(), b.start_us.to_bits(), "seq {}", a.sequence);
+        }
+        // metadata differs only by the `observed` marker
+        assert_eq!(observed.data.metadata["observed"], "true");
+        assert!(!plain.data.metadata.contains_key("observed"));
+    }
+
+    #[test]
+    fn sequential_report_carries_provenance() {
+        let plan = shuffled_net_plan(3, 7);
+        let run = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(7)))
+            .seed(7)
+            .observer(Observer::default())
+            .run()
+            .unwrap();
+        let report = run.report.expect("observer attached");
+        let n = plan.len() as u64;
+        assert_eq!(report.counters.get("engine.rows"), n);
+        assert_eq!(report.counters.get("simnet.measurements"), n);
+        assert_eq!(report.events.len(), plan.len());
+        // every record's sequence resolves to exactly one "measure" event
+        // stamped at the record's start time
+        for r in &run.data.records {
+            let events = report.provenance_for(r.sequence);
+            assert_eq!(events.len(), 1, "seq {}", r.sequence);
+            assert_eq!(events[0].kind, "measure");
+            assert_eq!(events[0].t_us.to_bits(), r.start_us.to_bits(), "seq {}", r.sequence);
+        }
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "campaign");
+        assert_eq!(report.shards, 1);
+    }
+
+    #[test]
+    fn sharded_builder_matches_parallel_free_function() {
+        let plan = shuffled_net_plan(6, 3);
+        let base = NetworkTarget::new("myrinet", presets::myrinet_gm(42));
+        #[allow(deprecated)]
+        let old = crate::runner::run_campaign_parallel(&plan, &base, 3, Some(3)).unwrap();
+        let target = NetworkTarget::new("myrinet", presets::myrinet_gm(42));
+        let new = Campaign::new(&plan, target).shards(3).seed(3).run().unwrap();
+        assert_eq!(old, new.data);
+    }
+
+    #[test]
+    fn sharded_report_is_shard_count_invariant() {
+        let plan = shuffled_net_plan(4, 13);
+        let report_for = |shards: usize| {
+            let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(13));
+            let run = Campaign::new(&plan, target)
+                .shards(shards)
+                .seed(13)
+                .observer(Observer::default())
+                .run()
+                .unwrap();
+            run.report.expect("observer attached")
+        };
+        let one = report_for(1);
+        assert_eq!(one.counters.get("engine.rows"), plan.len() as u64);
+        for shards in [2usize, 3, 5] {
+            let many = report_for(shards);
+            assert_eq!(one.counters, many.counters, "{shards} shards");
+            assert_eq!(many.shards, shards);
+            // events cover every sequence exactly once, in order
+            assert_eq!(many.events.len(), plan.len());
+            for (i, e) in many.events.iter().enumerate() {
+                assert_eq!(e.seq, i as u64, "{shards} shards");
+            }
+            // one span per shard plus the whole-campaign span
+            assert_eq!(many.spans.len(), shards + 1);
+            assert_eq!(many.spans[shards].name, "campaign");
+        }
+    }
+
+    #[test]
+    fn sharded_event_times_land_on_campaign_timeline() {
+        let plan = shuffled_net_plan(5, 29);
+        let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(29));
+        let run = Campaign::new(&plan, target)
+            .shards(4)
+            .seed(29)
+            .observer(Observer::default())
+            .run()
+            .unwrap();
+        let report = run.report.unwrap();
+        for r in &run.data.records {
+            let events = report.provenance_for(r.sequence);
+            assert_eq!(events.len(), 1);
+            // events got the same clock offset shift as the records
+            let tol = 1e-6 * r.start_us.abs().max(1.0);
+            assert!(
+                (events[0].t_us - r.start_us).abs() <= tol,
+                "seq {}: event {} vs record {}",
+                r.sequence,
+                events[0].t_us,
+                r.start_us
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_builder_refuses_time_dependent_targets() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![8192i64]))
+            .replicates(4)
+            .build()
+            .unwrap();
+        let mk = || {
+            MemoryTarget::new(
+                "i7",
+                MachineSim::new(
+                    CpuSpec::core_i7_2600(),
+                    GovernorPolicy::Ondemand { sample_period_us: 10_000.0 },
+                    SchedPolicy::PinnedDefault,
+                    AllocPolicy::MallocPerSize,
+                    5,
+                ),
+            )
+        };
+        let err = Campaign::new(&plan, mk()).shards(2).run().unwrap_err();
+        assert!(matches!(err, TargetError::NotShardable { .. }));
+        // one shard is always fine: it is just the sequential run
+        assert!(Campaign::new(&plan, mk()).shards(1).run().is_ok());
+    }
+
+    #[test]
+    fn observed_memory_shards_reproduce_sequential_counters() {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![4096i64, 16384, 65536]))
+            .factor(Factor::new("stride", vec![1i64, 4]))
+            .replicates(3)
+            .build()
+            .unwrap();
+        plan.shuffle(31);
+        let run_with = |shards: usize| {
+            let target = MemoryTarget::new("arm", arm_machine(21));
+            Campaign::new(&plan, target)
+                .shards(shards)
+                .seed(31)
+                .observer(Observer::default())
+                .run()
+                .unwrap()
+        };
+        let one = run_with(1);
+        let four = run_with(4);
+        let values = |c: &CampaignData| {
+            c.records.iter().map(|r| (r.levels.clone(), r.replicate, r.value)).collect::<Vec<_>>()
+        };
+        assert_eq!(values(&one.data), values(&four.data));
+        let (r1, r4) = (one.report.unwrap(), four.report.unwrap());
+        assert_eq!(r1.counters, r4.counters);
+        assert!(r1.counters.get("simmem.cache.l1.hits") > 0);
+    }
+}

@@ -19,17 +19,22 @@
 //!   in identically);
 //! * [`record`] — raw measurement records and campaign CSV I/O;
 //! * [`meta`] — environment metadata capture;
-//! * [`runner`] — the campaign loop.
+//! * [`campaign`] — the [`Campaign`] builder, the one front door for
+//!   sequential/sharded and observed/unobserved execution;
+//! * [`runner`] — deprecated free-function shims over the builder.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod meta;
 pub mod record;
 pub mod replicate;
 pub mod runner;
 pub mod target;
 
-pub use record::{Campaign, RawRecord};
+pub use campaign::{Campaign, CampaignRun, ShardedCampaign};
+pub use record::{Campaign as CampaignData, RawRecord};
+#[allow(deprecated)]
 pub use runner::{run_campaign, run_campaign_parallel};
 pub use target::{Measurement, ParallelTarget, Target, TargetError};

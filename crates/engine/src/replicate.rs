@@ -35,8 +35,8 @@ where
                 scope.spawn(move |_| {
                     let mut run_plan = plan.clone();
                     run_plan.shuffle(seed);
-                    let mut target = make_target(seed);
-                    crate::runner::run_campaign(&run_plan, &mut target, Some(seed))
+                    let target = make_target(seed);
+                    crate::Campaign::new(&run_plan, target).seed(seed).run().map(|run| run.data)
                 })
             })
             .collect();
@@ -91,9 +91,8 @@ mod tests {
         for (i, &seed) in [7u64, 8].iter().enumerate() {
             let mut serial_plan = p.clone();
             serial_plan.shuffle(seed);
-            let mut target = NetworkTarget::new("myrinet", presets::myrinet_gm(seed));
-            let serial =
-                crate::runner::run_campaign(&serial_plan, &mut target, Some(seed)).unwrap();
+            let target = NetworkTarget::new("myrinet", presets::myrinet_gm(seed));
+            let serial = crate::Campaign::new(&serial_plan, target).seed(seed).run().unwrap().data;
             assert_eq!(parallel[i], serial, "seed {seed}");
         }
     }

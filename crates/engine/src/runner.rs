@@ -1,146 +1,66 @@
-//! The campaign loop: execute a plan against a target, retain everything.
+//! Deprecated free-function front ends to the campaign loop.
+//!
+//! The engine's original API grew two incompatible call shapes —
+//! `run_campaign(plan, &mut target, seed)` and
+//! `run_campaign_parallel(plan, &base, shards, seed)` — with no place to
+//! hang new capabilities such as observability. Both are now thin shims
+//! over the [`Campaign`](crate::Campaign) builder and will be removed;
+//! new code should call the builder directly:
+//!
+//! ```text
+//! Campaign::new(&plan, target).seed(seed).run()?              // sequential
+//! Campaign::new(&plan, target).shards(k).seed(seed).run()?    // sharded
+//! ```
 
-use crate::meta::MetadataBuilder;
-use crate::record::{Campaign, RawRecord};
-use crate::target::{Assignment, ParallelTarget, Target, TargetError};
+use crate::campaign::Campaign as CampaignBuilder;
+use crate::record::Campaign;
+use crate::target::{ParallelTarget, Target, TargetError};
 use charm_design::plan::ExperimentPlan;
 
 /// Executes every row of `plan` (in the plan's order) against `target`.
 ///
-/// `shuffle_seed` is recorded in the metadata when the caller shuffled the
-/// plan (pass `None` for a deliberately sequential — opaque-style —
-/// campaign, so the artifact says so).
-///
-/// Fails fast on the first target error: a mis-specified plan is a setup
-/// bug, and partial campaigns silently passed to analysis are exactly the
-/// kind of artifact the methodology bans.
+/// Shim over `Campaign::new(plan, target).seed(shuffle_seed).run()`; the
+/// returned campaign is identical record-for-record and key-for-key.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the builder: `Campaign::new(plan, target).seed(shuffle_seed).run()`"
+)]
 pub fn run_campaign<T: Target + ?Sized>(
     plan: &ExperimentPlan,
     target: &mut T,
     shuffle_seed: Option<u64>,
 ) -> Result<Campaign, TargetError> {
-    let mut records = Vec::with_capacity(plan.len());
-    for (sequence, row) in plan.rows().iter().enumerate() {
-        let m = target.measure(&Assignment::new(plan, row))?;
-        records.push(RawRecord {
-            levels: row.levels.clone(),
-            replicate: row.replicate,
-            sequence: sequence as u64,
-            start_us: m.start_us,
-            value: m.value,
-        });
-    }
-    let metadata = MetadataBuilder::new()
-        .with_engine_info()
-        .with_campaign_info(plan.len(), shuffle_seed)
-        .with_target_info(&target.metadata())
-        .build();
-    Ok(Campaign { metadata, factor_names: plan.factor_names().to_vec(), records })
+    CampaignBuilder::new(plan, target).seed(shuffle_seed).run().map(|run| run.data)
 }
 
 /// Executes `plan` against `shards` forks of `base`, one OS thread per
 /// shard, and merges the per-shard records back into canonical plan order.
 ///
-/// The plan's rows are split into `shards` contiguous blocks. Each shard
-/// gets an independent fork of `base` (same configuration, same stream
-/// seed — see [`ParallelTarget::fork`]) positioned at its block's first
-/// measurement index via [`ParallelTarget::skip_to`]. Because every
-/// random draw of a shard-invariant target is a pure function of
-/// `(stream seed, measurement index)`, shard `b` produces bit-for-bit
-/// the values a sequential run produces for its rows, so the merged
-/// campaign has exactly the sequential `(levels, replicate, value)`
-/// multiset regardless of shard count.
-///
-/// Virtual clocks are shard-local: each fork starts at time 0, and the
-/// runner shifts shard `b`'s timestamps by the summed elapsed time of
-/// shards `0..b` before merging. With deterministic per-measurement
-/// durations this reconstructs the sequential timeline up to float
-/// rounding in the offset sums (for `shards == 1` the offset is 0 and
-/// the campaign equals [`run_campaign`] record-for-record). The applied
-/// offsets are recorded in metadata under `shard_clock_offsets`, next to
-/// `shards`.
-///
-/// `base` is not mutated; the run behaves as if a fresh target with
-/// `base`'s configuration and stream seed had executed the plan.
-///
-/// # Errors
-///
-/// Returns [`TargetError::NotShardable`] when `shards > 1` and the
-/// target reports [`ParallelTarget::shard_invariant`] `== false`
-/// (time-dependent physics such as `ondemand` DVFS or intruder
-/// scheduling): sharding such a target would silently change its
-/// science, so the runner refuses instead. Measurement errors fail the
-/// campaign like [`run_campaign`]; the error for the earliest failing
-/// plan row wins.
+/// Shim over
+/// `Campaign::new(plan, base.fork(base.stream_seed())).shards(shards).seed(shuffle_seed).run()`;
+/// see [`crate::ShardedCampaign::run`] for the determinism contract and
+/// the [`TargetError::NotShardable`] refusal.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the builder: `Campaign::new(plan, target).shards(shards).seed(shuffle_seed).run()`"
+)]
 pub fn run_campaign_parallel<T: ParallelTarget>(
     plan: &ExperimentPlan,
     base: &T,
     shards: usize,
     shuffle_seed: Option<u64>,
 ) -> Result<Campaign, TargetError> {
-    let n = plan.len();
-    let shards = shards.clamp(1, n.max(1));
-    if shards > 1 && !base.shard_invariant() {
-        return Err(TargetError::NotShardable { target: base.name() });
-    }
-    let seed = base.stream_seed();
-    // Contiguous blocks [b*n/k, (b+1)*n/k): sizes differ by at most one.
-    let bounds: Vec<(usize, usize)> =
-        (0..shards).map(|b| (b * n / shards, (b + 1) * n / shards)).collect();
-    let shard_results: Vec<Result<(Vec<RawRecord>, f64), TargetError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = bounds
-                .iter()
-                .map(|&(lo, hi)| {
-                    let mut target = base.fork(seed);
-                    scope.spawn(move |_| -> Result<(Vec<RawRecord>, f64), TargetError> {
-                        target.skip_to(lo as u64);
-                        let mut records = Vec::with_capacity(hi - lo);
-                        for sequence in lo..hi {
-                            let row = &plan.rows()[sequence];
-                            let m = target.measure(&Assignment::new(plan, row))?;
-                            records.push(RawRecord {
-                                levels: row.levels.clone(),
-                                replicate: row.replicate,
-                                sequence: sequence as u64,
-                                start_us: m.start_us,
-                                value: m.value,
-                            });
-                        }
-                        Ok((records, target.now_us()))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
-        })
-        .expect("scope panicked");
-
-    let mut records = Vec::with_capacity(n);
-    let mut offsets = Vec::with_capacity(shards);
-    let mut clock_us = 0.0f64;
-    for result in shard_results {
-        // Blocks are in canonical order, so the first failing shard holds
-        // the earliest failing plan row.
-        let (mut shard_records, shard_elapsed_us) = result?;
-        offsets.push(clock_us);
-        for r in &mut shard_records {
-            r.start_us += clock_us;
-        }
-        records.append(&mut shard_records);
-        clock_us += shard_elapsed_us;
-    }
-    let offsets_str = offsets.iter().map(|o| format!("{o:.3}")).collect::<Vec<_>>().join(",");
-    let metadata = MetadataBuilder::new()
-        .with_engine_info()
-        .with_campaign_info(plan.len(), shuffle_seed)
-        .with_target_info(&base.metadata())
-        .set("shards", shards)
-        .set("shard_clock_offsets", offsets_str)
-        .build();
-    Ok(Campaign { metadata, factor_names: plan.factor_names().to_vec(), records })
+    // Forking with the base's own stream seed reproduces its values, so
+    // the shim behaves exactly as the old in-place implementation did.
+    CampaignBuilder::new(plan, base.fork(base.stream_seed()))
+        .shards(shards)
+        .seed(shuffle_seed)
+        .run()
+        .map(|run| run.data)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::target::{MemoryTarget, NetworkTarget};

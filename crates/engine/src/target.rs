@@ -7,6 +7,7 @@
 
 use charm_design::factors::Level;
 use charm_design::plan::{ExperimentPlan, PlanRow};
+use charm_obs::{Observation, Observer};
 use charm_simmem::compiler::{CodegenConfig, ElementWidth};
 use charm_simmem::kernel::KernelConfig;
 use charm_simmem::machine::MachineSim;
@@ -123,6 +124,46 @@ pub trait Target {
     fn metadata(&self) -> Vec<(String, String)>;
     /// Performs one measurement for the assignment.
     fn measure(&mut self, a: &Assignment<'_>) -> Result<Measurement, TargetError>;
+
+    /// Switches the target's instrumentation on per `observer`.
+    ///
+    /// The default ignores the request, so targets without counters keep
+    /// compiling and simply contribute an empty observation. Recording
+    /// must never change measurement values (see `charm_obs`).
+    fn observe(&mut self, observer: &Observer) {
+        let _ = observer;
+    }
+
+    /// Drains everything the target observed so far (counters, events).
+    /// The default reports nothing.
+    fn take_observation(&mut self) -> Observation {
+        Observation::default()
+    }
+}
+
+/// A mutable reference to a target is itself a target: lets the
+/// [`Campaign`](crate::Campaign) builder run borrowed targets
+/// (`Campaign::new(&plan, &mut target)`) as well as owned ones.
+impl<T: Target + ?Sized> Target for &mut T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn metadata(&self) -> Vec<(String, String)> {
+        (**self).metadata()
+    }
+
+    fn measure(&mut self, a: &Assignment<'_>) -> Result<Measurement, TargetError> {
+        (**self).measure(a)
+    }
+
+    fn observe(&mut self, observer: &Observer) {
+        (**self).observe(observer)
+    }
+
+    fn take_observation(&mut self) -> Observation {
+        (**self).take_observation()
+    }
 }
 
 /// A target whose measurement values are a pure function of
@@ -208,6 +249,14 @@ impl Target for NetworkTarget {
         let start_us = self.sim.now_us();
         let value = self.sim.measure(op, size as u64);
         Ok(Measurement { value, start_us })
+    }
+
+    fn observe(&mut self, observer: &Observer) {
+        self.sim.enable_observability(observer.event_capacity);
+    }
+
+    fn take_observation(&mut self) -> Observation {
+        self.sim.take_observation()
     }
 }
 
@@ -311,6 +360,14 @@ impl Target for MemoryTarget {
         };
         let r = self.machine.run_kernel(&cfg);
         Ok(Measurement { value: r.bandwidth_mbps, start_us: r.start_us })
+    }
+
+    fn observe(&mut self, observer: &Observer) {
+        self.machine.enable_observability(observer.event_capacity);
+    }
+
+    fn take_observation(&mut self) -> Observation {
+        self.machine.take_observation()
     }
 }
 
@@ -448,5 +505,37 @@ mod tests {
             t.measure(&Assignment::new(&plan, &plan.rows()[0])),
             Err(TargetError::BadFactor { name: "size_bytes", .. })
         ));
+    }
+
+    #[test]
+    fn observe_plumbs_through_adapters_and_references() {
+        let plan = net_plan();
+        let mut t = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(1));
+        // a &mut Target is a Target (blanket impl), and observes the same
+        // underlying simulator
+        {
+            let by_ref: &mut NetworkTarget = &mut t;
+            by_ref.observe(&Observer::default());
+            by_ref.measure(&Assignment::new(&plan, &plan.rows()[0])).unwrap();
+        }
+        let obs = t.take_observation();
+        assert_eq!(obs.counters.get("simnet.measurements"), 1);
+        assert_eq!(obs.events.len(), 1);
+        // default impl: a target that doesn't opt in observes nothing
+        struct Null;
+        impl Target for Null {
+            fn name(&self) -> String {
+                "null".into()
+            }
+            fn metadata(&self) -> Vec<(String, String)> {
+                vec![]
+            }
+            fn measure(&mut self, _: &Assignment<'_>) -> Result<Measurement, TargetError> {
+                Ok(Measurement { value: 1.0, start_us: 0.0 })
+            }
+        }
+        let mut n = Null;
+        n.observe(&Observer::default());
+        assert!(n.take_observation().counters.is_empty());
     }
 }

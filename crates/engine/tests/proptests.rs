@@ -1,24 +1,35 @@
 //! Property-based tests of the measurement engine.
 
 use charm_design::doe::FullFactorial;
+use charm_design::plan::ExperimentPlan;
 use charm_design::Factor;
 use charm_engine::record::Campaign;
-use charm_engine::target::NetworkTarget;
+use charm_engine::target::{NetworkTarget, ParallelTarget};
+use charm_obs::Observer;
 use charm_simnet::presets;
 use proptest::prelude::*;
 
-fn run(sizes: Vec<i64>, reps: u32, seed: u64, shuffle: bool) -> Campaign {
+fn plan_of(sizes: Vec<i64>, reps: u32, shuffle_seed: Option<u64>) -> ExperimentPlan {
     let mut plan = FullFactorial::new()
         .factor(Factor::new("op", vec!["ping_pong"]))
         .factor(Factor::new("size", sizes))
         .replicates(reps)
         .build()
         .unwrap();
-    if shuffle {
+    if let Some(seed) = shuffle_seed {
         plan.shuffle(seed);
     }
+    plan
+}
+
+fn run(sizes: Vec<i64>, reps: u32, seed: u64, shuffle: bool) -> Campaign {
+    let plan = plan_of(sizes, reps, shuffle.then_some(seed));
     let mut target = NetworkTarget::new("m", presets::myrinet_gm(seed));
-    charm_engine::run_campaign(&plan, &mut target, shuffle.then_some(seed)).unwrap()
+    charm_engine::Campaign::new(&plan, &mut target)
+        .seed(shuffle.then_some(seed))
+        .run()
+        .unwrap()
+        .data
 }
 
 proptest! {
@@ -62,6 +73,69 @@ proptest! {
     fn values_positive_and_finite(seed in any::<u64>()) {
         let c = run(vec![1, 1024, 1 << 20], 3, seed, true);
         prop_assert!(c.values().iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn observer_never_changes_records_or_clock(
+        sizes in prop::collection::vec(1i64..1_000_000, 1..6),
+        reps in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let plan = plan_of(distinct.into_iter().collect(), reps, Some(seed));
+        let base = NetworkTarget::new("m", presets::myrinet_gm(seed));
+        let plain = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .seed(seed)
+            .run()
+            .unwrap()
+            .data;
+        let observed = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .seed(seed)
+            .observer(Observer::default())
+            .run()
+            .unwrap();
+        prop_assert_eq!(plain.records.len(), observed.data.records.len());
+        for (a, b) in plain.records.iter().zip(&observed.data.records) {
+            prop_assert_eq!(&a.levels, &b.levels);
+            prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+            prop_assert_eq!(a.start_us.to_bits(), b.start_us.to_bits());
+        }
+    }
+
+    #[test]
+    fn counter_merge_is_shard_count_invariant(
+        sizes in prop::collection::vec(1i64..1_000_000, 2..6),
+        reps in 1u32..4,
+        seed in any::<u64>(),
+        shards in 2usize..6,
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let plan = plan_of(distinct.into_iter().collect(), reps, Some(seed));
+        let base = NetworkTarget::new("m", presets::myrinet_gm(seed));
+        let one = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .shards(1)
+            .seed(seed)
+            .observer(Observer::default())
+            .run()
+            .unwrap();
+        let many = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .shards(shards)
+            .seed(seed)
+            .observer(Observer::default())
+            .run()
+            .unwrap();
+        prop_assert_eq!(one.data.records.len(), many.data.records.len());
+        for (a, b) in one.data.records.iter().zip(&many.data.records) {
+            prop_assert_eq!(&a.levels, &b.levels);
+            prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+            // reconstructed per-shard clocks wobble at float rounding
+            let tol = 1e-9 * a.start_us.abs().max(1.0);
+            prop_assert!((a.start_us - b.start_us).abs() <= tol);
+        }
+        prop_assert_eq!(
+            one.report.unwrap().counters,
+            many.report.unwrap().counters
+        );
     }
 
     #[test]

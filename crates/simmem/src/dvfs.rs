@@ -46,6 +46,8 @@ pub struct Governor {
     /// Available frequencies in GHz, ascending.
     freqs_ghz: Vec<f64>,
     current: usize,
+    /// Lifetime count of frequency changes (observability).
+    transitions: u64,
 }
 
 /// Result of executing a burst of cycles under a governor.
@@ -69,7 +71,20 @@ impl Governor {
             GovernorPolicy::Performance => freqs_ghz.len() - 1,
             _ => 0,
         };
-        Governor { policy, freqs_ghz, current }
+        Governor { policy, freqs_ghz, current, transitions: 0 }
+    }
+
+    /// Sets the current frequency level, counting actual changes.
+    fn switch_to(&mut self, level: usize) {
+        if self.current != level {
+            self.current = level;
+            self.transitions += 1;
+        }
+    }
+
+    /// Number of frequency changes the governor has performed so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
     }
 
     /// The policy in force.
@@ -99,7 +114,7 @@ impl Governor {
         if let GovernorPolicy::Ondemand { sample_period_us } = self.policy {
             let first_tick_after = (idle_from_us / sample_period_us).floor() + 1.0;
             if first_tick_after * sample_period_us <= now_us {
-                self.current = 0;
+                self.switch_to(0);
             }
         }
     }
@@ -111,11 +126,11 @@ impl Governor {
         assert!(cycles >= 0.0 && cycles.is_finite(), "bad cycle count");
         match self.policy {
             GovernorPolicy::Performance => {
-                self.current = self.freqs_ghz.len() - 1;
+                self.switch_to(self.freqs_ghz.len() - 1);
                 RunOutcome { elapsed_us: cycles / (self.max_ghz() * 1e3), max_freq_fraction: 1.0 }
             }
             GovernorPolicy::Powersave => {
-                self.current = 0;
+                self.switch_to(0);
                 let at_max = self.freqs_ghz.len() == 1;
                 RunOutcome {
                     elapsed_us: cycles / (self.min_ghz() * 1e3),
@@ -150,7 +165,7 @@ impl Governor {
                         next_tick += sample_period_us;
                         // Busy through a whole sampling interval: ondemand
                         // jumps straight to the maximum frequency.
-                        self.current = max_idx;
+                        self.switch_to(max_idx);
                     }
                 }
                 RunOutcome {
@@ -251,5 +266,24 @@ mod tests {
     #[should_panic(expected = "ascend")]
     fn unsorted_freqs_panic() {
         Governor::new(GovernorPolicy::Performance, vec![3.4, 1.6]);
+    }
+
+    #[test]
+    fn transitions_count_actual_changes_only() {
+        let mut g = Governor::new(GovernorPolicy::Performance, i7_freqs());
+        g.run_cycles(1e6, 0.0);
+        g.run_cycles(1e6, 2000.0);
+        assert_eq!(g.transitions(), 0, "performance never leaves max");
+
+        let mut g = Governor::new(GovernorPolicy::Ondemand { sample_period_us: 100.0 }, i7_freqs());
+        assert_eq!(g.transitions(), 0);
+        g.run_cycles(3.4e6, 0.0); // ramps low -> max: one transition
+        assert_eq!(g.transitions(), 1);
+        g.note_idle(10_050.0, 10_060.0); // idle < one tick: no decay
+        assert_eq!(g.transitions(), 1);
+        g.note_idle(10_060.0, 10_400.0); // decays max -> min
+        assert_eq!(g.transitions(), 2);
+        g.note_idle(10_400.0, 11_000.0); // already at min: no change
+        assert_eq!(g.transitions(), 2);
     }
 }

@@ -8,6 +8,7 @@ use crate::layout::{PhysicalPattern, ServiceProfile};
 use crate::paging::{AllocPolicy, PageAllocator};
 use crate::sched::{IntruderConfig, SchedPolicy, Scheduler};
 use crate::stream;
+use charm_obs::{CounterSet, Counters, Observation, Recorder};
 
 /// Salt for the per-measurement timer-jitter draw.
 const JITTER_SALT: u64 = 0x7177_E200_0000_0004;
@@ -274,6 +275,7 @@ pub struct MachineSim {
     /// Idle virtual time between measurements (setup, logging; µs).
     pub inter_measurement_us: f64,
     measurements_taken: u64,
+    recorder: Recorder,
 }
 
 impl MachineSim {
@@ -299,7 +301,26 @@ impl MachineSim {
             last_busy_end_us: 0.0,
             inter_measurement_us: 300.0,
             measurements_taken: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Switches observability on: cache/paging/DVFS/scheduler counters
+    /// and one `"measure"` event per kernel run (ring capacity
+    /// `event_capacity`). Recording never touches the random streams or
+    /// the virtual clock, so measurement values are unchanged.
+    pub fn enable_observability(&mut self, event_capacity: usize) {
+        self.recorder = Recorder::enabled(event_capacity);
+    }
+
+    /// Whether observability is currently enabled.
+    pub fn observability_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Drains everything observed so far (counters, events, drop count).
+    pub fn take_observation(&mut self) -> Observation {
+        self.recorder.take()
     }
 
     /// The CPU specification.
@@ -327,6 +348,7 @@ impl MachineSim {
         );
         m.set_intruder(self.scheduler.intruder(), stream_seed ^ 0x5eed);
         m.inter_measurement_us = self.inter_measurement_us;
+        m.recorder = self.recorder.fork();
         m
     }
 
@@ -391,6 +413,15 @@ impl MachineSim {
             line,
         );
         let profile = ServiceProfile::compute(&pattern, &self.spec.levels);
+        if self.recorder.is_enabled() {
+            self.record_cache_counters(&profile, cfg.nloops);
+            self.recorder.count("simmem.paging.pages_allocated", phys_pages.len() as u64);
+            let way_bytes = self.spec.levels[0].way_bytes();
+            for &page in &phys_pages {
+                let color = self.allocator.page_color(page, way_bytes);
+                self.recorder.count(&format!("simmem.paging.color.{color}"), 1);
+            }
+        }
         let issue = self.spec.issue.cycles_per_access(cfg.codegen);
         let cycles = profile.total_cycles(
             cfg.nloops,
@@ -405,11 +436,38 @@ impl MachineSim {
         self.execute_cycles(cycles, bytes_touched)
     }
 
+    /// Records steady-state cache service counts for one kernel run:
+    /// the per-pass profile times `nloops` passes. L1 hits are in
+    /// *accesses* (accesses needing no line fetch); all deeper counts are
+    /// in *line fetches*. In the cyclic steady state every fetch into a
+    /// level evicts a line from it, so evictions equal misses.
+    fn record_cache_counters(&mut self, profile: &ServiceProfile, nloops: u64) {
+        let total_fetches: u64 =
+            profile.served_by_level.iter().sum::<u64>() + profile.served_by_dram;
+        self.recorder
+            .count("simmem.cache.l1.hits", (profile.accesses_per_pass - total_fetches) * nloops);
+        self.recorder.count("simmem.cache.l1.misses", total_fetches * nloops);
+        self.recorder.count("simmem.cache.l1.evictions", total_fetches * nloops);
+        // served_by_level[i] holds fetches served by cache level i+2
+        // (index 0 = L2); fetches served deeper are that level's misses.
+        let mut missed_so_far = total_fetches;
+        for (i, &served_here) in profile.served_by_level.iter().enumerate() {
+            let level = i + 2;
+            let misses = missed_so_far - served_here;
+            self.recorder.count(&format!("simmem.cache.l{level}.hits"), served_here * nloops);
+            self.recorder.count(&format!("simmem.cache.l{level}.misses"), misses * nloops);
+            self.recorder.count(&format!("simmem.cache.l{level}.evictions"), misses * nloops);
+            missed_so_far = misses;
+        }
+        self.recorder.count("simmem.cache.dram_lines", profile.served_by_dram * nloops);
+    }
+
     /// Executes a pre-computed cycle count as one timed measurement:
     /// governor (with idle decay), scheduler slowdown, timer noise, and
     /// the virtual clock all apply. Returns the measurement with
     /// bandwidth computed over `bytes_touched`.
     pub fn execute_cycles(&mut self, cycles: f64, bytes_touched: f64) -> KernelResult {
+        let transitions_before = self.governor.transitions();
         // idle gap lets the governor decay
         self.now_us += self.inter_measurement_us;
         self.governor.note_idle(self.last_busy_end_us, self.now_us);
@@ -427,6 +485,41 @@ impl MachineSim {
             1.0
         };
         let elapsed_us = outcome.elapsed_us * sched_mult * jitter;
+        let intruded = sched_mult > 1.0;
+
+        if self.recorder.is_enabled() {
+            self.recorder.count("simmem.measurements", 1);
+            self.recorder
+                .count("simmem.dvfs.transitions", self.governor.transitions() - transitions_before);
+            // quantized to permille so shard merges stay integer-exact
+            self.recorder.count(
+                "simmem.dvfs.max_freq_permille",
+                quantize_permille(outcome.max_freq_fraction),
+            );
+            let bucket = if outcome.max_freq_fraction < 0.25 {
+                "simmem.dvfs.residency.low"
+            } else if outcome.max_freq_fraction > 0.75 {
+                "simmem.dvfs.residency.high"
+            } else {
+                "simmem.dvfs.residency.mid"
+            };
+            self.recorder.count(bucket, 1);
+            if intruded {
+                self.recorder.count("simmem.sched.preemptions", 1);
+            }
+            // stamped with the exact float the record's start_us will
+            // carry ((t + e) - e, not t), so provenance lookups can
+            // compare timestamps bit-for-bit
+            self.recorder.event(
+                self.measurements_taken,
+                "measure",
+                (self.now_us + elapsed_us) - elapsed_us,
+                vec![
+                    ("max_freq_fraction".to_string(), outcome.max_freq_fraction.to_string()),
+                    ("intruded".to_string(), intruded.to_string()),
+                ],
+            );
+        }
 
         self.now_us += elapsed_us;
         self.last_busy_end_us = self.now_us;
@@ -436,7 +529,7 @@ impl MachineSim {
             elapsed_us,
             bandwidth_mbps: bytes_touched / elapsed_us, // B/µs == MB/s
             max_freq_fraction: outcome.max_freq_fraction,
-            intruded: sched_mult > 1.0,
+            intruded,
             start_us: self.last_busy_end_us - elapsed_us,
             sequence: self.measurements_taken - 1,
         }
@@ -473,6 +566,19 @@ impl MachineSim {
             * cfg.codegen.width.bytes() as f64;
         bytes / elapsed_us
     }
+}
+
+impl CounterSet for MachineSim {
+    fn counter_snapshot(&self) -> Counters {
+        self.recorder.counter_snapshot()
+    }
+}
+
+/// Quantizes a `[0, 1]` fraction to integer permille, keeping counter
+/// sums shard-invariant (integer addition is associative; float addition
+/// is not).
+fn quantize_permille(fraction: f64) -> u64 {
+    (fraction * 1000.0).round() as u64
 }
 
 #[cfg(test)]
@@ -557,5 +663,127 @@ mod tests {
             assert!(row.contains("L1"));
             assert!(row.contains(spec.name.split(' ').next().unwrap()));
         }
+    }
+
+    fn observed_machine(seed: u64) -> MachineSim {
+        let mut m = MachineSim::new(
+            CpuSpec::core_i7_2600(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::PooledRandomOffset,
+            seed,
+        );
+        m.enable_observability(1024);
+        m
+    }
+
+    #[test]
+    fn observability_never_changes_measurements() {
+        let mut plain = MachineSim::new(
+            CpuSpec::core_i7_2600(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::PooledRandomOffset,
+            99,
+        );
+        let mut observed = observed_machine(99);
+        for i in 0u64..40 {
+            let cfg = KernelConfig::baseline(4096 * (1 + i % 7), 5);
+            let a = plain.run_kernel(&cfg);
+            let b = observed.run_kernel(&cfg);
+            assert_eq!(a.bandwidth_mbps.to_bits(), b.bandwidth_mbps.to_bits());
+            assert_eq!(a.start_us.to_bits(), b.start_us.to_bits());
+        }
+        let obs = observed.take_observation();
+        assert_eq!(obs.counters.get("simmem.measurements"), 40);
+        assert_eq!(obs.events.len(), 40);
+        assert!(plain.take_observation().counters.is_empty());
+    }
+
+    #[test]
+    fn cache_counters_balance() {
+        let mut m = observed_machine(3);
+        let cfg = KernelConfig::baseline(64 * 1024, 7);
+        m.run_kernel(&cfg);
+        let c = m.take_observation().counters;
+        // L1 misses cascade: every L1 line fetch is served by L2, L3, or DRAM.
+        let l1_misses = c.get("simmem.cache.l1.misses");
+        let served = c.get("simmem.cache.l2.hits")
+            + c.get("simmem.cache.l3.hits")
+            + c.get("simmem.cache.dram_lines");
+        assert_eq!(l1_misses, served);
+        assert_eq!(c.get("simmem.cache.l2.misses"), l1_misses - c.get("simmem.cache.l2.hits"));
+        assert!(c.get("simmem.paging.pages_allocated") >= 16);
+        // page colours partition the allocated pages
+        let colored: u64 =
+            c.iter().filter(|(k, _)| k.starts_with("simmem.paging.color.")).map(|(_, v)| v).sum();
+        assert_eq!(colored, c.get("simmem.paging.pages_allocated"));
+    }
+
+    #[test]
+    fn counters_are_shard_invariant() {
+        let mut base = observed_machine(17);
+        let cfgs: Vec<KernelConfig> =
+            (0u64..30).map(|i| KernelConfig::baseline(4096 * (1 + i % 5), 3 + i % 4)).collect();
+        for cfg in &cfgs {
+            base.run_kernel(cfg);
+        }
+        let sequential = base.take_observation().counters;
+        let mut merged = charm_obs::Counters::new();
+        for (lo, hi) in [(0usize, 11usize), (11, 23), (23, 30)] {
+            let mut shard = base.fork(base.stream_seed());
+            assert!(shard.observability_enabled(), "fork must propagate observability");
+            shard.skip_to(lo as u64);
+            for cfg in &cfgs[lo..hi] {
+                shard.run_kernel(cfg);
+            }
+            merged.merge_from(&shard.take_observation().counters);
+        }
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn dvfs_and_sched_counters_track_phenomena() {
+        // ondemand on short kernels: mostly low-frequency residency
+        let mut m = MachineSim::new(
+            CpuSpec::core_i7_2600(),
+            GovernorPolicy::Ondemand { sample_period_us: 1000.0 },
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::MallocPerSize,
+            5,
+        );
+        m.enable_observability(256);
+        for _ in 0..50 {
+            m.run_kernel(&KernelConfig::baseline(16 * 1024, 2000));
+        }
+        let c = m.take_observation().counters;
+        assert!(c.get("simmem.dvfs.transitions") > 0, "ondemand must switch frequencies");
+        let residency = c.get("simmem.dvfs.residency.low")
+            + c.get("simmem.dvfs.residency.mid")
+            + c.get("simmem.dvfs.residency.high");
+        assert_eq!(residency, 50);
+        assert!(c.get("simmem.dvfs.max_freq_permille") <= 50 * 1000);
+
+        // realtime scheduling: preemptions equal intruded measurements
+        let mut m = MachineSim::new(
+            CpuSpec::arm_snowball(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedRealtime,
+            AllocPolicy::PooledRandomOffset,
+            11,
+        );
+        m.enable_observability(4096);
+        let mut intruded = 0u64;
+        for _ in 0..300 {
+            if m.run_kernel(&KernelConfig::baseline(8192, 40)).intruded {
+                intruded += 1;
+            }
+        }
+        let obs = m.take_observation();
+        assert!(intruded > 0, "intruder never fired");
+        assert_eq!(obs.counters.get("simmem.sched.preemptions"), intruded);
+        let event_intruded =
+            obs.events.iter().filter(|e| e.attr("intruded") == Some("true")).count() as u64;
+        assert_eq!(event_intruded, intruded);
     }
 }

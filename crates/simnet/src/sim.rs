@@ -3,6 +3,7 @@
 use crate::clock::VirtualClock;
 use crate::noise::NoiseModel;
 use crate::protocol::{PiecewiseProtocol, ProtocolMode};
+use charm_obs::{CounterSet, Counters, Observation, Recorder};
 
 /// The three measurable network operations of the methodology (§V-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -51,6 +52,7 @@ pub struct NetworkSim {
     /// timer reads); µs.
     pub inter_measurement_us: f64,
     measurements_taken: u64,
+    recorder: Recorder,
 }
 
 impl NetworkSim {
@@ -62,7 +64,26 @@ impl NetworkSim {
             clock: VirtualClock::new(),
             inter_measurement_us: 1.0,
             measurements_taken: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Switches observability on: protocol-regime counters and one
+    /// `"measure"` event per operation (ring capacity `event_capacity`).
+    /// Recording never touches the noise stream or the virtual clock, so
+    /// measurement values are unchanged.
+    pub fn enable_observability(&mut self, event_capacity: usize) {
+        self.recorder = Recorder::enabled(event_capacity);
+    }
+
+    /// Whether observability is currently enabled.
+    pub fn observability_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Drains everything observed so far (counters, events, drop count).
+    pub fn take_observation(&mut self) -> Observation {
+        self.recorder.take()
     }
 
     /// The protocol model in force.
@@ -110,6 +131,25 @@ impl NetworkSim {
             NetOp::PingPong => (self.protocol.pingpong_rtt(size), regime.rtt_noise_rel),
         };
         let t = self.noise.perturb_at(self.measurements_taken, base, size, rel);
+        if self.recorder.is_enabled() {
+            self.recorder.count("simnet.measurements", 1);
+            let regime_key = match regime.mode {
+                ProtocolMode::Eager => "simnet.regime.eager",
+                ProtocolMode::Detached => "simnet.regime.detached",
+                ProtocolMode::Rendezvous => "simnet.regime.rendezvous",
+            };
+            self.recorder.count(regime_key, 1);
+            self.recorder.event(
+                self.measurements_taken,
+                "measure",
+                self.clock.now_us(),
+                vec![
+                    ("mode".to_string(), regime.mode.name().to_string()),
+                    ("op".to_string(), op.name().to_string()),
+                    ("size".to_string(), size.to_string()),
+                ],
+            );
+        }
         self.clock.advance_us(t + self.inter_measurement_us);
         self.measurements_taken += 1;
         t
@@ -126,6 +166,7 @@ impl NetworkSim {
             clock: VirtualClock::new(),
             inter_measurement_us: self.inter_measurement_us,
             measurements_taken: 0,
+            recorder: self.recorder.fork(),
         }
     }
 
@@ -150,6 +191,12 @@ impl NetworkSim {
             NetOp::BlockingRecv => self.protocol.recv_overhead(size),
             NetOp::PingPong => self.protocol.pingpong_rtt(size),
         }
+    }
+}
+
+impl CounterSet for NetworkSim {
+    fn counter_snapshot(&self) -> Counters {
+        self.recorder.counter_snapshot()
     }
 }
 
@@ -248,5 +295,43 @@ mod tests {
         for size in [1u64, 1000, 100_000] {
             assert!(sim.measure(NetOp::AsyncSend, size) < sim.measure(NetOp::PingPong, size));
         }
+    }
+
+    #[test]
+    fn observability_never_changes_measurements() {
+        let mk = |observe: bool| {
+            let mut sim = quiet_sim();
+            sim.noise = NoiseModel::new(21, 0.05, BurstConfig::off());
+            if observe {
+                sim.enable_observability(256);
+            }
+            (0..60).map(|i| sim.measure(NetOp::PingPong, 64 * (i % 13))).collect::<Vec<f64>>()
+        };
+        let plain = mk(false);
+        let observed = mk(true);
+        for (a, b) in plain.iter().zip(&observed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn regime_counters_and_events_track_measurements() {
+        let mut sim = quiet_sim();
+        sim.enable_observability(16);
+        for i in 0..10u64 {
+            sim.measure(NetOp::PingPong, 64 * i);
+        }
+        let obs = sim.take_observation();
+        assert_eq!(obs.counters.get("simnet.measurements"), 10);
+        // the quiet_sim protocol is uniformly eager
+        assert_eq!(obs.counters.get("simnet.regime.eager"), 10);
+        assert_eq!(obs.events.len(), 10);
+        assert_eq!(obs.events[3].seq, 3);
+        assert_eq!(obs.events[3].attr("mode"), Some("eager"));
+        assert_eq!(obs.events[3].attr("op"), Some("ping_pong"));
+        // forked shards carry an empty recorder with the same enablement
+        let fork = sim.fork(sim.stream_seed());
+        assert!(fork.observability_enabled());
+        assert!(fork.counter_snapshot().is_empty());
     }
 }

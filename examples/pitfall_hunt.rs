@@ -37,7 +37,8 @@ fn main() {
             3,
         ),
     );
-    let campaign = charm::engine::run_campaign(&plan, &mut target, Some(3)).expect("campaign");
+    let campaign =
+        charm::engine::Campaign::new(&plan, &mut target).seed(3).run().expect("campaign").data;
 
     println!("== scheduler pitfall hunt (ARM, RT policy) ==");
     let windows = pitfalls::temporal_anomalies(&campaign, &["size_bytes"], 1.0);

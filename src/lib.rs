@@ -13,6 +13,7 @@
 //! * [`simnet`] / [`simmem`] — the simulated substrates standing in for
 //!   the paper's clusters and CPUs;
 //! * [`opaque`] — the opaque benchmark reimplementations under study;
+//! * [`obs`] — observability: counters, event traces, provenance reports;
 //! * [`core`] — the methodology pipeline, model instantiation,
 //!   convolution prediction, pitfall detectors, and per-figure
 //!   experiment drivers.
@@ -25,6 +26,7 @@ pub use charm_analysis as analysis;
 pub use charm_core as core;
 pub use charm_design as design;
 pub use charm_engine as engine;
+pub use charm_obs as obs;
 pub use charm_opaque as opaque;
 pub use charm_simmem as simmem;
 pub use charm_simnet as simnet;

@@ -24,7 +24,7 @@ fn quiet_network_model(seed: u64) -> NetworkModel {
     let mut sim = presets::taurus_openmpi_tcp(seed);
     sim.set_noise(NoiseModel::silent(0));
     let mut target = NetworkTarget::new("t", sim);
-    let campaign = charm::engine::run_campaign(&plan, &mut target, Some(seed)).unwrap();
+    let campaign = charm::engine::Campaign::new(&plan, &mut target).seed(seed).run().unwrap().data;
     NetworkModel::fit(&campaign, &[32 * 1024, 128 * 1024]).unwrap()
 }
 
@@ -99,7 +99,7 @@ fn dsl_compiles_into_a_model_grade_campaign() {
     )
     .unwrap();
     let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(5));
-    let campaign = charm::engine::run_campaign(&plan, &mut target, Some(5)).unwrap();
+    let campaign = charm::engine::Campaign::new(&plan, &mut target).seed(5).run().unwrap().data;
     let model = NetworkModel::fit(&campaign, &[32 * 1024, 128 * 1024]).unwrap();
     assert_eq!(model.segments.len(), 3);
     assert!(model.max_rel_rmse() < 0.5);

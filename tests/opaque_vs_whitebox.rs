@@ -62,7 +62,8 @@ fn temporal_burst_fools_netgauge_not_the_methodology() {
         let mut sim2 = presets::myrinet_gm(seed);
         sim2.set_noise(bursty_noise(seed + 1000));
         let mut target = NetworkTarget::new("myrinet-bursty", sim2);
-        let campaign = charm::engine::run_campaign(&plan, &mut target, Some(seed)).unwrap();
+        let campaign =
+            charm::engine::Campaign::new(&plan, &mut target).seed(seed).run().unwrap().data;
 
         // offline: per-size medians (robust) then free segmentation
         let mut meds: Vec<(f64, f64)> = campaign
@@ -181,7 +182,7 @@ fn multimaps_mean_hides_modes_methodology_splits_them() {
         .unwrap();
     plan.shuffle(17);
     let mut target = MemoryTarget::new("arm-rt", machine());
-    let campaign = charm::engine::run_campaign(&plan, &mut target, Some(17)).unwrap();
+    let campaign = charm::engine::Campaign::new(&plan, &mut target).seed(17).run().unwrap().data;
     let cells = pitfalls::bimodal_cells(&campaign, &["size_bytes"]);
     assert_eq!(cells.len(), 1, "the mode structure must be recoverable from raw data");
     let ratio = cells[0].split.center_ratio();
