@@ -85,12 +85,17 @@ pub fn bootstrap_ci<F>(
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
+    let _span = charm_trace::thread_span("analysis.bootstrap");
     ensure_sample(xs)?;
     if reps < 10 {
         return Err(AnalysisError::InvalidParameter("bootstrap needs >= 10 reps"));
     }
     if !(0.0 < level && level < 1.0) {
         return Err(AnalysisError::InvalidParameter("confidence level must be in (0,1)"));
+    }
+    if charm_obs::process::is_enabled() {
+        charm_obs::process::add("analysis.bootstrap.replicates", reps as u64);
+        charm_obs::process::add("analysis.bootstrap.calls", 1);
     }
     let estimate = stat(xs);
     let n = xs.len();
@@ -226,6 +231,31 @@ mod tests {
         assert!(mean_ci(&xs, 5, 0.95, 0).is_err());
         assert!(mean_ci(&xs, 100, 1.5, 0).is_err());
         assert!(mean_ci(&[], 100, 0.95, 0).is_err());
+    }
+
+    #[test]
+    fn process_counters_report_replicates() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        charm_obs::process::enable();
+        mean_ci(&xs, 150, 0.95, 1).unwrap();
+        median_ci(&xs, 100, 0.95, 1).unwrap();
+        let counters = charm_obs::process::take();
+        assert_eq!(counters.get("analysis.bootstrap.replicates"), 250);
+        assert_eq!(counters.get("analysis.bootstrap.calls"), 2);
+        // disabled again: nothing accumulates
+        mean_ci(&xs, 150, 0.95, 1).unwrap();
+        assert!(charm_obs::process::take().is_empty());
+    }
+
+    #[test]
+    fn thread_profiler_times_bootstrap() {
+        let p = charm_trace::Profiler::enabled();
+        p.install_thread("main");
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        mean_ci(&xs, 100, 0.95, 1).unwrap();
+        charm_trace::Profiler::uninstall_thread();
+        let spans = p.take();
+        assert!(spans.iter().any(|s| s.name == "analysis.bootstrap"), "{spans:?}");
     }
 
     #[test]

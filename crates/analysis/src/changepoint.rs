@@ -136,6 +136,7 @@ impl OnlineLsqDetector {
 /// penalized cost. Returns ascending split indices `i` meaning "a new
 /// regime starts at position i".
 pub fn binary_segmentation(y: &[f64], min_segment: usize, penalty: f64) -> Result<Vec<usize>> {
+    let _span = charm_trace::thread_span("analysis.changepoint");
     crate::error::ensure_sample(y)?;
     if min_segment < 1 {
         return Err(AnalysisError::InvalidParameter("min_segment must be >= 1"));

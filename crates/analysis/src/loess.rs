@@ -47,6 +47,7 @@ fn bisquare(u: f64) -> f64 {
 ///
 /// Returns the smoothed values in the order of `eval_x`.
 pub fn loess(x: &[f64], y: &[f64], eval_x: &[f64], config: &LoessConfig) -> Result<Vec<f64>> {
+    let _span = charm_trace::thread_span("analysis.loess");
     crate::error::ensure_paired(x, y)?;
     if !(0.0 < config.span && config.span <= 1.0) {
         return Err(AnalysisError::InvalidParameter("loess span must be in (0,1]"));
@@ -63,11 +64,17 @@ pub fn loess(x: &[f64], y: &[f64], eval_x: &[f64], config: &LoessConfig) -> Resu
     let sx: Vec<f64> = idx.iter().map(|&i| x[i]).collect();
     let sy: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
 
+    // Local tally of local-fit evaluations, flushed once at the end:
+    // keeps the fitting loops free of thread-local lookups while still
+    // reporting smoothing effort (same pattern as the segment DP).
+    let evals = std::cell::Cell::new(0u64);
+
     // Robustness weights start at 1.
     let mut rw = vec![1.0; n];
     for iter in 0..=config.robustness_iters {
         let mut fitted = vec![0.0; n];
         for i in 0..n {
+            evals.set(evals.get() + 1);
             fitted[i] = local_fit(&sx, &sy, &rw, sx[i], q)?;
         }
         if iter == config.robustness_iters {
@@ -86,7 +93,18 @@ pub fn loess(x: &[f64], y: &[f64], eval_x: &[f64], config: &LoessConfig) -> Resu
         }
     }
 
-    eval_x.iter().map(|&ex| local_fit(&sx, &sy, &rw, ex, q)).collect()
+    let out = eval_x
+        .iter()
+        .map(|&ex| {
+            evals.set(evals.get() + 1);
+            local_fit(&sx, &sy, &rw, ex, q)
+        })
+        .collect();
+    if charm_obs::process::is_enabled() {
+        charm_obs::process::add("analysis.loess.evals", evals.get());
+        charm_obs::process::add("analysis.loess.calls", 1);
+    }
+    out
 }
 
 /// Weighted local linear fit at `x0` using the `q` nearest neighbours.
@@ -191,6 +209,32 @@ mod tests {
         let x = [0.0, 1.0, 2.0];
         assert!(loess(&x, &x, &x, &LoessConfig { span: 0.0, robustness_iters: 0 }).is_err());
         assert!(loess(&x, &x, &x, &LoessConfig { span: 1.5, robustness_iters: 0 }).is_err());
+    }
+
+    #[test]
+    fn process_counters_report_evals() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        charm_obs::process::enable();
+        loess(&x, &y, &[3.0, 7.0], &LoessConfig { span: 0.5, robustness_iters: 1 }).unwrap();
+        let counters = charm_obs::process::take();
+        // (robustness_iters + 1) fitting passes over all 40 points plus
+        // the 2 requested evaluation points.
+        assert_eq!(counters.get("analysis.loess.evals"), 2 * 40 + 2);
+        assert_eq!(counters.get("analysis.loess.calls"), 1);
+        // disabled again: nothing accumulates
+        loess(&x, &y, &[3.0], &LoessConfig::default()).unwrap();
+        assert!(charm_obs::process::take().is_empty());
+    }
+
+    #[test]
+    fn thread_profiler_times_loess() {
+        let p = charm_trace::Profiler::enabled();
+        p.install_thread("main");
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        loess(&x, &x, &[5.0], &LoessConfig::default()).unwrap();
+        charm_trace::Profiler::uninstall_thread();
+        assert!(p.take().iter().any(|s| s.name == "analysis.loess"));
     }
 
     #[test]

@@ -80,6 +80,7 @@ fn robust_noise_variance(y_sorted_by_x: &[f64]) -> f64 {
 /// observations. The number of segments is *free* up to
 /// `config.max_breaks + 1`, chosen by penalized SSE.
 pub fn segment(x: &[f64], y: &[f64], config: &SegmentConfig) -> Result<Segmentation> {
+    let _span = charm_trace::thread_span("analysis.segment");
     crate::error::ensure_paired(x, y)?;
     let m = config.min_points_per_segment.max(2);
     if x.len() < m {

@@ -14,7 +14,9 @@ use charm_simmem::paging::AllocPolicy;
 use charm_simmem::sched::SchedPolicy;
 
 fn main() {
-    let seed = charm_bench::cli::CommonArgs::parse("").seed;
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
+    let seed = args.seed;
     let mut plan = FullFactorial::new()
         .factor(Factor::new("size_bytes", vec![8192i64, 16384]))
         .factor(Factor::new("nloops", vec![40i64]))
@@ -62,4 +64,5 @@ fn main() {
     );
     charm_bench::write_artifact("ablation_aggregation.csv", &csv);
     println!("\nmean ± sd (all an opaque tool keeps) hides the two modes entirely");
+    session.finish();
 }

@@ -25,7 +25,9 @@ fn median_bw(alloc: AllocPolicy, seed: u64, kb: u64, reps: u32) -> f64 {
 }
 
 fn main() {
-    let base = charm_bench::cli::CommonArgs::parse("").seed;
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
+    let base = args.seed;
     let mut rows = Vec::new();
     println!("cross-run median bandwidth at 24 KiB (the conflict-prone zone), 8 runs:");
     for alloc in [AllocPolicy::MallocPerSize, AllocPolicy::PooledRandomOffset] {
@@ -50,4 +52,5 @@ fn main() {
     );
     charm_bench::write_artifact("ablation_allocation.csv", &csv);
     println!("\nmalloc reuse makes each run stable but runs disagree wildly (the Figure 12 trap);\nthe pooled allocator samples many page layouts per run and reproduces across runs");
+    session.finish();
 }

@@ -6,7 +6,9 @@ use charm_simnet::noise::{BurstConfig, NoiseModel};
 use charm_simnet::{presets, NetOp};
 
 fn main() {
-    let seed = charm_bench::cli::CommonArgs::parse("").seed;
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
+    let seed = args.seed;
     let mut sim = presets::openmpi_fig3(seed);
     sim.set_noise(NoiseModel::new(seed, 0.005, BurstConfig::off()));
     let mut xs = Vec::new();
@@ -45,4 +47,5 @@ fn main() {
         ],
     );
     charm_bench::write_artifact("ablation_breakpoints.csv", &csv);
+    session.finish();
 }

@@ -56,7 +56,9 @@ fn per_size_median_spread(c: &charm_engine::record::Campaign) -> f64 {
 }
 
 fn main() {
-    let seed = charm_bench::cli::CommonArgs::parse("").seed;
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
+    let seed = args.seed;
     let mut rows = Vec::new();
     for (label, randomize) in [("sequential", false), ("randomized", true)] {
         let c = campaign(randomize, seed);
@@ -74,4 +76,5 @@ fn main() {
     );
     charm_bench::write_artifact("ablation_randomization.csv", &csv);
     println!("\nsequential campaigns localize the burst in a block of sizes (phantom size effect);\nrandomized campaigns keep per-size medians smooth and expose the burst as temporal");
+    session.finish();
 }

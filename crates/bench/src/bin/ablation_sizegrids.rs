@@ -14,7 +14,9 @@ fn median_time(sim: &mut charm_simnet::NetworkSim, size: u64, reps: u32) -> f64 
 }
 
 fn main() {
-    let seed = charm_bench::cli::CommonArgs::parse("").seed;
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
+    let seed = args.seed;
     let platform = || {
         let mut sim = presets::taurus_openmpi_tcp(seed);
         sim.set_noise(NoiseModel::new(seed, 0.02, BurstConfig::off()).with_anomaly(1024, 0.7));
@@ -52,4 +54,5 @@ fn main() {
         );
     }
     println!("\nthe power-of-two grid lands exactly ON the special-cased 1024-byte path and\nbends the fitted curve; the log-uniform grid samples its neighbourhood instead");
+    session.finish();
 }

@@ -33,6 +33,7 @@ fn write_validated(name: &str, report: &CampaignReport) {
 
 fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
     let seed = args.seed;
     let quick = args.quick;
 
@@ -74,6 +75,7 @@ fn main() {
     if args.obs_jsonl {
         write_validated("fig10_obs.jsonl", &f.report);
     }
+    session.attach_virtual("fig10", &f.report);
     print!("{}", f.report());
 
     println!("\n== fig11 ==");
@@ -82,6 +84,7 @@ fn main() {
     if args.obs_jsonl {
         write_validated("fig11_obs.jsonl", &f.report);
     }
+    session.attach_virtual("fig11", &f.report);
     print!("{}", f.report());
 
     println!("\n== fig12 ==");
@@ -98,4 +101,6 @@ fn main() {
     let s = charm_core::experiments::convolution::run(seed);
     charm_bench::write_artifact("convolution.csv", &s.to_csv());
     print!("{}", s.report());
+
+    session.finish();
 }

@@ -1,16 +1,27 @@
-//! One-shot wall-clock comparison of the sequential vs sharded campaign
-//! engine and of the refit-DP vs prefix-sum segmentation search, written
-//! to `results/BENCH_campaign.json` (the machine-readable counterpart of
-//! `cargo bench -p charm-bench --bench campaign`).
+//! One-shot wall-clock characterization of the engine and the analysis
+//! kernels, written to the schema-versioned `results/BENCH_engine.json`
+//! that `bench_engine_gate` compares against the committed baseline.
 //!
 //! ```text
-//! bench_campaign_summary [rows] [segment_points]
+//! bench_campaign_summary [rows] [segment_points] [--quick] [--shards N]
 //! ```
 //!
-//! Defaults: 6000 campaign rows, 6000 segmentation points. The refit DP
-//! is timed a single time — at 6000 points it is O(n³) and needs tens of
-//! seconds, which is exactly the point.
+//! Every timing is a **median-of-N** (N = 5, or 3 with `--quick`):
+//! medians rather than minima so a single lucky run cannot mask a
+//! regression, per the statistical-speedup methodology in PAPERS.md.
+//!
+//! * default: 6000 campaign rows and 6000 segmentation points, shard
+//!   counts 1/2/4/8, plus the O(n³) refit-DP comparison and the legacy
+//!   `results/BENCH_campaign.json` artifact;
+//! * `--quick`: small plans sized for CI (the refit DP and
+//!   `BENCH_campaign.json` are skipped; `BENCH_engine.json` is still
+//!   written, which is what the regression gate consumes);
+//! * `--shards N`: time only that shard count (CI uses `--shards 2` so
+//!   the numbers do not depend on the runner's core count).
 
+use charm_analysis::bootstrap::mean_ci;
+use charm_analysis::changepoint::binary_segmentation;
+use charm_analysis::loess::{loess, LoessConfig};
 use charm_analysis::prefix::naive_stretch_sse;
 use charm_analysis::segmented::{segment, SegmentConfig};
 use charm_design::doe::FullFactorial;
@@ -23,6 +34,7 @@ use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
 use charm_simmem::sched::SchedPolicy;
 use charm_simnet::presets;
+use charm_trace::bench::EngineBench;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -43,15 +55,17 @@ fn network_plan(rows_target: usize, seed: u64) -> ExperimentPlan {
     plan
 }
 
-/// Best-of-3 wall-clock seconds.
-fn best_of_3<F: FnMut()>(mut f: F) -> f64 {
-    (0..3)
+/// Median-of-`n` wall-clock seconds.
+fn median_of<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..n)
         .map(|_| {
             let t = Instant::now();
             f();
             t.elapsed().as_secs_f64()
         })
-        .fold(f64::INFINITY, f64::min)
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
 }
 
 fn piecewise_data(n: usize) -> (Vec<f64>, Vec<f64>) {
@@ -142,21 +156,22 @@ fn memory_plan(rows_target: usize, seed: u64) -> ExperimentPlan {
     plan
 }
 
-/// Times the sequential runner and 1/2/4/8 shards on `base`, checking
-/// every parallel run reproduces the sequential records. Returns
-/// `(sequential_s, parallel_s per shard count)`.
+/// Times the sequential runner and each requested shard count on `base`,
+/// checking every parallel run reproduces the sequential records.
+/// Returns `(sequential_s, parallel_s per shard count)`.
 fn time_campaign<T: ParallelTarget>(
     label: &str,
     plan: &ExperimentPlan,
     base: &T,
     shard_counts: &[usize],
+    repeats: usize,
 ) -> (f64, Vec<f64>) {
-    println!("campaign: {} rows on {label}", plan.len());
+    println!("campaign: {} rows on {label} (median of {repeats})", plan.len());
     let reference: Campaign = {
         let t = base.fork(base.stream_seed());
         charm_engine::Campaign::new(plan, t).seed(base.stream_seed()).run().unwrap().data
     };
-    let sequential_s = best_of_3(|| {
+    let sequential_s = median_of(repeats, || {
         let t = base.fork(base.stream_seed());
         let c = charm_engine::Campaign::new(plan, t).seed(base.stream_seed()).run().unwrap().data;
         assert_eq!(c.records.len(), plan.len());
@@ -164,7 +179,7 @@ fn time_campaign<T: ParallelTarget>(
     println!("  sequential          {:>8.1} ms", sequential_s * 1e3);
     let mut parallel_s = Vec::new();
     for &k in shard_counts {
-        let s = best_of_3(|| {
+        let s = median_of(repeats, || {
             let c = charm_engine::Campaign::new(plan, base.fork(base.stream_seed()))
                 .shards(k)
                 .seed(base.stream_seed())
@@ -184,16 +199,67 @@ fn time_campaign<T: ParallelTarget>(
     (sequential_s, parallel_s)
 }
 
+/// One instrumented sharded run: returns the shard-pool utilization the
+/// engine's own `engine.parallel` span reports (busy ÷ capacity).
+fn shard_utilization<T: ParallelTarget>(plan: &ExperimentPlan, base: &T, shards: usize) -> f64 {
+    let profiler = charm_trace::Profiler::enabled();
+    charm_engine::Campaign::new(plan, base.fork(base.stream_seed()))
+        .shards(shards)
+        .seed(base.stream_seed())
+        .profiler(profiler.clone())
+        .run()
+        .unwrap();
+    profiler
+        .take()
+        .iter()
+        .find(|s| s.name == "engine.parallel")
+        .and_then(|s| s.args.iter().find(|(k, _)| k == "utilization"))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn engine_metrics(
+    bench: EngineBench,
+    prefix: &str,
+    rows: usize,
+    sequential_s: f64,
+    shard_counts: &[usize],
+    parallel_s: &[f64],
+    utilizations: &[f64],
+) -> EngineBench {
+    let mut b = bench
+        .metric(&format!("{prefix}.sequential_s"), sequential_s)
+        .metric(&format!("{prefix}.records_per_sec"), rows as f64 / sequential_s);
+    for ((&k, &s), &u) in shard_counts.iter().zip(parallel_s).zip(utilizations) {
+        b = b
+            .metric(&format!("{prefix}.shard{k}_s"), s)
+            .metric(&format!("{prefix}.shard{k}_utilization"), u);
+    }
+    b
+}
+
 fn main() {
     let args = charm_bench::cli::CommonArgs::parse("[rows] [segment_points]");
-    let rows: usize = args.rest.first().and_then(|s| s.parse().ok()).unwrap_or(6000);
-    let points: usize = args.rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(6000);
+    let session = charm_bench::profile::Session::from_args(&args);
+    let quick = args.quick;
+    let default_rows = if quick { 900 } else { 6000 };
+    let default_points = if quick { 800 } else { 6000 };
+    let rows: usize = args.rest.first().and_then(|s| s.parse().ok()).unwrap_or(default_rows);
+    let points: usize = args.rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(default_points);
+    let repeats = 5;
     let seed = args.seed;
-    let shard_counts = [1usize, 2, 4, 8];
+    let shard_counts: Vec<usize> = match args.shards {
+        Some(k) => vec![k],
+        None => vec![1, 2, 4, 8],
+    };
 
     let net_plan = network_plan(rows, seed);
     let net_base = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
-    let (net_seq_s, net_par_s) = time_campaign("taurus", &net_plan, &net_base, &shard_counts);
+    let (net_seq_s, net_par_s) =
+        time_campaign("taurus", &net_plan, &net_base, &shard_counts, repeats);
+    let net_util: Vec<f64> =
+        shard_counts.iter().map(|&k| shard_utilization(&net_plan, &net_base, k)).collect();
 
     let mem_plan = memory_plan(rows, seed);
     let mem_base = MemoryTarget::new(
@@ -206,51 +272,111 @@ fn main() {
             seed,
         ),
     );
-    let (mem_seq_s, mem_par_s) = time_campaign("opteron", &mem_plan, &mem_base, &shard_counts);
+    let (mem_seq_s, mem_par_s) =
+        time_campaign("opteron", &mem_plan, &mem_base, &shard_counts, repeats);
+    let mem_util: Vec<f64> =
+        shard_counts.iter().map(|&k| shard_utilization(&mem_plan, &mem_base, k)).collect();
 
-    // --- segmentation search ---
+    // --- analysis passes ---
     let config = SegmentConfig { max_breaks: 4, min_points_per_segment: 5, penalty: Some(500.0) };
     let (xs, ys) = piecewise_data(points);
-    println!("segment: {points} points");
+    println!("analysis: {points} points (median of {repeats})");
 
-    let prefix_s = best_of_3(|| {
+    let segment_s = median_of(repeats, || {
         segment(&xs, &ys, &config).unwrap();
     });
-    println!("  prefix DP           {:>8.1} ms", prefix_s * 1e3);
+    println!("  segment (prefix DP) {:>8.1} ms", segment_s * 1e3);
 
-    let t = Instant::now();
-    let old_breaks = refit_dp(&xs, &ys, &config);
-    let refit_s = t.elapsed().as_secs_f64();
-    println!(
-        "  refit DP (1 run)    {:>8.1} ms  ({:.1}x slower)",
-        refit_s * 1e3,
-        refit_s / prefix_s
-    );
-    assert_eq!(old_breaks, segment(&xs, &ys, &config).unwrap().breakpoints);
+    let changepoint_s = median_of(repeats, || {
+        binary_segmentation(&ys, 5, 50.0).unwrap();
+    });
+    println!("  changepoint binseg  {:>8.1} ms", changepoint_s * 1e3);
 
-    let shard_map = |times: &[f64]| {
-        shard_counts
-            .iter()
-            .zip(times)
-            .map(|(k, s)| format!("      \"{k}\": {s:.6}"))
-            .collect::<Vec<_>>()
-            .join(",\n")
-    };
-    let json = format!(
-        "{{\n  \"cores\": {},\n  \"network_campaign\": {{\n    \"rows\": {},\n    \"sequential_s\": {:.6},\n    \"parallel_s\": {{\n{}\n    }},\n    \"speedup_4_shards\": {:.2}\n  }},\n  \"memory_campaign\": {{\n    \"rows\": {},\n    \"sequential_s\": {:.6},\n    \"parallel_s\": {{\n{}\n    }},\n    \"speedup_4_shards\": {:.2}\n  }},\n  \"segment\": {{\n    \"points\": {},\n    \"refit_dp_s\": {:.6},\n    \"prefix_dp_s\": {:.6},\n    \"speedup\": {:.1}\n  }}\n}}\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    let boot_sample: Vec<f64> = ys.iter().take(400).copied().collect();
+    let boot_reps = if quick { 500 } else { 2000 };
+    let bootstrap_s = median_of(repeats, || {
+        mean_ci(&boot_sample, boot_reps, 0.95, seed).unwrap();
+    });
+    println!("  bootstrap ({boot_reps} reps) {:>6.1} ms", bootstrap_s * 1e3);
+
+    let loess_n = points.min(if quick { 200 } else { 800 });
+    let loess_x = &xs[..loess_n];
+    let loess_y = &ys[..loess_n];
+    let loess_s = median_of(repeats, || {
+        loess(loess_x, loess_y, loess_x, &LoessConfig { span: 0.3, robustness_iters: 1 }).unwrap();
+    });
+    println!("  loess ({loess_n} pts)     {:>8.1} ms", loess_s * 1e3);
+
+    let mut bench = EngineBench::new()
+        .config("quick", quick)
+        .config("rows", rows)
+        .config("points", points)
+        .config("repeats", repeats)
+        .config("shards", shard_counts.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(","))
+        .metric("cores", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64)
+        .metric("analysis.segment_s", segment_s)
+        .metric("analysis.changepoint_s", changepoint_s)
+        .metric("analysis.bootstrap_s", bootstrap_s)
+        .metric("analysis.loess_s", loess_s);
+    bench = engine_metrics(
+        bench,
+        "engine.net",
         net_plan.len(),
         net_seq_s,
-        shard_map(&net_par_s),
-        net_seq_s / net_par_s[2],
+        &shard_counts,
+        &net_par_s,
+        &net_util,
+    );
+    bench = engine_metrics(
+        bench,
+        "engine.mem",
         mem_plan.len(),
         mem_seq_s,
-        shard_map(&mem_par_s),
-        mem_seq_s / mem_par_s[2],
-        points,
-        refit_s,
-        prefix_s,
-        refit_s / prefix_s,
+        &shard_counts,
+        &mem_par_s,
+        &mem_util,
     );
-    charm_bench::write_artifact("BENCH_campaign.json", &json);
+    charm_bench::write_artifact("BENCH_engine.json", &bench.to_json());
+
+    if !quick {
+        // The O(n³) refit DP is timed once — at 6000 points it needs tens
+        // of seconds, which is exactly the point of the comparison.
+        let t = Instant::now();
+        let old_breaks = refit_dp(&xs, &ys, &config);
+        let refit_s = t.elapsed().as_secs_f64();
+        println!(
+            "  refit DP (1 run)    {:>8.1} ms  ({:.1}x slower)",
+            refit_s * 1e3,
+            refit_s / segment_s
+        );
+        assert_eq!(old_breaks, segment(&xs, &ys, &config).unwrap().breakpoints);
+
+        let shard_map = |times: &[f64]| {
+            shard_counts
+                .iter()
+                .zip(times)
+                .map(|(k, s)| format!("      \"{k}\": {s:.6}"))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        let best = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+        let json = format!(
+            "{{\n  \"cores\": {},\n  \"network_campaign\": {{\n    \"rows\": {},\n    \"sequential_s\": {:.6},\n    \"parallel_s\": {{\n{}\n    }},\n    \"speedup_best\": {:.2}\n  }},\n  \"memory_campaign\": {{\n    \"rows\": {},\n    \"sequential_s\": {:.6},\n    \"parallel_s\": {{\n{}\n    }},\n    \"speedup_best\": {:.2}\n  }},\n  \"segment\": {{\n    \"points\": {},\n    \"refit_dp_s\": {:.6},\n    \"prefix_dp_s\": {:.6},\n    \"speedup\": {:.1}\n  }}\n}}\n",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            net_plan.len(),
+            net_seq_s,
+            shard_map(&net_par_s),
+            net_seq_s / best(&net_par_s),
+            mem_plan.len(),
+            mem_seq_s,
+            shard_map(&mem_par_s),
+            mem_seq_s / best(&mem_par_s),
+            points,
+            refit_s,
+            segment_s,
+            refit_s / segment_s,
+        );
+        charm_bench::write_artifact("BENCH_campaign.json", &json);
+    }
+    session.finish();
 }

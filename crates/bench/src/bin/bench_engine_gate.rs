@@ -1,0 +1,79 @@
+//! Perf-regression gate: compares a freshly generated `BENCH_engine.json`
+//! against the committed baseline and fails CI when a gated metric is
+//! more than the threshold worse.
+//!
+//! ```text
+//! bench_engine_gate <candidate.json> <baseline.json>
+//! ```
+//!
+//! * exit 0 — no gated metric regressed;
+//! * exit 1 — at least one regression past the threshold;
+//! * exit 2 — the reports are not comparable (schema or config mismatch)
+//!   or a file did not parse; regenerate the baseline instead.
+//!
+//! Environment knobs: `CHARM_GATE_THRESHOLD` (relative slack, default
+//! 0.25 = fail at >25 % worse) and `CHARM_GATE_FLOOR_S` (absolute floor
+//! in seconds under which timings are noise, default 0.005). The gate
+//! conventions — `*_s` lower-better, `*_per_sec` higher-better,
+//! everything else informational — live in `charm_trace::bench`.
+
+use charm_trace::bench::{self, EngineBench};
+use std::process::ExitCode;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn load(path: &str) -> Result<EngineBench, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    EngineBench::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let [candidate_path, baseline_path] = argv.as_slice() else {
+        eprintln!("usage: bench_engine_gate <candidate.json> <baseline.json>");
+        return ExitCode::from(2);
+    };
+    let threshold = env_f64("CHARM_GATE_THRESHOLD", bench::DEFAULT_THRESHOLD);
+    let floor_s = env_f64("CHARM_GATE_FLOOR_S", bench::DEFAULT_FLOOR_S);
+
+    let (candidate, baseline) = match (load(candidate_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for r in [c, b] {
+                if let Err(e) = r {
+                    eprintln!("{e}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let comparisons = match bench::compare(&candidate, &baseline, threshold, floor_s) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{:<34} {:>12} {:>12} {:>7}  verdict  (threshold {:.0}%, floor {:.0} ms)",
+        "metric",
+        "baseline",
+        "candidate",
+        "ratio",
+        threshold * 100.0,
+        floor_s * 1e3
+    );
+    for c in &comparisons {
+        println!("{c}");
+    }
+    if bench::regressed(&comparisons) {
+        eprintln!("regression gate FAILED");
+        ExitCode::from(1)
+    } else {
+        println!("regression gate passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -2,7 +2,9 @@
 
 fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig07::run(args.seed, if args.quick { 4 } else { 10 });
     charm_bench::write_artifact("fig07.csv", &fig.to_csv());
     print!("{}", fig.report());
+    session.finish();
 }

@@ -5,10 +5,13 @@
 
 fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig10::run(args.seed, if args.quick { 10 } else { 42 });
     charm_bench::write_artifact("fig10.csv", &fig.to_csv());
     if args.obs_jsonl {
         charm_bench::write_artifact("fig10_obs.jsonl", &fig.report.to_jsonl());
     }
+    session.attach_virtual("fig10", &fig.report);
     print!("{}", fig.report());
+    session.finish();
 }

@@ -5,10 +5,13 @@
 
 fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig11::run(args.seed);
     charm_bench::write_artifact("fig11_raw.csv", &fig.raw_csv());
     if args.obs_jsonl {
         charm_bench::write_artifact("fig11_obs.jsonl", &fig.report.to_jsonl());
     }
+    session.attach_virtual("fig11", &fig.report);
     print!("{}", fig.report());
+    session.finish();
 }

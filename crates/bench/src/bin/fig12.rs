@@ -2,7 +2,9 @@
 
 fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig12::run(args.seed);
     charm_bench::write_artifact("fig12.csv", &fig.to_csv());
     print!("{}", fig.report());
+    session.finish();
 }

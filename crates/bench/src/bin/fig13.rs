@@ -1,8 +1,10 @@
 //! Regenerates Figure 13: the cause-and-effect factor diagram.
 
 fn main() {
-    charm_bench::cli::CommonArgs::parse("");
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig13::run();
     charm_bench::write_artifact("fig13.csv", &fig.to_csv());
     print!("{}", fig.report());
+    session.finish();
 }

@@ -10,7 +10,9 @@ use charm_simmem::paging::AllocPolicy;
 use charm_simmem::sched::SchedPolicy;
 
 fn main() {
-    let seed = charm_bench::cli::CommonArgs::parse("").seed;
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
+    let seed = args.seed;
     let mut rows_out = Vec::new();
     println!("PChase-style interference sweep on the i7-2600 (aggregate MB/s by thread count)\n");
     for (label, buffer) in [("l1_resident_8KiB", 8 * 1024u64), ("dram_bound_8MiB", 8 << 20)] {
@@ -51,4 +53,5 @@ fn main() {
     );
     charm_bench::write_artifact("pchase_interference.csv", &csv);
     println!("cache-resident work scales with cores; DRAM-bound work saturates at the channel count\n— the interference PChase was built to capture");
+    session.finish();
 }

@@ -70,6 +70,7 @@ fn execute<T: ParallelTarget>(
 
 fn main() -> ExitCode {
     let args = charm_bench::cli::CommonArgs::parse("<plan.dsl> <platform>");
+    let session = charm_bench::profile::Session::from_args(&args);
     if args.rest.len() != 2 {
         eprintln!("usage: run_campaign <plan.dsl> <platform> [--seed N] [--shards N] [--out DIR] [--obs-jsonl]");
         eprintln!("platforms: taurus myrinet openmpi opteron pentium4 i7 arm");
@@ -125,8 +126,10 @@ fn main() -> ExitCode {
             if let Some(report) = &run.report {
                 let name = format!("campaign_{platform_name}_obs.jsonl");
                 charm_bench::write_artifact(&name, &report.to_jsonl());
+                session.attach_virtual(platform_name, report);
             }
             println!("{} raw measurements retained", run.data.records.len());
+            session.finish();
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -1,8 +1,10 @@
 //! Regenerates Figure 5: the CPU characteristics table.
 
 fn main() {
-    charm_bench::cli::CommonArgs::parse("");
+    let args = charm_bench::cli::CommonArgs::parse("");
+    let session = charm_bench::profile::Session::from_args(&args);
     let t = charm_core::experiments::table05::run();
     charm_bench::write_artifact("table05.csv", &t.to_csv());
     print!("{}", t.report());
+    session.finish();
 }

@@ -12,6 +12,11 @@
 //! * `--obs-jsonl` — also write observability reports (counters +
 //!   provenance events, JSON Lines) next to the CSV artifacts;
 //! * `--quick` — reduced plan sizes for smoke runs (CI uses this);
+//! * `--profile` — print a wall-clock self-profile of the engine and
+//!   analysis passes when the run finishes;
+//! * `--trace-out PATH` — write a Chrome/Perfetto `trace.json` rendering
+//!   wall-time engine spans and virtual-time experiment events as two
+//!   separate process tracks (see `charm_trace::chrome`);
 //! * `--help` — print usage.
 //!
 //! Positional arguments (e.g. `run_campaign`'s plan file and platform)
@@ -28,6 +33,11 @@ pub struct CommonArgs {
     pub obs_jsonl: bool,
     /// Whether to shrink plans for a smoke run (`--quick`).
     pub quick: bool,
+    /// Whether to print the wall-clock self-profile (`--profile`).
+    pub profile: bool,
+    /// Where to write the dual-clock Chrome/Perfetto trace
+    /// (`--trace-out PATH`), when given.
+    pub trace_out: Option<String>,
     /// Positional arguments, in order.
     pub rest: Vec<String>,
 }
@@ -72,6 +82,8 @@ impl CommonArgs {
             shards: None,
             obs_jsonl: false,
             quick: false,
+            profile: false,
+            trace_out: None,
             rest: Vec::new(),
         };
         let mut out_dir = None;
@@ -96,6 +108,14 @@ impl CommonArgs {
                 },
                 "--obs-jsonl" => args.obs_jsonl = true,
                 "--quick" => args.quick = true,
+                "--profile" => args.profile = true,
+                "--trace-out" => match argv.next() {
+                    Some(path) => args.trace_out = Some(path),
+                    None => {
+                        eprintln!("--trace-out needs a file path");
+                        return Err(Exit::Error);
+                    }
+                },
                 "--help" | "-h" => return Err(Exit::Help),
                 flag if flag.starts_with("--") => {
                     eprintln!("unknown flag {flag}");
@@ -132,12 +152,15 @@ fn usage(bin: &str, extra: &str) -> String {
     let positional = if extra.is_empty() { String::new() } else { format!(" {extra}") };
     format!(
         "usage: {bin}{positional} [--seed N] [--shards N] [--out DIR] [--obs-jsonl] [--quick]\n\
+         \x20               [--profile] [--trace-out PATH]\n\
          \n\
-         --seed N      RNG seed (default CHARM_SEED or 20170529)\n\
-         --shards N    shard count for shard-invariant campaigns (sets CHARM_SHARDS)\n\
-         --out DIR     results directory (sets CHARM_RESULTS_DIR)\n\
-         --obs-jsonl   also write observability reports as JSON Lines\n\
-         --quick       reduced plans for smoke runs"
+         --seed N        RNG seed (default CHARM_SEED or 20170529)\n\
+         --shards N      shard count for shard-invariant campaigns (sets CHARM_SHARDS)\n\
+         --out DIR       results directory (sets CHARM_RESULTS_DIR)\n\
+         --obs-jsonl     also write observability reports as JSON Lines\n\
+         --quick         reduced plans for smoke runs\n\
+         --profile       print a wall-clock self-profile on exit\n\
+         --trace-out PATH  write a dual-clock Chrome/Perfetto trace.json"
     )
 }
 
@@ -154,7 +177,15 @@ mod tests {
         let (args, out) = CommonArgs::try_parse(argv(&[]), 7).unwrap();
         assert_eq!(
             args,
-            CommonArgs { seed: 7, shards: None, obs_jsonl: false, quick: false, rest: vec![] }
+            CommonArgs {
+                seed: 7,
+                shards: None,
+                obs_jsonl: false,
+                quick: false,
+                profile: false,
+                trace_out: None,
+                rest: vec![]
+            }
         );
         assert_eq!(out, None);
     }
@@ -172,6 +203,9 @@ mod tests {
                 "/tmp/r",
                 "--obs-jsonl",
                 "--quick",
+                "--profile",
+                "--trace-out",
+                "/tmp/trace.json",
                 "taurus",
             ]),
             7,
@@ -181,6 +215,8 @@ mod tests {
         assert_eq!(args.shards, Some(4));
         assert!(args.obs_jsonl);
         assert!(args.quick);
+        assert!(args.profile);
+        assert_eq!(args.trace_out.as_deref(), Some("/tmp/trace.json"));
         assert_eq!(args.rest, argv(&["plan.dsl", "taurus"]));
         assert_eq!(out.as_deref(), Some("/tmp/r"));
     }
@@ -190,6 +226,7 @@ mod tests {
         assert_eq!(CommonArgs::try_parse(argv(&["--seed"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--seed", "abc"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--shards", "0"]), 1), Err(Exit::Error));
+        assert_eq!(CommonArgs::try_parse(argv(&["--trace-out"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--bogus"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--help"]), 1), Err(Exit::Help));
     }
@@ -197,7 +234,9 @@ mod tests {
     #[test]
     fn usage_names_every_flag() {
         let u = usage("fig10", "");
-        for flag in ["--seed", "--shards", "--out", "--obs-jsonl", "--quick"] {
+        for flag in
+            ["--seed", "--shards", "--out", "--obs-jsonl", "--quick", "--profile", "--trace-out"]
+        {
             assert!(u.contains(flag), "{flag} missing from usage");
         }
     }

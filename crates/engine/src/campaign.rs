@@ -1,7 +1,8 @@
 //! The [`Campaign`] builder: the single front door for campaign
-//! execution — sequential or sharded, observed or not.
+//! execution — sequential or sharded, observed or not, profiled or not.
 //!
-//! The free functions in [`crate::runner`] grew incompatible call shapes
+//! The engine's original free-function front ends (`run_campaign`,
+//! `run_campaign_parallel`, both removed) grew incompatible call shapes
 //! (`&mut T` vs `&T`, trailing seed/shard positionals) as the engine
 //! gained capabilities. The builder unifies them:
 //!
@@ -9,6 +10,8 @@
 //! Campaign::new(&plan, target).seed(9).run()?                    // sequential
 //! Campaign::new(&plan, target).shards(4).seed(9).run()?          // sharded
 //! Campaign::new(&plan, target).observer(Observer::default())     // observed
+//!     .run()?
+//! Campaign::new(&plan, target).profiler(Profiler::enabled())     // profiled
 //!     .run()?
 //! ```
 //!
@@ -19,12 +22,20 @@
 //! outside their noise streams and virtual clocks (tested here and in the
 //! simulator crates), so observed and unobserved campaigns are
 //! bit-identical.
+//!
+//! Orthogonally to observation (which lives on the **virtual** clock and
+//! is part of the reproducible artifact), a [`Profiler`] records where
+//! the engine's own **wall-clock** time goes: plan execution, per-shard
+//! work, record merge. The same bit-identity rule applies — the profiler
+//! only reads the host monotonic clock, never virtual clocks or RNG
+//! streams — and a disabled profiler costs one branch per span site.
 
 use crate::meta::MetadataBuilder;
 use crate::record::{Campaign as CampaignData, RawRecord};
 use crate::target::{Assignment, ParallelTarget, Target, TargetError};
 use charm_design::plan::ExperimentPlan;
 use charm_obs::{CampaignReport, Observation, Observer, Span};
+use charm_trace::{Profiler, WallSpan};
 use std::time::Instant;
 
 /// The outcome of a [`Campaign::run`]: the campaign data itself plus the
@@ -51,13 +62,26 @@ pub struct Campaign<'p, T> {
     target: T,
     shuffle_seed: Option<u64>,
     observer: Option<Observer>,
+    profiler: Profiler,
 }
 
 impl<'p, T: Target> Campaign<'p, T> {
     /// Starts a builder over `plan` and `target`. The target may be owned
     /// or a `&mut` borrow (a `&mut Target` is itself a [`Target`]).
+    ///
+    /// The builder starts with the calling thread's ambient profiler
+    /// (see [`charm_trace::thread_profiler`]) — disabled unless the host
+    /// installed one — so campaigns constructed deep inside experiment
+    /// drivers are profiled without plumbing. [`Campaign::profiler`]
+    /// overrides it.
     pub fn new(plan: &'p ExperimentPlan, target: T) -> Self {
-        Campaign { plan, target, shuffle_seed: None, observer: None }
+        Campaign {
+            plan,
+            target,
+            shuffle_seed: None,
+            observer: None,
+            profiler: charm_trace::thread_profiler(),
+        }
     }
 
     /// Records the shuffle seed in the campaign metadata. Pass the seed
@@ -76,6 +100,16 @@ impl<'p, T: Target> Campaign<'p, T> {
         self
     }
 
+    /// Attaches a wall-clock self-profiler: the engine records spans for
+    /// plan execution, per-shard work and record merge into it. The
+    /// profiler never touches virtual clocks or RNG streams, so records
+    /// are bit-identical with profiling on or off (tested below); when
+    /// disabled each span site costs one branch.
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
     /// Executes every row of the plan (in the plan's order) against the
     /// target.
     ///
@@ -83,21 +117,27 @@ impl<'p, T: Target> Campaign<'p, T> {
     /// setup bug, and partial campaigns silently passed to analysis are
     /// exactly the kind of artifact the methodology bans.
     pub fn run(mut self) -> Result<CampaignRun, TargetError> {
+        let _run_span = self.profiler.span_on("engine", "engine.run");
         let wall_start = Instant::now();
         if let Some(observer) = &self.observer {
             self.target.observe(observer);
         }
         let mut records = Vec::with_capacity(self.plan.len());
-        for (sequence, row) in self.plan.rows().iter().enumerate() {
-            let m = self.target.measure(&Assignment::new(self.plan, row))?;
-            records.push(RawRecord {
-                levels: row.levels.clone(),
-                replicate: row.replicate,
-                sequence: sequence as u64,
-                start_us: m.start_us,
-                value: m.value,
-            });
+        {
+            let _execute_span =
+                self.profiler.span_on("engine", "engine.execute").arg("rows", self.plan.len());
+            for (sequence, row) in self.plan.rows().iter().enumerate() {
+                let m = self.target.measure(&Assignment::new(self.plan, row))?;
+                records.push(RawRecord {
+                    levels: row.levels.clone(),
+                    replicate: row.replicate,
+                    sequence: sequence as u64,
+                    start_us: m.start_us,
+                    value: m.value,
+                });
+            }
         }
+        let _finalize_span = self.profiler.span_on("engine", "engine.finalize");
         let mut metadata = MetadataBuilder::new()
             .with_engine_info()
             .with_campaign_info(self.plan.len(), self.shuffle_seed)
@@ -167,6 +207,15 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
         self
     }
 
+    /// Attaches a wall-clock self-profiler (see [`Campaign::profiler`]).
+    /// Every shard thread records its execution span into the same
+    /// profiler; the merged run also records the parallel region with
+    /// its shard utilization.
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.inner = self.inner.profiler(profiler);
+        self
+    }
+
     /// Executes the plan against forks of the target, one thread per
     /// shard, and merges the per-shard records back into canonical plan
     /// order.
@@ -206,9 +255,10 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
     /// the campaign like the sequential run; the error for the earliest
     /// failing plan row wins.
     pub fn run(self) -> Result<CampaignRun, TargetError> {
-        let wall_start = Instant::now();
         let ShardedCampaign { inner, shards } = self;
-        let Campaign { plan, target: base, shuffle_seed, observer } = inner;
+        let Campaign { plan, target: base, shuffle_seed, observer, profiler } = inner;
+        let _run_span = profiler.span_on("engine", "engine.run");
+        let wall_start = Instant::now();
         let n = plan.len();
         let shards = shards.clamp(1, n.max(1));
         if shards > 1 && !base.shard_invariant() {
@@ -218,17 +268,27 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
         // Contiguous blocks [b*n/k, (b+1)*n/k): sizes differ by at most one.
         let bounds: Vec<(usize, usize)> =
             (0..shards).map(|b| (b * n / shards, (b + 1) * n / shards)).collect();
+        let parallel_start_ns = profiler.elapsed_ns();
         let shard_results: Vec<Result<ShardYield, TargetError>> =
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = bounds
                     .iter()
-                    .map(|&(lo, hi)| {
+                    .enumerate()
+                    .map(|(b, &(lo, hi))| {
                         let mut target = base.fork(seed);
                         if let Some(observer) = &observer {
                             target.observe(observer);
                         }
                         let observed = observer.is_some();
+                        let profiler = profiler.clone();
                         scope.spawn(move |_| -> Result<ShardYield, TargetError> {
+                            // Gated on is_enabled so the disabled path
+                            // allocates no track name.
+                            let _shard_span = profiler.is_enabled().then(|| {
+                                profiler
+                                    .span_on(&format!("shard{b}"), "shard.execute")
+                                    .arg("rows", hi - lo)
+                            });
                             let shard_start = Instant::now();
                             target.skip_to(lo as u64);
                             let mut records = Vec::with_capacity(hi - lo);
@@ -252,7 +312,32 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                 handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
             })
             .expect("scope panicked");
+        if profiler.is_enabled() {
+            // Shard utilization: summed shard busy time over the
+            // parallel region's wall time × shard count. 1.0 means every
+            // thread worked the whole region; low values expose skewed
+            // blocks or an oversubscribed host.
+            let parallel_dur_ns = profiler.elapsed_ns().saturating_sub(parallel_start_ns);
+            let busy_ns: u64 = shard_results
+                .iter()
+                .filter_map(|r| r.as_ref().ok().map(|(_, _, _, wall_ns)| *wall_ns))
+                .sum();
+            let capacity_ns = parallel_dur_ns.saturating_mul(shards as u64);
+            let utilization =
+                if capacity_ns == 0 { 0.0 } else { busy_ns as f64 / capacity_ns as f64 };
+            profiler.record(WallSpan {
+                track: "engine".to_string(),
+                name: "engine.parallel".to_string(),
+                start_ns: parallel_start_ns,
+                dur_ns: parallel_dur_ns,
+                args: vec![
+                    ("shards".to_string(), shards.to_string()),
+                    ("utilization".to_string(), format!("{utilization:.3}")),
+                ],
+            });
+        }
 
+        let _merge_span = profiler.span_on("engine", "engine.merge");
         let mut records = Vec::with_capacity(n);
         let mut offsets = Vec::with_capacity(shards);
         let mut observations = Vec::with_capacity(shards);
@@ -349,15 +434,89 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_sequential_free_function() {
-        let plan = shuffled_net_plan(4, 17);
-        let mut old_target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(17));
-        #[allow(deprecated)]
-        let old = crate::runner::run_campaign(&plan, &mut old_target, Some(17)).unwrap();
-        let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(17));
-        let new = Campaign::new(&plan, target).seed(17).run().unwrap();
-        assert_eq!(old, new.data);
-        assert!(new.report.is_none());
+    fn campaign_retains_every_measurement() {
+        let plan = shuffled_net_plan(3, 9);
+        let run =
+            Campaign::new(&plan, NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(1)))
+                .seed(9)
+                .run()
+                .unwrap();
+        assert!(run.report.is_none());
+        let campaign = run.data;
+        assert_eq!(campaign.records.len(), plan.len());
+        // sequence numbers are the execution order
+        for (i, r) in campaign.records.iter().enumerate() {
+            assert_eq!(r.sequence, i as u64);
+        }
+        // timestamps strictly increase (virtual clock)
+        for w in campaign.records.windows(2) {
+            assert!(w[1].start_us > w[0].start_us);
+        }
+        assert_eq!(campaign.metadata["order"], "randomized");
+        assert_eq!(campaign.metadata["shuffle_seed"], "9");
+        assert_eq!(campaign.metadata["plan_rows"], plan.len().to_string());
+    }
+
+    #[test]
+    fn campaign_csv_roundtrip_end_to_end() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![4096i64, 8192]))
+            .factor(Factor::new("stride", vec![1i64, 2]))
+            .replicates(2)
+            .build()
+            .unwrap();
+        let target = MemoryTarget::new(
+            "opteron",
+            MachineSim::new(
+                CpuSpec::opteron(),
+                GovernorPolicy::Performance,
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::MallocPerSize,
+                3,
+            ),
+        );
+        let campaign = Campaign::new(&plan, target).run().unwrap().data;
+        let back = CampaignData::from_csv(&campaign.to_csv()).unwrap();
+        assert_eq!(campaign, back);
+        assert_eq!(back.metadata["order"], "sequential");
+        assert_eq!(back.metadata["cpu"], "Opteron 2.8GHz");
+    }
+
+    #[test]
+    fn identical_seeds_identical_campaigns() {
+        let mk = || {
+            let plan = shuffled_net_plan(3, 4);
+            let target = NetworkTarget::new("myrinet", presets::myrinet_gm(8));
+            Campaign::new(&plan, target).seed(4).run().unwrap().data
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn fails_fast_on_bad_plan() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["nonsense"]))
+            .factor(Factor::new("size", vec![1i64]))
+            .build()
+            .unwrap();
+        let target = NetworkTarget::new("x", presets::myrinet_gm(1));
+        assert!(Campaign::new(&plan, target).run().is_err());
+    }
+
+    #[test]
+    fn group_by_recovers_replicates() {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong"]))
+            .factor(Factor::new("size", vec![64i64, 512]))
+            .replicates(5)
+            .build()
+            .unwrap();
+        plan.shuffle(2);
+        let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(2));
+        let campaign = Campaign::new(&plan, target).seed(2).run().unwrap().data;
+        let groups = campaign.group_by(&["size"]);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|(_, vs)| vs.len() == 5));
     }
 
     #[test]
@@ -419,14 +578,100 @@ mod tests {
     }
 
     #[test]
-    fn sharded_builder_matches_parallel_free_function() {
+    fn one_shard_equals_sequential() {
+        let plan = shuffled_net_plan(5, 11);
+        let sequential =
+            Campaign::new(&plan, NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(11)))
+                .seed(11)
+                .run()
+                .unwrap()
+                .data;
+        let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(11));
+        let parallel = Campaign::new(&plan, target).shards(1).seed(11).run().unwrap().data;
+        assert_eq!(sequential.records, parallel.records);
+        assert_eq!(sequential.factor_names, parallel.factor_names);
+        assert_eq!(parallel.metadata["shards"], "1");
+        assert_eq!(parallel.metadata["shard_clock_offsets"], "0.000");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
         let plan = shuffled_net_plan(6, 3);
-        let base = NetworkTarget::new("myrinet", presets::myrinet_gm(42));
-        #[allow(deprecated)]
-        let old = crate::runner::run_campaign_parallel(&plan, &base, 3, Some(3)).unwrap();
-        let target = NetworkTarget::new("myrinet", presets::myrinet_gm(42));
-        let new = Campaign::new(&plan, target).shards(3).seed(3).run().unwrap();
-        assert_eq!(old, new.data);
+        let sequential =
+            Campaign::new(&plan, NetworkTarget::new("myrinet", presets::myrinet_gm(42)))
+                .seed(3)
+                .run()
+                .unwrap()
+                .data;
+        for shards in [2usize, 3, 7] {
+            let target = NetworkTarget::new("myrinet", presets::myrinet_gm(42));
+            let parallel = Campaign::new(&plan, target).shards(shards).seed(3).run().unwrap().data;
+            assert_eq!(parallel.records.len(), sequential.records.len());
+            for (s, p) in sequential.records.iter().zip(&parallel.records) {
+                assert_eq!(s.levels, p.levels, "{shards} shards");
+                assert_eq!(s.replicate, p.replicate, "{shards} shards");
+                assert_eq!(s.sequence, p.sequence, "{shards} shards");
+                // values are counter-derived: bit-for-bit equal
+                assert_eq!(s.value, p.value, "{shards} shards, seq {}", s.sequence);
+                // timestamps are reconstructed from shard offsets: equal
+                // up to float rounding of the offset sums
+                let tol = 1e-6 * s.start_us.abs().max(1.0);
+                assert!(
+                    (s.start_us - p.start_us).abs() <= tol,
+                    "{shards} shards, seq {}: {} vs {}",
+                    s.sequence,
+                    s.start_us,
+                    p.start_us
+                );
+            }
+            assert_eq!(parallel.metadata["shards"], shards.to_string());
+            let offsets = parallel.metadata["shard_clock_offsets"].split(',').count();
+            assert_eq!(offsets, shards);
+        }
+    }
+
+    #[test]
+    fn memory_target_shards_reproduce_sequential() {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![4096i64, 16384, 65536, 262144]))
+            .factor(Factor::new("stride", vec![1i64, 4]))
+            .replicates(4)
+            .build()
+            .unwrap();
+        plan.shuffle(8);
+        let sequential =
+            Campaign::new(&plan, MemoryTarget::new("arm", arm_machine(21))).seed(8).run().unwrap();
+        let parallel = Campaign::new(&plan, MemoryTarget::new("arm", arm_machine(21)))
+            .shards(4)
+            .seed(8)
+            .run()
+            .unwrap();
+        let values = |c: &CampaignData| {
+            c.records.iter().map(|r| (r.levels.clone(), r.replicate, r.value)).collect::<Vec<_>>()
+        };
+        assert_eq!(values(&sequential.data), values(&parallel.data));
+    }
+
+    #[test]
+    fn shards_clamp_to_plan_rows() {
+        let plan = shuffled_net_plan(1, 1); // 12 rows
+        let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(1));
+        let campaign = Campaign::new(&plan, target).shards(99).seed(1).run().unwrap().data;
+        assert_eq!(campaign.records.len(), 12);
+        assert_eq!(campaign.metadata["shards"], "12");
+    }
+
+    #[test]
+    fn parallel_error_reports_earliest_failing_row() {
+        let plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["nonsense"]))
+            .factor(Factor::new("size", vec![64i64]))
+            .replicates(6)
+            .build()
+            .unwrap();
+        let target = NetworkTarget::new("m", presets::myrinet_gm(1));
+        let err = Campaign::new(&plan, target).shards(3).run().unwrap_err();
+        assert!(matches!(err, TargetError::BadFactor { name: "op", .. }));
     }
 
     #[test]
@@ -537,5 +782,88 @@ mod tests {
         let (r1, r4) = (one.report.unwrap(), four.report.unwrap());
         assert_eq!(r1.counters, r4.counters);
         assert!(r1.counters.get("simmem.cache.l1.hits") > 0);
+    }
+
+    #[test]
+    fn profiler_never_changes_records() {
+        let plan = shuffled_net_plan(4, 19);
+        let run_with = |profiler: Profiler, shards: usize| {
+            let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(19));
+            let builder = Campaign::new(&plan, target).seed(19).profiler(profiler);
+            match shards {
+                0 => builder.run().unwrap().data,
+                k => builder.shards(k).run().unwrap().data,
+            }
+        };
+        for shards in [0usize, 3] {
+            let plain = run_with(Profiler::disabled(), shards);
+            let profiled = run_with(Profiler::enabled(), shards);
+            assert_eq!(plain.records.len(), profiled.records.len());
+            for (a, b) in plain.records.iter().zip(&profiled.records) {
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "seq {}", a.sequence);
+                assert_eq!(a.start_us.to_bits(), b.start_us.to_bits(), "seq {}", a.sequence);
+            }
+            assert_eq!(plain.metadata, profiled.metadata);
+        }
+    }
+
+    #[test]
+    fn sequential_profiler_records_engine_spans() {
+        let plan = shuffled_net_plan(2, 5);
+        let p = Profiler::enabled();
+        let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(5));
+        Campaign::new(&plan, target).seed(5).profiler(p.clone()).run().unwrap();
+        let spans = p.take();
+        let find = |name: &str| {
+            spans.iter().find(|s| s.name == name).unwrap_or_else(|| panic!("no {name} span"))
+        };
+        let run = find("engine.run");
+        let execute = find("engine.execute");
+        let finalize = find("engine.finalize");
+        assert!(spans.iter().all(|s| s.track == "engine"));
+        assert_eq!(execute.args, vec![("rows".to_string(), plan.len().to_string())]);
+        // execute and finalize nest inside run, in order
+        assert!(run.start_ns <= execute.start_ns);
+        assert!(execute.end_ns() <= finalize.start_ns);
+        assert!(finalize.end_ns() <= run.end_ns());
+    }
+
+    #[test]
+    fn sharded_profiler_records_shard_tracks_and_utilization() {
+        let plan = shuffled_net_plan(4, 7);
+        let p = Profiler::enabled();
+        let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(7));
+        Campaign::new(&plan, target).shards(3).seed(7).profiler(p.clone()).run().unwrap();
+        let spans = p.take();
+        for b in 0..3 {
+            let shard = spans
+                .iter()
+                .find(|s| s.track == format!("shard{b}") && s.name == "shard.execute")
+                .unwrap_or_else(|| panic!("no shard{b} span"));
+            assert_eq!(shard.args.len(), 1);
+            assert_eq!(shard.args[0].0, "rows");
+        }
+        let parallel =
+            spans.iter().find(|s| s.name == "engine.parallel").expect("parallel region span");
+        assert_eq!(parallel.track, "engine");
+        assert_eq!(parallel.args[0], ("shards".to_string(), "3".to_string()));
+        assert_eq!(parallel.args[1].0, "utilization");
+        let u: f64 = parallel.args[1].1.parse().unwrap();
+        assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        // merge follows the parallel region inside the run span
+        let merge = spans.iter().find(|s| s.name == "engine.merge").unwrap();
+        assert!(parallel.end_ns() <= merge.start_ns + 1_000);
+    }
+
+    #[test]
+    fn builder_defaults_to_thread_profiler() {
+        let plan = shuffled_net_plan(1, 2);
+        let p = Profiler::enabled();
+        p.install_thread("main");
+        let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(2));
+        Campaign::new(&plan, target).seed(2).run().unwrap();
+        Profiler::uninstall_thread();
+        let spans = p.take();
+        assert!(spans.iter().any(|s| s.name == "engine.run"), "ambient profiler picked up");
     }
 }

@@ -20,8 +20,9 @@
 //! * [`record`] — raw measurement records and campaign CSV I/O;
 //! * [`meta`] — environment metadata capture;
 //! * [`campaign`] — the [`Campaign`] builder, the one front door for
-//!   sequential/sharded and observed/unobserved execution;
-//! * [`runner`] — deprecated free-function shims over the builder.
+//!   sequential/sharded, observed/unobserved and profiled/unprofiled
+//!   execution (the old `run_campaign`/`run_campaign_parallel` free
+//!   functions are gone; the builder is the API).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +31,8 @@ pub mod campaign;
 pub mod meta;
 pub mod record;
 pub mod replicate;
-pub mod runner;
 pub mod target;
 
 pub use campaign::{Campaign, CampaignRun, ShardedCampaign};
 pub use record::{Campaign as CampaignData, RawRecord};
-#[allow(deprecated)]
-pub use runner::{run_campaign, run_campaign_parallel};
 pub use target::{Measurement, ParallelTarget, Target, TargetError};

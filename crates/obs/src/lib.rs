@@ -49,14 +49,22 @@ impl Counters {
 
     /// Adds `n` to the counter `key`, creating it at zero first if absent.
     ///
-    /// Allocates only on the first touch of a key; subsequent adds are a
-    /// map lookup plus an integer add.
+    /// The hot path — a key that already exists — is one map descent and
+    /// no allocation. Only the first touch of a key allocates, routed
+    /// through the single-descent [`Counters::add_owned`].
     pub fn add(&mut self, key: &str, n: u64) {
         if let Some(v) = self.map.get_mut(key) {
             *v += n;
         } else {
-            self.map.insert(key.to_string(), n);
+            self.add_owned(key.to_string(), n);
         }
+    }
+
+    /// Adds `n` to the counter `key` when the caller already owns the
+    /// key: the `entry` API finds-or-creates the slot in a single map
+    /// descent, with no re-lookup and no copy of the key.
+    pub fn add_owned(&mut self, key: String, n: u64) {
+        *self.map.entry(key).or_insert(0) += n;
     }
 
     /// Current value of `key` (zero if never touched).
@@ -459,7 +467,12 @@ impl std::error::Error for JsonlError {}
 /// Minimal JSON formatting and parsing for the report schema: flat
 /// objects whose values are strings, numbers, or one level of nested
 /// string-to-string object (`attrs`).
-mod json {
+///
+/// Public so downstream crates that share the no-external-JSON policy
+/// (e.g. `charm-trace`'s Chrome exporter and engine-bench schema) emit
+/// and parse byte-compatible documents instead of growing a second
+/// hand-rolled parser.
+pub mod json {
     /// A restricted JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {
@@ -475,10 +488,12 @@ mod json {
     pub struct Object(Vec<(String, Value)>);
 
     impl Object {
+        /// Looks up a field by key (first occurrence wins).
         pub fn get(&self, key: &str) -> Option<&Value> {
             self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
         }
 
+        /// The field's string value, if present and a string.
         pub fn get_str(&self, key: &str) -> Option<&str> {
             match self.get(key) {
                 Some(Value::Str(s)) => Some(s),
@@ -486,6 +501,7 @@ mod json {
             }
         }
 
+        /// The field's value parsed as `u64`, if present and numeric.
         pub fn get_u64(&self, key: &str) -> Option<u64> {
             match self.get(key) {
                 Some(Value::Num(raw)) => raw.parse().ok(),
@@ -493,6 +509,7 @@ mod json {
             }
         }
 
+        /// The field's value parsed as `f64`, if present and numeric.
         pub fn get_f64(&self, key: &str) -> Option<f64> {
             match self.get(key) {
                 Some(Value::Num(raw)) => raw.parse().ok(),
@@ -861,6 +878,78 @@ mod tests {
                 .unwrap_err();
         assert_eq!(err.line, 2);
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn jsonl_truncated_line_reports_its_line_number() {
+        // A report cut off mid-write: the last line stops inside a field.
+        let mut text = sample_report().to_jsonl();
+        let cut = text.len() - 25;
+        text.truncate(cut);
+        let err = CampaignReport::from_jsonl(&text).unwrap_err();
+        assert_eq!(err.line, text.lines().count(), "error points at the truncated line");
+        // Truncating to a line boundary instead parses fine (fewer records).
+        let whole_lines: String =
+            text.lines().take(text.lines().count() - 1).map(|l| format!("{l}\n")).collect();
+        assert!(CampaignReport::from_jsonl(&whole_lines).is_ok());
+    }
+
+    #[test]
+    fn jsonl_wrong_field_types_are_rejected() {
+        // String where a number belongs.
+        let err =
+            CampaignReport::from_jsonl("{\"type\":\"counter\",\"key\":\"k\",\"value\":\"twelve\"}")
+                .unwrap_err();
+        assert!(err.message.contains("value"), "{err}");
+        // Number where a string belongs.
+        let err = CampaignReport::from_jsonl(
+            "{\"type\":\"event\",\"seq\":0,\"kind\":7,\"t_us\":1,\"attrs\":{}}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("kind"), "{err}");
+        // Non-string attr value.
+        let err = CampaignReport::from_jsonl(
+            "{\"type\":\"event\",\"seq\":0,\"kind\":\"m\",\"t_us\":1,\"attrs\":{\"a\":{}}}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("attr"), "{err}");
+        // `type` itself not a string.
+        assert!(CampaignReport::from_jsonl("{\"type\":3}").is_err());
+        // Span with a string wall_ns.
+        let err = CampaignReport::from_jsonl(
+            "{\"type\":\"span\",\"name\":\"s\",\"t_start_us\":0,\"t_end_us\":1,\"wall_ns\":\"x\"}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("wall_ns"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_duplicate_seq_events_both_survive() {
+        // Duplicate sequence numbers are legal: several events may
+        // annotate one measurement. Both parse and both show up in the
+        // record's provenance trail; duplicate *counter* keys sum.
+        let text = "{\"type\":\"event\",\"seq\":4,\"kind\":\"measure\",\"t_us\":1,\"attrs\":{}}\n\
+                    {\"type\":\"event\",\"seq\":4,\"kind\":\"preempt\",\"t_us\":2,\"attrs\":{}}\n\
+                    {\"type\":\"counter\",\"key\":\"k\",\"value\":3}\n\
+                    {\"type\":\"counter\",\"key\":\"k\",\"value\":5}\n";
+        let report = CampaignReport::from_jsonl(text).expect("parse");
+        let prov = report.provenance_for(4);
+        assert_eq!(prov.len(), 2);
+        assert_eq!(prov[0].kind, "measure");
+        assert_eq!(prov[1].kind, "preempt");
+        assert_eq!(report.counters.get("k"), 8);
+    }
+
+    #[test]
+    fn add_owned_matches_add() {
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        for (k, n) in [("x", 1u64), ("y", 10), ("x", 2)] {
+            a.add(k, n);
+            b.add_owned(k.to_string(), n);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.get("x"), 3);
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! The engine's perf trajectory: a schema-versioned `BENCH_engine.json`
+//! plus the regression gate CI runs against the committed baseline.
+//!
+//! "Towards a Statistical Methodology to Evaluate Program Speedups"
+//! (Touati et al., see PAPERS.md) argues that speedup claims need
+//! statistically gated measurement — of the measuring tool as much as of
+//! the system under test. [`EngineBench`] is that record for the charm
+//! engine: every stage's **median-of-N** wall time (medians, not minima,
+//! so a single lucky run cannot mask a regression), shard utilization,
+//! records/sec, and the analysis-pass timings. `bench_campaign_summary`
+//! emits it; [`compare`] is the gate.
+//!
+//! Metric-name conventions drive the gate:
+//!
+//! * `*_s` — seconds, lower is better; gated.
+//! * `*_per_sec` — throughput, higher is better; gated.
+//! * everything else (e.g. `*_utilization`) — informational only.
+//!
+//! Tiny absolute times are noise-dominated, so timings where both sides
+//! sit under the floor are never flagged. The same reasoning extends to
+//! throughput: a `X.*_per_sec` metric whose sibling `X.sequential_s`
+//! sits under the floor on both sides was derived from a sub-floor
+//! timing and is downgraded to informational too.
+
+use charm_obs::json;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The schema tag every compatible report carries.
+pub const SCHEMA: &str = "charm-bench-engine/1";
+
+/// Default relative regression threshold: fail when a gated metric is
+/// more than 25 % worse than the baseline.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// Default absolute floor (seconds) under which `*_s` timings are too
+/// noise-dominated to gate.
+pub const DEFAULT_FLOOR_S: f64 = 0.005;
+
+/// One engine benchmark report: the measurement configuration that
+/// produced it plus a flat map of named metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineBench {
+    /// The configuration knobs the numbers depend on (`rows`, `quick`,
+    /// `shards`, `repeats`, …). [`compare`] refuses to gate reports with
+    /// different configurations — comparing a 6000-row run against a
+    /// 900-row baseline would be exactly the apples-to-oranges pitfall
+    /// the paper catalogues.
+    pub config: BTreeMap<String, String>,
+    /// Dot-namespaced metric values (`engine.net.sequential_s`, …).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl EngineBench {
+    /// An empty report.
+    pub fn new() -> Self {
+        EngineBench::default()
+    }
+
+    /// Sets a configuration knob (chainable).
+    pub fn config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Sets a metric (chainable). Non-finite values are stored as 0,
+    /// matching the JSONL convention.
+    pub fn metric(mut self, key: &str, value: f64) -> Self {
+        self.metrics.insert(key.to_string(), if value.is_finite() { value } else { 0.0 });
+        self
+    }
+
+    /// Serializes the report: stable key order, one field per line, so
+    /// the committed baseline diffs cleanly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json::string(SCHEMA)));
+        out.push_str("  \"config\": {\n");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            let comma = if i + 1 < self.config.len() { "," } else { "" };
+            out.push_str(&format!("    {}: {}{comma}\n", json::string(k), json::string(v)));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"metrics\": {\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            out.push_str(&format!("    {}: {}{comma}\n", json::string(k), json::number(*v)));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a report, rejecting unknown schemas so a gate never
+    /// silently compares incompatible trajectories.
+    pub fn from_json(text: &str) -> Result<EngineBench, String> {
+        let obj = json::parse_object(text)?;
+        match obj.get_str("schema") {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema {other:?} (want {SCHEMA:?})")),
+            None => return Err("missing \"schema\"".to_string()),
+        }
+        let mut bench = EngineBench::new();
+        match obj.get("config") {
+            Some(json::Value::Map(m)) => {
+                for (k, v) in m {
+                    match v {
+                        json::Value::Str(s) => {
+                            bench.config.insert(k.clone(), s.clone());
+                        }
+                        _ => return Err(format!("config {k:?} is not a string")),
+                    }
+                }
+            }
+            _ => return Err("missing \"config\" object".to_string()),
+        }
+        match obj.get("metrics") {
+            Some(json::Value::Map(m)) => {
+                for (k, v) in m {
+                    match v {
+                        json::Value::Num(raw) => {
+                            let x = raw.parse::<f64>().map_err(|e| format!("metric {k:?}: {e}"))?;
+                            bench.metrics.insert(k.clone(), x);
+                        }
+                        _ => return Err(format!("metric {k:?} is not a number")),
+                    }
+                }
+            }
+            _ => return Err("missing \"metrics\" object".to_string()),
+        }
+        Ok(bench)
+    }
+}
+
+/// How the gate judged one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Judgement {
+    /// Within threshold (or improved).
+    Ok,
+    /// Worse than baseline by more than the threshold.
+    Regressed,
+    /// Not gated: informational metric, under the noise floor, or
+    /// missing from one side.
+    Informational,
+}
+
+/// One metric's comparison against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value (`None` if the metric is new).
+    pub baseline: Option<f64>,
+    /// Candidate value (`None` if the metric disappeared).
+    pub candidate: Option<f64>,
+    /// candidate ÷ baseline (`None` when either side is missing or the
+    /// baseline is 0).
+    pub ratio: Option<f64>,
+    /// The verdict.
+    pub judgement: Judgement,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:>12.6}"),
+            None => format!("{:>12}", "-"),
+        };
+        let ratio = match self.ratio {
+            Some(r) => format!("{r:>6.2}x"),
+            None => format!("{:>7}", "-"),
+        };
+        let verdict = match self.judgement {
+            Judgement::Ok => "ok",
+            Judgement::Regressed => "REGRESSED",
+            Judgement::Informational => "info",
+        };
+        write!(
+            f,
+            "{:<34} {} {} {ratio}  {verdict}",
+            self.metric,
+            fmt_opt(self.baseline),
+            fmt_opt(self.candidate)
+        )
+    }
+}
+
+/// A configuration mismatch or schema problem that makes two reports
+/// incomparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateError(pub String);
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regression gate cannot compare reports: {}", self.0)
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// Compares `candidate` against `baseline` metric by metric.
+///
+/// `threshold` is the relative slack (0.25 = fail at >25 % worse);
+/// `floor_s` is the absolute floor below which `*_s` timings are not
+/// gated. Returns every comparison (for the report table); the run
+/// regressed iff any [`Judgement::Regressed`] is present. Errs when the
+/// configurations differ — regenerate the baseline instead of comparing
+/// different experiments.
+pub fn compare(
+    candidate: &EngineBench,
+    baseline: &EngineBench,
+    threshold: f64,
+    floor_s: f64,
+) -> Result<Vec<Comparison>, GateError> {
+    if candidate.config != baseline.config {
+        let keys: std::collections::BTreeSet<&String> =
+            candidate.config.keys().chain(baseline.config.keys()).collect();
+        let diffs: Vec<String> = keys
+            .into_iter()
+            .filter(|k| candidate.config.get(*k) != baseline.config.get(*k))
+            .map(|k| {
+                format!(
+                    "{k}: baseline {:?} vs candidate {:?}",
+                    baseline.config.get(k),
+                    candidate.config.get(k)
+                )
+            })
+            .collect();
+        return Err(GateError(format!("config mismatch ({})", diffs.join(", "))));
+    }
+    let names: std::collections::BTreeSet<&String> =
+        candidate.metrics.keys().chain(baseline.metrics.keys()).collect();
+    // A throughput metric inherits the floor of the timing it came from:
+    // `X.records_per_sec` is `rows ÷ X.sequential_s`, so when that
+    // timing is under the floor on both sides the rate is noise too.
+    let rate_is_sub_floor = |name: &str| -> bool {
+        let Some(prefix) = name.rfind('.').map(|i| &name[..i]) else {
+            return false;
+        };
+        let sibling = format!("{prefix}.sequential_s");
+        match (baseline.metrics.get(&sibling), candidate.metrics.get(&sibling)) {
+            (Some(&b), Some(&c)) => b < floor_s && c < floor_s,
+            _ => false,
+        }
+    };
+    let mut out = Vec::new();
+    for name in names {
+        let base = baseline.metrics.get(name).copied();
+        let cand = candidate.metrics.get(name).copied();
+        let ratio = match (base, cand) {
+            (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+            _ => None,
+        };
+        let judgement = match (base, cand, ratio) {
+            (Some(b), Some(c), Some(r)) if name.ends_with("_s") => {
+                if b < floor_s && c < floor_s {
+                    Judgement::Informational // both under the noise floor
+                } else if r > 1.0 + threshold {
+                    Judgement::Regressed
+                } else {
+                    Judgement::Ok
+                }
+            }
+            (Some(_), Some(_), Some(r)) if name.ends_with("_per_sec") => {
+                if rate_is_sub_floor(name) {
+                    Judgement::Informational
+                } else if r < 1.0 / (1.0 + threshold) {
+                    Judgement::Regressed
+                } else {
+                    Judgement::Ok
+                }
+            }
+            _ => Judgement::Informational,
+        };
+        out.push(Comparison {
+            metric: name.clone(),
+            baseline: base,
+            candidate: cand,
+            ratio,
+            judgement,
+        });
+    }
+    Ok(out)
+}
+
+/// Whether any comparison regressed.
+pub fn regressed(comparisons: &[Comparison]) -> bool {
+    comparisons.iter().any(|c| c.judgement == Judgement::Regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineBench {
+        EngineBench::new()
+            .config("rows", 900)
+            .config("quick", true)
+            .metric("engine.net.sequential_s", 0.120)
+            .metric("engine.net.records_per_sec", 7500.0)
+            .metric("engine.net.shard2_utilization", 0.95)
+            .metric("analysis.segment_s", 0.030)
+            .metric("analysis.tiny_s", 0.0001)
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = sample();
+        let text = b.to_json();
+        let parsed = EngineBench::from_json(&text).expect("parse");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), text, "serialize→parse→serialize must be identical");
+    }
+
+    #[test]
+    fn from_json_rejects_bad_input() {
+        assert!(EngineBench::from_json("junk").is_err());
+        assert!(EngineBench::from_json("{\"schema\":\"other/9\",\"config\":{},\"metrics\":{}}")
+            .is_err());
+        assert!(EngineBench::from_json("{\"config\":{},\"metrics\":{}}").is_err());
+        let schema = json::string(SCHEMA);
+        assert!(
+            EngineBench::from_json(&format!("{{\"schema\":{schema},\"metrics\":{{}}}}")).is_err()
+        );
+        assert!(EngineBench::from_json(&format!(
+            "{{\"schema\":{schema},\"config\":{{}},\"metrics\":{{\"k\":\"str\"}}}}"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = sample();
+        let cmp = compare(&b, &b, DEFAULT_THRESHOLD, DEFAULT_FLOOR_S).expect("comparable");
+        assert!(!regressed(&cmp));
+        assert!(cmp.iter().all(|c| c.judgement != Judgement::Regressed));
+    }
+
+    #[test]
+    fn slow_timing_regresses_fast_timing_passes() {
+        let base = sample();
+        let slow = sample().metric("engine.net.sequential_s", 0.120 * 1.30);
+        let cmp = compare(&slow, &base, 0.25, DEFAULT_FLOOR_S).unwrap();
+        assert!(regressed(&cmp));
+        let fast = sample().metric("engine.net.sequential_s", 0.120 * 1.20);
+        assert!(!regressed(&compare(&fast, &base, 0.25, DEFAULT_FLOOR_S).unwrap()));
+        let improved = sample().metric("engine.net.sequential_s", 0.05);
+        assert!(!regressed(&compare(&improved, &base, 0.25, DEFAULT_FLOOR_S).unwrap()));
+    }
+
+    #[test]
+    fn throughput_gates_in_the_other_direction() {
+        let base = sample();
+        let worse = sample().metric("engine.net.records_per_sec", 7500.0 / 1.30);
+        assert!(regressed(&compare(&worse, &base, 0.25, DEFAULT_FLOOR_S).unwrap()));
+        let better = sample().metric("engine.net.records_per_sec", 9000.0);
+        assert!(!regressed(&compare(&better, &base, 0.25, DEFAULT_FLOOR_S).unwrap()));
+    }
+
+    #[test]
+    fn sub_floor_timings_and_info_metrics_never_gate() {
+        let base = sample();
+        // 3x slower but both sides under the 5 ms floor: noise, not signal
+        let noisy = sample().metric("analysis.tiny_s", 0.0003);
+        let cmp = compare(&noisy, &base, 0.25, DEFAULT_FLOOR_S).unwrap();
+        assert!(!regressed(&cmp));
+        // utilization is informational even when it collapses
+        let lazy = sample().metric("engine.net.shard2_utilization", 0.10);
+        assert!(!regressed(&compare(&lazy, &base, 0.25, DEFAULT_FLOOR_S).unwrap()));
+    }
+
+    #[test]
+    fn rates_derived_from_sub_floor_timings_do_not_gate() {
+        // engine.tiny.sequential_s under the floor on both sides: its
+        // throughput sibling is noise and must not gate, however bad.
+        let base = sample()
+            .metric("engine.tiny.sequential_s", 0.0002)
+            .metric("engine.tiny.records_per_sec", 100_000.0);
+        let cand = sample()
+            .metric("engine.tiny.sequential_s", 0.0004)
+            .metric("engine.tiny.records_per_sec", 50_000.0);
+        assert!(!regressed(&compare(&cand, &base, 0.25, DEFAULT_FLOOR_S).unwrap()));
+        // but a rate whose timing is above the floor still gates
+        let slow = sample().metric("engine.net.records_per_sec", 7500.0 / 1.3);
+        let mut with_timing = sample().metric("engine.net.records_per_sec", 7500.0);
+        with_timing.metrics.insert("engine.net.sequential_s".into(), 0.120);
+        assert!(regressed(&compare(&slow, &with_timing, 0.25, DEFAULT_FLOOR_S).unwrap()));
+    }
+
+    #[test]
+    fn new_and_vanished_metrics_are_informational() {
+        let base = sample();
+        let cand = sample().metric("engine.brand_new_s", 9.9);
+        let mut missing = sample();
+        missing.metrics.remove("analysis.segment_s");
+        for c in [cand, missing] {
+            let cmp = compare(&c, &base, 0.25, DEFAULT_FLOOR_S).unwrap();
+            assert!(!regressed(&cmp));
+        }
+    }
+
+    #[test]
+    fn config_mismatch_is_an_error() {
+        let base = sample();
+        let other = sample().config("rows", 6000);
+        let err = compare(&other, &base, 0.25, DEFAULT_FLOOR_S).unwrap_err();
+        assert!(err.to_string().contains("rows"));
+    }
+
+    #[test]
+    fn comparison_renders_a_table_line() {
+        let base = sample();
+        let slow = sample().metric("analysis.segment_s", 1.0);
+        let cmp = compare(&slow, &base, 0.25, DEFAULT_FLOOR_S).unwrap();
+        let line = cmp.iter().find(|c| c.metric == "analysis.segment_s").unwrap().to_string();
+        assert!(line.contains("REGRESSED"), "{line}");
+    }
+}

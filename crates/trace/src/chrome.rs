@@ -1,0 +1,339 @@
+//! Chrome/Perfetto `trace.json` export of the two clock domains.
+//!
+//! The exported file is a standard [Trace Event Format] object —
+//! `{"displayTimeUnit":"ms","traceEvents":[…]}` — that `chrome://tracing`
+//! and [Perfetto](https://ui.perfetto.dev) open directly. Two *process*
+//! tracks keep the clock domains apart:
+//!
+//! * **pid 1, `wall`** — the engine's self-profile: wall-clock
+//!   [`WallSpan`]s, one thread lane per span track (`main`, `engine`,
+//!   `shard0`, …). Timestamps are host nanoseconds since the profiler
+//!   epoch, exported as microseconds (the format's unit).
+//! * **pid 2, `virtual`** — the experiments' virtual-clock story,
+//!   re-exported from [`CampaignReport`]s: one thread lane per attached
+//!   report, its spans as complete (`X`) events and its provenance
+//!   events as instants (`i`). Timestamps are virtual microseconds,
+//!   exactly the `t_us`/`start_us` values of the JSONL artifact.
+//!
+//! The two domains share an x-axis in the viewer but **must never be
+//! compared numerically** — one is honest host time, the other simulated
+//! time. Keeping them as separate processes makes that boundary visible.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Output layout: one event object per line, so tools (and the property
+//! tests) can validate each line independently of the JSON wrapper.
+
+use crate::WallSpan;
+use charm_obs::json;
+use charm_obs::CampaignReport;
+use std::collections::BTreeMap;
+
+/// The process id of the wall-clock (engine self-profile) track.
+pub const WALL_PID: u32 = 1;
+/// The process id of the virtual-clock (experiment provenance) track.
+pub const VIRTUAL_PID: u32 = 2;
+
+/// Serializes wall spans plus zero or more labelled virtual-clock
+/// reports into a Chrome/Perfetto trace.
+///
+/// Events within each `(pid, tid)` lane are emitted in ascending
+/// timestamp order, outermost span first at equal starts, so the file is
+/// stable for diffing and streaming viewers never see time run backwards
+/// on a lane.
+pub fn export(wall: &[WallSpan], virtual_reports: &[(String, &CampaignReport)]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(meta_event(WALL_PID, 0, "process_name", "wall"));
+
+    // Deterministic tid per wall track: sorted unique track names, 1-based.
+    let mut tids: BTreeMap<&str, u32> = BTreeMap::new();
+    for s in wall {
+        let next = tids.len() as u32 + 1;
+        tids.entry(s.track.as_str()).or_insert(next);
+    }
+    for (track, tid) in &tids {
+        events.push(meta_event(WALL_PID, *tid, "thread_name", track));
+    }
+    let mut lanes: Vec<(u32, f64, u8, String)> = Vec::new(); // (tid, ts, order, line)
+    for s in wall {
+        let tid = tids[s.track.as_str()];
+        let ts = s.start_ns as f64 / 1e3;
+        let dur = s.dur_ns as f64 / 1e3;
+        lanes.push((tid, ts, 0, complete_event(WALL_PID, tid, &s.name, ts, dur, &s.args)));
+    }
+    events.extend(sort_lane_lines(lanes));
+
+    if !virtual_reports.is_empty() {
+        events.push(meta_event(VIRTUAL_PID, 0, "process_name", "virtual"));
+        for (tid0, (label, _)) in virtual_reports.iter().enumerate() {
+            events.push(meta_event(VIRTUAL_PID, tid0 as u32 + 1, "thread_name", label));
+        }
+        let mut lanes: Vec<(u32, f64, u8, String)> = Vec::new();
+        for (tid0, (_, report)) in virtual_reports.iter().enumerate() {
+            let tid = tid0 as u32 + 1;
+            for s in &report.spans {
+                let ts = finite(s.t_start_us);
+                let dur = finite(s.t_end_us - s.t_start_us);
+                let args = vec![("wall_ms".to_string(), format!("{:.3}", s.wall_ns as f64 / 1e6))];
+                lanes.push((tid, ts, 0, complete_event(VIRTUAL_PID, tid, &s.name, ts, dur, &args)));
+            }
+            for e in &report.events {
+                let ts = finite(e.t_us);
+                let mut args = vec![("seq".to_string(), e.seq.to_string())];
+                args.extend(e.attrs.iter().cloned());
+                lanes.push((tid, ts, 1, instant_event(VIRTUAL_PID, tid, &e.kind, ts, &args)));
+            }
+        }
+        events.extend(sort_lane_lines(lanes));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Orders a lane's `(tid, ts, kind-order, line)` tuples: by tid, then
+/// timestamp, with complete events (spans) before instants at equal ts.
+/// Durations were already folded into the order by the caller emitting
+/// outer spans first (the exporter's inputs are pre-sorted per track).
+fn sort_lane_lines(mut lanes: Vec<(u32, f64, u8, String)>) -> Vec<String> {
+    lanes.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).expect("finite timestamps"))
+            .then(a.2.cmp(&b.2))
+            .then(a.3.cmp(&b.3))
+    });
+    lanes.into_iter().map(|(_, _, _, line)| line).collect()
+}
+
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
+fn args_json(args: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::string(k));
+        out.push(':');
+        out.push_str(&json::string(v));
+    }
+    out.push('}');
+    out
+}
+
+fn meta_event(pid: u32, tid: u32, kind: &str, name: &str) -> String {
+    format!(
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"args\":{{\"name\":{}}}}}",
+        json::string(kind),
+        json::string(name)
+    )
+}
+
+fn complete_event(
+    pid: u32,
+    tid: u32,
+    name: &str,
+    ts_us: f64,
+    dur_us: f64,
+    args: &[(String, String)],
+) -> String {
+    format!(
+        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"ts\":{},\"dur\":{},\"args\":{}}}",
+        json::string(name),
+        json::number(ts_us),
+        json::number(dur_us.max(0.0)),
+        args_json(args)
+    )
+}
+
+fn instant_event(pid: u32, tid: u32, name: &str, ts_us: f64, args: &[(String, String)]) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"name\":{},\"ts\":{},\"s\":\"t\",\"args\":{}}}",
+        json::string(name),
+        json::number(ts_us),
+        args_json(args)
+    )
+}
+
+/// A parsed trace event, for validation and tests: the typed fields the
+/// schema requires, extracted line by line via [`charm_obs::json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    /// Phase: `"M"` (metadata), `"X"` (complete span), `"i"` (instant).
+    pub ph: String,
+    /// Process id.
+    pub pid: u32,
+    /// Thread id.
+    pub tid: u32,
+    /// Event name.
+    pub name: String,
+    /// Timestamp (µs) — 0 for metadata events, which carry none.
+    pub ts: f64,
+    /// Duration (µs) — only meaningful for `"X"` events.
+    pub dur: f64,
+}
+
+/// Parses an exported trace back into its events, validating that the
+/// wrapper and every line are well-formed JSON of the expected shape.
+pub fn parse(trace: &str) -> Result<Vec<ParsedEvent>, String> {
+    let mut lines = trace.lines();
+    match lines.next() {
+        Some("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[") => {}
+        other => return Err(format!("bad header line: {other:?}")),
+    }
+    let mut events = Vec::new();
+    for line in lines {
+        if line == "]}" {
+            return Ok(events);
+        }
+        let obj = json::parse_object(line.trim_end_matches(','))
+            .map_err(|e| format!("line {:?}: {e}", line))?;
+        let need_str =
+            |k: &str| obj.get_str(k).map(str::to_string).ok_or_else(|| format!("missing {k:?}"));
+        let need_u64 = |k: &str| obj.get_u64(k).ok_or_else(|| format!("missing {k:?}"));
+        let need_f64 = |k: &str| obj.get_f64(k).ok_or_else(|| format!("missing {k:?}"));
+        let ph = need_str("ph")?;
+        events.push(ParsedEvent {
+            pid: need_u64("pid")? as u32,
+            tid: need_u64("tid")? as u32,
+            name: need_str("name")?,
+            ts: if ph == "M" { 0.0 } else { need_f64("ts")? },
+            dur: if ph == "X" { need_f64("dur")? } else { 0.0 },
+            ph,
+        });
+    }
+    Err("missing \"]}\" terminator".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use charm_obs::{Event, Span};
+
+    fn wall_spans() -> Vec<WallSpan> {
+        vec![
+            WallSpan {
+                track: "engine".into(),
+                name: "engine.run".into(),
+                start_ns: 0,
+                dur_ns: 5_000,
+                args: vec![("rows".into(), "12".into())],
+            },
+            WallSpan {
+                track: "engine".into(),
+                name: "engine.execute".into(),
+                start_ns: 1_000,
+                dur_ns: 2_000,
+                args: vec![],
+            },
+            WallSpan {
+                track: "shard0".into(),
+                name: "shard.execute".into(),
+                start_ns: 1_200,
+                dur_ns: 1_500,
+                args: vec![],
+            },
+        ]
+    }
+
+    fn report() -> CampaignReport {
+        CampaignReport {
+            events: vec![
+                Event { seq: 0, kind: "measure".into(), t_us: 10.5, attrs: vec![] },
+                Event {
+                    seq: 1,
+                    kind: "measure".into(),
+                    t_us: 20.25,
+                    attrs: vec![("intruded".into(), "true".into())],
+                },
+            ],
+            spans: vec![Span {
+                name: "campaign".into(),
+                t_start_us: 0.0,
+                t_end_us: 30.0,
+                wall_ns: 1_000_000,
+            }],
+            ..CampaignReport::default()
+        }
+    }
+
+    #[test]
+    fn export_parses_back_with_both_processes() {
+        let r = report();
+        let text = export(&wall_spans(), &[("fig11".to_string(), &r)]);
+        let events = parse(&text).expect("valid trace");
+        assert!(events
+            .iter()
+            .any(|e| e.ph == "M" && e.pid == WALL_PID && e.name == "process_name"));
+        assert!(events
+            .iter()
+            .any(|e| e.ph == "M" && e.pid == VIRTUAL_PID && e.name == "process_name"));
+        assert_eq!(events.iter().filter(|e| e.ph == "X" && e.pid == WALL_PID).count(), 3);
+        assert_eq!(events.iter().filter(|e| e.ph == "X" && e.pid == VIRTUAL_PID).count(), 1);
+        assert_eq!(events.iter().filter(|e| e.ph == "i").count(), 2);
+    }
+
+    #[test]
+    fn wall_only_trace_has_single_process() {
+        let text = export(&wall_spans(), &[]);
+        let events = parse(&text).expect("valid trace");
+        assert!(events.iter().all(|e| e.pid == WALL_PID));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_per_domain() {
+        let r = report();
+        let text = export(&wall_spans(), &[("fig".to_string(), &r)]);
+        let events = parse(&text).expect("valid trace");
+        // wall: 5_000 ns -> 5 µs
+        let run = events.iter().find(|e| e.name == "engine.run").unwrap();
+        assert_eq!(run.ts, 0.0);
+        assert_eq!(run.dur, 5.0);
+        // virtual: t_us passes through untouched
+        let campaign = events.iter().find(|e| e.name == "campaign").unwrap();
+        assert_eq!(campaign.dur, 30.0);
+        let m = events.iter().find(|e| e.ph == "i").unwrap();
+        assert_eq!(m.ts, 10.5);
+    }
+
+    #[test]
+    fn lanes_are_monotone_in_ts() {
+        let r = report();
+        let text = export(&wall_spans(), &[("a".to_string(), &r), ("b".to_string(), &r)]);
+        let events = parse(&text).expect("valid trace");
+        let mut last: std::collections::BTreeMap<(u32, u32), f64> = Default::default();
+        for e in events.iter().filter(|e| e.ph != "M") {
+            let prev = last.insert((e.pid, e.tid), e.ts);
+            if let Some(prev) = prev {
+                assert!(
+                    e.ts >= prev,
+                    "lane ({},{}) went backwards: {} < {prev}",
+                    e.pid,
+                    e.tid,
+                    e.ts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("nonsense").is_err());
+        assert!(parse("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{\"ph\":\"X\"}\n]}").is_err());
+        assert!(parse("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n").is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests of the dual-clock trace exporter: every exported trace
+//! must parse back line by line as valid JSON, keep each `(pid, tid)`
+//! lane monotone in `ts`, preserve event counts across the round-trip,
+//! and render profiler-recorded spans with well-formed nesting — for
+//! *any* span/report contents, including names that need JSON escaping.
+
+use charm_obs::{CampaignReport, Event, Span};
+use charm_trace::chrome::{self, ParsedEvent, VIRTUAL_PID, WALL_PID};
+use charm_trace::{Profiler, WallSpan};
+use proptest::prelude::*;
+
+/// Names that stress the JSON escaper: quotes, backslashes, control
+/// characters, non-ASCII, and the empty string.
+const NAMES: &[&str] = &[
+    "engine.run",
+    "shard.execute",
+    "two words",
+    "quo\"te",
+    "back\\slash",
+    "uni—cørn",
+    "tab\there",
+    "line\nbreak",
+    "",
+];
+
+fn name(i: usize) -> String {
+    NAMES[i % NAMES.len()].to_string()
+}
+
+/// `code` packs the track (low bits) and the name index; `nargs` doubles
+/// as the arg count so the 4-tuple fits the strategy combinators.
+fn wall_spans(raw: &[(usize, u64, u64, usize)]) -> Vec<WallSpan> {
+    raw.iter()
+        .map(|&(code, start, dur, nargs)| WallSpan {
+            track: format!("track{}", code % 4),
+            name: name(code / 4),
+            start_ns: start % 1_000_000_000,
+            dur_ns: dur % 1_000_000,
+            args: (0..nargs % 3).map(|j| (format!("k{j}"), name(code + j))).collect(),
+        })
+        .collect()
+}
+
+fn report(raw_spans: &[(usize, f64, f64)], raw_events: &[(usize, f64)]) -> CampaignReport {
+    CampaignReport {
+        spans: raw_spans
+            .iter()
+            .map(|&(nm, a, b)| Span {
+                name: name(nm),
+                t_start_us: a.min(b),
+                t_end_us: a.max(b),
+                wall_ns: 10,
+            })
+            .collect(),
+        events: raw_events
+            .iter()
+            .enumerate()
+            .map(|(seq, &(k, t))| Event {
+                seq: seq as u64,
+                kind: name(k),
+                t_us: t,
+                attrs: vec![("attr".to_string(), name(k + 1))],
+            })
+            .collect(),
+        ..CampaignReport::default()
+    }
+}
+
+/// Asserts every `(pid, tid)` lane's non-metadata timestamps never run
+/// backwards.
+fn assert_lanes_monotone(events: &[ParsedEvent]) -> Result<(), TestCaseError> {
+    let mut last: std::collections::BTreeMap<(u32, u32), f64> = Default::default();
+    for e in events.iter().filter(|e| e.ph != "M") {
+        if let Some(prev) = last.insert((e.pid, e.tid), e.ts) {
+            prop_assert!(
+                e.ts >= prev,
+                "lane ({},{}) ts went backwards: {} < {}",
+                e.pid,
+                e.tid,
+                e.ts,
+                prev
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_export_parses_and_preserves_counts(
+        raw_wall in prop::collection::vec((0usize..64, 0u64..2_000_000_000, 0u64..2_000_000, 0usize..4), 0..20),
+        raw_spans in prop::collection::vec((0usize..16, 0.0f64..1e9, 0.0f64..1e9), 0..8),
+        raw_events in prop::collection::vec((0usize..16, 0.0f64..1e9), 0..12),
+        two_reports in any::<bool>(),
+    ) {
+        let wall = wall_spans(&raw_wall);
+        let r = report(&raw_spans, &raw_events);
+        let mut labelled: Vec<(String, &CampaignReport)> = vec![("fig\"10".to_string(), &r)];
+        if two_reports {
+            labelled.push(("fig11".to_string(), &r));
+        }
+        let text = chrome::export(&wall, &labelled);
+        let events = chrome::parse(&text).map_err(TestCaseError::fail)?;
+        let n_reports = labelled.len();
+        prop_assert_eq!(
+            events.iter().filter(|e| e.ph == "X" && e.pid == WALL_PID).count(),
+            wall.len()
+        );
+        prop_assert_eq!(
+            events.iter().filter(|e| e.ph == "X" && e.pid == VIRTUAL_PID).count(),
+            r.spans.len() * n_reports
+        );
+        prop_assert_eq!(
+            events.iter().filter(|e| e.ph == "i").count(),
+            r.events.len() * n_reports
+        );
+        // the exporter is a pure function of its inputs
+        prop_assert_eq!(chrome::export(&wall, &labelled), text);
+    }
+
+    #[test]
+    fn any_export_keeps_every_lane_monotone(
+        raw_wall in prop::collection::vec((0usize..64, 0u64..2_000_000_000, 0u64..2_000_000, 0usize..4), 0..24),
+        raw_spans in prop::collection::vec((0usize..16, 0.0f64..1e9, 0.0f64..1e9), 0..8),
+        raw_events in prop::collection::vec((0usize..16, 0.0f64..1e9), 0..12),
+    ) {
+        let wall = wall_spans(&raw_wall);
+        let r = report(&raw_spans, &raw_events);
+        let text = chrome::export(&wall, &[("rep".to_string(), &r)]);
+        let events = chrome::parse(&text).map_err(TestCaseError::fail)?;
+        assert_lanes_monotone(&events)?;
+    }
+
+    #[test]
+    fn profiler_spans_export_with_well_formed_nesting(
+        cmds in prop::collection::vec(0u64..6, 1..40),
+    ) {
+        // Drive the profiler with a random push/pop program; guards are
+        // held in a stack, so drops are LIFO and real nesting is
+        // guaranteed — the exporter must preserve it.
+        let p = Profiler::enabled();
+        let mut guards = Vec::new();
+        for &cmd in &cmds {
+            if cmd == 0 && !guards.is_empty() {
+                guards.pop();
+            } else {
+                guards.push(p.span_on("main", &name(cmd as usize)).arg("cmd", cmd));
+            }
+        }
+        // Vec drops front-to-back, which would end parents before their
+        // children — unwind the stack explicitly instead.
+        while let Some(g) = guards.pop() {
+            drop(g);
+        }
+        let text = chrome::export(&p.take(), &[]);
+        let events = chrome::parse(&text).map_err(TestCaseError::fail)?;
+        assert_lanes_monotone(&events)?;
+        // Well-formed nesting per lane: a span starting inside an open
+        // span must also end inside it (small eps absorbs the ns→µs
+        // decimal formatting).
+        let eps = 1e-3;
+        let mut open: Vec<f64> = Vec::new(); // stack of end timestamps
+        for e in events.iter().filter(|e| e.ph == "X") {
+            let end = e.ts + e.dur;
+            while open.last().is_some_and(|&top| top <= e.ts + eps) {
+                open.pop();
+            }
+            if let Some(&top) = open.last() {
+                prop_assert!(
+                    end <= top + eps,
+                    "span [{} , {end}] crosses enclosing span ending at {top}",
+                    e.ts
+                );
+            }
+            open.push(end);
+        }
+    }
+}

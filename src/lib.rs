@@ -14,6 +14,8 @@
 //!   the paper's clusters and CPUs;
 //! * [`opaque`] — the opaque benchmark reimplementations under study;
 //! * [`obs`] — observability: counters, event traces, provenance reports;
+//! * [`trace`] — engine self-profiling: wall-clock spans, the dual-clock
+//!   Chrome/Perfetto exporter, and the perf-regression gate;
 //! * [`core`] — the methodology pipeline, model instantiation,
 //!   convolution prediction, pitfall detectors, and per-figure
 //!   experiment drivers.
@@ -30,3 +32,4 @@ pub use charm_obs as obs;
 pub use charm_opaque as opaque;
 pub use charm_simmem as simmem;
 pub use charm_simnet as simnet;
+pub use charm_trace as trace;
