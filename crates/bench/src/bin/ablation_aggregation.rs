@@ -62,7 +62,10 @@ fn main() {
         &["size_bytes", "mean", "sd", "low_mode", "high_mode", "low_fraction", "aggregation_loss"],
         &rows,
     );
-    charm_bench::write_artifact("ablation_aggregation.csv", &csv);
+    charm_bench::csvout::artifact("ablation_aggregation.csv")
+        .meta("generator", "ablation_aggregation")
+        .meta("seed", seed)
+        .write(&csv);
     println!("\nmean ± sd (all an opaque tool keeps) hides the two modes entirely");
     session.finish();
 }

@@ -50,7 +50,10 @@ fn main() {
         &["allocator", "min_median_mbps", "max_median_mbps", "cross_run_spread"],
         &rows,
     );
-    charm_bench::write_artifact("ablation_allocation.csv", &csv);
+    charm_bench::csvout::artifact("ablation_allocation.csv")
+        .meta("generator", "ablation_allocation")
+        .meta("seed", base)
+        .write(&csv);
     println!("\nmalloc reuse makes each run stable but runs disagree wildly (the Figure 12 trap);\nthe pooled allocator samples many page layouts per run and reproduces across runs");
     session.finish();
 }

@@ -46,6 +46,9 @@ fn main() {
             ],
         ],
     );
-    charm_bench::write_artifact("ablation_breakpoints.csv", &csv);
+    charm_bench::csvout::artifact("ablation_breakpoints.csv")
+        .meta("generator", "ablation_breakpoints")
+        .meta("seed", seed)
+        .write(&csv);
     session.finish();
 }

@@ -74,7 +74,10 @@ fn main() {
         &["order", "worst_adjacent_median_jump", "temporal_windows"],
         &rows,
     );
-    charm_bench::write_artifact("ablation_randomization.csv", &csv);
+    charm_bench::csvout::artifact("ablation_randomization.csv")
+        .meta("generator", "ablation_randomization")
+        .meta("seed", seed)
+        .write(&csv);
     println!("\nsequential campaigns localize the burst in a block of sizes (phantom size effect);\nrandomized campaigns keep per-size medians smooth and expose the burst as temporal");
     session.finish();
 }

@@ -37,7 +37,10 @@ fn main() {
         }
     }
     let csv = charm_core::experiments::plot::csv(&["grid", "size", "median_us"], &rows);
-    charm_bench::write_artifact("ablation_sizegrids.csv", &csv);
+    charm_bench::csvout::artifact("ablation_sizegrids.csv")
+        .meta("generator", "ablation_sizegrids")
+        .meta("seed", seed)
+        .write(&csv);
 
     // 2. the neighbour probe finds the planted anomaly
     let mut sim = platform();

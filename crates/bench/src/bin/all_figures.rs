@@ -10,7 +10,19 @@
 //! fig10/fig11 observability reports and fails loudly if the exported
 //! JSONL does not parse back to the identical report).
 
+use charm_bench::csvout::{self, CsvArtifact};
 use charm_obs::CampaignReport;
+
+/// A stamp identical to the one the standalone `generator` binary
+/// applies, so the refresh path and the per-figure path produce
+/// byte-identical artifacts.
+fn stamped(name: &str, generator: &str, seed: Option<u64>) -> CsvArtifact {
+    let a = csvout::artifact(name).meta("generator", generator);
+    match seed {
+        Some(seed) => a.meta("seed", seed),
+        None => a,
+    }
+}
 
 /// Writes `report` as JSONL after proving the text round-trips: the
 /// exported lines must parse back to an identical report.
@@ -39,39 +51,39 @@ fn main() {
 
     println!("== table05 ==");
     let t = charm_core::experiments::table05::run();
-    charm_bench::write_artifact("table05.csv", &t.to_csv());
+    stamped("table05.csv", "table05", None).write(&t.to_csv());
     print!("{}", t.report());
 
     println!("\n== fig03 ==");
     let f = charm_core::experiments::fig03::run(seed);
-    charm_bench::write_artifact("fig03.csv", &f.to_csv());
+    stamped("fig03.csv", "fig03", Some(seed)).write(&f.to_csv());
     print!("{}", f.report());
 
     println!("\n== fig04 ==");
     let f = charm_core::experiments::fig04::run(seed, if quick { 30 } else { 100 }, 20);
-    charm_bench::write_artifact("fig04_raw.csv", &f.raw_csv());
-    charm_bench::write_artifact("fig04_model.csv", &f.summary_csv());
+    stamped("fig04_raw.csv", "fig04", Some(seed)).write(&f.raw_csv());
+    stamped("fig04_model.csv", "fig04", Some(seed)).write(&f.summary_csv());
     print!("{}", f.report());
 
     println!("\n== fig07 ==");
     let f = charm_core::experiments::fig07::run(seed, if quick { 4 } else { 10 });
-    charm_bench::write_artifact("fig07.csv", &f.to_csv());
+    stamped("fig07.csv", "fig07", Some(seed)).write(&f.to_csv());
     print!("{}", f.report());
 
     println!("\n== fig08 ==");
     let f = charm_core::experiments::fig08::run(seed, if quick { 10 } else { 42 });
-    charm_bench::write_artifact("fig08_raw.csv", &f.raw_csv());
-    charm_bench::write_artifact("fig08_trends.csv", &f.trend_csv());
+    stamped("fig08_raw.csv", "fig08", Some(seed)).write(&f.raw_csv());
+    stamped("fig08_trends.csv", "fig08", Some(seed)).write(&f.trend_csv());
     print!("{}", f.report());
 
     println!("\n== fig09 ==");
     let f = charm_core::experiments::fig09::run(seed, if quick { 4 } else { 10 });
-    charm_bench::write_artifact("fig09.csv", &f.to_csv());
+    stamped("fig09.csv", "fig09", Some(seed)).write(&f.to_csv());
     print!("{}", f.report());
 
     println!("\n== fig10 ==");
     let f = charm_core::experiments::fig10::run(seed, if quick { 10 } else { 42 });
-    charm_bench::write_artifact("fig10.csv", &f.to_csv());
+    stamped("fig10.csv", "fig10", Some(seed)).observed(true).write(&f.to_csv());
     if args.obs_jsonl {
         write_validated("fig10_obs.jsonl", &f.report);
     }
@@ -80,7 +92,7 @@ fn main() {
 
     println!("\n== fig11 ==");
     let f = charm_core::experiments::fig11::run(seed);
-    charm_bench::write_artifact("fig11_raw.csv", &f.raw_csv());
+    stamped("fig11_raw.csv", "fig11", Some(seed)).observed(true).write(&f.raw_csv());
     if args.obs_jsonl {
         write_validated("fig11_obs.jsonl", &f.report);
     }
@@ -89,17 +101,17 @@ fn main() {
 
     println!("\n== fig12 ==");
     let f = charm_core::experiments::fig12::run(seed);
-    charm_bench::write_artifact("fig12.csv", &f.to_csv());
+    stamped("fig12.csv", "fig12", Some(seed)).write(&f.to_csv());
     print!("{}", f.report());
 
     println!("\n== fig13 ==");
     let f = charm_core::experiments::fig13::run();
-    charm_bench::write_artifact("fig13.csv", &f.to_csv());
+    stamped("fig13.csv", "fig13", None).write(&f.to_csv());
     print!("{}", f.report());
 
     println!("\n== convolution ==");
     let s = charm_core::experiments::convolution::run(seed);
-    charm_bench::write_artifact("convolution.csv", &s.to_csv());
+    stamped("convolution.csv", "convolution", Some(seed)).write(&s.to_csv());
     print!("{}", s.report());
 
     session.finish();

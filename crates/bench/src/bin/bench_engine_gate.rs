@@ -8,25 +8,72 @@
 //!
 //! * exit 0 — no gated metric regressed;
 //! * exit 1 — at least one regression past the threshold;
-//! * exit 2 — the reports are not comparable (schema or config mismatch)
-//!   or a file did not parse; regenerate the baseline instead.
+//! * exit 2 — the reports carry the right schema but are not comparable
+//!   (config mismatch, malformed contents, unreadable file);
+//! * exit 3 — a report file does not exist (a fresh checkout with no
+//!   committed baseline, or a candidate that was never generated);
+//! * exit 4 — a report carries the wrong schema tag (written by an
+//!   incompatible version of the tooling).
 //!
-//! Environment knobs: `CHARM_GATE_THRESHOLD` (relative slack, default
-//! 0.25 = fail at >25 % worse) and `CHARM_GATE_FLOOR_S` (absolute floor
-//! in seconds under which timings are noise, default 0.005). The gate
-//! conventions — `*_s` lower-better, `*_per_sec` higher-better,
-//! everything else informational — live in `charm_trace::bench`.
+//! Exits 3 and 4 are distinct from 2 so CI and scripts can tell "the
+//! baseline needs regenerating" from "the comparison itself is broken";
+//! both print the regeneration command. Environment knobs:
+//! `CHARM_GATE_THRESHOLD` (relative slack, default 0.25 = fail at >25 %
+//! worse) and `CHARM_GATE_FLOOR_S` (absolute floor in seconds under
+//! which timings are noise, default 0.005). The gate conventions —
+//! `*_s` lower-better, `*_per_sec` higher-better, everything else
+//! informational — live in `charm_trace::bench`.
 
-use charm_trace::bench::{self, EngineBench};
+use charm_trace::bench::{self, EngineBench, ParseError};
 use std::process::ExitCode;
+
+const REGEN_HINT: &str =
+    "regenerate it: cargo run --release -p charm-bench --bin bench_campaign_summary";
+
+/// A load failure, ordered by how the gate should exit.
+enum LoadError {
+    /// Exit 3: the file is not there at all.
+    Missing(String),
+    /// Exit 4: the file parses but its schema tag is wrong.
+    Schema(String),
+    /// Exit 2: unreadable or malformed contents.
+    Other(String),
+}
+
+impl LoadError {
+    fn message(&self) -> &str {
+        match self {
+            LoadError::Missing(m) | LoadError::Schema(m) | LoadError::Other(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            LoadError::Missing(_) => 3,
+            LoadError::Schema(_) => 4,
+            LoadError::Other(_) => 2,
+        }
+    }
+}
 
 fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
-fn load(path: &str) -> Result<EngineBench, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    EngineBench::from_json(&text).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<EngineBench, LoadError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(LoadError::Missing(format!("{path} does not exist; {REGEN_HINT}")));
+        }
+        Err(e) => return Err(LoadError::Other(format!("cannot read {path}: {e}"))),
+    };
+    EngineBench::from_json(&text).map_err(|e| match e {
+        ParseError::SchemaMismatch { .. } => {
+            LoadError::Schema(format!("{path}: {e}; {REGEN_HINT}"))
+        }
+        ParseError::Malformed(_) => LoadError::Other(format!("{path}: {e}")),
+    })
 }
 
 fn main() -> ExitCode {
@@ -41,12 +88,21 @@ fn main() -> ExitCode {
     let (candidate, baseline) = match (load(candidate_path), load(baseline_path)) {
         (Ok(c), Ok(b)) => (c, b),
         (c, b) => {
-            for r in [c, b] {
-                if let Err(e) = r {
-                    eprintln!("{e}");
-                }
+            // Report every failure, then exit with the most actionable
+            // one: missing file beats wrong schema beats everything else.
+            let errors: Vec<LoadError> = [c, b].into_iter().filter_map(Result::err).collect();
+            for e in &errors {
+                eprintln!("{}", e.message());
             }
-            return ExitCode::from(2);
+            let code = errors
+                .iter()
+                .min_by_key(|e| match e {
+                    LoadError::Missing(_) => 0,
+                    LoadError::Schema(_) => 1,
+                    LoadError::Other(_) => 2,
+                })
+                .map_or(2, LoadError::exit_code);
+            return ExitCode::from(code);
         }
     };
 

@@ -5,7 +5,10 @@ fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
     let session = charm_bench::profile::Session::from_args(&args);
     let study = charm_core::experiments::convolution::run(args.seed);
-    charm_bench::write_artifact("convolution.csv", &study.to_csv());
+    charm_bench::csvout::artifact("convolution.csv")
+        .meta("generator", "convolution")
+        .meta("seed", args.seed)
+        .write(&study.to_csv());
     print!("{}", study.report());
     session.finish();
 }

@@ -5,7 +5,10 @@ fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
     let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig03::run(args.seed);
-    charm_bench::write_artifact("fig03.csv", &fig.to_csv());
+    charm_bench::csvout::artifact("fig03.csv")
+        .meta("generator", "fig03")
+        .meta("seed", args.seed)
+        .write(&fig.to_csv());
     print!("{}", fig.report());
     session.finish();
 }

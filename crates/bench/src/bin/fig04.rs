@@ -6,8 +6,14 @@ fn main() {
     let session = charm_bench::profile::Session::from_args(&args);
     let n_sizes = if args.quick { 30 } else { 100 };
     let fig = charm_core::experiments::fig04::run(args.seed, n_sizes, 20);
-    charm_bench::write_artifact("fig04_raw.csv", &fig.raw_csv());
-    charm_bench::write_artifact("fig04_model.csv", &fig.summary_csv());
+    charm_bench::csvout::artifact("fig04_raw.csv")
+        .meta("generator", "fig04")
+        .meta("seed", args.seed)
+        .write(&fig.raw_csv());
+    charm_bench::csvout::artifact("fig04_model.csv")
+        .meta("generator", "fig04")
+        .meta("seed", args.seed)
+        .write(&fig.summary_csv());
     print!("{}", fig.report());
     session.finish();
 }

@@ -4,8 +4,14 @@ fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
     let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig08::run(args.seed, if args.quick { 10 } else { 42 });
-    charm_bench::write_artifact("fig08_raw.csv", &fig.raw_csv());
-    charm_bench::write_artifact("fig08_trends.csv", &fig.trend_csv());
+    charm_bench::csvout::artifact("fig08_raw.csv")
+        .meta("generator", "fig08")
+        .meta("seed", args.seed)
+        .write(&fig.raw_csv());
+    charm_bench::csvout::artifact("fig08_trends.csv")
+        .meta("generator", "fig08")
+        .meta("seed", args.seed)
+        .write(&fig.trend_csv());
     print!("{}", fig.report());
     session.finish();
 }

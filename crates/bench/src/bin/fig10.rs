@@ -7,7 +7,11 @@ fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
     let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig10::run(args.seed, if args.quick { 10 } else { 42 });
-    charm_bench::write_artifact("fig10.csv", &fig.to_csv());
+    charm_bench::csvout::artifact("fig10.csv")
+        .meta("generator", "fig10")
+        .meta("seed", args.seed)
+        .observed(true)
+        .write(&fig.to_csv());
     if args.obs_jsonl {
         charm_bench::write_artifact("fig10_obs.jsonl", &fig.report.to_jsonl());
     }

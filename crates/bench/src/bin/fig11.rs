@@ -7,7 +7,11 @@ fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
     let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig11::run(args.seed);
-    charm_bench::write_artifact("fig11_raw.csv", &fig.raw_csv());
+    charm_bench::csvout::artifact("fig11_raw.csv")
+        .meta("generator", "fig11")
+        .meta("seed", args.seed)
+        .observed(true)
+        .write(&fig.raw_csv());
     if args.obs_jsonl {
         charm_bench::write_artifact("fig11_obs.jsonl", &fig.report.to_jsonl());
     }

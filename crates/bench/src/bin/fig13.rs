@@ -4,7 +4,7 @@ fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
     let session = charm_bench::profile::Session::from_args(&args);
     let fig = charm_core::experiments::fig13::run();
-    charm_bench::write_artifact("fig13.csv", &fig.to_csv());
+    charm_bench::csvout::artifact("fig13.csv").meta("generator", "fig13").write(&fig.to_csv());
     print!("{}", fig.report());
     session.finish();
 }

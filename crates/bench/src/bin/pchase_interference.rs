@@ -51,7 +51,10 @@ fn main() {
         &["workload", "threads", "mean_mbps", "sd_mbps"],
         &rows_out,
     );
-    charm_bench::write_artifact("pchase_interference.csv", &csv);
+    charm_bench::csvout::artifact("pchase_interference.csv")
+        .meta("generator", "pchase_interference")
+        .meta("seed", seed)
+        .write(&csv);
     println!("cache-resident work scales with cores; DRAM-bound work saturates at the channel count\n— the interference PChase was built to capture");
     session.finish();
 }

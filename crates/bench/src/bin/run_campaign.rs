@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! run_campaign <plan.dsl> <platform> [--seed N] [--shards N]
-//!              [--out DIR] [--obs-jsonl]
+//!              [--out DIR] [--obs-jsonl] [--store DIR] [--resume RUN_ID]
 //!
 //! platforms: taurus | myrinet | openmpi |
 //!            opteron | pentium4 | i7 | arm
@@ -18,6 +18,16 @@
 //! contract). The default is [`Study::auto_shards`]: sequential below
 //! the row threshold, one shard per core above it. `--obs-jsonl` also
 //! writes the campaign's counters and provenance events next to the CSV.
+//!
+//! `--store DIR` archives the campaign into a `charm_store` store:
+//! finished shards are flushed as checkpoint segments while the run is
+//! still going, and the final records + manifest are archived under a
+//! run ID derived from `(plan, seed, shards)` (printed as
+//! `archived run <id>`). `--resume RUN_ID` replays the finished shards
+//! of that interrupted run and executes only the missing ones — the
+//! resumed records are bit-identical to an uninterrupted run. The given
+//! ID must match what the current plan/seed/shards derive, so a resume
+//! can never silently splice a different campaign's data.
 
 use charm_core::pipeline::Study;
 use charm_design::dsl;
@@ -62,8 +72,13 @@ fn execute<T: ParallelTarget>(
     target: T,
     shards: usize,
     observe: bool,
+    sink: Option<&charm_store::CheckpointSession>,
+    resume: bool,
 ) -> Result<CampaignRun, TargetError> {
-    let sharded = Campaign::new(plan, target).shards(shards);
+    let mut sharded = Campaign::new(plan, target).shards(shards);
+    if let Some(sink) = sink {
+        sharded = sharded.store(sink).resume(resume);
+    }
     let sharded = if observe { sharded.observer(Observer::default()) } else { sharded };
     sharded.run()
 }
@@ -115,9 +130,51 @@ fn main() -> ExitCode {
         }
     };
 
+    // Open the campaign store (and its checkpoint session for this
+    // run's identity) before executing, so shards flush as they finish.
+    let store_ctx = match &args.store {
+        Some(dir) => {
+            let store = match charm_store::Store::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open store: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let checkpoint = match store.session(&plan, Some(seed), shards as u64) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open checkpoint session: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(resume_id) = &args.resume {
+                if resume_id != checkpoint.run_id().as_str() {
+                    eprintln!(
+                        "--resume {resume_id} does not match this campaign: \
+                         plan/seed/shards derive run {}",
+                        checkpoint.run_id()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("resuming run {resume_id}");
+            }
+            Some((store, checkpoint))
+        }
+        None => {
+            if args.resume.is_some() {
+                eprintln!("--resume requires --store DIR (the store holding the checkpoints)");
+                return ExitCode::FAILURE;
+            }
+            None
+        }
+    };
+    let sink = store_ctx.as_ref().map(|(_, checkpoint)| checkpoint);
+    let resume = args.resume.is_some();
+
     let result = match platform {
-        Platform::Net(t) => execute(&plan, *t, shards, args.obs_jsonl),
-        Platform::Mem(t) => execute(&plan, *t, shards, args.obs_jsonl),
+        Platform::Net(t) => execute(&plan, *t, shards, args.obs_jsonl, sink, resume),
+        Platform::Mem(t) => execute(&plan, *t, shards, args.obs_jsonl, sink, resume),
     };
     match result {
         Ok(run) => {
@@ -127,6 +184,23 @@ fn main() -> ExitCode {
                 let name = format!("campaign_{platform_name}_obs.jsonl");
                 charm_bench::write_artifact(&name, &report.to_jsonl());
                 session.attach_virtual(platform_name, report);
+            }
+            if let Some((store, _)) = &store_ctx {
+                let cli_args: Vec<String> = std::env::args().collect();
+                match store.put_run(
+                    &plan,
+                    Some(seed),
+                    shards as u64,
+                    &cli_args.join(" "),
+                    &run.data,
+                    run.report.as_ref(),
+                ) {
+                    Ok(id) => println!("archived run {id}"),
+                    Err(e) => {
+                        eprintln!("archive failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             println!("{} raw measurements retained", run.data.records.len());
             session.finish();

@@ -1,0 +1,72 @@
+//! List the runs archived in a campaign store.
+//!
+//! ```text
+//! store_ls <store_dir> [--gc]
+//! ```
+//!
+//! One line per finalized run: run ID, seed, shard count, artifact
+//! count and total archived bytes, and the recorded CLI invocation.
+//! With `--gc`, first reclaims spent checkpoint segments (finalized
+//! runs only — interrupted runs keep theirs, they are the only copy of
+//! that work) and reports what was removed.
+
+use charm_store::Store;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gc = args.iter().any(|a| a == "--gc");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if positional.len() != 1 || args.iter().any(|a| a.starts_with("--") && a != "--gc") {
+        eprintln!("usage: store_ls <store_dir> [--gc]");
+        return ExitCode::from(2);
+    }
+    let store = match Store::open(positional[0]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if gc {
+        match store.gc() {
+            Ok(r) => println!(
+                "gc: removed {} checkpoint segment(s) ({} bytes), {} debris dir(s)",
+                r.removed_segments, r.reclaimed_bytes, r.removed_dirs
+            ),
+            Err(e) => {
+                eprintln!("gc failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let manifests = match store.list() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot list store: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if manifests.is_empty() {
+        println!("no archived runs");
+        return ExitCode::SUCCESS;
+    }
+    for m in &manifests {
+        let bytes: u64 = m.artifacts.iter().map(|a| a.bytes).sum();
+        let seed = match m.seed {
+            Some(s) => s.to_string(),
+            None => "none".to_string(),
+        };
+        println!(
+            "{}  seed {:>10}  shards {:>2}  {} artifact(s), {} bytes  {}",
+            m.run_id,
+            seed,
+            m.shards,
+            m.artifacts.len(),
+            bytes,
+            m.cli_args
+        );
+    }
+    println!("{} archived run(s)", manifests.len());
+    ExitCode::SUCCESS
+}

@@ -4,7 +4,7 @@ fn main() {
     let args = charm_bench::cli::CommonArgs::parse("");
     let session = charm_bench::profile::Session::from_args(&args);
     let t = charm_core::experiments::table05::run();
-    charm_bench::write_artifact("table05.csv", &t.to_csv());
+    charm_bench::csvout::artifact("table05.csv").meta("generator", "table05").write(&t.to_csv());
     print!("{}", t.report());
     session.finish();
 }

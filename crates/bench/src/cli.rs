@@ -17,6 +17,10 @@
 //! * `--trace-out PATH` — write a Chrome/Perfetto `trace.json` rendering
 //!   wall-time engine spans and virtual-time experiment events as two
 //!   separate process tracks (see `charm_trace::chrome`);
+//! * `--store DIR` — archive the campaign into a `charm_store` store at
+//!   `DIR`, flushing shard checkpoints as they complete;
+//! * `--resume RUN_ID` — with `--store`, replay the finished shards of
+//!   an interrupted run and execute only the missing ones;
 //! * `--help` — print usage.
 //!
 //! Positional arguments (e.g. `run_campaign`'s plan file and platform)
@@ -38,6 +42,10 @@ pub struct CommonArgs {
     /// Where to write the dual-clock Chrome/Perfetto trace
     /// (`--trace-out PATH`), when given.
     pub trace_out: Option<String>,
+    /// Campaign store directory (`--store DIR`), when given.
+    pub store: Option<String>,
+    /// Run ID to resume (`--resume RUN_ID`), when given.
+    pub resume: Option<String>,
     /// Positional arguments, in order.
     pub rest: Vec<String>,
 }
@@ -84,6 +92,8 @@ impl CommonArgs {
             quick: false,
             profile: false,
             trace_out: None,
+            store: None,
+            resume: None,
             rest: Vec::new(),
         };
         let mut out_dir = None;
@@ -113,6 +123,20 @@ impl CommonArgs {
                     Some(path) => args.trace_out = Some(path),
                     None => {
                         eprintln!("--trace-out needs a file path");
+                        return Err(Exit::Error);
+                    }
+                },
+                "--store" => match argv.next() {
+                    Some(dir) => args.store = Some(dir),
+                    None => {
+                        eprintln!("--store needs a directory");
+                        return Err(Exit::Error);
+                    }
+                },
+                "--resume" => match argv.next() {
+                    Some(id) => args.resume = Some(id),
+                    None => {
+                        eprintln!("--resume needs a run ID");
                         return Err(Exit::Error);
                     }
                 },
@@ -152,7 +176,7 @@ fn usage(bin: &str, extra: &str) -> String {
     let positional = if extra.is_empty() { String::new() } else { format!(" {extra}") };
     format!(
         "usage: {bin}{positional} [--seed N] [--shards N] [--out DIR] [--obs-jsonl] [--quick]\n\
-         \x20               [--profile] [--trace-out PATH]\n\
+         \x20               [--profile] [--trace-out PATH] [--store DIR] [--resume RUN_ID]\n\
          \n\
          --seed N        RNG seed (default CHARM_SEED or 20170529)\n\
          --shards N      shard count for shard-invariant campaigns (sets CHARM_SHARDS)\n\
@@ -160,7 +184,9 @@ fn usage(bin: &str, extra: &str) -> String {
          --obs-jsonl     also write observability reports as JSON Lines\n\
          --quick         reduced plans for smoke runs\n\
          --profile       print a wall-clock self-profile on exit\n\
-         --trace-out PATH  write a dual-clock Chrome/Perfetto trace.json"
+         --trace-out PATH  write a dual-clock Chrome/Perfetto trace.json\n\
+         --store DIR     archive the campaign (with shard checkpoints) into a store\n\
+         --resume RUN_ID resume an interrupted stored run (requires --store)"
     )
 }
 
@@ -184,6 +210,8 @@ mod tests {
                 quick: false,
                 profile: false,
                 trace_out: None,
+                store: None,
+                resume: None,
                 rest: vec![]
             }
         );
@@ -206,6 +234,10 @@ mod tests {
                 "--profile",
                 "--trace-out",
                 "/tmp/trace.json",
+                "--store",
+                "/tmp/store",
+                "--resume",
+                "0123456789abcdef0123456789abcdef",
                 "taurus",
             ]),
             7,
@@ -217,6 +249,8 @@ mod tests {
         assert!(args.quick);
         assert!(args.profile);
         assert_eq!(args.trace_out.as_deref(), Some("/tmp/trace.json"));
+        assert_eq!(args.store.as_deref(), Some("/tmp/store"));
+        assert_eq!(args.resume.as_deref(), Some("0123456789abcdef0123456789abcdef"));
         assert_eq!(args.rest, argv(&["plan.dsl", "taurus"]));
         assert_eq!(out.as_deref(), Some("/tmp/r"));
     }
@@ -227,6 +261,8 @@ mod tests {
         assert_eq!(CommonArgs::try_parse(argv(&["--seed", "abc"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--shards", "0"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--trace-out"]), 1), Err(Exit::Error));
+        assert_eq!(CommonArgs::try_parse(argv(&["--store"]), 1), Err(Exit::Error));
+        assert_eq!(CommonArgs::try_parse(argv(&["--resume"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--bogus"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--help"]), 1), Err(Exit::Help));
     }
@@ -234,9 +270,17 @@ mod tests {
     #[test]
     fn usage_names_every_flag() {
         let u = usage("fig10", "");
-        for flag in
-            ["--seed", "--shards", "--out", "--obs-jsonl", "--quick", "--profile", "--trace-out"]
-        {
+        for flag in [
+            "--seed",
+            "--shards",
+            "--out",
+            "--obs-jsonl",
+            "--quick",
+            "--profile",
+            "--trace-out",
+            "--store",
+            "--resume",
+        ] {
             assert!(u.contains(flag), "{flag} missing from usage");
         }
     }

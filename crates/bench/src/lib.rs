@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod csvout;
 pub mod profile;
 
 use std::fs;

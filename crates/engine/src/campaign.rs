@@ -30,6 +30,7 @@
 //! only reads the host monotonic clock, never virtual clocks or RNG
 //! streams — and a disabled profiler costs one branch per span site.
 
+use crate::checkpoint::{CheckpointSink, ShardCheckpoint};
 use crate::meta::MetadataBuilder;
 use crate::record::{Campaign as CampaignData, RawRecord};
 use crate::target::{Assignment, ParallelTarget, Target, TargetError};
@@ -171,17 +172,29 @@ impl<'p, T: ParallelTarget> Campaign<'p, T> {
     /// [`ParallelTarget`]; the shard count is clamped to `1..=plan rows`
     /// at run time.
     pub fn shards(self, shards: usize) -> ShardedCampaign<'p, T> {
-        ShardedCampaign { inner: self, shards }
+        ShardedCampaign { inner: self, shards, sink: None, resume: false }
     }
 }
 
 /// A [`Campaign`] configured for sharded execution (see
 /// [`Campaign::shards`]). The same chainable configuration applies;
 /// [`ShardedCampaign::run`] executes and merges.
-#[derive(Debug)]
 pub struct ShardedCampaign<'p, T> {
     inner: Campaign<'p, T>,
     shards: usize,
+    sink: Option<&'p dyn CheckpointSink>,
+    resume: bool,
+}
+
+impl<'p, T: std::fmt::Debug> std::fmt::Debug for ShardedCampaign<'p, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCampaign")
+            .field("inner", &self.inner)
+            .field("shards", &self.shards)
+            .field("checkpointed", &self.sink.is_some())
+            .field("resume", &self.resume)
+            .finish()
+    }
 }
 
 /// What one shard thread reports back: its records, its local clock's
@@ -213,6 +226,33 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
     /// its shard utilization.
     pub fn profiler(mut self, profiler: Profiler) -> Self {
         self.inner = self.inner.profiler(profiler);
+        self
+    }
+
+    /// Attaches a checkpoint store: every shard flushes its finished
+    /// segment through [`CheckpointSink::save_shard`] the moment it
+    /// completes, so an interrupted campaign retains the shards it
+    /// already paid for. Checkpointing never touches measurement values
+    /// — segments are written after a shard's last measurement, outside
+    /// every virtual clock and RNG stream — so stored and unstored
+    /// campaigns are bit-identical (tested below).
+    pub fn store(mut self, sink: &'p dyn CheckpointSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Resumes from the attached checkpoint store: shards with a stored
+    /// segment are replayed from [`CheckpointSink::load_shard`] instead
+    /// of re-measured, shards without one execute normally (and are
+    /// checkpointed). Because every replayed segment is exactly what the
+    /// shard would have produced, the resumed campaign is bit-identical
+    /// to an uninterrupted run — the determinism contract (DESIGN.md §9)
+    /// made durable.
+    ///
+    /// Requires [`ShardedCampaign::store`]; incompatible with an
+    /// [`Observer`] (checkpoints retain records, not counter streams).
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
         self
     }
 
@@ -255,7 +295,7 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
     /// the campaign like the sequential run; the error for the earliest
     /// failing plan row wins.
     pub fn run(self) -> Result<CampaignRun, TargetError> {
-        let ShardedCampaign { inner, shards } = self;
+        let ShardedCampaign { inner, shards, sink, resume } = self;
         let Campaign { plan, target: base, shuffle_seed, observer, profiler } = inner;
         let _run_span = profiler.span_on("engine", "engine.run");
         let wall_start = Instant::now();
@@ -264,24 +304,68 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
         if shards > 1 && !base.shard_invariant() {
             return Err(TargetError::NotShardable { target: base.name() });
         }
+        if resume && sink.is_none() {
+            return Err(TargetError::Checkpoint {
+                message: "resume requested without a checkpoint store \
+                          (call .store(...) before .resume(true))"
+                    .into(),
+            });
+        }
+        if resume && observer.is_some() {
+            return Err(TargetError::Checkpoint {
+                message: "resume cannot replay observations: checkpoints retain records, \
+                          not counter streams; rerun observed campaigns from scratch"
+                    .into(),
+            });
+        }
         let seed = base.stream_seed();
         // Contiguous blocks [b*n/k, (b+1)*n/k): sizes differ by at most one.
         let bounds: Vec<(usize, usize)> =
             (0..shards).map(|b| (b * n / shards, (b + 1) * n / shards)).collect();
+        // When resuming, replay finished shards from the store instead of
+        // re-measuring them. A present-but-wrong segment is an error, not
+        // a silent re-measure: the store said these rows were retained.
+        let mut replayed: Vec<Option<ShardCheckpoint>> = (0..shards).map(|_| None).collect();
+        if resume {
+            let sink = sink.expect("resume checked sink above");
+            for (b, &(lo, hi)) in bounds.iter().enumerate() {
+                let loaded = sink
+                    .load_shard(b, shards)
+                    .map_err(|e| TargetError::Checkpoint { message: e.to_string() })?;
+                if let Some(chk) = loaded {
+                    let covers = chk.records.len() == hi - lo
+                        && chk.records.first().is_none_or(|r| r.sequence == lo as u64)
+                        && chk.records.last().is_none_or(|r| r.sequence == (hi - 1) as u64);
+                    if !covers {
+                        return Err(TargetError::Checkpoint {
+                            message: format!(
+                                "shard {b} of {shards} checkpoint does not cover plan rows \
+                                 {lo}..{hi} (got {} records)",
+                                chk.records.len()
+                            ),
+                        });
+                    }
+                    replayed[b] = Some(chk);
+                }
+            }
+        }
         let parallel_start_ns = profiler.elapsed_ns();
-        let shard_results: Vec<Result<ShardYield, TargetError>> =
+        let shard_results: Vec<Option<Result<ShardYield, TargetError>>> =
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = bounds
                     .iter()
                     .enumerate()
                     .map(|(b, &(lo, hi))| {
+                        if replayed[b].is_some() {
+                            return None; // replayed from the checkpoint store
+                        }
                         let mut target = base.fork(seed);
                         if let Some(observer) = &observer {
                             target.observe(observer);
                         }
                         let observed = observer.is_some();
                         let profiler = profiler.clone();
-                        scope.spawn(move |_| -> Result<ShardYield, TargetError> {
+                        Some(scope.spawn(move |_| -> Result<ShardYield, TargetError> {
                             // Gated on is_enabled so the disabled path
                             // allocates no track name.
                             let _shard_span = profiler.is_enabled().then(|| {
@@ -303,23 +387,41 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                                     value: m.value,
                                 });
                             }
+                            // Flush the finished shard before reporting it:
+                            // the checkpoint is written after the last
+                            // measurement, outside every virtual clock and
+                            // RNG stream, so it cannot change values.
+                            if let Some(sink) = sink {
+                                let checkpoint = ShardCheckpoint {
+                                    records: records.clone(),
+                                    elapsed_us: target.now_us(),
+                                };
+                                sink.save_shard(b, shards, &checkpoint).map_err(|e| {
+                                    TargetError::Checkpoint { message: e.to_string() }
+                                })?;
+                            }
                             let observation = observed.then(|| target.take_observation());
                             let wall_ns = shard_start.elapsed().as_nanos() as u64;
                             Ok((records, target.now_us(), observation, wall_ns))
-                        })
+                        }))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("shard thread panicked")))
+                    .collect()
             })
             .expect("scope panicked");
         if profiler.is_enabled() {
             // Shard utilization: summed shard busy time over the
             // parallel region's wall time × shard count. 1.0 means every
             // thread worked the whole region; low values expose skewed
-            // blocks or an oversubscribed host.
+            // blocks or an oversubscribed host. Replayed shards did no
+            // wall-clock work and contribute nothing.
             let parallel_dur_ns = profiler.elapsed_ns().saturating_sub(parallel_start_ns);
             let busy_ns: u64 = shard_results
                 .iter()
+                .flatten()
                 .filter_map(|r| r.as_ref().ok().map(|(_, _, _, wall_ns)| *wall_ns))
                 .sum();
             let capacity_ns = parallel_dur_ns.saturating_mul(shards as u64);
@@ -343,10 +445,17 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
         let mut observations = Vec::with_capacity(shards);
         let mut spans = Vec::with_capacity(shards);
         let mut clock_us = 0.0f64;
-        for (b, result) in shard_results.into_iter().enumerate() {
+        for (b, (loaded, executed)) in replayed.into_iter().zip(shard_results).enumerate() {
             // Blocks are in canonical order, so the first failing shard
-            // holds the earliest failing plan row.
-            let (mut shard_records, shard_elapsed_us, observation, wall_ns) = result?;
+            // holds the earliest failing plan row. Replayed shards carry
+            // their stored clock reading, so the offset arithmetic — and
+            // therefore every timestamp — matches the uninterrupted run.
+            let (mut shard_records, shard_elapsed_us, observation, wall_ns) =
+                match (loaded, executed) {
+                    (Some(chk), _) => (chk.records, chk.elapsed_us, None, 0u64),
+                    (None, Some(result)) => result?,
+                    (None, None) => unreachable!("shard neither replayed nor executed"),
+                };
             offsets.push(clock_us);
             for r in &mut shard_records {
                 r.start_us += clock_us;
@@ -853,6 +962,190 @@ mod tests {
         // merge follows the parallel region inside the run span
         let merge = spans.iter().find(|s| s.name == "engine.merge").unwrap();
         assert!(parallel.end_ns() <= merge.start_ns + 1_000);
+    }
+
+    /// In-memory checkpoint sink: segments keyed by (shard, shards),
+    /// plus save/load counters so tests can assert which shards executed.
+    #[derive(Default)]
+    struct MemorySink {
+        segments: std::sync::Mutex<std::collections::HashMap<(usize, usize), ShardCheckpoint>>,
+        saves: std::sync::atomic::AtomicUsize,
+    }
+
+    impl MemorySink {
+        fn remove(&self, shard: usize, shards: usize) {
+            self.segments.lock().unwrap().remove(&(shard, shards));
+        }
+
+        fn saves(&self) -> usize {
+            self.saves.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    impl CheckpointSink for MemorySink {
+        fn save_shard(
+            &self,
+            shard: usize,
+            shards: usize,
+            checkpoint: &ShardCheckpoint,
+        ) -> Result<(), crate::checkpoint::CheckpointError> {
+            self.saves.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.segments.lock().unwrap().insert((shard, shards), checkpoint.clone());
+            Ok(())
+        }
+
+        fn load_shard(
+            &self,
+            shard: usize,
+            shards: usize,
+        ) -> Result<Option<ShardCheckpoint>, crate::checkpoint::CheckpointError> {
+            Ok(self.segments.lock().unwrap().get(&(shard, shards)).cloned())
+        }
+    }
+
+    fn assert_bit_identical(a: &CampaignData, b: &CampaignData) {
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.levels, y.levels, "seq {}", x.sequence);
+            assert_eq!(x.replicate, y.replicate, "seq {}", x.sequence);
+            assert_eq!(x.sequence, y.sequence);
+            assert_eq!(x.value.to_bits(), y.value.to_bits(), "seq {}", x.sequence);
+            assert_eq!(x.start_us.to_bits(), y.start_us.to_bits(), "seq {}", x.sequence);
+        }
+        assert_eq!(a.metadata, b.metadata);
+    }
+
+    #[test]
+    fn checkpointing_never_changes_records() {
+        let plan = shuffled_net_plan(4, 37);
+        let plain = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(37)))
+            .shards(3)
+            .seed(37)
+            .run()
+            .unwrap()
+            .data;
+        let sink = MemorySink::default();
+        let stored = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(37)))
+            .shards(3)
+            .seed(37)
+            .store(&sink)
+            .run()
+            .unwrap()
+            .data;
+        assert_bit_identical(&plain, &stored);
+        // every shard flushed exactly one segment
+        assert_eq!(sink.saves(), 3);
+        let segments = sink.segments.lock().unwrap();
+        assert_eq!(segments.len(), 3);
+        let total: usize = segments.values().map(|c| c.records.len()).sum();
+        assert_eq!(total, plan.len());
+    }
+
+    #[test]
+    fn resume_after_killing_shards_is_bit_identical() {
+        let plan = shuffled_net_plan(5, 41);
+        let fresh = Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(41)))
+            .shards(4)
+            .seed(41)
+            .run()
+            .unwrap()
+            .data;
+        let sink = MemorySink::default();
+        Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(41)))
+            .shards(4)
+            .seed(41)
+            .store(&sink)
+            .run()
+            .unwrap();
+        // Kill a strict subset of shards, as if the campaign died mid-run.
+        sink.remove(1, 4);
+        sink.remove(3, 4);
+        let saves_before = sink.saves();
+        let resumed = Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(41)))
+            .shards(4)
+            .seed(41)
+            .store(&sink)
+            .resume(true)
+            .run()
+            .unwrap()
+            .data;
+        assert_bit_identical(&fresh, &resumed);
+        // only the two missing shards were re-executed (and re-flushed)
+        assert_eq!(sink.saves() - saves_before, 2);
+    }
+
+    #[test]
+    fn resume_with_all_shards_present_executes_nothing() {
+        let plan = shuffled_net_plan(3, 53);
+        let sink = MemorySink::default();
+        let stored = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(53)))
+            .shards(2)
+            .seed(53)
+            .store(&sink)
+            .run()
+            .unwrap()
+            .data;
+        let saves_before = sink.saves();
+        let resumed =
+            Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(53)))
+                .shards(2)
+                .seed(53)
+                .store(&sink)
+                .resume(true)
+                .run()
+                .unwrap()
+                .data;
+        assert_bit_identical(&stored, &resumed);
+        assert_eq!(sink.saves(), saves_before, "no shard re-executed");
+    }
+
+    #[test]
+    fn resume_without_store_is_an_error() {
+        let plan = shuffled_net_plan(1, 2);
+        let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(2));
+        let err = Campaign::new(&plan, target).shards(2).resume(true).run().unwrap_err();
+        assert!(matches!(err, TargetError::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn resume_with_observer_is_an_error() {
+        let plan = shuffled_net_plan(1, 2);
+        let sink = MemorySink::default();
+        let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(2));
+        let err = Campaign::new(&plan, target)
+            .shards(2)
+            .observer(Observer::default())
+            .store(&sink)
+            .resume(true)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, TargetError::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn resume_rejects_checkpoint_with_wrong_geometry() {
+        let plan = shuffled_net_plan(2, 3);
+        let sink = MemorySink::default();
+        Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(3)))
+            .shards(2)
+            .seed(3)
+            .store(&sink)
+            .run()
+            .unwrap();
+        // Truncate shard 0's segment: resume must refuse, not re-measure.
+        {
+            let mut segments = sink.segments.lock().unwrap();
+            let chk = segments.get_mut(&(0, 2)).unwrap();
+            chk.records.pop();
+        }
+        let err = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(3)))
+            .shards(2)
+            .seed(3)
+            .store(&sink)
+            .resume(true)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, TargetError::Checkpoint { .. }));
     }
 
     #[test]

@@ -22,17 +22,22 @@
 //! * [`campaign`] — the [`Campaign`] builder, the one front door for
 //!   sequential/sharded, observed/unobserved and profiled/unprofiled
 //!   execution (the old `run_campaign`/`run_campaign_parallel` free
-//!   functions are gone; the builder is the API).
+//!   functions are gone; the builder is the API);
+//! * [`checkpoint`] — the [`CheckpointSink`] contract a durable campaign
+//!   archive (the `charm-store` crate) implements so sharded runs can
+//!   flush finished shards and resume interrupted campaigns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod meta;
 pub mod record;
 pub mod replicate;
 pub mod target;
 
 pub use campaign::{Campaign, CampaignRun, ShardedCampaign};
+pub use checkpoint::{CheckpointError, CheckpointSink, ShardCheckpoint};
 pub use record::{Campaign as CampaignData, RawRecord};
 pub use target::{Measurement, ParallelTarget, Target, TargetError};

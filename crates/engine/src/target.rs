@@ -33,6 +33,15 @@ pub enum TargetError {
         /// Platform label of the refusing target.
         target: String,
     },
+    /// The campaign's checkpoint store failed (I/O error, corrupt or
+    /// mismatched segment) or was configured inconsistently. Partial
+    /// checkpoints silently passed off as complete runs are exactly the
+    /// artifact the methodology bans, so checkpoint trouble fails the
+    /// campaign instead of degrading it.
+    Checkpoint {
+        /// What went wrong, human-readable.
+        message: String,
+    },
 }
 
 impl fmt::Display for TargetError {
@@ -48,6 +57,9 @@ impl fmt::Display for TargetError {
                     "target {target:?} is time-dependent and cannot be sharded \
                      (run it sequentially or with shards = 1)"
                 )
+            }
+            TargetError::Checkpoint { message } => {
+                write!(f, "campaign checkpoint store failed: {message}")
             }
         }
     }

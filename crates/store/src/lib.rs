@@ -1,0 +1,44 @@
+//! # charm-store
+//!
+//! The archive stage of the white-box methodology: *raw-data retention
+//! with full context* (paper §III). The engine keeps every individual
+//! measurement; this crate keeps every campaign — content-addressed,
+//! append-only, resumable and diffable — so analyses can be redone
+//! offline months later and challenged against the exact bytes that
+//! were measured.
+//!
+//! * [`digest`] — dependency-free SHA-256 with published-vector tests;
+//!   the content-addressing and tamper-detection primitive;
+//! * [`manifest`] — the `manifest.json` format: plan hash, seed, shard
+//!   count, crate versions, CLI args, and a digest for every artifact
+//!   in the run directory;
+//! * [`store`] — [`Store`]: `open` / `put_run` / `get` / `list` / `gc`,
+//!   plus [`CheckpointSession`], the [`CheckpointSink`] the engine's
+//!   `Campaign::store` builder hook writes shard segments through (and
+//!   `Campaign::resume` replays from);
+//! * [`diff`] — [`RunDiff`]: two runs aligned by design cell, with
+//!   metadata drift, per-cell count/mean/median shifts, and a
+//!   bit-exactness verdict.
+//!
+//! Run IDs derive from `(plan_hash, seed, shards)`: archiving the same
+//! campaign twice dedupes onto one directory, while non-identical
+//! campaigns can never silently collide — the manifest stores the full
+//! triple and every operation cross-checks it.
+//!
+//! Like the obs and trace layers, the store is zero-cost when unused: a
+//! campaign that never calls `.store(...)` touches no filesystem path
+//! in this crate.
+//!
+//! [`CheckpointSink`]: charm_engine::CheckpointSink
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod digest;
+pub mod manifest;
+pub mod store;
+
+pub use diff::{diff_runs, CellDiff, MetadataDrift, RunDiff};
+pub use manifest::{Artifact, Manifest, MANIFEST_FORMAT};
+pub use store::{CampaignKey, CheckpointSession, GcReport, RunId, Store, StoreError, StoredRun};

@@ -1,0 +1,212 @@
+//! The run manifest: everything needed to trust and reproduce a run.
+//!
+//! The paper's methodology demands that raw data survive *with its full
+//! experimental context* (§III): a results file whose plan, seed and
+//! engine version are unknown cannot be re-analyzed or challenged. A
+//! [`Manifest`] is that context, written atomically next to the raw
+//! records:
+//!
+//! * identity — the run ID and the `(plan_hash, seed, shards)` triple it
+//!   derives from, so a manifest can be checked against the campaign
+//!   that claims it;
+//! * provenance — crate version and the CLI invocation that produced
+//!   the run;
+//! * integrity — per-artifact byte counts and SHA-256 digests over
+//!   every file in the run directory, so any later read can prove the
+//!   bytes are the ones archived.
+//!
+//! Serialization uses the workspace's restricted JSON dialect
+//! ([`charm_obs::json`]: strings, numbers and maps only — no arrays),
+//! which is why `artifacts` serializes as an object keyed by artifact
+//! name rather than a list.
+
+use charm_obs::json::{self, Value};
+
+/// Format marker written into every manifest; bumped on breaking
+/// layout changes so old readers fail loudly instead of misparsing.
+pub const MANIFEST_FORMAT: &str = "charm-store-manifest/1";
+
+/// Digest record for one archived file, path relative to the run
+/// directory (e.g. `records.csv`, `checkpoints/shard-0-of-4.csv`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Run-directory-relative path, `/`-separated.
+    pub name: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Lowercase hex SHA-256 of the file contents.
+    pub sha256: String,
+}
+
+/// The manifest for one archived run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The run's content-derived ID (32 hex chars).
+    pub run_id: String,
+    /// SHA-256 of the experiment plan's CSV rendering.
+    pub plan_hash: String,
+    /// The campaign's shuffle/stream seed, if one was set.
+    pub seed: Option<u64>,
+    /// Shard count the campaign ran (or will run) with.
+    pub shards: u64,
+    /// Producing crate and version, e.g. `charm-store 0.1.0`.
+    pub versions: String,
+    /// The CLI invocation that produced the run (space-joined argv);
+    /// empty when the run was archived programmatically.
+    pub cli_args: String,
+    /// Per-artifact digests, sorted by name.
+    pub artifacts: Vec<Artifact>,
+}
+
+impl Manifest {
+    /// Renders the manifest as pretty-printed JSON (restricted dialect).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"format\": {},\n", json::string(MANIFEST_FORMAT)));
+        out.push_str(&format!("  \"run_id\": {},\n", json::string(&self.run_id)));
+        out.push_str(&format!("  \"plan_hash\": {},\n", json::string(&self.plan_hash)));
+        out.push_str(&format!("  \"seed\": {},\n", json::string(&seed_str(self.seed))));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"versions\": {},\n", json::string(&self.versions)));
+        out.push_str(&format!("  \"cli_args\": {},\n", json::string(&self.cli_args)));
+        out.push_str("  \"artifacts\": {");
+        for (i, a) in self.artifacts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{ \"bytes\": {}, \"sha256\": {} }}",
+                json::string(&a.name),
+                a.bytes,
+                json::string(&a.sha256)
+            ));
+        }
+        if !self.artifacts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a manifest back from its JSON rendering.
+    pub fn from_json(text: &str) -> Result<Manifest, String> {
+        let obj = json::parse_object(text)?;
+        let format = obj.get_str("format").ok_or("manifest missing \"format\"")?;
+        if format != MANIFEST_FORMAT {
+            return Err(format!(
+                "manifest format {format:?} is not the supported {MANIFEST_FORMAT:?}"
+            ));
+        }
+        let field = |key: &str| {
+            obj.get_str(key).map(str::to_string).ok_or(format!("manifest missing {key:?}"))
+        };
+        let seed = parse_seed(&field("seed")?)?;
+        let shards = obj.get_u64("shards").ok_or("manifest missing numeric \"shards\"")?;
+        let mut artifacts = Vec::new();
+        match obj.get("artifacts") {
+            Some(Value::Map(entries)) => {
+                for (name, value) in entries {
+                    let Value::Map(fields) = value else {
+                        return Err(format!("artifact {name:?} is not an object"));
+                    };
+                    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                    let bytes = match get("bytes") {
+                        Some(Value::Num(raw)) => raw
+                            .parse::<u64>()
+                            .map_err(|_| format!("artifact {name:?} has bad byte count"))?,
+                        _ => return Err(format!("artifact {name:?} missing \"bytes\"")),
+                    };
+                    let sha256 = match get("sha256") {
+                        Some(Value::Str(s)) => s.clone(),
+                        _ => return Err(format!("artifact {name:?} missing \"sha256\"")),
+                    };
+                    artifacts.push(Artifact { name: name.clone(), bytes, sha256 });
+                }
+            }
+            Some(_) => return Err("\"artifacts\" is not an object".to_string()),
+            None => return Err("manifest missing \"artifacts\"".to_string()),
+        }
+        artifacts.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(Manifest {
+            run_id: field("run_id")?,
+            plan_hash: field("plan_hash")?,
+            seed,
+            shards,
+            versions: field("versions")?,
+            cli_args: field("cli_args")?,
+            artifacts,
+        })
+    }
+
+    /// The artifact entry for `name`, if archived.
+    pub fn artifact(&self, name: &str) -> Option<&Artifact> {
+        self.artifacts.iter().find(|a| a.name == name)
+    }
+}
+
+/// Renders an optional seed the way manifests store it.
+pub fn seed_str(seed: Option<u64>) -> String {
+    match seed {
+        Some(s) => s.to_string(),
+        None => "none".to_string(),
+    }
+}
+
+fn parse_seed(raw: &str) -> Result<Option<u64>, String> {
+    if raw == "none" {
+        return Ok(None);
+    }
+    raw.parse::<u64>().map(Some).map_err(|_| format!("bad seed {raw:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            run_id: "0123456789abcdef0123456789abcdef".into(),
+            plan_hash: "ff".repeat(32),
+            seed: Some(20170529),
+            shards: 4,
+            versions: "charm-store 0.1.0".into(),
+            cli_args: "run_campaign plan.dsl net --store results/store".into(),
+            artifacts: vec![
+                Artifact {
+                    name: "checkpoints/shard-0-of-4.csv".into(),
+                    bytes: 77,
+                    sha256: "aa".repeat(32),
+                },
+                Artifact { name: "records.csv".into(), bytes: 1234, sha256: "bb".repeat(32) },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let m = sample();
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn seedless_manifest_roundtrips() {
+        let m = Manifest { seed: None, artifacts: Vec::new(), ..sample() };
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.seed, None);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn unknown_format_is_rejected() {
+        let text = sample().to_json().replace(MANIFEST_FORMAT, "charm-store-manifest/99");
+        let err = Manifest::from_json(&text).unwrap_err();
+        assert!(err.contains("charm-store-manifest/99"), "{err}");
+    }
+
+    #[test]
+    fn missing_artifacts_key_is_rejected() {
+        let err = Manifest::from_json("{\"format\": \"charm-store-manifest/1\"}").unwrap_err();
+        assert!(err.contains("format") || err.contains("missing"), "{err}");
+    }
+}

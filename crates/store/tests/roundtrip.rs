@@ -1,0 +1,220 @@
+//! Store round-trips: archive → verify → reload, tamper detection,
+//! dedupe/collision behavior, gc, and checkpoint/resume through a real
+//! on-disk store.
+
+use charm_design::doe::FullFactorial;
+use charm_design::plan::ExperimentPlan;
+use charm_design::Factor;
+use charm_engine::target::NetworkTarget;
+use charm_engine::{Campaign, CampaignData};
+use charm_obs::Observer;
+use charm_simnet::presets;
+use charm_store::{RunId, Store, StoreError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A unique scratch directory per test, no tempfile dependency.
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir()
+        .join(format!("charm-store-roundtrip-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn plan_of(seed: u64) -> ExperimentPlan {
+    let mut plan = FullFactorial::new()
+        .factor(Factor::new("op", vec!["ping_pong", "async_send"]))
+        .factor(Factor::new("size", vec![64i64, 4096, 65536]))
+        .replicates(3)
+        .build()
+        .unwrap();
+    plan.shuffle(seed);
+    plan
+}
+
+fn run_campaign(plan: &ExperimentPlan, seed: u64, shards: usize) -> CampaignData {
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
+    Campaign::new(plan, target).shards(shards).seed(seed).run().unwrap().data
+}
+
+#[test]
+fn put_then_get_returns_equal_campaign() {
+    let dir = scratch("putget");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(7);
+    let data = run_campaign(&plan, 7, 2);
+    let id = store.put_run(&plan, Some(7), 2, "test putget", &data, None).unwrap();
+    let back = store.get(&id).unwrap();
+    assert_eq!(back.data, data);
+    assert_eq!(back.manifest.seed, Some(7));
+    assert_eq!(back.manifest.shards, 2);
+    assert_eq!(back.manifest.cli_args, "test putget");
+    assert!(back.manifest.artifact("records.csv").is_some());
+    assert!(back.report.is_none());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn observed_run_archives_and_reloads_its_report() {
+    let dir = scratch("report");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(3);
+    let target = NetworkTarget::new("m", presets::myrinet_gm(3));
+    let run = Campaign::new(&plan, target).seed(3).observer(Observer::default()).run().unwrap();
+    let report = run.report.expect("observer attached");
+    let id = store.put_run(&plan, Some(3), 1, "", &run.data, Some(&report)).unwrap();
+    let back = store.get(&id).unwrap();
+    assert!(back.manifest.artifact("report.jsonl").is_some());
+    let back_report = back.report.expect("report archived");
+    assert_eq!(back_report.counters, report.counters);
+    assert_eq!(back_report.events.len(), report.events.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn identical_campaign_dedupes_to_one_run() {
+    let dir = scratch("dedupe");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(11);
+    let data = run_campaign(&plan, 11, 3);
+    let a = store.put_run(&plan, Some(11), 3, "", &data, None).unwrap();
+    let b = store.put_run(&plan, Some(11), 3, "", &data, None).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(store.list().unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn different_seed_or_shards_lands_on_different_runs() {
+    let dir = scratch("distinct");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(5);
+    let data = run_campaign(&plan, 5, 2);
+    let a = store.put_run(&plan, Some(5), 2, "", &data, None).unwrap();
+    let b = store.put_run(&plan, Some(6), 2, "", &data, None).unwrap();
+    let c = store.put_run(&plan, Some(5), 4, "", &data, None).unwrap();
+    assert_ne!(a, b);
+    assert_ne!(a, c);
+    assert_ne!(b, c);
+    assert_eq!(store.list().unwrap().len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipping_one_byte_is_caught_on_get() {
+    let dir = scratch("tamper");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(13);
+    let data = run_campaign(&plan, 13, 2);
+    let id = store.put_run(&plan, Some(13), 2, "", &data, None).unwrap();
+    let records = dir.join("runs").join(id.as_str()).join("records.csv");
+    let mut bytes = std::fs::read(&records).unwrap();
+    // Flip one byte in the middle of the data section.
+    let pos = bytes.len() / 2;
+    bytes[pos] ^= 0x01;
+    std::fs::write(&records, &bytes).unwrap();
+    match store.get(&id) {
+        Err(StoreError::Tampered { artifact, .. }) => assert_eq!(artifact, "records.csv"),
+        other => panic!("expected Tampered, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn edited_manifest_triple_is_a_collision_not_a_merge() {
+    let dir = scratch("collision");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(17);
+    let data = run_campaign(&plan, 17, 2);
+    let id = store.put_run(&plan, Some(17), 2, "", &data, None).unwrap();
+    // Simulate a truncated-ID collision: the stored manifest describes a
+    // different campaign than the one arriving at this run ID.
+    let manifest_path = dir.join("runs").join(id.as_str()).join("manifest.json");
+    let text = std::fs::read_to_string(&manifest_path).unwrap();
+    std::fs::write(&manifest_path, text.replace("\"seed\": \"17\"", "\"seed\": \"99\"")).unwrap();
+    match store.put_run(&plan, Some(17), 2, "", &data, None) {
+        Err(StoreError::Collision { .. }) => {}
+        other => panic!("expected Collision, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_run_id_is_not_found() {
+    let dir = scratch("missing");
+    let store = Store::open(&dir).unwrap();
+    let id = RunId::parse("00000000000000000000000000000000").unwrap();
+    assert!(matches!(store.get(&id), Err(StoreError::NotFound { .. })));
+    assert!(RunId::parse("not-a-run-id").is_err());
+    assert!(RunId::parse("ABCDEF00000000000000000000000000").is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpointed_run_through_real_store_resumes_bit_identical() {
+    let dir = scratch("resume");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(23);
+    let fresh = run_campaign(&plan, 23, 3);
+
+    // Archive a checkpointed run, then kill one shard's segment as if
+    // the campaign had died before finishing it.
+    let session = store.session(&plan, Some(23), 3).unwrap();
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(23));
+    Campaign::new(&plan, target).shards(3).seed(23).store(&session).run().unwrap();
+    let segment = dir
+        .join("runs")
+        .join(session.run_id().as_str())
+        .join("checkpoints")
+        .join("shard-1-of-3.csv");
+    assert!(segment.is_file(), "campaign flushed shard segments");
+    std::fs::remove_file(&segment).unwrap();
+
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(23));
+    let resumed = Campaign::new(&plan, target)
+        .shards(3)
+        .seed(23)
+        .store(&session)
+        .resume(true)
+        .run()
+        .unwrap()
+        .data;
+    // Byte-identical CSVs: the strongest form of "same campaign".
+    assert_eq!(fresh.to_csv(), resumed.to_csv());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_purges_spent_checkpoints_but_keeps_resumable_runs() {
+    let dir = scratch("gc");
+    let store = Store::open(&dir).unwrap();
+
+    // Finalized run with checkpoints: segments are spent once archived.
+    let plan = plan_of(29);
+    let session = store.session(&plan, Some(29), 2).unwrap();
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(29));
+    let data = Campaign::new(&plan, target).shards(2).seed(29).store(&session).run().unwrap().data;
+    let finalized = store.put_run(&plan, Some(29), 2, "", &data, None).unwrap();
+
+    // Interrupted run: checkpoints only, no manifest — must survive gc.
+    let plan2 = plan_of(31);
+    let session2 = store.session(&plan2, Some(31), 2).unwrap();
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(31));
+    Campaign::new(&plan2, target).shards(2).seed(31).store(&session2).run().unwrap();
+    let interrupted_dir = dir.join("runs").join(session2.run_id().as_str());
+
+    let report = store.gc().unwrap();
+    assert_eq!(report.removed_segments, 2, "only the finalized run's segments");
+    assert!(report.reclaimed_bytes > 0);
+    assert!(
+        interrupted_dir.join("checkpoints").join("shard-0-of-2.csv").is_file(),
+        "interrupted run keeps its only copy of the work"
+    );
+    // The finalized run still loads and verifies cleanly after the purge.
+    let back = store.get(&finalized).unwrap();
+    assert_eq!(back.data, data);
+    assert!(back.manifest.artifacts.iter().all(|a| !a.name.starts_with("checkpoints/")));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -92,13 +92,19 @@ impl EngineBench {
     }
 
     /// Parses a report, rejecting unknown schemas so a gate never
-    /// silently compares incompatible trajectories.
-    pub fn from_json(text: &str) -> Result<EngineBench, String> {
-        let obj = json::parse_object(text)?;
+    /// silently compares incompatible trajectories. The error
+    /// distinguishes [`ParseError::SchemaMismatch`] (a report from an
+    /// incompatible writer — regenerate it) from
+    /// [`ParseError::Malformed`] (not a report at all), so callers can
+    /// exit differently for each.
+    pub fn from_json(text: &str) -> Result<EngineBench, ParseError> {
+        let obj = json::parse_object(text).map_err(ParseError::Malformed)?;
         match obj.get_str("schema") {
             Some(SCHEMA) => {}
-            Some(other) => return Err(format!("unsupported schema {other:?} (want {SCHEMA:?})")),
-            None => return Err("missing \"schema\"".to_string()),
+            Some(other) => {
+                return Err(ParseError::SchemaMismatch { found: Some(other.to_string()) })
+            }
+            None => return Err(ParseError::SchemaMismatch { found: None }),
         }
         let mut bench = EngineBench::new();
         match obj.get("config") {
@@ -108,29 +114,69 @@ impl EngineBench {
                         json::Value::Str(s) => {
                             bench.config.insert(k.clone(), s.clone());
                         }
-                        _ => return Err(format!("config {k:?} is not a string")),
+                        _ => {
+                            return Err(ParseError::Malformed(format!(
+                                "config {k:?} is not a string"
+                            )))
+                        }
                     }
                 }
             }
-            _ => return Err("missing \"config\" object".to_string()),
+            _ => return Err(ParseError::Malformed("missing \"config\" object".to_string())),
         }
         match obj.get("metrics") {
             Some(json::Value::Map(m)) => {
                 for (k, v) in m {
                     match v {
                         json::Value::Num(raw) => {
-                            let x = raw.parse::<f64>().map_err(|e| format!("metric {k:?}: {e}"))?;
+                            let x = raw
+                                .parse::<f64>()
+                                .map_err(|e| ParseError::Malformed(format!("metric {k:?}: {e}")))?;
                             bench.metrics.insert(k.clone(), x);
                         }
-                        _ => return Err(format!("metric {k:?} is not a number")),
+                        _ => {
+                            return Err(ParseError::Malformed(format!(
+                                "metric {k:?} is not a number"
+                            )))
+                        }
                     }
                 }
             }
-            _ => return Err("missing \"metrics\" object".to_string()),
+            _ => return Err(ParseError::Malformed("missing \"metrics\" object".to_string())),
         }
         Ok(bench)
     }
 }
+
+/// Why a report failed [`EngineBench::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The text is a JSON object but carries a different (or no) schema
+    /// tag: a report from an incompatible writer version, not corrupt
+    /// data. The fix is regenerating the report, not editing it.
+    SchemaMismatch {
+        /// The schema tag found, if any.
+        found: Option<String>,
+    },
+    /// The text is not a well-formed report at all.
+    Malformed(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::SchemaMismatch { found: Some(other) } => {
+                write!(f, "unsupported schema {other:?} (this gate reads {SCHEMA:?})")
+            }
+            ParseError::SchemaMismatch { found: None } => {
+                write!(f, "missing \"schema\" tag (this gate reads {SCHEMA:?})")
+            }
+            ParseError::Malformed(why) => write!(f, "malformed report: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// How the gate judged one metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -314,18 +360,36 @@ mod tests {
 
     #[test]
     fn from_json_rejects_bad_input() {
-        assert!(EngineBench::from_json("junk").is_err());
-        assert!(EngineBench::from_json("{\"schema\":\"other/9\",\"config\":{},\"metrics\":{}}")
-            .is_err());
-        assert!(EngineBench::from_json("{\"config\":{},\"metrics\":{}}").is_err());
-        let schema = json::string(SCHEMA);
-        assert!(
-            EngineBench::from_json(&format!("{{\"schema\":{schema},\"metrics\":{{}}}}")).is_err()
+        assert!(matches!(EngineBench::from_json("junk"), Err(ParseError::Malformed(_))));
+        assert_eq!(
+            EngineBench::from_json("{\"schema\":\"other/9\",\"config\":{},\"metrics\":{}}"),
+            Err(ParseError::SchemaMismatch { found: Some("other/9".to_string()) })
         );
-        assert!(EngineBench::from_json(&format!(
-            "{{\"schema\":{schema},\"config\":{{}},\"metrics\":{{\"k\":\"str\"}}}}"
-        ))
-        .is_err());
+        assert_eq!(
+            EngineBench::from_json("{\"config\":{},\"metrics\":{}}"),
+            Err(ParseError::SchemaMismatch { found: None })
+        );
+        let schema = json::string(SCHEMA);
+        assert!(matches!(
+            EngineBench::from_json(&format!("{{\"schema\":{schema},\"metrics\":{{}}}}")),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            EngineBench::from_json(&format!(
+                "{{\"schema\":{schema},\"config\":{{}},\"metrics\":{{\"k\":\"str\"}}}}"
+            )),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_name_the_expected_schema() {
+        let e = EngineBench::from_json("{\"schema\":\"other/9\",\"config\":{},\"metrics\":{}}")
+            .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("other/9") && msg.contains(SCHEMA), "{msg}");
+        let e = EngineBench::from_json("{\"config\":{},\"metrics\":{}}").unwrap_err();
+        assert!(e.to_string().contains(SCHEMA));
     }
 
     #[test]

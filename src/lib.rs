@@ -16,6 +16,9 @@
 //! * [`obs`] — observability: counters, event traces, provenance reports;
 //! * [`trace`] — engine self-profiling: wall-clock spans, the dual-clock
 //!   Chrome/Perfetto exporter, and the perf-regression gate;
+//! * [`store`] — the content-addressed campaign archive: manifests with
+//!   per-artifact digests, checkpoint/resume for sharded campaigns, and
+//!   cross-run diffing;
 //! * [`core`] — the methodology pipeline, model instantiation,
 //!   convolution prediction, pitfall detectors, and per-figure
 //!   experiment drivers.
@@ -32,4 +35,5 @@ pub use charm_obs as obs;
 pub use charm_opaque as opaque;
 pub use charm_simmem as simmem;
 pub use charm_simnet as simnet;
+pub use charm_store as store;
 pub use charm_trace as trace;
