@@ -22,12 +22,13 @@
 //! `--store DIR` archives the campaign into a `charm_store` store:
 //! finished shards are flushed as checkpoint segments while the run is
 //! still going, and the final records + manifest are archived under a
-//! run ID derived from `(plan, seed, shards)` (printed as
+//! run ID derived from `(plan, target, seed, shards)` (printed as
 //! `archived run <id>`). `--resume RUN_ID` replays the finished shards
 //! of that interrupted run and executes only the missing ones — the
 //! resumed records are bit-identical to an uninterrupted run. The given
-//! ID must match what the current plan/seed/shards derive, so a resume
-//! can never silently splice a different campaign's data.
+//! ID must match what the current plan/platform/seed/shards derive, so
+//! a resume can never silently splice a different campaign's data —
+//! not even the same plan run against a different platform.
 
 use charm_core::pipeline::Study;
 use charm_design::dsl;
@@ -130,6 +131,13 @@ fn main() -> ExitCode {
         }
     };
 
+    // The target's identity folds into the run ID, so the same plan
+    // against two platforms can never share a run directory.
+    let target_id = match &platform {
+        Platform::Net(t) => charm_store::target_identity(t.as_ref()),
+        Platform::Mem(t) => charm_store::target_identity(t.as_ref()),
+    };
+
     // Open the campaign store (and its checkpoint session for this
     // run's identity) before executing, so shards flush as they finish.
     let store_ctx = match &args.store {
@@ -141,7 +149,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let checkpoint = match store.session(&plan, Some(seed), shards as u64) {
+            let checkpoint = match store.session(&plan, &target_id, Some(seed), shards as u64) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("cannot open checkpoint session: {e}");
@@ -152,7 +160,7 @@ fn main() -> ExitCode {
                 if resume_id != checkpoint.run_id().as_str() {
                     eprintln!(
                         "--resume {resume_id} does not match this campaign: \
-                         plan/seed/shards derive run {}",
+                         plan/platform/seed/shards derive run {}",
                         checkpoint.run_id()
                     );
                     return ExitCode::FAILURE;
@@ -187,14 +195,9 @@ fn main() -> ExitCode {
             }
             if let Some((store, _)) = &store_ctx {
                 let cli_args: Vec<String> = std::env::args().collect();
-                match store.put_run(
-                    &plan,
-                    Some(seed),
-                    shards as u64,
-                    &cli_args.join(" "),
-                    &run.data,
-                    run.report.as_ref(),
-                ) {
+                let key =
+                    charm_store::CampaignKey::of(&plan, &target_id, Some(seed), shards as u64);
+                match store.put_run(&key, &cli_args.join(" "), &run.data, run.report.as_ref()) {
                     Ok(id) => println!("archived run {id}"),
                     Err(e) => {
                         eprintln!("archive failed: {e}");

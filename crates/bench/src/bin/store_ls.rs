@@ -4,8 +4,9 @@
 //! store_ls <store_dir> [--gc]
 //! ```
 //!
-//! One line per finalized run: run ID, seed, shard count, artifact
-//! count and total archived bytes, and the recorded CLI invocation.
+//! One line per finalized run: run ID, target identity, seed, shard
+//! count, artifact count and total archived bytes, and the recorded
+//! CLI invocation.
 //! With `--gc`, first reclaims spent checkpoint segments (finalized
 //! runs only — interrupted runs keep theirs, they are the only copy of
 //! that work) and reports what was removed.
@@ -58,8 +59,9 @@ fn main() -> ExitCode {
             None => "none".to_string(),
         };
         println!(
-            "{}  seed {:>10}  shards {:>2}  {} artifact(s), {} bytes  {}",
+            "{}  {:20}  seed {:>10}  shards {:>2}  {} artifact(s), {} bytes  {}",
             m.run_id,
+            m.target,
             seed,
             m.shards,
             m.artifacts.len(),

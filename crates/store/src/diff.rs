@@ -5,7 +5,8 @@
 //! [`RunDiff`] compares two archived runs on three axes:
 //!
 //! * **metadata drift** — manifest-level identity (`store.seed`,
-//!   `store.shards`, `store.plan_hash`, `store.versions`) plus every
+//!   `store.shards`, `store.plan_hash`, `store.target`,
+//!   `store.versions`) plus every
 //!   campaign metadata key, reported wherever the two runs disagree;
 //! * **cell alignment** — records grouped by the full factor-level
 //!   tuple; cells present in only one run are reported with a zero
@@ -163,6 +164,7 @@ fn metadata_drift(a: &StoredRun, b: &StoredRun) -> Vec<MetadataDrift> {
     let mut right: BTreeMap<String, String> = BTreeMap::new();
     for (map, run) in [(&mut left, a), (&mut right, b)] {
         map.insert("store.plan_hash".into(), run.manifest.plan_hash.clone());
+        map.insert("store.target".into(), run.manifest.target.clone());
         map.insert("store.seed".into(), crate::manifest::seed_str(run.manifest.seed));
         map.insert("store.shards".into(), run.manifest.shards.to_string());
         map.insert("store.versions".into(), run.manifest.versions.clone());

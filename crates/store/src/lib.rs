@@ -20,10 +20,13 @@
 //!   metadata drift, per-cell count/mean/median shifts, and a
 //!   bit-exactness verdict.
 //!
-//! Run IDs derive from `(plan_hash, seed, shards)`: archiving the same
-//! campaign twice dedupes onto one directory, while non-identical
-//! campaigns can never silently collide — the manifest stores the full
-//! triple and every operation cross-checks it.
+//! Run IDs derive from `(plan_hash, target, seed, shards)` — the target
+//! identity is the platform name plus a digest of its introspected
+//! metadata (see [`target_identity`]): archiving the same campaign
+//! twice dedupes onto one directory, while non-identical campaigns —
+//! including the same plan run against two platforms — can never
+//! silently collide; the manifest stores the full quadruple and every
+//! operation cross-checks it.
 //!
 //! Like the obs and trace layers, the store is zero-cost when unused: a
 //! campaign that never calls `.store(...)` touches no filesystem path
@@ -41,4 +44,6 @@ pub mod store;
 
 pub use diff::{diff_runs, CellDiff, MetadataDrift, RunDiff};
 pub use manifest::{Artifact, Manifest, MANIFEST_FORMAT};
-pub use store::{CampaignKey, CheckpointSession, GcReport, RunId, Store, StoreError, StoredRun};
+pub use store::{
+    target_identity, CampaignKey, CheckpointSession, GcReport, RunId, Store, StoreError, StoredRun,
+};

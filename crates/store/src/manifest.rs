@@ -6,9 +6,9 @@
 //! [`Manifest`] is that context, written atomically next to the raw
 //! records:
 //!
-//! * identity — the run ID and the `(plan_hash, seed, shards)` triple it
-//!   derives from, so a manifest can be checked against the campaign
-//!   that claims it;
+//! * identity — the run ID and the `(plan_hash, target, seed, shards)`
+//!   quadruple it derives from, so a manifest can be checked against the
+//!   campaign that claims it;
 //! * provenance — crate version and the CLI invocation that produced
 //!   the run;
 //! * integrity — per-artifact byte counts and SHA-256 digests over
@@ -24,7 +24,7 @@ use charm_obs::json::{self, Value};
 
 /// Format marker written into every manifest; bumped on breaking
 /// layout changes so old readers fail loudly instead of misparsing.
-pub const MANIFEST_FORMAT: &str = "charm-store-manifest/1";
+pub const MANIFEST_FORMAT: &str = "charm-store-manifest/2";
 
 /// Digest record for one archived file, path relative to the run
 /// directory (e.g. `records.csv`, `checkpoints/shard-0-of-4.csv`).
@@ -45,6 +45,9 @@ pub struct Manifest {
     pub run_id: String,
     /// SHA-256 of the experiment plan's CSV rendering.
     pub plan_hash: String,
+    /// Identity of the measured target: platform name plus a digest of
+    /// its introspected metadata (see `charm_store::target_identity`).
+    pub target: String,
     /// The campaign's shuffle/stream seed, if one was set.
     pub seed: Option<u64>,
     /// Shard count the campaign ran (or will run) with.
@@ -66,6 +69,7 @@ impl Manifest {
         out.push_str(&format!("  \"format\": {},\n", json::string(MANIFEST_FORMAT)));
         out.push_str(&format!("  \"run_id\": {},\n", json::string(&self.run_id)));
         out.push_str(&format!("  \"plan_hash\": {},\n", json::string(&self.plan_hash)));
+        out.push_str(&format!("  \"target\": {},\n", json::string(&self.target)));
         out.push_str(&format!("  \"seed\": {},\n", json::string(&seed_str(self.seed))));
         out.push_str(&format!("  \"shards\": {},\n", self.shards));
         out.push_str(&format!("  \"versions\": {},\n", json::string(&self.versions)));
@@ -131,6 +135,7 @@ impl Manifest {
         Ok(Manifest {
             run_id: field("run_id")?,
             plan_hash: field("plan_hash")?,
+            target: field("target")?,
             seed,
             shards,
             versions: field("versions")?,
@@ -168,6 +173,7 @@ mod tests {
         Manifest {
             run_id: "0123456789abcdef0123456789abcdef".into(),
             plan_hash: "ff".repeat(32),
+            target: "taurus#0011aabbccdd".into(),
             seed: Some(20170529),
             shards: 4,
             versions: "charm-store 0.1.0".into(),
@@ -195,6 +201,14 @@ mod tests {
         let back = Manifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back.seed, None);
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_without_target_is_rejected() {
+        let json = sample().to_json();
+        let text: Vec<&str> = json.lines().filter(|l| !l.contains("\"target\"")).collect();
+        let err = Manifest::from_json(&text.join("\n")).unwrap_err();
+        assert!(err.contains("target"), "{err}");
     }
 
     #[test]

@@ -9,12 +9,13 @@
 //! <root>/runs/<run_id>/checkpoints/shard-B-of-K.csv   (resume segments)
 //! ```
 //!
-//! Run IDs derive from `(plan_hash, seed, shards)`, so re-archiving the
-//! identical campaign lands on the same directory (dedupe) while any
-//! change to the plan, seed or shard count moves to a fresh one. The ID
-//! is a truncated hash; the manifest stores the full triple, and both
-//! [`Store::put_run`] and [`Store::get`] cross-check it so a truncated
-//! collision (or a hand-moved directory) surfaces as an explicit
+//! Run IDs derive from `(plan_hash, target, seed, shards)`, so
+//! re-archiving the identical campaign lands on the same directory
+//! (dedupe) while any change to the plan, measured target, seed or
+//! shard count moves to a fresh one. The ID is a truncated hash; the
+//! manifest stores the full quadruple, and both [`Store::put_run`] and
+//! [`Store::get`] cross-check it so a truncated collision (or a
+//! hand-moved directory) surfaces as an explicit
 //! [`StoreError::Collision`], never as silently merged data.
 //!
 //! Every write is atomic (temp file + rename in the same directory), so
@@ -25,7 +26,7 @@ use crate::digest::sha256_hex;
 use crate::manifest::{seed_str, Artifact, Manifest};
 use charm_design::ExperimentPlan;
 use charm_engine::checkpoint::{CheckpointError, CheckpointSink, ShardCheckpoint};
-use charm_engine::{CampaignData, RawRecord};
+use charm_engine::{CampaignData, RawRecord, Target};
 use charm_obs::CampaignReport;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -63,11 +64,16 @@ impl fmt::Display for RunId {
     }
 }
 
-/// The `(plan_hash, seed, shards)` triple a run ID derives from.
+/// The `(plan_hash, target, seed, shards)` quadruple a run ID derives
+/// from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignKey {
     /// SHA-256 of the plan's CSV rendering.
     pub plan_hash: String,
+    /// Identity of the measured target (see [`target_identity`]). The
+    /// same plan run against two platforms is two different campaigns
+    /// and must never share a run directory.
+    pub target: String,
     /// Shuffle/stream seed, if set.
     pub seed: Option<u64>,
     /// Shard count.
@@ -75,23 +81,52 @@ pub struct CampaignKey {
 }
 
 impl CampaignKey {
-    /// Derives the key for a plan about to run with `seed` and `shards`.
-    pub fn of(plan: &ExperimentPlan, seed: Option<u64>, shards: u64) -> CampaignKey {
-        CampaignKey { plan_hash: sha256_hex(plan.to_csv().as_bytes()), seed, shards }
+    /// Derives the key for a plan about to run against `target` with
+    /// `seed` and `shards`.
+    pub fn of(plan: &ExperimentPlan, target: &str, seed: Option<u64>, shards: u64) -> CampaignKey {
+        CampaignKey {
+            plan_hash: sha256_hex(plan.to_csv().as_bytes()),
+            target: target.to_string(),
+            seed,
+            shards,
+        }
     }
 
     /// The content-derived run ID for this key.
     pub fn run_id(&self) -> RunId {
-        let preimage =
-            format!("charm-run\n{}\n{}\n{}", self.plan_hash, seed_str(self.seed), self.shards);
+        let preimage = format!(
+            "charm-run\n{}\n{}\n{}\n{}",
+            self.plan_hash,
+            self.target,
+            seed_str(self.seed),
+            self.shards
+        );
         RunId(sha256_hex(preimage.as_bytes())[..32].to_string())
     }
 
     fn matches(&self, manifest: &Manifest) -> bool {
         manifest.plan_hash == self.plan_hash
+            && manifest.target == self.target
             && manifest.seed == self.seed
             && manifest.shards == self.shards
     }
+}
+
+/// The identity string the store uses for a target: its platform name
+/// plus a truncated digest of its introspected metadata, so two presets
+/// that share a name (or one preset reconfigured) still derive
+/// different run IDs. Deterministic across processes for
+/// deterministically configured targets — the property resume relies
+/// on to re-derive an interrupted run's ID from the same CLI arguments.
+pub fn target_identity<T: Target + ?Sized>(target: &T) -> String {
+    let mut rendered = String::new();
+    for (k, v) in target.metadata() {
+        rendered.push_str(&k);
+        rendered.push('=');
+        rendered.push_str(&v);
+        rendered.push('\n');
+    }
+    format!("{}#{}", target.name(), &sha256_hex(rendered.as_bytes())[..12])
 }
 
 /// Errors from store operations.
@@ -229,14 +264,17 @@ impl Store {
 
     /// Opens a checkpoint session for a campaign about to run: the
     /// sink to pass to `Campaign::store`, bound to the run directory
-    /// this campaign's `(plan, seed, shards)` triple addresses.
+    /// this campaign's `(plan, target, seed, shards)` quadruple
+    /// addresses. `target` is the measured platform's identity string
+    /// (see [`target_identity`]).
     pub fn session(
         &self,
         plan: &ExperimentPlan,
+        target: &str,
         seed: Option<u64>,
         shards: u64,
     ) -> Result<CheckpointSession, StoreError> {
-        let key = CampaignKey::of(plan, seed, shards);
+        let key = CampaignKey::of(plan, target, seed, shards);
         let id = key.run_id();
         let dir = self.run_dir(&id);
         // Guard against a truncated-ID collision before any write.
@@ -250,31 +288,46 @@ impl Store {
         Ok(CheckpointSession { dir, key, run_id: id, factor_names: plan.factor_names().to_vec() })
     }
 
-    /// Archives a finished campaign, returning its run ID. Re-archiving
-    /// the identical campaign is a no-op returning the same ID; a
-    /// different campaign addressing the same ID is a
-    /// [`StoreError::Collision`].
+    /// Archives a finished campaign under `key` (see [`CampaignKey::of`]),
+    /// returning its run ID. Re-archiving the identical campaign (same
+    /// key *and* same record bytes) is a no-op returning the same ID; a
+    /// different campaign addressing the same ID — including one whose
+    /// key matches but whose records drifted, e.g. after an engine
+    /// change — is a [`StoreError::Collision`], never silently
+    /// discarded.
     pub fn put_run(
         &self,
-        plan: &ExperimentPlan,
-        seed: Option<u64>,
-        shards: u64,
+        key: &CampaignKey,
         cli_args: &str,
         data: &CampaignData,
         report: Option<&CampaignReport>,
     ) -> Result<RunId, StoreError> {
-        let key = CampaignKey::of(plan, seed, shards);
         let id = key.run_id();
         let dir = self.run_dir(&id);
+        let records_csv = data.to_csv();
         if let Some(manifest) = self.try_manifest(&id)? {
-            if key.matches(&manifest) {
-                return Ok(id); // identical campaign: dedupe
+            if !key.matches(&manifest) {
+                return Err(collision(&id, &manifest, key));
             }
-            return Err(collision(&id, &manifest, &key));
+            // Same identity: only a true dedupe (identical record
+            // bytes) may short-circuit. The caller must never be told
+            // "archived" while its data is quietly thrown away.
+            let incoming = sha256_hex(records_csv.as_bytes());
+            return match manifest.artifact("records.csv") {
+                Some(a) if a.sha256 == incoming => Ok(id),
+                Some(a) => Err(StoreError::Collision {
+                    run_id: id.to_string(),
+                    stored: format!("records sha256 {}", &a.sha256[..12]),
+                    incoming: format!("records sha256 {}", &incoming[..12]),
+                }),
+                None => Err(StoreError::Corrupt {
+                    path: dir.display().to_string(),
+                    message: "manifest lists no records.csv".to_string(),
+                }),
+            };
         }
         fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
         let mut artifacts = Vec::new();
-        let records_csv = data.to_csv();
         write_atomic(&dir.join("records.csv"), &records_csv)?;
         artifacts.push(artifact("records.csv", &records_csv));
         if let Some(report) = report {
@@ -303,8 +356,9 @@ impl Store {
         let manifest = Manifest {
             run_id: id.as_str().to_string(),
             plan_hash: key.plan_hash.clone(),
-            seed,
-            shards,
+            target: key.target.clone(),
+            seed: key.seed,
+            shards: key.shards,
             versions: format!("charm-store {}", env!("CARGO_PKG_VERSION")),
             cli_args: cli_args.to_string(),
             artifacts,
@@ -410,8 +464,10 @@ impl Store {
 
     /// Reclaims space: deletes checkpoint segments of finalized runs
     /// (the records are archived; the resume trail is spent) and prunes
-    /// empty debris directories. Interrupted runs keep their
-    /// checkpoints — they are the only copy of that work.
+    /// debris directories that hold neither a manifest nor a
+    /// checkpoints/ dir. Interrupted runs keep their checkpoints — they
+    /// are the only copy of that work — and in-flight sessions (an
+    /// empty checkpoints/ dir, no shard finished yet) are left alone.
     pub fn gc(&self) -> Result<GcReport, StoreError> {
         let runs = self.root.join("runs");
         let mut report = GcReport::default();
@@ -446,15 +502,15 @@ impl Store {
                         }
                     }
                 }
-            } else if !finalized {
-                // Debris: a run directory with no manifest and no
-                // checkpoint segments has nothing worth keeping.
-                let empty_checkpoints = !checkpoints.is_dir()
-                    || fs::read_dir(&checkpoints).map(|mut d| d.next().is_none()).unwrap_or(false);
-                if empty_checkpoints {
-                    let _ = fs::remove_dir_all(&dir);
-                    report.removed_dirs += 1;
-                }
+            } else if !finalized && !checkpoints.is_dir() {
+                // Debris: no manifest and no checkpoints/ dir at all.
+                // A live session creates checkpoints/ before its first
+                // shard lands, so a directory that *has* one — even an
+                // empty one — may be an in-flight campaign and is left
+                // alone; deleting it out from under the session would
+                // abort the campaign at its next shard flush.
+                let _ = fs::remove_dir_all(&dir);
+                report.removed_dirs += 1;
             }
         }
         Ok(report)
@@ -470,25 +526,40 @@ fn artifact(name: &str, contents: &str) -> Artifact {
 }
 
 fn collision(id: &RunId, stored: &Manifest, incoming: &CampaignKey) -> StoreError {
-    let render = |plan_hash: &str, seed: Option<u64>, shards: u64| {
+    let render = |plan_hash: &str, target: &str, seed: Option<u64>, shards: u64| {
         format!(
-            "(plan {}, seed {}, shards {shards})",
+            "(plan {}, target {target}, seed {}, shards {shards})",
             &plan_hash[..12.min(plan_hash.len())],
             seed_str(seed)
         )
     };
     StoreError::Collision {
         run_id: id.to_string(),
-        stored: render(&stored.plan_hash, stored.seed, stored.shards),
-        incoming: render(&incoming.plan_hash, incoming.seed, incoming.shards),
+        stored: render(&stored.plan_hash, &stored.target, stored.seed, stored.shards),
+        incoming: render(&incoming.plan_hash, &incoming.target, incoming.seed, incoming.shards),
     }
+}
+
+/// Digest of a segment's measurement body: the campaign-CSV rendering
+/// of its records (header + rows, no metadata comments). Stamped into
+/// the segment at save time and recomputed from the parsed records at
+/// load time, so a flipped value in a checkpoint is caught even though
+/// interrupted runs have no manifest to verify against yet.
+fn records_digest(factor_names: &[String], records: &[RawRecord]) -> String {
+    let body = CampaignData {
+        metadata: BTreeMap::new(),
+        factor_names: factor_names.to_vec(),
+        records: records.to_vec(),
+    };
+    sha256_hex(body.to_csv().as_bytes())
 }
 
 /// The checkpoint sink for one campaign's run directory: what
 /// `Campaign::store` writes through and `Campaign::resume` reads from.
 /// Segments are mini campaign CSVs carrying their own provenance
-/// (`plan_hash`, geometry, shard clock) so a stale or foreign segment
-/// is rejected rather than replayed.
+/// (`plan_hash`, target identity, geometry, shard clock, records
+/// digest) so a stale, foreign or tampered segment is rejected rather
+/// than replayed.
 #[derive(Debug)]
 pub struct CheckpointSession {
     dir: PathBuf,
@@ -519,6 +590,11 @@ impl CheckpointSink for CheckpointSession {
         metadata.insert("checkpoint_shard".to_string(), shard.to_string());
         metadata.insert("checkpoint_shards".to_string(), shards.to_string());
         metadata.insert("checkpoint_plan_hash".to_string(), self.key.plan_hash.clone());
+        metadata.insert("checkpoint_target".to_string(), self.key.target.clone());
+        metadata.insert(
+            "checkpoint_records_sha256".to_string(),
+            records_digest(&self.factor_names, &checkpoint.records),
+        );
         metadata.insert("checkpoint_elapsed_us".to_string(), format!("{}", checkpoint.elapsed_us));
         let segment = CampaignData {
             metadata,
@@ -555,6 +631,14 @@ impl CheckpointSink for CheckpointSession {
                 path.display()
             )));
         }
+        if meta("checkpoint_target")? != self.key.target {
+            return Err(CheckpointError(format!(
+                "{}: segment belongs to a different target (segment {}, campaign {})",
+                path.display(),
+                segment.metadata.get("checkpoint_target").map(String::as_str).unwrap_or("?"),
+                self.key.target
+            )));
+        }
         if meta("checkpoint_shard")? != shard.to_string()
             || meta("checkpoint_shards")? != shards.to_string()
         {
@@ -566,6 +650,15 @@ impl CheckpointSink for CheckpointSession {
         if segment.factor_names != self.factor_names {
             return Err(CheckpointError(format!(
                 "{}: segment factor columns do not match the plan",
+                path.display()
+            )));
+        }
+        let expected = meta("checkpoint_records_sha256")?;
+        let actual = records_digest(&self.factor_names, &segment.records);
+        if expected != actual {
+            return Err(CheckpointError(format!(
+                "{}: segment records do not match their recorded digest \
+                 (saved {expected}, on-disk {actual}) — modified after save",
                 path.display()
             )));
         }

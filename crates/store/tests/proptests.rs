@@ -27,6 +27,11 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
+/// All proptest campaigns run the same preset, so a fixed identity is
+/// the honest one — target separation is covered by the roundtrip
+/// tests.
+const TARGET: &str = "m#prop00000000";
+
 fn plan_of(sizes: &[i64], reps: u32, seed: u64) -> ExperimentPlan {
     let mut plan = FullFactorial::new()
         .factor(Factor::new("op", vec!["ping_pong", "async_send"]))
@@ -65,7 +70,7 @@ proptest! {
 
         let dir = scratch("resume");
         let store = Store::open(&dir).unwrap();
-        let session = store.session(&plan, Some(seed), shards as u64).unwrap();
+        let session = store.session(&plan, TARGET, Some(seed), shards as u64).unwrap();
         let target = NetworkTarget::new("m", presets::myrinet_gm(seed));
         Campaign::new(&plan, target)
             .shards(shards)
@@ -115,7 +120,7 @@ proptest! {
         let dir = scratch("selfdiff");
         let store = Store::open(&dir).unwrap();
         let id = store
-            .put_run(&plan, Some(seed), shards as u64, "", &data, None)
+            .put_run(&charm_store::CampaignKey::of(&plan, TARGET, Some(seed), shards as u64), "", &data, None)
             .unwrap();
         let diff = store.diff(&id, &id).unwrap();
         prop_assert!(diff.is_clean(), "self-diff dirty:\n{}", diff.render());
@@ -136,10 +141,10 @@ proptest! {
         let dir = scratch("drift");
         let store = Store::open(&dir).unwrap();
         let a = store
-            .put_run(&plan_a, Some(seed), 1, "", &run(&plan_a, seed, 1), None)
+            .put_run(&charm_store::CampaignKey::of(&plan_a, TARGET, Some(seed), 1), "", &run(&plan_a, seed, 1), None)
             .unwrap();
         let b = store
-            .put_run(&plan_b, Some(seed2), 1, "", &run(&plan_b, seed2, 1), None)
+            .put_run(&charm_store::CampaignKey::of(&plan_b, TARGET, Some(seed2), 1), "", &run(&plan_b, seed2, 1), None)
             .unwrap();
         let diff = store.diff(&a, &b).unwrap();
         prop_assert!(!diff.is_clean());

@@ -1,6 +1,7 @@
 //! Store round-trips: archive → verify → reload, tamper detection,
-//! dedupe/collision behavior, gc, and checkpoint/resume through a real
-//! on-disk store.
+//! dedupe/collision behavior (including target separation and drifted
+//! re-archives), gc, and checkpoint/resume through a real on-disk
+//! store.
 
 use charm_design::doe::FullFactorial;
 use charm_design::plan::ExperimentPlan;
@@ -21,6 +22,15 @@ fn scratch(tag: &str) -> PathBuf {
         .join(format!("charm-store-roundtrip-{tag}-{}-{n}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
+}
+
+/// Target identity used by tests that don't care about its value; the
+/// target-separation tests below derive real identities instead.
+const TARGET: &str = "taurus#test00000000";
+
+/// The campaign key most tests archive under.
+fn key_of(plan: &ExperimentPlan, seed: u64, shards: u64) -> charm_store::CampaignKey {
+    charm_store::CampaignKey::of(plan, TARGET, Some(seed), shards)
 }
 
 fn plan_of(seed: u64) -> ExperimentPlan {
@@ -45,7 +55,7 @@ fn put_then_get_returns_equal_campaign() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(7);
     let data = run_campaign(&plan, 7, 2);
-    let id = store.put_run(&plan, Some(7), 2, "test putget", &data, None).unwrap();
+    let id = store.put_run(&key_of(&plan, 7, 2), "test putget", &data, None).unwrap();
     let back = store.get(&id).unwrap();
     assert_eq!(back.data, data);
     assert_eq!(back.manifest.seed, Some(7));
@@ -64,7 +74,7 @@ fn observed_run_archives_and_reloads_its_report() {
     let target = NetworkTarget::new("m", presets::myrinet_gm(3));
     let run = Campaign::new(&plan, target).seed(3).observer(Observer::default()).run().unwrap();
     let report = run.report.expect("observer attached");
-    let id = store.put_run(&plan, Some(3), 1, "", &run.data, Some(&report)).unwrap();
+    let id = store.put_run(&key_of(&plan, 3, 1), "", &run.data, Some(&report)).unwrap();
     let back = store.get(&id).unwrap();
     assert!(back.manifest.artifact("report.jsonl").is_some());
     let back_report = back.report.expect("report archived");
@@ -79,8 +89,8 @@ fn identical_campaign_dedupes_to_one_run() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(11);
     let data = run_campaign(&plan, 11, 3);
-    let a = store.put_run(&plan, Some(11), 3, "", &data, None).unwrap();
-    let b = store.put_run(&plan, Some(11), 3, "", &data, None).unwrap();
+    let a = store.put_run(&key_of(&plan, 11, 3), "", &data, None).unwrap();
+    let b = store.put_run(&key_of(&plan, 11, 3), "", &data, None).unwrap();
     assert_eq!(a, b);
     assert_eq!(store.list().unwrap().len(), 1);
     std::fs::remove_dir_all(&dir).ok();
@@ -92,9 +102,9 @@ fn different_seed_or_shards_lands_on_different_runs() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(5);
     let data = run_campaign(&plan, 5, 2);
-    let a = store.put_run(&plan, Some(5), 2, "", &data, None).unwrap();
-    let b = store.put_run(&plan, Some(6), 2, "", &data, None).unwrap();
-    let c = store.put_run(&plan, Some(5), 4, "", &data, None).unwrap();
+    let a = store.put_run(&key_of(&plan, 5, 2), "", &data, None).unwrap();
+    let b = store.put_run(&key_of(&plan, 6, 2), "", &data, None).unwrap();
+    let c = store.put_run(&key_of(&plan, 5, 4), "", &data, None).unwrap();
     assert_ne!(a, b);
     assert_ne!(a, c);
     assert_ne!(b, c);
@@ -108,7 +118,7 @@ fn flipping_one_byte_is_caught_on_get() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(13);
     let data = run_campaign(&plan, 13, 2);
-    let id = store.put_run(&plan, Some(13), 2, "", &data, None).unwrap();
+    let id = store.put_run(&key_of(&plan, 13, 2), "", &data, None).unwrap();
     let records = dir.join("runs").join(id.as_str()).join("records.csv");
     let mut bytes = std::fs::read(&records).unwrap();
     // Flip one byte in the middle of the data section.
@@ -128,13 +138,13 @@ fn edited_manifest_triple_is_a_collision_not_a_merge() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(17);
     let data = run_campaign(&plan, 17, 2);
-    let id = store.put_run(&plan, Some(17), 2, "", &data, None).unwrap();
+    let id = store.put_run(&key_of(&plan, 17, 2), "", &data, None).unwrap();
     // Simulate a truncated-ID collision: the stored manifest describes a
     // different campaign than the one arriving at this run ID.
     let manifest_path = dir.join("runs").join(id.as_str()).join("manifest.json");
     let text = std::fs::read_to_string(&manifest_path).unwrap();
     std::fs::write(&manifest_path, text.replace("\"seed\": \"17\"", "\"seed\": \"99\"")).unwrap();
-    match store.put_run(&plan, Some(17), 2, "", &data, None) {
+    match store.put_run(&key_of(&plan, 17, 2), "", &data, None) {
         Err(StoreError::Collision { .. }) => {}
         other => panic!("expected Collision, got {other:?}"),
     }
@@ -161,7 +171,7 @@ fn checkpointed_run_through_real_store_resumes_bit_identical() {
 
     // Archive a checkpointed run, then kill one shard's segment as if
     // the campaign had died before finishing it.
-    let session = store.session(&plan, Some(23), 3).unwrap();
+    let session = store.session(&plan, TARGET, Some(23), 3).unwrap();
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(23));
     Campaign::new(&plan, target).shards(3).seed(23).store(&session).run().unwrap();
     let segment = dir
@@ -193,14 +203,14 @@ fn gc_purges_spent_checkpoints_but_keeps_resumable_runs() {
 
     // Finalized run with checkpoints: segments are spent once archived.
     let plan = plan_of(29);
-    let session = store.session(&plan, Some(29), 2).unwrap();
+    let session = store.session(&plan, TARGET, Some(29), 2).unwrap();
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(29));
     let data = Campaign::new(&plan, target).shards(2).seed(29).store(&session).run().unwrap().data;
-    let finalized = store.put_run(&plan, Some(29), 2, "", &data, None).unwrap();
+    let finalized = store.put_run(&key_of(&plan, 29, 2), "", &data, None).unwrap();
 
     // Interrupted run: checkpoints only, no manifest — must survive gc.
     let plan2 = plan_of(31);
-    let session2 = store.session(&plan2, Some(31), 2).unwrap();
+    let session2 = store.session(&plan2, TARGET, Some(31), 2).unwrap();
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(31));
     Campaign::new(&plan2, target).shards(2).seed(31).store(&session2).run().unwrap();
     let interrupted_dir = dir.join("runs").join(session2.run_id().as_str());
@@ -216,5 +226,173 @@ fn gc_purges_spent_checkpoints_but_keeps_resumable_runs() {
     let back = store.get(&finalized).unwrap();
     assert_eq!(back.data, data);
     assert!(back.manifest.artifacts.iter().all(|a| !a.name.starts_with("checkpoints/")));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn same_plan_different_platform_lands_on_different_runs() {
+    let dir = scratch("targets");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(41);
+
+    // Same plan, seed and shard count against two platforms: two
+    // different campaigns, two different run directories.
+    let taurus = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(41));
+    let myrinet = NetworkTarget::new("myrinet", presets::myrinet_gm(41));
+    let id_taurus = charm_store::target_identity(&taurus);
+    let id_myrinet = charm_store::target_identity(&myrinet);
+    assert_ne!(id_taurus, id_myrinet);
+
+    let data_taurus = Campaign::new(&plan, taurus).shards(2).seed(41).run().unwrap().data;
+    let data_myrinet = Campaign::new(&plan, myrinet).shards(2).seed(41).run().unwrap().data;
+    let a = store
+        .put_run(
+            &charm_store::CampaignKey::of(&plan, &id_taurus, Some(41), 2),
+            "",
+            &data_taurus,
+            None,
+        )
+        .unwrap();
+    let b = store
+        .put_run(
+            &charm_store::CampaignKey::of(&plan, &id_myrinet, Some(41), 2),
+            "",
+            &data_myrinet,
+            None,
+        )
+        .unwrap();
+    assert_ne!(a, b, "target identity must separate run IDs");
+    assert_eq!(store.list().unwrap().len(), 2);
+    assert_eq!(store.get(&a).unwrap().data, data_taurus);
+    assert_eq!(store.get(&b).unwrap().data, data_myrinet);
+    assert_eq!(store.get(&a).unwrap().manifest.target, id_taurus);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dedupe_never_discards_drifted_records() {
+    let dir = scratch("drifted");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(43);
+    let data = run_campaign(&plan, 43, 2);
+    let id = store.put_run(&key_of(&plan, 43, 2), "", &data, None).unwrap();
+
+    // Same key, different record bytes (as an engine change would
+    // produce): must surface as a collision, not return Ok while the
+    // new data is silently thrown away.
+    let target = NetworkTarget::new("m", presets::myrinet_gm(43));
+    let drifted = Campaign::new(&plan, target).shards(2).seed(43).run().unwrap().data;
+    assert_ne!(data.to_csv(), drifted.to_csv());
+    match store.put_run(&key_of(&plan, 43, 2), "", &drifted, None) {
+        Err(StoreError::Collision { stored, incoming, .. }) => {
+            assert!(stored.contains("records sha256"), "{stored}");
+            assert_ne!(stored, incoming);
+        }
+        other => panic!("expected Collision, got {other:?}"),
+    }
+    // The archive still holds the original bytes, unmodified.
+    assert_eq!(store.get(&id).unwrap().data, data);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn foreign_platform_segment_is_rejected_on_resume() {
+    let dir = scratch("foreign");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(47);
+
+    // Checkpoint a run under target identity A.
+    let session_a = store.session(&plan, "taurus#aaaaaaaaaaaa", Some(47), 2).unwrap();
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(47));
+    Campaign::new(&plan, target).shards(2).seed(47).store(&session_a).run().unwrap();
+
+    // Hand-move its segments into the directory a different platform's
+    // campaign addresses (what a truncated-ID collision would look
+    // like), then try to resume as that other platform.
+    let session_b = store.session(&plan, "myrinet#bbbbbbbbbbbb", Some(47), 2).unwrap();
+    let runs = dir.join("runs");
+    for shard in 0..2 {
+        let name = format!("shard-{shard}-of-2.csv");
+        std::fs::copy(
+            runs.join(session_a.run_id().as_str()).join("checkpoints").join(&name),
+            runs.join(session_b.run_id().as_str()).join("checkpoints").join(&name),
+        )
+        .unwrap();
+    }
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(47));
+    let err = Campaign::new(&plan, target)
+        .shards(2)
+        .seed(47)
+        .store(&session_b)
+        .resume(true)
+        .run()
+        .unwrap_err();
+    assert!(err.to_string().contains("different target"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tampered_segment_value_is_rejected_on_resume() {
+    let dir = scratch("segtamper");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(53);
+    let session = store.session(&plan, TARGET, Some(53), 2).unwrap();
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(53));
+    Campaign::new(&plan, target).shards(2).seed(53).store(&session).run().unwrap();
+
+    // Hand-edit one measured value in a segment: still a parseable CSV,
+    // but the records no longer match the digest stamped at save time.
+    let segment = dir
+        .join("runs")
+        .join(session.run_id().as_str())
+        .join("checkpoints")
+        .join("shard-0-of-2.csv");
+    let text = std::fs::read_to_string(&segment).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let last = lines.last_mut().unwrap();
+    let flipped = if last.ends_with('1') { "2" } else { "1" };
+    last.replace_range(last.len() - 1.., flipped);
+    std::fs::write(&segment, lines.join("\n") + "\n").unwrap();
+
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(53));
+    let err = Campaign::new(&plan, target)
+        .shards(2)
+        .seed(53)
+        .store(&session)
+        .resume(true)
+        .run()
+        .unwrap_err();
+    assert!(err.to_string().contains("digest"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_keeps_in_flight_sessions_and_removes_true_debris() {
+    let dir = scratch("debris");
+    let store = Store::open(&dir).unwrap();
+
+    // An in-flight session: checkpoints/ exists but no shard has
+    // finished yet. A concurrent gc must not delete it — the session
+    // will write here the moment its first shard lands.
+    let plan = plan_of(59);
+    let session = store.session(&plan, TARGET, Some(59), 2).unwrap();
+    let live = dir.join("runs").join(session.run_id().as_str());
+    assert!(live.join("checkpoints").is_dir());
+
+    // True debris: a run directory with neither manifest nor
+    // checkpoints/ (e.g. a crash before the session dir was set up).
+    let debris = dir.join("runs").join("00000000000000000000000000000001");
+    std::fs::create_dir_all(&debris).unwrap();
+
+    let report = store.gc().unwrap();
+    assert_eq!(report.removed_dirs, 1, "only the debris directory");
+    assert!(!debris.exists());
+    assert!(live.join("checkpoints").is_dir(), "live session survived gc");
+
+    // The session still works after gc: the campaign can checkpoint
+    // and resume through it.
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(59));
+    Campaign::new(&plan, target).shards(2).seed(59).store(&session).run().unwrap();
+    assert!(live.join("checkpoints").join("shard-0-of-2.csv").is_file());
     std::fs::remove_dir_all(&dir).ok();
 }
