@@ -36,6 +36,20 @@ fn kernel_run(c: &mut Criterion) {
             );
             b.iter(|| black_box(m.run_kernel(&KernelConfig::baseline(kb * 1024, 50))));
         });
+        // same measurement with observability on: the counter path (color
+        // histogram + interned names) should cost a few percent, not the
+        // per-page format! it used to
+        group.bench_with_input(BenchmarkId::new("opteron_observed", kb), &kb, |b, &kb| {
+            let mut m = MachineSim::new(
+                CpuSpec::opteron(),
+                GovernorPolicy::Performance,
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::PooledRandomOffset,
+                1,
+            );
+            m.enable_observability(4096);
+            b.iter(|| black_box(m.run_kernel(&KernelConfig::baseline(kb * 1024, 50))));
+        });
     }
     group.finish();
 }

@@ -28,7 +28,7 @@ use charm_design::doe::FullFactorial;
 use charm_design::plan::ExperimentPlan;
 use charm_design::{sampling, Factor};
 use charm_engine::record::Campaign;
-use charm_engine::target::{MemoryTarget, NetworkTarget, ParallelTarget};
+use charm_engine::target::{Assignment, MemoryTarget, NetworkTarget, ParallelTarget, Target};
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
@@ -277,6 +277,32 @@ fn main() {
     let mem_util: Vec<f64> =
         shard_counts.iter().map(|&k| shard_utilization(&mem_plan, &mem_base, k)).collect();
 
+    // Service-profile cache effectiveness: one sequential pass over the
+    // same plan on a MallocPerSize machine, then read the machine's own
+    // hit/miss counters. That is the regime memoization serves — same-size
+    // replicates reuse one placement, so the expected rate is
+    // ≈ 1 − distinct_cells / rows. (The pooled-random-offset campaign
+    // timed above draws a fresh placement per measurement index by
+    // design, which defeats the cache on purpose.)
+    let mem_hit_rate = {
+        let mut probe = MemoryTarget::new(
+            "opteron",
+            MachineSim::new(
+                CpuSpec::opteron(),
+                GovernorPolicy::Performance,
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::MallocPerSize,
+                seed,
+            ),
+        );
+        for row in mem_plan.rows() {
+            probe.measure(&Assignment::new(&mem_plan, row)).unwrap();
+        }
+        let (hits, misses) = probe.machine().profile_cache_stats();
+        hits as f64 / (hits + misses).max(1) as f64
+    };
+    println!("  profile cache       {:>8.1} % hit rate (malloc regime)", mem_hit_rate * 100.0);
+
     // --- analysis passes ---
     let config = SegmentConfig { max_breaks: 4, min_points_per_segment: 5, penalty: Some(500.0) };
     let (xs, ys) = piecewise_data(points);
@@ -314,6 +340,7 @@ fn main() {
         .config("repeats", repeats)
         .config("shards", shard_counts.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(","))
         .metric("cores", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64)
+        .metric("simmem.profile_cache.hit_rate", mem_hit_rate)
         .metric("analysis.segment_s", segment_s)
         .metric("analysis.changepoint_s", changepoint_s)
         .metric("analysis.bootstrap_s", bootstrap_s)

@@ -98,6 +98,37 @@ impl Counters {
     }
 }
 
+/// Pre-interned `"<prefix><index><suffix>"` counter names.
+///
+/// Hot recording paths that tally per-index counters (cache levels, page
+/// colours) must not `format!` a fresh key per increment — the design
+/// rules above make the *disabled* path allocation-free, and this keeps
+/// the *enabled* path cheap too: each name is formatted once, on the
+/// first use of its index, and handed out as `&str` forever after.
+#[derive(Debug, Clone)]
+pub struct IndexedNames {
+    prefix: &'static str,
+    suffix: &'static str,
+    names: Vec<String>,
+}
+
+impl IndexedNames {
+    /// A name table for keys of the form `"<prefix><index><suffix>"`.
+    pub fn new(prefix: &'static str, suffix: &'static str) -> Self {
+        IndexedNames { prefix, suffix, names: Vec::new() }
+    }
+
+    /// The interned name for `index`, formatting it (and any smaller
+    /// missing indices) on first use.
+    pub fn get(&mut self, index: usize) -> &str {
+        while self.names.len() <= index {
+            let i = self.names.len();
+            self.names.push(format!("{}{}{}", self.prefix, i, self.suffix));
+        }
+        &self.names[index]
+    }
+}
+
 /// Anything that can report a point-in-time snapshot of its counters.
 ///
 /// Implemented by [`Counters`] and [`Recorder`] here, and by the
@@ -719,6 +750,19 @@ pub mod process {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn indexed_names_intern_once() {
+        let mut names = IndexedNames::new("simmem.cache.l", ".hits");
+        assert_eq!(names.get(2), "simmem.cache.l2.hits");
+        assert_eq!(names.get(0), "simmem.cache.l0.hits");
+        assert_eq!(names.get(2), "simmem.cache.l2.hits");
+        let ptr_a = names.get(5).as_ptr();
+        let ptr_b = names.get(5).as_ptr();
+        assert_eq!(ptr_a, ptr_b, "repeated gets must hand out the same interned string");
+        let mut colors = IndexedNames::new("simmem.paging.color.", "");
+        assert_eq!(colors.get(7), "simmem.paging.color.7");
+    }
 
     #[test]
     fn counters_add_get_merge() {

@@ -64,26 +64,94 @@ impl PhysicalPattern {
         buffer_bytes: u64,
         line_bytes: u64,
     ) -> Self {
+        Self::resolve_reusing(
+            Vec::new(),
+            phys_pages,
+            page_bytes,
+            elem_bytes,
+            stride_elems,
+            buffer_bytes,
+            line_bytes,
+        )
+    }
+
+    /// [`PhysicalPattern::resolve`] into a caller-provided buffer (cleared
+    /// first), so hot loops can recycle the allocation via
+    /// [`PhysicalPattern::into_line_addrs`].
+    ///
+    /// Runs in O(distinct lines): when the stride is below the line size
+    /// every line of the buffer is touched in address order, so the lines
+    /// are emitted page by page without ever visiting individual accesses;
+    /// larger strides walk per access but with incremental page/offset
+    /// arithmetic instead of two divisions each.
+    pub fn resolve_reusing(
+        mut line_addrs: Vec<u64>,
+        phys_pages: &[u64],
+        page_bytes: u64,
+        elem_bytes: u64,
+        stride_elems: u64,
+        buffer_bytes: u64,
+        line_bytes: u64,
+    ) -> Self {
         assert!(stride_elems >= 1, "stride must be >= 1");
         assert!(elem_bytes >= 1 && line_bytes >= 1 && page_bytes >= line_bytes);
+        line_addrs.clear();
         let stride_bytes = stride_elems * elem_bytes;
         let n_elems = buffer_bytes / elem_bytes;
         let accesses_per_pass = n_elems.checked_div(stride_elems).unwrap_or(0);
+        if accesses_per_pass == 0 {
+            return PhysicalPattern { line_addrs, accesses_per_pass };
+        }
 
-        let mut line_addrs = Vec::new();
+        // Dense path: stride < line means virtual lines 0..n_lines are
+        // each touched (in order), so emit them page by page. Consecutive
+        // dedup can only differ from this when two *consecutive identical*
+        // pages meet `line == page` (then the per-access walk merges the
+        // boundary lines) — fall back for that corner.
+        let dense = stride_bytes < line_bytes
+            && page_bytes.is_multiple_of(line_bytes)
+            && (line_bytes < page_bytes || phys_pages.windows(2).all(|w| w[0] != w[1]));
+        if dense {
+            let n_lines = (accesses_per_pass - 1) * stride_bytes / line_bytes + 1;
+            let lines_per_page = page_bytes / line_bytes;
+            let pages_spanned = ((n_lines - 1) / lines_per_page + 1) as usize;
+            line_addrs.reserve(n_lines as usize);
+            let mut remaining = n_lines;
+            for &pp in &phys_pages[..pages_spanned] {
+                let take = remaining.min(lines_per_page);
+                let mut addr = pp * page_bytes;
+                for _ in 0..take {
+                    line_addrs.push(addr);
+                    addr += line_bytes;
+                }
+                remaining -= take;
+            }
+            return PhysicalPattern { line_addrs, accesses_per_pass };
+        }
+
         let mut last_line = u64::MAX;
-        let mut off: u64 = 0;
+        let mut vpage = 0usize;
+        let mut in_page: u64 = 0;
         for _ in 0..accesses_per_pass {
-            let vpage = off / page_bytes;
-            let phys = phys_pages[vpage as usize] * page_bytes + (off % page_bytes);
+            let phys = phys_pages[vpage] * page_bytes + in_page;
             let line = phys / line_bytes;
             if line != last_line {
                 line_addrs.push(line * line_bytes);
                 last_line = line;
             }
-            off += stride_bytes;
+            in_page += stride_bytes;
+            while in_page >= page_bytes {
+                in_page -= page_bytes;
+                vpage += 1;
+            }
         }
         PhysicalPattern { line_addrs, accesses_per_pass }
+    }
+
+    /// Consumes the pattern, handing back its line buffer for reuse with
+    /// [`PhysicalPattern::resolve_reusing`].
+    pub fn into_line_addrs(self) -> Vec<u64> {
+        self.line_addrs
     }
 
     /// Number of accesses in one pass.
@@ -125,6 +193,307 @@ impl PhysicalPattern {
     }
 }
 
+/// Maps a line address to its cache set, with a shift/mask fast path for
+/// power-of-two geometries (every modelled CPU) and exact div/mod
+/// otherwise.
+#[derive(Debug, Clone, Copy)]
+enum SetIndexer {
+    Pow2 { shift: u32, mask: u64 },
+    General { line_bytes: u64, num_sets: u64 },
+}
+
+impl SetIndexer {
+    fn new(level: &CacheLevelSpec) -> Self {
+        let num_sets = level.num_sets();
+        if level.line_bytes.is_power_of_two() && num_sets.is_power_of_two() {
+            SetIndexer::Pow2 { shift: level.line_bytes.trailing_zeros(), mask: num_sets - 1 }
+        } else {
+            SetIndexer::General { line_bytes: level.line_bytes, num_sets }
+        }
+    }
+
+    #[inline]
+    fn set_of(self, addr: u64) -> u64 {
+        match self {
+            SetIndexer::Pow2 { shift, mask } => (addr >> shift) & mask,
+            SetIndexer::General { line_bytes, num_sets } => (addr / line_bytes) % num_sets,
+        }
+    }
+}
+
+/// Reusable scratch for [`ServiceProfile::compute_with`] and
+/// [`profile_segments`]: per-level per-set line counts plus the residue
+/// and line buffers of the run-based fast path. One instance per
+/// simulator amortises every allocation in the profile hot path.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileScratch {
+    /// Per-level distinct-line count per set.
+    per_set: Vec<Vec<u32>>,
+    /// Line count per residue class modulo the largest set count.
+    residues: Vec<u32>,
+    /// Difference array accumulating residue runs before prefix-summing.
+    diff: Vec<i64>,
+    /// Recycled `line_addrs` buffer for the materialising fallback.
+    lines: Vec<u64>,
+}
+
+/// One contiguous buffer of a kernel: the physical pages backing it and
+/// its size. Multi-array kernels (`run_stream`) pass one segment per
+/// array; all segments share element size, stride, and line size.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternSegment<'a> {
+    /// Physical page number per virtual page, in virtual order.
+    pub phys_pages: &'a [u64],
+    /// Bytes of the buffer swept by the Figure 6 pattern.
+    pub buffer_bytes: u64,
+}
+
+/// Computes the union [`ServiceProfile`] of `segments` through `levels` —
+/// exactly what resolving each segment, merging, and calling
+/// [`ServiceProfile::compute`] produces, but in O(pages + sets · levels)
+/// when the geometry allows it.
+///
+/// The fast path applies when the stride stays under the line size (the
+/// pattern then touches every line of each buffer), all levels share
+/// `line_bytes`, and every set count is a power of two: smaller
+/// power-of-two set counts divide larger ones, so a line's set at *every*
+/// level is a function of its line index modulo the largest set count.
+/// Each physical page contributes a contiguous *run* of line indices, so
+/// the per-residue line histogram is built with a difference array over
+/// the page runs and prefix-summed — no per-line work at all. Residue
+/// classes are then classified to their serving level exactly like
+/// individual lines. Geometries outside those conditions (non-uniform
+/// line sizes, non-power-of-two set counts, strides ≥ line) fall back to
+/// materialising the merged pattern and the fused single-pass
+/// [`ServiceProfile::compute_with`].
+pub fn profile_segments(
+    segments: &[PatternSegment<'_>],
+    page_bytes: u64,
+    elem_bytes: u64,
+    stride_elems: u64,
+    line_bytes: u64,
+    levels: &[CacheLevelSpec],
+    scratch: &mut ProfileScratch,
+) -> ServiceProfile {
+    if let Some(profile) = try_profile_from_runs(
+        segments,
+        page_bytes,
+        elem_bytes,
+        stride_elems,
+        line_bytes,
+        levels,
+        scratch,
+    ) {
+        return profile;
+    }
+    let mut merged = PhysicalPattern::resolve_reusing(
+        std::mem::take(&mut scratch.lines),
+        segments.first().map_or(&[][..], |s| s.phys_pages),
+        page_bytes,
+        elem_bytes,
+        stride_elems,
+        segments.first().map_or(0, |s| s.buffer_bytes),
+        line_bytes,
+    );
+    for seg in segments.iter().skip(1) {
+        merged.merge(PhysicalPattern::resolve(
+            seg.phys_pages,
+            page_bytes,
+            elem_bytes,
+            stride_elems,
+            seg.buffer_bytes,
+            line_bytes,
+        ));
+    }
+    let profile = ServiceProfile::compute_with(&merged, levels, scratch);
+    scratch.lines = merged.into_line_addrs();
+    profile
+}
+
+/// The run-based fast path of [`profile_segments`]; `None` when the
+/// geometry falls outside its validity conditions.
+#[allow(clippy::too_many_arguments)]
+fn try_profile_from_runs(
+    segments: &[PatternSegment<'_>],
+    page_bytes: u64,
+    elem_bytes: u64,
+    stride_elems: u64,
+    line_bytes: u64,
+    levels: &[CacheLevelSpec],
+    scratch: &mut ProfileScratch,
+) -> Option<ServiceProfile> {
+    assert!(stride_elems >= 1, "stride must be >= 1");
+    assert!(elem_bytes >= 1 && line_bytes >= 1 && page_bytes >= line_bytes);
+    let stride_bytes = stride_elems * elem_bytes;
+    if stride_bytes >= line_bytes || !page_bytes.is_multiple_of(line_bytes) || levels.is_empty() {
+        return None;
+    }
+    if !levels.iter().all(|l| l.line_bytes == line_bytes && l.num_sets().is_power_of_two()) {
+        return None;
+    }
+    // The dense line walk differs from per-access dedup only when
+    // `line == page` meets consecutive duplicate pages (see
+    // `resolve_reusing`); punt on that corner.
+    if line_bytes == page_bytes
+        && segments.iter().any(|s| s.phys_pages.windows(2).any(|w| w[0] == w[1]))
+    {
+        return None;
+    }
+    let n_max = levels.iter().map(|l| l.num_sets()).max().unwrap();
+    let mask = n_max - 1;
+    let lines_per_page = page_bytes / line_bytes;
+
+    scratch.diff.clear();
+    scratch.diff.resize(n_max as usize + 1, 0);
+    let mut wraps: u64 = 0; // full laps around the residue ring
+    let mut distinct_lines = 0u64;
+    let mut accesses_per_pass = 0u64;
+    for seg in segments {
+        let n_elems = seg.buffer_bytes / elem_bytes;
+        let accesses = n_elems / stride_elems;
+        accesses_per_pass += accesses;
+        if accesses == 0 {
+            continue;
+        }
+        let n_lines = (accesses - 1) * stride_bytes / line_bytes + 1;
+        distinct_lines += n_lines;
+        let pages_spanned = ((n_lines - 1) / lines_per_page + 1) as usize;
+        let mut remaining = n_lines;
+        for &pp in &seg.phys_pages[..pages_spanned] {
+            let take = remaining.min(lines_per_page);
+            remaining -= take;
+            let start = (pp * lines_per_page) & mask;
+            wraps += take / n_max;
+            let rem = take % n_max;
+            let end = start + rem;
+            if end <= n_max {
+                scratch.diff[start as usize] += 1;
+                scratch.diff[end as usize] -= 1;
+            } else {
+                scratch.diff[start as usize] += 1;
+                scratch.diff[n_max as usize] -= 1;
+                scratch.diff[0] += 1;
+                scratch.diff[(end - n_max) as usize] -= 1;
+            }
+        }
+    }
+    scratch.residues.clear();
+    scratch.residues.reserve(n_max as usize);
+    let mut acc: i64 = 0;
+    for &d in &scratch.diff[..n_max as usize] {
+        acc += d;
+        scratch.residues.push(u32::try_from(acc + wraps as i64).expect("line count fits u32"));
+    }
+
+    // Fold the residue histogram down to each level's per-set counts
+    // (each level's set count divides n_max), then classify residues.
+    scratch.per_set.resize_with(levels.len(), Vec::new);
+    for (li, level) in levels.iter().enumerate() {
+        let sets = level.num_sets();
+        let counts = &mut scratch.per_set[li];
+        counts.clear();
+        counts.resize(sets as usize, 0);
+        let level_mask = (sets - 1) as usize;
+        for (r, &c) in scratch.residues.iter().enumerate() {
+            counts[r & level_mask] += c;
+        }
+    }
+    let mut served_by_level = vec![0u64; levels.len() - 1];
+    let mut served_by_dram = 0u64;
+    for (r, &c) in scratch.residues.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if scratch.per_set[0][r & (levels[0].num_sets() - 1) as usize] <= levels[0].assoc as u32 {
+            continue; // steady L1 hits
+        }
+        let mut served = None;
+        for (li, level) in levels.iter().enumerate().skip(1) {
+            if scratch.per_set[li][r & (level.num_sets() - 1) as usize] <= level.assoc as u32 {
+                served = Some(li);
+                break;
+            }
+        }
+        match served {
+            Some(li) => served_by_level[li - 1] += c as u64,
+            None => served_by_dram += c as u64,
+        }
+    }
+    Some(ServiceProfile { served_by_level, served_by_dram, distinct_lines, accesses_per_pass })
+}
+
+/// The pre-optimisation implementations, kept verbatim as the oracle for
+/// property tests, validation, and benches: the per-access resolve loop
+/// and the per-level `thrash_mask` profile. The fast paths in this module
+/// must stay bit-identical to these.
+pub mod reference {
+    use super::{PhysicalPattern, ServiceProfile};
+    use crate::machine::CacheLevelSpec;
+
+    /// Original `PhysicalPattern::resolve`: one loop iteration (and one
+    /// division) per access, consecutive-line dedup.
+    pub fn resolve(
+        phys_pages: &[u64],
+        page_bytes: u64,
+        elem_bytes: u64,
+        stride_elems: u64,
+        buffer_bytes: u64,
+        line_bytes: u64,
+    ) -> PhysicalPattern {
+        assert!(stride_elems >= 1, "stride must be >= 1");
+        assert!(elem_bytes >= 1 && line_bytes >= 1 && page_bytes >= line_bytes);
+        let stride_bytes = stride_elems * elem_bytes;
+        let n_elems = buffer_bytes / elem_bytes;
+        let accesses_per_pass = n_elems.checked_div(stride_elems).unwrap_or(0);
+
+        let mut line_addrs = Vec::new();
+        let mut last_line = u64::MAX;
+        let mut off: u64 = 0;
+        for _ in 0..accesses_per_pass {
+            let vpage = off / page_bytes;
+            let phys = phys_pages[vpage as usize] * page_bytes + (off % page_bytes);
+            let line = phys / line_bytes;
+            if line != last_line {
+                line_addrs.push(line * line_bytes);
+                last_line = line;
+            }
+            off += stride_bytes;
+        }
+        PhysicalPattern { line_addrs, accesses_per_pass }
+    }
+
+    /// Original `ServiceProfile::compute`: a fresh thrash mask per level,
+    /// then per-line classification over the masks.
+    pub fn compute(pattern: &PhysicalPattern, levels: &[CacheLevelSpec]) -> ServiceProfile {
+        let masks: Vec<Vec<bool>> = levels.iter().map(|l| pattern.thrash_mask(l)).collect();
+        let n_lines = pattern.distinct_lines() as usize;
+        let mut served_by_level = vec![0u64; levels.len().saturating_sub(1)];
+        let mut served_by_dram = 0u64;
+        for line_idx in 0..n_lines {
+            if !masks[0][line_idx] {
+                continue;
+            }
+            let mut served = None;
+            for (li, mask) in masks.iter().enumerate().skip(1) {
+                if !mask[line_idx] {
+                    served = Some(li);
+                    break;
+                }
+            }
+            match served {
+                Some(li) => served_by_level[li - 1] += 1,
+                None => served_by_dram += 1,
+            }
+        }
+        ServiceProfile {
+            served_by_level,
+            served_by_dram,
+            distinct_lines: pattern.distinct_lines(),
+            accesses_per_pass: pattern.accesses_per_pass(),
+        }
+    }
+}
+
 /// Per-pass service profile of a pattern through a whole hierarchy:
 /// how many line fetches per pass are served by each level.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,19 +516,44 @@ impl ServiceProfile {
     /// A line is served by the first level whose set does not thrash; if
     /// all levels thrash it goes to DRAM every pass.
     pub fn compute(pattern: &PhysicalPattern, levels: &[CacheLevelSpec]) -> Self {
-        let masks: Vec<Vec<bool>> = levels.iter().map(|l| pattern.thrash_mask(l)).collect();
-        let n_lines = pattern.distinct_lines() as usize;
-        // served_by_level[i]: missed levels 0..=i, hit level i+1.
+        Self::compute_with(pattern, levels, &mut ProfileScratch::default())
+    }
+
+    /// [`ServiceProfile::compute`] with caller-provided scratch buffers.
+    ///
+    /// Where `compute` used to build a fresh address→set vector, per-set
+    /// histogram, and thrash mask *per level*, this makes one counting
+    /// pass and one classification pass over the lines for all levels
+    /// together, reusing `scratch` across calls. The result is identical
+    /// to the per-level-mask formulation (see [`reference::compute`]).
+    pub fn compute_with(
+        pattern: &PhysicalPattern,
+        levels: &[CacheLevelSpec],
+        scratch: &mut ProfileScratch,
+    ) -> Self {
+        let indexers: Vec<SetIndexer> = levels.iter().map(SetIndexer::new).collect();
+        scratch.per_set.resize_with(levels.len(), Vec::new);
+        for (li, level) in levels.iter().enumerate() {
+            let counts = &mut scratch.per_set[li];
+            counts.clear();
+            counts.resize(level.num_sets() as usize, 0);
+        }
+        for &addr in pattern.line_addrs() {
+            for (li, ix) in indexers.iter().enumerate() {
+                scratch.per_set[li][ix.set_of(addr) as usize] += 1;
+            }
+        }
         let mut served_by_level = vec![0u64; levels.len().saturating_sub(1)];
         let mut served_by_dram = 0u64;
-        for line_idx in 0..n_lines {
-            if !masks[0][line_idx] {
+        for &addr in pattern.line_addrs() {
+            let s0 = indexers[0].set_of(addr) as usize;
+            if scratch.per_set[0][s0] <= levels[0].assoc as u32 {
                 continue; // steady L1 hit: no fetch
             }
-            // find first deeper level that does not thrash
             let mut served = None;
-            for (li, mask) in masks.iter().enumerate().skip(1) {
-                if !mask[line_idx] {
+            for (li, ix) in indexers.iter().enumerate().skip(1) {
+                let s = ix.set_of(addr) as usize;
+                if scratch.per_set[li][s] <= levels[li].assoc as u32 {
                     served = Some(li);
                     break;
                 }

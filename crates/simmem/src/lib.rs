@@ -24,6 +24,9 @@
 //!   model, used in tests to validate the fast path);
 //! * [`layout`] — analytic steady-state hit/miss computation for cyclic
 //!   kernels (the fast path the benchmarks use);
+//! * [`memo`] — bounded memoization of service profiles (placement is a
+//!   pure function of the measurement index, so replicates skip pattern
+//!   resolution entirely; bit-identity is property-tested);
 //! * [`paging`] — virtual→physical page allocators;
 //! * [`dvfs`] — frequency governors;
 //! * [`sched`] — scheduler policies and the intruder process;
@@ -40,6 +43,7 @@ pub mod dvfs;
 pub mod kernel;
 pub mod layout;
 pub mod machine;
+pub mod memo;
 pub mod paging;
 pub mod parallel;
 pub mod plru;

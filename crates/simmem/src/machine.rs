@@ -4,11 +4,17 @@
 use crate::compiler::{CodegenConfig, ElementWidth, IssueModel};
 use crate::dvfs::{Governor, GovernorPolicy};
 use crate::kernel::{KernelConfig, KernelResult};
-use crate::layout::{PhysicalPattern, ServiceProfile};
+use crate::layout::{profile_segments, PatternSegment, ProfileScratch, ServiceProfile};
+use crate::memo::{
+    level_geometries, LevelGeometry, PlacementKey, ProfileCache, ProfileEntry, ProfileKey,
+    SEGMENT_WHOLE,
+};
 use crate::paging::{AllocPolicy, PageAllocator};
 use crate::sched::{IntruderConfig, SchedPolicy, Scheduler};
 use crate::stream;
-use charm_obs::{CounterSet, Counters, Observation, Recorder};
+use charm_obs::{CounterSet, Counters, IndexedNames, Observation, Recorder};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Salt for the per-measurement timer-jitter draw.
 const JITTER_SALT: u64 = 0x7177_E200_0000_0004;
@@ -276,6 +282,49 @@ pub struct MachineSim {
     pub inter_measurement_us: f64,
     measurements_taken: u64,
     recorder: Recorder,
+    /// Profile memoization + reusable scratch. `RefCell` because
+    /// [`MachineSim::ideal_bandwidth_mbps`] takes `&self`; `&mut self`
+    /// paths use `get_mut` (no runtime borrow). Never observable: the
+    /// cache holds pure functions of its keys and its stats stay out of
+    /// the [`Recorder`].
+    memo: RefCell<MemoState>,
+}
+
+/// Pre-interned `"simmem.cache.l{n}.*"` counter names.
+#[derive(Debug, Clone)]
+struct LevelCounterNames {
+    hits: IndexedNames,
+    misses: IndexedNames,
+    evictions: IndexedNames,
+}
+
+/// The memoization side-car of a machine: cache, scratch buffers, and
+/// pre-interned counter names (everything the hot path would otherwise
+/// allocate per measurement).
+#[derive(Debug, Clone)]
+struct MemoState {
+    cache: ProfileCache,
+    scratch: ProfileScratch,
+    /// Interned geometry of `spec.levels`, shared by every key.
+    levels_key: Arc<[LevelGeometry]>,
+    color_names: IndexedNames,
+    level_names: LevelCounterNames,
+}
+
+impl MemoState {
+    fn new(levels: &[CacheLevelSpec]) -> Self {
+        MemoState {
+            cache: ProfileCache::default(),
+            scratch: ProfileScratch::default(),
+            levels_key: level_geometries(levels),
+            color_names: IndexedNames::new("simmem.paging.color.", ""),
+            level_names: LevelCounterNames {
+                hits: IndexedNames::new("simmem.cache.l", ".hits"),
+                misses: IndexedNames::new("simmem.cache.l", ".misses"),
+                evictions: IndexedNames::new("simmem.cache.l", ".evictions"),
+            },
+        }
+    }
 }
 
 impl MachineSim {
@@ -291,6 +340,7 @@ impl MachineSim {
         let scheduler = Scheduler::new(sched_policy, IntruderConfig::figure11(), seed ^ 0x5eed);
         let allocator =
             PageAllocator::new(alloc_policy, spec.page_bytes, spec.pool_pages, seed ^ 0x9a9e);
+        let memo = RefCell::new(MemoState::new(&spec.levels));
         MachineSim {
             spec,
             governor,
@@ -302,6 +352,7 @@ impl MachineSim {
             inter_measurement_us: 300.0,
             measurements_taken: 0,
             recorder: Recorder::disabled(),
+            memo,
         }
     }
 
@@ -349,7 +400,27 @@ impl MachineSim {
         m.set_intruder(self.scheduler.intruder(), stream_seed ^ 0x5eed);
         m.inter_measurement_us = self.inter_measurement_us;
         m.recorder = self.recorder.fork();
+        m.set_profile_cache_capacity(self.profile_cache_capacity());
         m
+    }
+
+    /// `(hits, misses)` of the service-profile cache since construction.
+    /// A plain accessor — deliberately not a [`Recorder`] counter, so the
+    /// cache can never change an [`Observation`].
+    pub fn profile_cache_stats(&self) -> (u64, u64) {
+        self.memo.borrow().cache.stats()
+    }
+
+    /// Eviction bound of the service-profile cache.
+    pub fn profile_cache_capacity(&self) -> usize {
+        self.memo.borrow().cache.capacity()
+    }
+
+    /// Replaces the service-profile cache with an empty one bounded at
+    /// `capacity` entries; 0 disables memoization entirely (every
+    /// measurement recomputes — same values, no reuse).
+    pub fn set_profile_cache_capacity(&mut self, capacity: usize) {
+        self.memo.get_mut().cache = ProfileCache::with_capacity(capacity);
     }
 
     /// Jumps the measurement counter to `index`: the next
@@ -395,71 +466,108 @@ impl MachineSim {
         self.allocator.allocate(bytes)
     }
 
+    /// [`MachineSim::allocate_pages`] plus the [`PlacementKey`] naming
+    /// the slice handed out — same RNG draws, so interchangeable.
+    pub(crate) fn allocate_pages_keyed(&mut self, bytes: u64) -> (Vec<u64>, PlacementKey) {
+        self.allocator.allocate_keyed(bytes)
+    }
+
+    /// The interned geometry of this machine's hierarchy, for building
+    /// [`ProfileKey`]s.
+    pub(crate) fn levels_key(&self) -> Arc<[LevelGeometry]> {
+        Arc::clone(&self.memo.borrow().levels_key)
+    }
+
+    /// Looks `key` up in the profile cache, running `build` (with the
+    /// machine's scratch buffers) only on a miss.
+    pub(crate) fn cached_profile<F>(&mut self, key: ProfileKey, build: F) -> Arc<ProfileEntry>
+    where
+        F: FnOnce(&mut ProfileScratch) -> ProfileEntry,
+    {
+        let memo = self.memo.get_mut();
+        if let Some(entry) = memo.cache.lookup(&key) {
+            return entry;
+        }
+        let entry = Arc::new(build(&mut memo.scratch));
+        memo.cache.insert(key, Arc::clone(&entry));
+        entry
+    }
+
     /// Runs the Figure 6 kernel once and returns the measurement.
     pub fn run_kernel(&mut self, cfg: &KernelConfig) -> KernelResult {
         assert!(cfg.nloops >= 1, "nloops must be >= 1");
-        // 1. allocate the buffer (physical placement per the policy);
-        //    indexed by measurement so placement is shard-invariant
-        let phys_pages = self.allocator.allocate_at(self.measurements_taken, cfg.buffer_bytes);
-
-        // 2. analytic cache behaviour
+        let elem_bytes = cfg.codegen.width.bytes();
         let line = self.spec.levels[0].line_bytes;
-        let pattern = PhysicalPattern::resolve(
-            &phys_pages,
-            self.spec.page_bytes,
-            cfg.codegen.width.bytes(),
-            cfg.stride_elems,
-            cfg.buffer_bytes,
-            line,
-        );
-        let profile = ServiceProfile::compute(&pattern, &self.spec.levels);
+        let memo = self.memo.get_mut();
+        // Placement is a pure function of the measurement index (see
+        // `PageAllocator::allocate_at`), so the profile can be looked up
+        // before — and instead of — materializing the page vector.
+        let placement = self.allocator.placement_at(self.measurements_taken, cfg.buffer_bytes);
+        let key = ProfileKey {
+            placement,
+            buffer_bytes: cfg.buffer_bytes,
+            stride_elems: cfg.stride_elems,
+            elem_bytes,
+            segment: SEGMENT_WHOLE,
+            arrays: 1,
+            levels: Arc::clone(&memo.levels_key),
+        };
+        let entry = match memo.cache.lookup(&key) {
+            Some(entry) => entry,
+            None => {
+                let phys_pages =
+                    self.allocator.allocate_at(self.measurements_taken, cfg.buffer_bytes);
+                let profile = profile_segments(
+                    &[PatternSegment { phys_pages: &phys_pages, buffer_bytes: cfg.buffer_bytes }],
+                    self.spec.page_bytes,
+                    elem_bytes,
+                    cfg.stride_elems,
+                    line,
+                    &self.spec.levels,
+                    &mut memo.scratch,
+                );
+                let way_bytes = self.spec.levels[0].way_bytes();
+                let colors = (way_bytes / self.allocator.page_bytes()).max(1) as usize;
+                let mut color_histogram = vec![0u64; colors];
+                for &page in &phys_pages {
+                    color_histogram[self.allocator.page_color(page, way_bytes) as usize] += 1;
+                }
+                let entry = Arc::new(ProfileEntry {
+                    profile,
+                    pages_allocated: phys_pages.len() as u64,
+                    color_histogram,
+                });
+                memo.cache.insert(key, Arc::clone(&entry));
+                entry
+            }
+        };
         if self.recorder.is_enabled() {
-            self.record_cache_counters(&profile, cfg.nloops);
-            self.recorder.count("simmem.paging.pages_allocated", phys_pages.len() as u64);
-            let way_bytes = self.spec.levels[0].way_bytes();
-            for &page in &phys_pages {
-                let color = self.allocator.page_color(page, way_bytes);
-                self.recorder.count(&format!("simmem.paging.color.{color}"), 1);
+            record_cache_counters(
+                &mut self.recorder,
+                &mut memo.level_names,
+                &entry.profile,
+                cfg.nloops,
+            );
+            self.recorder.count("simmem.paging.pages_allocated", entry.pages_allocated);
+            // Only colours that actually occur get a counter, exactly as
+            // the old per-page loop behaved.
+            for (color, &pages) in entry.color_histogram.iter().enumerate() {
+                if pages > 0 {
+                    self.recorder.count(memo.color_names.get(color), pages);
+                }
             }
         }
         let issue = self.spec.issue.cycles_per_access(cfg.codegen);
-        let cycles = profile.total_cycles(
+        let cycles = entry.profile.total_cycles(
             cfg.nloops,
             issue,
             &self.spec.levels,
             self.spec.dram_latency_cycles,
             self.spec.overlap_factor,
         );
-        let bytes_touched = pattern.accesses_per_pass() as f64
-            * cfg.nloops as f64
-            * cfg.codegen.width.bytes() as f64;
+        let bytes_touched =
+            entry.profile.accesses_per_pass as f64 * cfg.nloops as f64 * elem_bytes as f64;
         self.execute_cycles(cycles, bytes_touched)
-    }
-
-    /// Records steady-state cache service counts for one kernel run:
-    /// the per-pass profile times `nloops` passes. L1 hits are in
-    /// *accesses* (accesses needing no line fetch); all deeper counts are
-    /// in *line fetches*. In the cyclic steady state every fetch into a
-    /// level evicts a line from it, so evictions equal misses.
-    fn record_cache_counters(&mut self, profile: &ServiceProfile, nloops: u64) {
-        let total_fetches: u64 =
-            profile.served_by_level.iter().sum::<u64>() + profile.served_by_dram;
-        self.recorder
-            .count("simmem.cache.l1.hits", (profile.accesses_per_pass - total_fetches) * nloops);
-        self.recorder.count("simmem.cache.l1.misses", total_fetches * nloops);
-        self.recorder.count("simmem.cache.l1.evictions", total_fetches * nloops);
-        // served_by_level[i] holds fetches served by cache level i+2
-        // (index 0 = L2); fetches served deeper are that level's misses.
-        let mut missed_so_far = total_fetches;
-        for (i, &served_here) in profile.served_by_level.iter().enumerate() {
-            let level = i + 2;
-            let misses = missed_so_far - served_here;
-            self.recorder.count(&format!("simmem.cache.l{level}.hits"), served_here * nloops);
-            self.recorder.count(&format!("simmem.cache.l{level}.misses"), misses * nloops);
-            self.recorder.count(&format!("simmem.cache.l{level}.evictions"), misses * nloops);
-            missed_so_far = misses;
-        }
-        self.recorder.count("simmem.cache.dram_lines", profile.served_by_dram * nloops);
     }
 
     /// Executes a pre-computed cycle count as one timed measurement:
@@ -537,23 +645,49 @@ impl MachineSim {
 
     /// Noise-free bandwidth the analytic model predicts for a
     /// configuration at a fixed frequency (the "true" machine signature a
-    /// calibration should recover). Uses identity paging (best case).
+    /// calibration should recover). Uses identity paging (best case);
+    /// memoized under [`PlacementKey::Identity`], which no allocator can
+    /// produce, so calibration loops stop recomputing the same profile.
     pub fn ideal_bandwidth_mbps(&self, cfg: &KernelConfig, freq_ghz: f64) -> f64 {
+        let elem_bytes = cfg.codegen.width.bytes();
         let line = self.spec.levels[0].line_bytes;
-        let n_pages = cfg.buffer_bytes.div_ceil(self.spec.page_bytes).max(1);
-        // colour-balanced layout
-        let pages: Vec<u64> = (0..n_pages).collect();
-        let pattern = PhysicalPattern::resolve(
-            &pages,
-            self.spec.page_bytes,
-            cfg.codegen.width.bytes(),
-            cfg.stride_elems,
-            cfg.buffer_bytes,
-            line,
-        );
-        let profile = ServiceProfile::compute(&pattern, &self.spec.levels);
+        let mut memo = self.memo.borrow_mut();
+        let memo = &mut *memo;
+        let key = ProfileKey {
+            placement: PlacementKey::Identity,
+            buffer_bytes: cfg.buffer_bytes,
+            stride_elems: cfg.stride_elems,
+            elem_bytes,
+            segment: SEGMENT_WHOLE,
+            arrays: 1,
+            levels: Arc::clone(&memo.levels_key),
+        };
+        let entry = match memo.cache.lookup(&key) {
+            Some(entry) => entry,
+            None => {
+                let n_pages = cfg.buffer_bytes.div_ceil(self.spec.page_bytes).max(1);
+                // colour-balanced layout
+                let pages: Vec<u64> = (0..n_pages).collect();
+                let profile = profile_segments(
+                    &[PatternSegment { phys_pages: &pages, buffer_bytes: cfg.buffer_bytes }],
+                    self.spec.page_bytes,
+                    elem_bytes,
+                    cfg.stride_elems,
+                    line,
+                    &self.spec.levels,
+                    &mut memo.scratch,
+                );
+                let entry = Arc::new(ProfileEntry {
+                    profile,
+                    pages_allocated: n_pages,
+                    color_histogram: Vec::new(),
+                });
+                memo.cache.insert(key, Arc::clone(&entry));
+                entry
+            }
+        };
         let issue = self.spec.issue.cycles_per_access(cfg.codegen);
-        let cycles = profile.total_cycles(
+        let cycles = entry.profile.total_cycles(
             cfg.nloops,
             issue,
             &self.spec.levels,
@@ -561,11 +695,41 @@ impl MachineSim {
             self.spec.overlap_factor,
         );
         let elapsed_us = cycles / (freq_ghz * 1e3);
-        let bytes = pattern.accesses_per_pass() as f64
-            * cfg.nloops as f64
-            * cfg.codegen.width.bytes() as f64;
+        let bytes = entry.profile.accesses_per_pass as f64 * cfg.nloops as f64 * elem_bytes as f64;
         bytes / elapsed_us
     }
+}
+
+/// Records steady-state cache service counts for one kernel run:
+/// the per-pass profile times `nloops` passes. L1 hits are in
+/// *accesses* (accesses needing no line fetch); all deeper counts are
+/// in *line fetches*. In the cyclic steady state every fetch into a
+/// level evicts a line from it, so evictions equal misses.
+///
+/// A free function over split borrows (the recorder and the interned
+/// names live in different fields of [`MachineSim`]).
+fn record_cache_counters(
+    recorder: &mut Recorder,
+    names: &mut LevelCounterNames,
+    profile: &ServiceProfile,
+    nloops: u64,
+) {
+    let total_fetches: u64 = profile.served_by_level.iter().sum::<u64>() + profile.served_by_dram;
+    recorder.count("simmem.cache.l1.hits", (profile.accesses_per_pass - total_fetches) * nloops);
+    recorder.count("simmem.cache.l1.misses", total_fetches * nloops);
+    recorder.count("simmem.cache.l1.evictions", total_fetches * nloops);
+    // served_by_level[i] holds fetches served by cache level i+2
+    // (index 0 = L2); fetches served deeper are that level's misses.
+    let mut missed_so_far = total_fetches;
+    for (i, &served_here) in profile.served_by_level.iter().enumerate() {
+        let level = i + 2;
+        let misses = missed_so_far - served_here;
+        recorder.count(names.hits.get(level), served_here * nloops);
+        recorder.count(names.misses.get(level), misses * nloops);
+        recorder.count(names.evictions.get(level), misses * nloops);
+        missed_so_far = misses;
+    }
+    recorder.count("simmem.cache.dram_lines", profile.served_by_dram * nloops);
 }
 
 impl CounterSet for MachineSim {

@@ -1,0 +1,300 @@
+//! Bounded memoization of service profiles.
+//!
+//! A measurement's [`crate::layout::ServiceProfile`] is a pure function
+//! of *where the buffer landed* and the cache geometry: placement is
+//! decided by [`crate::paging::PageAllocator`], whose `allocate_at` is
+//! side-effect-free, `MallocPerSize` reuses one fixed placement forever,
+//! and `PooledRandomOffset` slices a fixed block at a start offset — so
+//! the placement is fully identified by a tiny [`PlacementKey`] instead
+//! of the page vector itself. Replicates and repeated design cells
+//! therefore skip pattern resolution and profile computation entirely;
+//! only the governor/scheduler/jitter stage (which carries all the
+//! temporal phenomena) runs per measurement.
+//!
+//! The cache is consulted strictly *after* any RNG draws the uncached
+//! path would have made and never touches the virtual clock, so records
+//! are bit-identical with the cache on, off, or at any capacity — see
+//! `DESIGN.md` §13 and the property tests in `tests/fastpath.rs`.
+
+use crate::layout::ServiceProfile;
+use crate::machine::CacheLevelSpec;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Identifies where a buffer landed, independent of its page vector.
+///
+/// Valid because every policy serves buffers out of one fixed seeded pool
+/// permutation per allocator: `MallocPerSize` always the prefix,
+/// `PooledRandomOffset` always the contiguous slice at a start offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementKey {
+    /// `MallocPerSize`: the pool prefix (the buffer size in the rest of
+    /// the key pins the length).
+    MallocPrefix,
+    /// `PooledRandomOffset`: the slice starting at this pool offset.
+    PooledStart(u64),
+    /// Identity mapping (virtual page v → physical page v), used by
+    /// idealised paths like `ideal_bandwidth_mbps`. Never collides with
+    /// allocator-backed placements.
+    Identity,
+}
+
+/// The profile-relevant part of a [`CacheLevelSpec`]: hit latency is
+/// deliberately excluded (it prices a profile, it does not shape it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LevelGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+/// Interns the geometry of a hierarchy for cheap key cloning.
+pub fn level_geometries(levels: &[CacheLevelSpec]) -> Arc<[LevelGeometry]> {
+    levels
+        .iter()
+        .map(|l| LevelGeometry {
+            size_bytes: l.size_bytes,
+            assoc: l.assoc,
+            line_bytes: l.line_bytes,
+        })
+        .collect()
+}
+
+/// Everything a service profile depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    /// Where the (first) buffer landed.
+    pub placement: PlacementKey,
+    /// Buffer size in bytes (per array for multi-array kernels).
+    pub buffer_bytes: u64,
+    /// Stride in elements.
+    pub stride_elems: u64,
+    /// Element width in bytes.
+    pub elem_bytes: u64,
+    /// Distinguishes callers that share a placement but profile different
+    /// slices of it: `run_kernel` uses [`SEGMENT_WHOLE`], `run_stream`
+    /// [`SEGMENT_MERGED`], `run_kernel_parallel` the thread index.
+    pub segment: u32,
+    /// Number of arrays/threads sharing the allocation (1 for plain
+    /// kernels).
+    pub arrays: u32,
+    /// Cache geometry the profile was computed against.
+    pub levels: Arc<[LevelGeometry]>,
+}
+
+/// [`ProfileKey::segment`] for single-buffer kernels.
+pub const SEGMENT_WHOLE: u32 = u32::MAX;
+/// [`ProfileKey::segment`] for the merged multi-array stream pattern.
+pub const SEGMENT_MERGED: u32 = u32::MAX - 1;
+
+/// A memoized profile plus the placement-derived counter inputs that the
+/// observability path would otherwise recompute per page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// The service profile.
+    pub profile: ServiceProfile,
+    /// Pages backing the allocation (for `simmem.paging.pages_allocated`).
+    pub pages_allocated: u64,
+    /// Page count per L1 colour, indexed by colour (for
+    /// `simmem.paging.color.*`). Empty when the caller does not record
+    /// colours.
+    pub color_histogram: Vec<u64>,
+}
+
+/// Bounded FIFO-evicting map from [`ProfileKey`] to [`ProfileEntry`].
+///
+/// FIFO (not LRU) keeps lookups allocation-free; campaigns revisit a
+/// bounded set of design cells, so recency adds nothing. Capacity 0
+/// disables the cache (every lookup misses), which the property tests
+/// use to prove the cache never changes a record.
+#[derive(Debug, Clone)]
+pub struct ProfileCache {
+    map: HashMap<ProfileKey, Arc<ProfileEntry>>,
+    order: VecDeque<ProfileKey>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default capacity: comfortably above any campaign grid in the repo
+/// (25 sizes × strides × policies) while bounding memory to a few MiB
+/// even with adversarial plans.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+impl Default for ProfileCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl ProfileCache {
+    /// A cache holding at most `capacity` profiles (0 disables caching).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ProfileCache { map: HashMap::new(), order: VecDeque::new(), capacity, hits: 0, misses: 0 }
+    }
+
+    /// The eviction bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up `key`, counting a hit or miss.
+    pub fn lookup(&mut self, key: &ProfileKey) -> Option<Arc<ProfileEntry>> {
+        match self.map.get(key) {
+            Some(entry) => {
+                self.hits += 1;
+                Some(Arc::clone(entry))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry computed after a miss, evicting the oldest key
+    /// when full. A no-op at capacity 0.
+    pub fn insert(&mut self, key: ProfileKey, entry: Arc<ProfileEntry>) {
+        if self.capacity == 0 {
+            return;
+        }
+        match self.map.entry(key.clone()) {
+            Entry::Occupied(mut o) => {
+                o.insert(entry);
+            }
+            Entry::Vacant(v) => {
+                v.insert(entry);
+                self.order.push_back(key);
+                while self.order.len() > self.capacity {
+                    if let Some(old) = self.order.pop_front() {
+                        self.map.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of cached profiles.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(start: u64, buffer: u64, levels: &Arc<[LevelGeometry]>) -> ProfileKey {
+        ProfileKey {
+            placement: PlacementKey::PooledStart(start),
+            buffer_bytes: buffer,
+            stride_elems: 1,
+            elem_bytes: 4,
+            segment: SEGMENT_WHOLE,
+            arrays: 1,
+            levels: Arc::clone(levels),
+        }
+    }
+
+    fn entry(distinct: u64) -> Arc<ProfileEntry> {
+        Arc::new(ProfileEntry {
+            profile: ServiceProfile {
+                served_by_level: vec![],
+                served_by_dram: 0,
+                distinct_lines: distinct,
+                accesses_per_pass: 0,
+            },
+            pages_allocated: 1,
+            color_histogram: vec![1],
+        })
+    }
+
+    fn geo() -> Arc<[LevelGeometry]> {
+        Arc::from(vec![LevelGeometry { size_bytes: 65536, assoc: 2, line_bytes: 64 }])
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let levels = geo();
+        let mut c = ProfileCache::default();
+        assert!(c.lookup(&key(0, 4096, &levels)).is_none());
+        c.insert(key(0, 4096, &levels), entry(1));
+        assert!(c.lookup(&key(0, 4096, &levels)).is_some());
+        assert!(c.lookup(&key(1, 4096, &levels)).is_none());
+        assert_eq!(c.stats(), (1, 2));
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let levels = geo();
+        let mut c = ProfileCache::with_capacity(2);
+        for start in 0..5u64 {
+            c.insert(key(start, 4096, &levels), entry(start));
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&key(0, 4096, &levels)).is_none(), "oldest evicted");
+        assert!(c.lookup(&key(4, 4096, &levels)).is_some(), "newest kept");
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let levels = geo();
+        let mut c = ProfileCache::with_capacity(0);
+        c.insert(key(0, 4096, &levels), entry(1));
+        assert!(c.is_empty());
+        assert!(c.lookup(&key(0, 4096, &levels)).is_none());
+    }
+
+    #[test]
+    fn keys_separate_every_dimension() {
+        let levels = geo();
+        let other_levels: Arc<[LevelGeometry]> =
+            Arc::from(vec![LevelGeometry { size_bytes: 32768, assoc: 2, line_bytes: 64 }]);
+        let base = key(3, 8192, &levels);
+        let mut variants = vec![base.clone()];
+        variants.push(ProfileKey { placement: PlacementKey::MallocPrefix, ..base.clone() });
+        variants.push(ProfileKey { placement: PlacementKey::Identity, ..base.clone() });
+        variants.push(ProfileKey { buffer_bytes: 4096, ..base.clone() });
+        variants.push(ProfileKey { stride_elems: 2, ..base.clone() });
+        variants.push(ProfileKey { elem_bytes: 8, ..base.clone() });
+        variants.push(ProfileKey { segment: 0, ..base.clone() });
+        variants.push(ProfileKey { arrays: 3, ..base.clone() });
+        variants.push(ProfileKey { levels: other_levels, ..base.clone() });
+        let mut c = ProfileCache::default();
+        for (i, v) in variants.iter().enumerate() {
+            c.insert(v.clone(), entry(i as u64));
+        }
+        assert_eq!(c.len(), variants.len(), "every dimension must distinguish keys");
+    }
+
+    #[test]
+    fn geometry_drops_latency() {
+        let a = level_geometries(&[CacheLevelSpec {
+            size_bytes: 65536,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency_cycles: 10.0,
+        }]);
+        let b = level_geometries(&[CacheLevelSpec {
+            size_bytes: 65536,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency_cycles: 99.0,
+        }]);
+        assert_eq!(a, b, "latency must not shape the key");
+    }
+}

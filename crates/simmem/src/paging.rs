@@ -14,6 +14,7 @@
 //!   at a random offset inside it, sampling many physical layouts within a
 //!   single run ("physical address randomization").
 
+use crate::memo::PlacementKey;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
@@ -136,7 +137,7 @@ impl PageAllocator {
     /// # Panics
     /// Panics when the buffer needs more pages than the pool holds.
     pub fn allocate_at(&self, index: u64, buffer_bytes: u64) -> Vec<u64> {
-        let pages_needed = (buffer_bytes.div_ceil(self.page_bytes)).max(1) as usize;
+        let pages_needed = self.pages_needed(buffer_bytes);
         match self.policy {
             AllocPolicy::MallocPerSize => {
                 assert!(pages_needed <= self.pool.len(), "buffer exceeds page pool");
@@ -144,15 +145,72 @@ impl PageAllocator {
             }
             AllocPolicy::PooledRandomOffset => {
                 assert!(pages_needed <= self.pooled_block_pages, "buffer exceeds pooled block");
-                let max_start = self.pooled_block_pages - pages_needed;
-                let start = if max_start == 0 {
-                    0
-                } else {
-                    (crate::stream::derive_u64(self.seed, index, 0xA110_C000_0000_0003)
-                        % (max_start as u64 + 1)) as usize
-                };
+                let start = self.start_at(index, pages_needed);
                 self.pool[start..start + pages_needed].to_vec()
             }
+        }
+    }
+
+    /// Like [`PageAllocator::allocate`], additionally returning the
+    /// [`PlacementKey`] identifying the slice of the pool that was handed
+    /// out — the RNG is advanced exactly as `allocate` advances it, so
+    /// swapping one for the other never shifts a stream.
+    ///
+    /// # Panics
+    /// Panics when the buffer needs more pages than the pool holds.
+    pub fn allocate_keyed(&mut self, buffer_bytes: u64) -> (Vec<u64>, PlacementKey) {
+        let pages_needed = self.pages_needed(buffer_bytes);
+        match self.policy {
+            AllocPolicy::MallocPerSize => {
+                assert!(pages_needed <= self.pool.len(), "buffer exceeds page pool");
+                (self.pool[..pages_needed].to_vec(), PlacementKey::MallocPrefix)
+            }
+            AllocPolicy::PooledRandomOffset => {
+                assert!(pages_needed <= self.pooled_block_pages, "buffer exceeds pooled block");
+                let max_start = self.pooled_block_pages - pages_needed;
+                let start = if max_start == 0 { 0 } else { self.rng.random_range(0..=max_start) };
+                (
+                    self.pool[start..start + pages_needed].to_vec(),
+                    PlacementKey::PooledStart(start as u64),
+                )
+            }
+        }
+    }
+
+    /// The [`PlacementKey`] that [`PageAllocator::allocate_at`] resolves
+    /// `(index, buffer_bytes)` to — a pure function, like `allocate_at`
+    /// itself, and the reason profiles are memoizable at all: the key is
+    /// a few bytes where the page vector is thousands.
+    ///
+    /// # Panics
+    /// Panics when the buffer needs more pages than the pool holds.
+    pub fn placement_at(&self, index: u64, buffer_bytes: u64) -> PlacementKey {
+        let pages_needed = self.pages_needed(buffer_bytes);
+        match self.policy {
+            AllocPolicy::MallocPerSize => {
+                assert!(pages_needed <= self.pool.len(), "buffer exceeds page pool");
+                PlacementKey::MallocPrefix
+            }
+            AllocPolicy::PooledRandomOffset => {
+                assert!(pages_needed <= self.pooled_block_pages, "buffer exceeds pooled block");
+                PlacementKey::PooledStart(self.start_at(index, pages_needed) as u64)
+            }
+        }
+    }
+
+    fn pages_needed(&self, buffer_bytes: u64) -> usize {
+        (buffer_bytes.div_ceil(self.page_bytes)).max(1) as usize
+    }
+
+    /// The pure per-index start offset of `allocate_at` under
+    /// `PooledRandomOffset`.
+    fn start_at(&self, index: u64, pages_needed: usize) -> usize {
+        let max_start = self.pooled_block_pages - pages_needed;
+        if max_start == 0 {
+            0
+        } else {
+            (crate::stream::derive_u64(self.seed, index, 0xA110_C000_0000_0003)
+                % (max_start as u64 + 1)) as usize
         }
     }
 
@@ -250,6 +308,48 @@ mod tests {
         for i in 0..5 {
             assert_eq!(a.allocate_at(i, 12_288), a.allocate(12_288));
         }
+    }
+
+    #[test]
+    fn placement_at_identifies_allocate_at_slices() {
+        let a = PageAllocator::new(AllocPolicy::PooledRandomOffset, 4096, 256, 5);
+        for i in 0..50 {
+            let pages = a.allocate_at(i, 16_384);
+            match a.placement_at(i, 16_384) {
+                PlacementKey::PooledStart(start) => {
+                    let start = start as usize;
+                    assert_eq!(pages, a.pool[start..start + pages.len()].to_vec(), "index {i}");
+                }
+                other => panic!("pooled placement must be PooledStart, got {other:?}"),
+            }
+        }
+        let m = PageAllocator::new(AllocPolicy::MallocPerSize, 4096, 256, 5);
+        assert_eq!(m.placement_at(7, 16_384), PlacementKey::MallocPrefix);
+    }
+
+    #[test]
+    fn allocate_keyed_matches_allocate_and_rng_stream() {
+        // Interleaving keyed and plain allocations across two same-seed
+        // allocators must produce identical draws: the keyed variant
+        // advances the RNG exactly like the plain one.
+        let mut a = PageAllocator::new(AllocPolicy::PooledRandomOffset, 4096, 512, 13);
+        let mut b = PageAllocator::new(AllocPolicy::PooledRandomOffset, 4096, 512, 13);
+        for i in 0..20 {
+            let plain = a.allocate(16_384);
+            let (keyed, key) = b.allocate_keyed(16_384);
+            assert_eq!(plain, keyed, "draw {i}");
+            match key {
+                PlacementKey::PooledStart(start) => {
+                    let start = start as usize;
+                    assert_eq!(keyed, b.pool[start..start + keyed.len()].to_vec());
+                }
+                other => panic!("pooled placement must be PooledStart, got {other:?}"),
+            }
+        }
+        let mut m = PageAllocator::new(AllocPolicy::MallocPerSize, 4096, 512, 13);
+        let (pages, key) = m.allocate_keyed(16_384);
+        assert_eq!(pages, m.allocate(16_384));
+        assert_eq!(key, PlacementKey::MallocPrefix);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //!   machine's channel count stretch every DRAM stall proportionally.
 
 use crate::kernel::{KernelConfig, KernelResult};
-use crate::layout::{PhysicalPattern, ServiceProfile};
+use crate::layout::{profile_segments, PatternSegment};
 use crate::machine::{CacheLevelSpec, MachineSim};
+use crate::memo::{level_geometries, ProfileEntry, ProfileKey};
 
 /// Result of a parallel kernel run.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,24 +81,45 @@ pub fn run_kernel_parallel(
     let dram_latency = spec.dram_latency_cycles * contention;
 
     // all buffers from one allocation so the layout policy applies to the
-    // union of the threads' working sets
-    let pages = machine.allocate_pages(threads as u64 * cfg.buffer_bytes);
+    // union of the threads' working sets; the RNG draw happens whether or
+    // not the per-thread profiles are cached
+    let (pages, placement) = machine.allocate_pages_keyed(threads as u64 * cfg.buffer_bytes);
     let pages_per_thread = cfg.buffer_bytes.div_ceil(spec.page_bytes) as usize;
     let issue = spec.issue.cycles_per_access(cfg.codegen);
+    // keyed by the *effective* (contention-shrunk) geometry, so the same
+    // placement at a different thread count never aliases
+    let levels_key = level_geometries(&levels);
 
     let mut per_thread_cycles = Vec::with_capacity(threads as usize);
     for t in 0..threads as usize {
+        let key = ProfileKey {
+            placement,
+            buffer_bytes: cfg.buffer_bytes,
+            stride_elems: cfg.stride_elems,
+            elem_bytes: cfg.codegen.width.bytes(),
+            segment: t as u32,
+            arrays: threads,
+            levels: std::sync::Arc::clone(&levels_key),
+        };
         let slice = &pages[t * pages_per_thread..(t + 1) * pages_per_thread];
-        let pattern = PhysicalPattern::resolve(
-            slice,
-            spec.page_bytes,
-            cfg.codegen.width.bytes(),
-            cfg.stride_elems,
-            cfg.buffer_bytes,
-            spec.levels[0].line_bytes,
-        );
-        let profile = ServiceProfile::compute(&pattern, &levels);
-        per_thread_cycles.push(profile.total_cycles(
+        let levels_ref = &levels;
+        let entry = machine.cached_profile(key, |scratch| {
+            let profile = profile_segments(
+                &[PatternSegment { phys_pages: slice, buffer_bytes: cfg.buffer_bytes }],
+                spec.page_bytes,
+                cfg.codegen.width.bytes(),
+                cfg.stride_elems,
+                spec.levels[0].line_bytes,
+                levels_ref,
+                scratch,
+            );
+            ProfileEntry {
+                profile,
+                pages_allocated: slice.len() as u64,
+                color_histogram: Vec::new(),
+            }
+        });
+        per_thread_cycles.push(entry.profile.total_cycles(
             cfg.nloops,
             issue,
             &levels,

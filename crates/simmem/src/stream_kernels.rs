@@ -17,8 +17,9 @@
 
 use crate::compiler::CodegenConfig;
 use crate::kernel::KernelResult;
-use crate::layout::{PhysicalPattern, ServiceProfile};
+use crate::layout::{profile_segments, PatternSegment};
 use crate::machine::MachineSim;
+use crate::memo::{ProfileEntry, ProfileKey, SEGMENT_MERGED};
 
 /// One of the STREAM kernels (plus the paper's single-array Sum).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -106,18 +107,37 @@ pub fn run_stream(machine: &mut MachineSim, cfg: &StreamRunConfig) -> KernelResu
     let elem = cfg.codegen.width.bytes();
 
     // one contiguous allocation split into the arrays, so MallocPerSize
-    // reuse semantics apply to the whole working set
-    let total_pages = machine.allocate_pages(n_arrays * cfg.array_bytes);
+    // reuse semantics apply to the whole working set; the RNG draw
+    // happens here whether or not the profile is cached
+    let (total_pages, placement) = machine.allocate_pages_keyed(n_arrays * cfg.array_bytes);
     let pages_per_array = cfg.array_bytes.div_ceil(spec_page) as usize;
 
-    // union of the arrays' line sets
-    let mut merged = PhysicalPattern::empty();
-    for a in 0..n_arrays as usize {
-        let slice = &total_pages[a * pages_per_array..(a + 1) * pages_per_array];
-        let p = PhysicalPattern::resolve(slice, spec_page, elem, 1, cfg.array_bytes, line);
-        merged.merge(p);
-    }
-    let profile = ServiceProfile::compute(&merged, &machine.spec().levels);
+    let key = ProfileKey {
+        placement,
+        buffer_bytes: cfg.array_bytes,
+        stride_elems: 1,
+        elem_bytes: elem,
+        segment: SEGMENT_MERGED,
+        arrays: n_arrays as u32,
+        levels: machine.levels_key(),
+    };
+    let levels = machine.spec().levels.clone();
+    let entry = machine.cached_profile(key, |scratch| {
+        // union of the arrays' line sets
+        let segments: Vec<PatternSegment<'_>> = (0..n_arrays as usize)
+            .map(|a| PatternSegment {
+                phys_pages: &total_pages[a * pages_per_array..(a + 1) * pages_per_array],
+                buffer_bytes: cfg.array_bytes,
+            })
+            .collect();
+        let profile = profile_segments(&segments, spec_page, elem, 1, line, &levels, scratch);
+        ProfileEntry {
+            profile,
+            pages_allocated: total_pages.len() as u64,
+            color_histogram: Vec::new(),
+        }
+    });
+    let profile = &entry.profile;
     let issue = machine.spec().issue.cycles_per_access(cfg.codegen);
     // written lines pay write-allocate + write-back: model as a 1.5x
     // weight on the fraction of lines belonging to written arrays

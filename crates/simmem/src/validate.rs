@@ -9,7 +9,7 @@
 //! for *their* geometry before relying on sweep results.
 
 use crate::cache::{Access, SetAssocCache};
-use crate::layout::PhysicalPattern;
+use crate::layout::{profile_segments, reference, PatternSegment, PhysicalPattern, ProfileScratch};
 use crate::machine::CacheLevelSpec;
 
 /// Outcome of one validation run.
@@ -101,10 +101,61 @@ pub fn validate_spec(spec: &crate::machine::CpuSpec) -> Option<(usize, u64, u64,
     None
 }
 
+/// Validates the optimised resolve/profile paths against the kept
+/// pre-optimisation implementations ([`reference`]) for a spec: over the
+/// same size/stride grid as [`validate_spec`] with both identity and
+/// scrambled paging, the O(lines) resolve must produce the exact line
+/// list of the per-access loop, and [`profile_segments`] the exact
+/// profile of the per-level-mask computation. Returns the first
+/// disagreement as `(buffer, stride, what)`.
+pub fn validate_fast_path(spec: &crate::machine::CpuSpec) -> Option<(u64, u64, &'static str)> {
+    let mut scratch = ProfileScratch::default();
+    let max_cap = spec.levels.iter().map(|l| l.size_bytes).max().unwrap_or(spec.page_bytes);
+    for &buffer in &[max_cap / 2, max_cap, max_cap + max_cap / 4, 2 * max_cap] {
+        let buffer = buffer.min(1 << 20).max(spec.page_bytes);
+        for &stride in &[1u64, 2, 8, 32] {
+            let n_pages = buffer.div_ceil(spec.page_bytes);
+            let identity: Vec<u64> = (0..n_pages).collect();
+            let scrambled: Vec<u64> = (0..n_pages).map(|v| (v * 7 + 3) % n_pages.max(1)).collect();
+            for pages in [&identity, &scrambled] {
+                let line = spec.levels[0].line_bytes;
+                let fast =
+                    PhysicalPattern::resolve(pages, spec.page_bytes, 4, stride, buffer, line);
+                let slow = reference::resolve(pages, spec.page_bytes, 4, stride, buffer, line);
+                if fast.line_addrs() != slow.line_addrs()
+                    || fast.accesses_per_pass() != slow.accesses_per_pass()
+                {
+                    return Some((buffer, stride, "resolve"));
+                }
+                let fused = profile_segments(
+                    &[PatternSegment { phys_pages: pages, buffer_bytes: buffer }],
+                    spec.page_bytes,
+                    4,
+                    stride,
+                    line,
+                    &spec.levels,
+                    &mut scratch,
+                );
+                if fused != reference::compute(&slow, &spec.levels) {
+                    return Some((buffer, stride, "profile"));
+                }
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::machine::CpuSpec;
+
+    #[test]
+    fn fast_paths_match_reference_on_all_presets() {
+        for spec in CpuSpec::all() {
+            assert_eq!(validate_fast_path(&spec), None, "fast path diverges on {}", spec.name);
+        }
+    }
 
     #[test]
     fn all_shipped_presets_validate() {
