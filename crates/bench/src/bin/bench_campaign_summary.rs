@@ -1,23 +1,34 @@
 //! One-shot wall-clock characterization of the engine and the analysis
-//! kernels, written to the schema-versioned `results/BENCH_engine.json`
-//! that `bench_engine_gate` compares against the committed baseline.
+//! kernels, written as two schema-versioned reports that
+//! `bench_engine_gate` compares against their committed baselines:
+//!
+//! * `results/BENCH_engine.json` (`charm-bench-engine/1`) — stage
+//!   timings, throughput, shard utilization;
+//! * `results/BENCH_campaign.json` (`charm-bench-campaign/1`) — the
+//!   parallel-campaign summary: shard speedups, per-shard shared
+//!   profile-cache hit rates, work-stealing scheduler diagnostics. This
+//!   is the report the core-aware absolute checks
+//!   (`charm_trace::bench::absolute_failures`) read.
 //!
 //! ```text
 //! bench_campaign_summary [rows] [segment_points] [--quick] [--shards N]
+//!                        [--refit-dp]
 //! ```
 //!
-//! Every timing is a **median-of-N** (N = 5, or 3 with `--quick`):
-//! medians rather than minima so a single lucky run cannot mask a
-//! regression, per the statistical-speedup methodology in PAPERS.md.
+//! Every timing is a **median-of-N** (N = 5): medians rather than
+//! minima so a single lucky run cannot mask a regression, per the
+//! statistical-speedup methodology in PAPERS.md.
 //!
 //! * default: 6000 campaign rows and 6000 segmentation points, shard
-//!   counts 1/2/4/8, plus the O(n³) refit-DP comparison and the legacy
-//!   `results/BENCH_campaign.json` artifact;
-//! * `--quick`: small plans sized for CI (the refit DP and
-//!   `BENCH_campaign.json` are skipped; `BENCH_engine.json` is still
-//!   written, which is what the regression gate consumes);
-//! * `--shards N`: time only that shard count (CI uses `--shards 2` so
-//!   the numbers do not depend on the runner's core count).
+//!   counts 1/2/4/8;
+//! * `--quick`: small plans sized for CI; both reports are still
+//!   written;
+//! * `--shards N`: time only that shard count (CI uses `--shards 4` so
+//!   the numbers do not depend on the runner's core count — the
+//!   `cores` metric records the machine shape and the gate downgrades
+//!   core-bound metrics when it differs);
+//! * `--refit-dp`: also time the O(n³) refit-DP segmentation comparison
+//!   (minutes at full size; off by default).
 
 use charm_analysis::bootstrap::mean_ci;
 use charm_analysis::changepoint::binary_segmentation;
@@ -29,12 +40,13 @@ use charm_design::plan::ExperimentPlan;
 use charm_design::{sampling, Factor};
 use charm_engine::record::Campaign;
 use charm_engine::target::{Assignment, MemoryTarget, NetworkTarget, ParallelTarget, Target};
+use charm_obs::Observer;
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
 use charm_simmem::sched::SchedPolicy;
 use charm_simnet::presets;
-use charm_trace::bench::EngineBench;
+use charm_trace::bench::{EngineBench, CAMPAIGN_SCHEMA};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -234,6 +246,7 @@ fn engine_metrics(
     for ((&k, &s), &u) in shard_counts.iter().zip(parallel_s).zip(utilizations) {
         b = b
             .metric(&format!("{prefix}.shard{k}_s"), s)
+            .metric(&format!("{prefix}.shard{k}_speedup"), sequential_s / s)
             .metric(&format!("{prefix}.shard{k}_utilization"), u);
     }
     b
@@ -303,6 +316,40 @@ fn main() {
     };
     println!("  profile cache       {:>8.1} % hit rate (malloc regime)", mem_hit_rate * 100.0);
 
+    // Shared-cache behavior under the work-stealing scheduler: one
+    // observed sharded run in the same malloc regime. All workers fork
+    // from one base target and therefore share one profile cache; the
+    // engine's diagnostics channel reports the campaign-wide hit rate,
+    // each worker's share, and the scheduler's batch/steal counts.
+    let diag_shards = shard_counts.iter().copied().max().unwrap_or(1);
+    let diagnostics = {
+        let base = MemoryTarget::new(
+            "opteron",
+            MachineSim::new(
+                CpuSpec::opteron(),
+                GovernorPolicy::Performance,
+                SchedPolicy::PinnedDefault,
+                AllocPolicy::MallocPerSize,
+                seed,
+            ),
+        );
+        charm_engine::Campaign::new(&mem_plan, base.fork(base.stream_seed()))
+            .shards(diag_shards)
+            .seed(base.stream_seed())
+            .observer(Observer::default())
+            .run()
+            .unwrap()
+            .report
+            .expect("observer attached")
+            .diagnostics
+    };
+    let shared_hit_rate = diagnostics.get("simmem.profile_cache.hit_rate_permille") as f64 / 1000.0;
+    println!(
+        "  shared cache        {:>8.1} % hit rate across {diag_shards} shard(s), {} steal(s)",
+        shared_hit_rate * 100.0,
+        diagnostics.get("engine.scheduler.steals"),
+    );
+
     // --- analysis passes ---
     let config = SegmentConfig { max_breaks: 4, min_points_per_segment: 5, penalty: Some(500.0) };
     let (xs, ys) = piecewise_data(points);
@@ -333,13 +380,15 @@ fn main() {
     });
     println!("  loess ({loess_n} pts)     {:>8.1} ms", loess_s * 1e3);
 
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64;
+    let shards_config = shard_counts.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(",");
     let mut bench = EngineBench::new()
         .config("quick", quick)
         .config("rows", rows)
         .config("points", points)
         .config("repeats", repeats)
-        .config("shards", shard_counts.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(","))
-        .metric("cores", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as f64)
+        .config("shards", &shards_config)
+        .metric("cores", cores)
         .metric("simmem.profile_cache.hit_rate", mem_hit_rate)
         .metric("analysis.segment_s", segment_s)
         .metric("analysis.changepoint_s", changepoint_s)
@@ -365,9 +414,55 @@ fn main() {
     );
     charm_bench::write_artifact("BENCH_engine.json", &bench.to_json());
 
-    if !quick {
-        // The O(n³) refit DP is timed once — at 6000 points it needs tens
-        // of seconds, which is exactly the point of the comparison.
+    // --- the campaign-level summary the absolute gate checks read ---
+    let mut campaign = EngineBench::new()
+        .with_schema(CAMPAIGN_SCHEMA)
+        .config("quick", quick)
+        .config("rows", rows)
+        .config("points", points)
+        .config("repeats", repeats)
+        .config("shards", &shards_config)
+        .config("refit_dp", args.refit_dp)
+        .metric("cores", cores)
+        .metric("simmem.profile_cache.hit_rate", mem_hit_rate)
+        .metric("simmem.profile_cache.shared_hit_rate", shared_hit_rate)
+        .metric("engine.scheduler.batches", diagnostics.get("engine.scheduler.batches") as f64)
+        .metric("engine.scheduler.steals", diagnostics.get("engine.scheduler.steals") as f64);
+    // Per-worker view of the shared cache: `shard{w}.…hit_rate_permille`
+    // from the diagnostics channel becomes `…shard{w}_hit_rate` here.
+    for (key, value) in diagnostics.iter() {
+        if let Some(worker) = key
+            .strip_suffix(".simmem.profile_cache.hit_rate_permille")
+            .and_then(|prefix| prefix.strip_prefix("shard"))
+        {
+            campaign = campaign.metric(
+                &format!("simmem.profile_cache.shard{worker}_hit_rate"),
+                value as f64 / 1000.0,
+            );
+        }
+    }
+    campaign = engine_metrics(
+        campaign,
+        "engine.net",
+        net_plan.len(),
+        net_seq_s,
+        &shard_counts,
+        &net_par_s,
+        &net_util,
+    );
+    campaign = engine_metrics(
+        campaign,
+        "engine.mem",
+        mem_plan.len(),
+        mem_seq_s,
+        &shard_counts,
+        &mem_par_s,
+        &mem_util,
+    );
+
+    if args.refit_dp {
+        // The O(n³) refit DP is timed once — at 6000 points it needs
+        // minutes, which is exactly the point of the comparison.
         let t = Instant::now();
         let old_breaks = refit_dp(&xs, &ys, &config);
         let refit_s = t.elapsed().as_secs_f64();
@@ -377,33 +472,10 @@ fn main() {
             refit_s / segment_s
         );
         assert_eq!(old_breaks, segment(&xs, &ys, &config).unwrap().breakpoints);
-
-        let shard_map = |times: &[f64]| {
-            shard_counts
-                .iter()
-                .zip(times)
-                .map(|(k, s)| format!("      \"{k}\": {s:.6}"))
-                .collect::<Vec<_>>()
-                .join(",\n")
-        };
-        let best = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
-        let json = format!(
-            "{{\n  \"cores\": {},\n  \"network_campaign\": {{\n    \"rows\": {},\n    \"sequential_s\": {:.6},\n    \"parallel_s\": {{\n{}\n    }},\n    \"speedup_best\": {:.2}\n  }},\n  \"memory_campaign\": {{\n    \"rows\": {},\n    \"sequential_s\": {:.6},\n    \"parallel_s\": {{\n{}\n    }},\n    \"speedup_best\": {:.2}\n  }},\n  \"segment\": {{\n    \"points\": {},\n    \"refit_dp_s\": {:.6},\n    \"prefix_dp_s\": {:.6},\n    \"speedup\": {:.1}\n  }}\n}}\n",
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-            net_plan.len(),
-            net_seq_s,
-            shard_map(&net_par_s),
-            net_seq_s / best(&net_par_s),
-            mem_plan.len(),
-            mem_seq_s,
-            shard_map(&mem_par_s),
-            mem_seq_s / best(&mem_par_s),
-            points,
-            refit_s,
-            segment_s,
-            refit_s / segment_s,
-        );
-        charm_bench::write_artifact("BENCH_campaign.json", &json);
+        campaign = campaign
+            .metric("analysis.refit_dp_s", refit_s)
+            .metric("analysis.refit_speedup", refit_s / segment_s);
     }
+    charm_bench::write_artifact("BENCH_campaign.json", &campaign.to_json());
     session.finish();
 }

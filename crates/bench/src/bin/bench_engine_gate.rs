@@ -1,4 +1,6 @@
-//! Perf-regression gate: compares a freshly generated `BENCH_engine.json`
+//! Perf-regression gate: compares a freshly generated report
+//! (`BENCH_engine.json` or `BENCH_campaign.json` — both schemas are
+//! understood, but candidate and baseline must carry the same one)
 //! against the committed baseline and fails CI when a gated metric is
 //! more than the threshold worse.
 //!
@@ -6,8 +8,18 @@
 //! bench_engine_gate <candidate.json> <baseline.json>
 //! ```
 //!
-//! * exit 0 — no gated metric regressed;
-//! * exit 1 — at least one regression past the threshold;
+//! The gate is **core-aware**: when the two reports' `cores` metrics
+//! differ, core-bound metrics (shard timings/speedups/utilizations and
+//! `engine.scheduler.*`) are downgraded to informational, and on
+//! full-mode candidates that ran with ≥ 4 cores the absolute scheduler
+//! requirements (`charm_trace::bench::absolute_failures` — memory
+//! shard-4 speedup and utilization) are enforced regardless of the
+//! baseline (quick-mode smokes are exempt: their plans are too small
+//! to amortize thread spawn/join).
+//!
+//! * exit 0 — no gated metric regressed and no absolute check failed;
+//! * exit 1 — at least one regression past the threshold, or an
+//!   absolute requirement violated;
 //! * exit 2 — the reports carry the right schema but are not comparable
 //!   (config mismatch, malformed contents, unreadable file);
 //! * exit 3 — a report file does not exist (a fresh checkout with no
@@ -125,7 +137,11 @@ fn main() -> ExitCode {
     for c in &comparisons {
         println!("{c}");
     }
-    if bench::regressed(&comparisons) {
+    let absolute = bench::absolute_failures(&candidate);
+    for failure in &absolute {
+        eprintln!("absolute requirement violated: {failure}");
+    }
+    if bench::regressed(&comparisons) || !absolute.is_empty() {
         eprintln!("regression gate FAILED");
         ExitCode::from(1)
     } else {

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! run_campaign <plan.dsl> <platform> [--seed N] [--shards N]
-//!              [--out DIR] [--obs-jsonl] [--store DIR] [--resume RUN_ID]
+//!              [--min-rows-per-shard N] [--out DIR] [--obs-jsonl]
+//!              [--store DIR] [--resume RUN_ID]
 //!
 //! platforms: taurus | myrinet | openmpi |
 //!            opteron | pentium4 | i7 | arm
@@ -16,8 +17,11 @@
 //! platforms offered here are shard-invariant, so the records are
 //! identical to a sequential run — see DESIGN.md on the determinism
 //! contract). The default is [`Study::auto_shards`]: sequential below
-//! the row threshold, one shard per core above it. `--obs-jsonl` also
-//! writes the campaign's counters and provenance events next to the CSV.
+//! the row threshold, one shard per core above it. The engine also
+//! clamps workers to one per `--min-rows-per-shard` plan rows (default
+//! [`charm_engine::DEFAULT_MIN_ROWS_PER_SHARD`]); pass `1` to take the
+//! shard count literally on tiny plans. `--obs-jsonl` also writes the
+//! campaign's counters and provenance events next to the CSV.
 //!
 //! `--store DIR` archives the campaign into a `charm_store` store:
 //! finished shards are flushed as checkpoint segments while the run is
@@ -72,11 +76,15 @@ fn execute<T: ParallelTarget>(
     plan: &ExperimentPlan,
     target: T,
     shards: usize,
+    min_rows_per_shard: Option<usize>,
     observe: bool,
     sink: Option<&charm_store::CheckpointSession>,
     resume: bool,
 ) -> Result<CampaignRun, TargetError> {
     let mut sharded = Campaign::new(plan, target).shards(shards);
+    if let Some(min_rows) = min_rows_per_shard {
+        sharded = sharded.min_rows_per_shard(min_rows);
+    }
     if let Some(sink) = sink {
         sharded = sharded.store(sink).resume(resume);
     }
@@ -180,9 +188,10 @@ fn main() -> ExitCode {
     let sink = store_ctx.as_ref().map(|(_, checkpoint)| checkpoint);
     let resume = args.resume.is_some();
 
+    let min_rows = args.min_rows_per_shard;
     let result = match platform {
-        Platform::Net(t) => execute(&plan, *t, shards, args.obs_jsonl, sink, resume),
-        Platform::Mem(t) => execute(&plan, *t, shards, args.obs_jsonl, sink, resume),
+        Platform::Net(t) => execute(&plan, *t, shards, min_rows, args.obs_jsonl, sink, resume),
+        Platform::Mem(t) => execute(&plan, *t, shards, min_rows, args.obs_jsonl, sink, resume),
     };
     match result {
         Ok(run) => {

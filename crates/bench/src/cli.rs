@@ -7,11 +7,17 @@
 //! * `--shards N` — shard count for the shard-invariant experiments;
 //!   exported as `CHARM_SHARDS` so `Study::auto_shards` picks it up
 //!   everywhere downstream;
+//! * `--min-rows-per-shard N` — override the engine's worker floor (one
+//!   worker per N plan rows, default
+//!   [`charm_engine::DEFAULT_MIN_ROWS_PER_SHARD`]); `1` takes `--shards`
+//!   literally even for tiny plans (CI smoke runs use this);
 //! * `--out DIR` — results directory; exported as `CHARM_RESULTS_DIR`
 //!   so [`crate::results_dir`] honours it;
 //! * `--obs-jsonl` — also write observability reports (counters +
 //!   provenance events, JSON Lines) next to the CSV artifacts;
 //! * `--quick` — reduced plan sizes for smoke runs (CI uses this);
+//! * `--refit-dp` — also time the O(n³) refit-DP segmentation
+//!   comparison (minutes at full size; `bench_campaign_summary` only);
 //! * `--profile` — print a wall-clock self-profile of the engine and
 //!   analysis passes when the run finishes;
 //! * `--trace-out PATH` — write a Chrome/Perfetto `trace.json` rendering
@@ -33,10 +39,14 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Shard count override (`--shards N`), when given.
     pub shards: Option<usize>,
+    /// Worker-floor override (`--min-rows-per-shard N`), when given.
+    pub min_rows_per_shard: Option<usize>,
     /// Whether to write observability JSONL artifacts (`--obs-jsonl`).
     pub obs_jsonl: bool,
     /// Whether to shrink plans for a smoke run (`--quick`).
     pub quick: bool,
+    /// Whether to time the O(n³) refit-DP comparison (`--refit-dp`).
+    pub refit_dp: bool,
     /// Whether to print the wall-clock self-profile (`--profile`).
     pub profile: bool,
     /// Where to write the dual-clock Chrome/Perfetto trace
@@ -88,8 +98,10 @@ impl CommonArgs {
         let mut args = CommonArgs {
             seed: default_seed,
             shards: None,
+            min_rows_per_shard: None,
             obs_jsonl: false,
             quick: false,
+            refit_dp: false,
             profile: false,
             trace_out: None,
             store: None,
@@ -109,6 +121,14 @@ impl CommonArgs {
                     }
                     args.shards = Some(n);
                 }
+                "--min-rows-per-shard" => {
+                    let n: usize = value_of("--min-rows-per-shard", argv.next())?;
+                    if n == 0 {
+                        eprintln!("--min-rows-per-shard needs a positive integer");
+                        return Err(Exit::Error);
+                    }
+                    args.min_rows_per_shard = Some(n);
+                }
                 "--out" => match argv.next() {
                     Some(dir) => out_dir = Some(dir),
                     None => {
@@ -118,6 +138,7 @@ impl CommonArgs {
                 },
                 "--obs-jsonl" => args.obs_jsonl = true,
                 "--quick" => args.quick = true,
+                "--refit-dp" => args.refit_dp = true,
                 "--profile" => args.profile = true,
                 "--trace-out" => match argv.next() {
                     Some(path) => args.trace_out = Some(path),
@@ -175,14 +196,17 @@ fn value_of<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, Ex
 fn usage(bin: &str, extra: &str) -> String {
     let positional = if extra.is_empty() { String::new() } else { format!(" {extra}") };
     format!(
-        "usage: {bin}{positional} [--seed N] [--shards N] [--out DIR] [--obs-jsonl] [--quick]\n\
-         \x20               [--profile] [--trace-out PATH] [--store DIR] [--resume RUN_ID]\n\
+        "usage: {bin}{positional} [--seed N] [--shards N] [--min-rows-per-shard N] [--out DIR]\n\
+         \x20               [--obs-jsonl] [--quick] [--profile] [--trace-out PATH]\n\
+         \x20               [--store DIR] [--resume RUN_ID]\n\
          \n\
          --seed N        RNG seed (default CHARM_SEED or 20170529)\n\
          --shards N      shard count for shard-invariant campaigns (sets CHARM_SHARDS)\n\
+         --min-rows-per-shard N  worker floor: at most one worker per N plan rows (1 = off)\n\
          --out DIR       results directory (sets CHARM_RESULTS_DIR)\n\
          --obs-jsonl     also write observability reports as JSON Lines\n\
          --quick         reduced plans for smoke runs\n\
+         --refit-dp      also time the O(n^3) refit-DP comparison (slow)\n\
          --profile       print a wall-clock self-profile on exit\n\
          --trace-out PATH  write a dual-clock Chrome/Perfetto trace.json\n\
          --store DIR     archive the campaign (with shard checkpoints) into a store\n\
@@ -206,8 +230,10 @@ mod tests {
             CommonArgs {
                 seed: 7,
                 shards: None,
+                min_rows_per_shard: None,
                 obs_jsonl: false,
                 quick: false,
+                refit_dp: false,
                 profile: false,
                 trace_out: None,
                 store: None,
@@ -227,10 +253,13 @@ mod tests {
                 "42",
                 "--shards",
                 "4",
+                "--min-rows-per-shard",
+                "1",
                 "--out",
                 "/tmp/r",
                 "--obs-jsonl",
                 "--quick",
+                "--refit-dp",
                 "--profile",
                 "--trace-out",
                 "/tmp/trace.json",
@@ -245,8 +274,10 @@ mod tests {
         .unwrap();
         assert_eq!(args.seed, 42);
         assert_eq!(args.shards, Some(4));
+        assert_eq!(args.min_rows_per_shard, Some(1));
         assert!(args.obs_jsonl);
         assert!(args.quick);
+        assert!(args.refit_dp);
         assert!(args.profile);
         assert_eq!(args.trace_out.as_deref(), Some("/tmp/trace.json"));
         assert_eq!(args.store.as_deref(), Some("/tmp/store"));
@@ -260,6 +291,11 @@ mod tests {
         assert_eq!(CommonArgs::try_parse(argv(&["--seed"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--seed", "abc"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--shards", "0"]), 1), Err(Exit::Error));
+        assert_eq!(
+            CommonArgs::try_parse(argv(&["--min-rows-per-shard", "0"]), 1),
+            Err(Exit::Error)
+        );
+        assert_eq!(CommonArgs::try_parse(argv(&["--min-rows-per-shard"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--trace-out"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--store"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--resume"]), 1), Err(Exit::Error));
@@ -273,9 +309,11 @@ mod tests {
         for flag in [
             "--seed",
             "--shards",
+            "--min-rows-per-shard",
             "--out",
             "--obs-jsonl",
             "--quick",
+            "--refit-dp",
             "--profile",
             "--trace-out",
             "--store",

@@ -24,13 +24,25 @@ use charm_obs::Observer;
 pub struct Study {
     plan: ExperimentPlan,
     shuffle_seed: Option<u64>,
+    min_rows_per_shard: Option<usize>,
 }
 
 impl Study {
     /// Starts a study from a plan (build it with
     /// [`charm_design::doe::FullFactorial`]).
     pub fn new(plan: ExperimentPlan) -> Self {
-        Study { plan, shuffle_seed: None }
+        Study { plan, shuffle_seed: None, min_rows_per_shard: None }
+    }
+
+    /// Overrides the engine's worker clamp
+    /// ([`charm_engine::DEFAULT_MIN_ROWS_PER_SHARD`]) for sharded runs:
+    /// the scheduler spawns at most one worker per `min_rows` plan rows,
+    /// so small campaigns don't pay thread startup per measurement. Pass
+    /// `1` to take the requested shard count literally (tests, smoke
+    /// runs); leave unset for the default floor.
+    pub fn min_rows_per_shard(mut self, min_rows: usize) -> Self {
+        self.min_rows_per_shard = Some(min_rows);
+        self
     }
 
     /// Randomizes the measurement order — the methodology's key step.
@@ -88,11 +100,13 @@ impl Study {
         base: &T,
         shards: usize,
     ) -> Result<Campaign, TargetError> {
-        charm_engine::Campaign::new(&self.plan, base.fork(base.stream_seed()))
+        let mut sharded = charm_engine::Campaign::new(&self.plan, base.fork(base.stream_seed()))
             .shards(shards)
-            .seed(self.shuffle_seed)
-            .run()
-            .map(|run| run.data)
+            .seed(self.shuffle_seed);
+        if let Some(min_rows) = self.min_rows_per_shard {
+            sharded = sharded.min_rows_per_shard(min_rows);
+        }
+        sharded.run().map(|run| run.data)
     }
 
     /// Stage 2, sharded and observed: [`Study::run_sharded`] with
@@ -104,11 +118,14 @@ impl Study {
         shards: usize,
         observer: Observer,
     ) -> Result<CampaignRun, TargetError> {
-        charm_engine::Campaign::new(&self.plan, base.fork(base.stream_seed()))
+        let mut sharded = charm_engine::Campaign::new(&self.plan, base.fork(base.stream_seed()))
             .shards(shards)
             .seed(self.shuffle_seed)
-            .observer(observer)
-            .run()
+            .observer(observer);
+        if let Some(min_rows) = self.min_rows_per_shard {
+            sharded = sharded.min_rows_per_shard(min_rows);
+        }
+        sharded.run()
     }
 
     /// A sensible shard count for a campaign of `rows` rows: the
@@ -251,12 +268,24 @@ mod tests {
         let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
         let sequential = study().run(&mut target).unwrap();
         let base = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
-        let sharded = study().run_sharded(&base, 4).unwrap();
+        // 36 rows sit under the engine's default worker floor, so take
+        // the shard count literally to exercise the parallel path.
+        let sharded = study().min_rows_per_shard(1).run_sharded(&base, 4).unwrap();
         let data = |c: &Campaign| {
             c.records.iter().map(|r| (r.levels.clone(), r.replicate, r.value)).collect::<Vec<_>>()
         };
         assert_eq!(data(&sequential), data(&sharded));
         assert_eq!(sharded.metadata["shards"], "4");
+    }
+
+    #[test]
+    fn default_floor_collapses_small_sharded_studies() {
+        let base = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
+        let sharded = study().run_sharded(&base, 4).unwrap();
+        assert_eq!(sharded.metadata["shards"], "1", "36 rows < 64-row floor");
+        let mut target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
+        let sequential = study().run(&mut target).unwrap();
+        assert_eq!(sequential.records, sharded.records);
     }
 
     #[test]
@@ -270,7 +299,10 @@ mod tests {
         assert_eq!(report.counters.get("engine.rows"), plain.records.len() as u64);
         // sharding leaves the merged counters untouched
         let base = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(7));
-        let sharded = study().run_sharded_observed(&base, 3, Observer::default()).unwrap();
+        let sharded = study()
+            .min_rows_per_shard(1)
+            .run_sharded_observed(&base, 3, Observer::default())
+            .unwrap();
         assert_eq!(report.counters, sharded.report.unwrap().counters);
     }
 

@@ -282,7 +282,7 @@ mod tests {
 
     #[test]
     fn detects_figure11_temporal_window() {
-        let campaign = arm_rt_campaign(11);
+        let campaign = arm_rt_campaign(12);
         let anomalies = temporal_anomalies(&campaign, &["size_bytes"], 1.0);
         assert!(!anomalies.is_empty(), "intruder window should be detected");
         // the anomalous windows sit ~5x off

@@ -35,9 +35,60 @@ use crate::meta::MetadataBuilder;
 use crate::record::{Campaign as CampaignData, RawRecord};
 use crate::target::{Assignment, ParallelTarget, Target, TargetError};
 use charm_design::plan::ExperimentPlan;
-use charm_obs::{CampaignReport, Observation, Observer, Span};
+use charm_obs::{CampaignReport, Counters, Observation, Observer, Span};
 use charm_trace::{Profiler, WallSpan};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Default minimum plan rows per worker before an extra shard pays for
+/// itself: below this, thread spawn and fork setup rival the
+/// measurement loop, so [`ShardedCampaign::run`] clamps the worker
+/// count. Override per campaign with
+/// [`ShardedCampaign::min_rows_per_shard`].
+pub const DEFAULT_MIN_ROWS_PER_SHARD: usize = 64;
+
+/// Batches carved per worker for dynamic claiming: enough slack that a
+/// worker stuck on a slow batch sheds the rest of its static share to
+/// idle peers, few enough that per-batch fork/`skip_to` setup stays
+/// noise next to the measurements.
+const BATCHES_PER_WORKER: usize = 4;
+
+/// The worker count a sharded run actually uses: `shards` clamped to
+/// `1..=rows`, then to at most one worker per `min_rows_per_shard` plan
+/// rows (`min_rows_per_shard <= 1` disables the heuristic). A pure
+/// function, so callers — tests, the store's smoke checks — can predict
+/// the run's geometry.
+pub fn effective_workers(rows: usize, shards: usize, min_rows_per_shard: usize) -> usize {
+    let requested = shards.clamp(1, rows.max(1));
+    requested.min((rows / min_rows_per_shard.max(1)).max(1))
+}
+
+/// How many dynamically claimed contiguous batches a work-stealing run
+/// over `rows` plan rows with `workers` workers is carved into. A pure
+/// function of its inputs — never of claim timing — so checkpoint
+/// geometry is reproducible across runs and resumes.
+pub fn batch_count(rows: usize, workers: usize) -> usize {
+    if workers <= 1 {
+        1
+    } else {
+        (workers * BATCHES_PER_WORKER).min(rows.max(1))
+    }
+}
+
+/// For every `X.hits`/`X.misses` pair in `diag`, derives
+/// `X.hit_rate_permille` (integer permille keeps the diagnostics
+/// channel `u64` end to end).
+fn add_hit_rates(diag: &mut Counters) {
+    let bases: Vec<String> =
+        diag.iter().filter_map(|(k, _)| k.strip_suffix(".hits").map(str::to_string)).collect();
+    for base in bases {
+        let hits = diag.get(&format!("{base}.hits"));
+        let total = hits + diag.get(&format!("{base}.misses"));
+        if let Some(permille) = (hits * 1000).checked_div(total) {
+            diag.add_owned(format!("{base}.hit_rate_permille"), permille);
+        }
+    }
+}
 
 /// The outcome of a [`Campaign::run`]: the campaign data itself plus the
 /// observability report when an [`Observer`] was attached.
@@ -147,6 +198,10 @@ impl<'p, T: Target> Campaign<'p, T> {
             metadata = metadata.set("observed", "true");
             let mut report = CampaignReport::merge(vec![self.target.take_observation()]);
             report.counters.add("engine.rows", records.len() as u64);
+            for (k, v) in self.target.diagnostics() {
+                report.diagnostics.add_owned(k, v);
+            }
+            add_hit_rates(&mut report.diagnostics);
             report.spans.push(Span {
                 name: "campaign".to_string(),
                 t_start_us: 0.0,
@@ -167,12 +222,21 @@ impl<'p, T: Target> Campaign<'p, T> {
 }
 
 impl<'p, T: ParallelTarget> Campaign<'p, T> {
-    /// Converts the builder into a sharded execution over `shards`
-    /// contiguous blocks of the plan, one OS thread per shard. Requires a
-    /// [`ParallelTarget`]; the shard count is clamped to `1..=plan rows`
-    /// at run time.
+    /// Converts the builder into a sharded execution: up to `shards`
+    /// worker threads dynamically claim contiguous batches of the plan
+    /// (see [`ShardedCampaign::run`]). Requires a [`ParallelTarget`];
+    /// the worker count is clamped at run time to `1..=plan rows` and
+    /// by the [`ShardedCampaign::min_rows_per_shard`] heuristic, so tiny
+    /// campaigns never pay thread startup for rows that take less time
+    /// than a spawn.
     pub fn shards(self, shards: usize) -> ShardedCampaign<'p, T> {
-        ShardedCampaign { inner: self, shards, sink: None, resume: false }
+        ShardedCampaign {
+            inner: self,
+            shards,
+            sink: None,
+            resume: false,
+            min_rows_per_shard: DEFAULT_MIN_ROWS_PER_SHARD,
+        }
     }
 }
 
@@ -184,6 +248,7 @@ pub struct ShardedCampaign<'p, T> {
     shards: usize,
     sink: Option<&'p dyn CheckpointSink>,
     resume: bool,
+    min_rows_per_shard: usize,
 }
 
 impl<'p, T: std::fmt::Debug> std::fmt::Debug for ShardedCampaign<'p, T> {
@@ -193,14 +258,83 @@ impl<'p, T: std::fmt::Debug> std::fmt::Debug for ShardedCampaign<'p, T> {
             .field("shards", &self.shards)
             .field("checkpointed", &self.sink.is_some())
             .field("resume", &self.resume)
+            .field("min_rows_per_shard", &self.min_rows_per_shard)
             .finish()
     }
 }
 
-/// What one shard thread reports back: its records, its local clock's
-/// final reading, its drained observation (when observing) and its wall
-/// time.
-type ShardYield = (Vec<RawRecord>, f64, Option<Observation>, u64);
+/// What one claimed batch yields: its records, its local clock's final
+/// reading, its drained observation (when observing), its fork's
+/// diagnostics, and its wall time.
+struct BatchYield {
+    records: Vec<RawRecord>,
+    elapsed_us: f64,
+    observation: Option<Observation>,
+    diagnostics: Vec<(String, u64)>,
+    wall_ns: u64,
+}
+
+/// What one worker thread reports back: the batches it claimed (with
+/// their outcomes) and how many of those claims were steals.
+struct WorkerYield {
+    batches: Vec<(usize, Result<BatchYield, TargetError>)>,
+    steals: u64,
+}
+
+/// One batch's place in the run geometry: which batch of how many, and
+/// the contiguous plan-row range it covers.
+struct BatchSpan {
+    batch: usize,
+    batches: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Measures the span's plan rows on a fresh fork — the per-batch body
+/// of the work-stealing loop. The finished batch is flushed through the
+/// checkpoint sink (keyed `(batch, batches)`) before it is reported, so
+/// an interrupted campaign retains every batch it already paid for;
+/// the flush happens after the last measurement, outside every virtual
+/// clock and RNG stream, so it cannot change values.
+fn run_batch<T: ParallelTarget>(
+    plan: &ExperimentPlan,
+    mut target: T,
+    observer: Option<&Observer>,
+    sink: Option<&dyn CheckpointSink>,
+    span: BatchSpan,
+) -> Result<BatchYield, TargetError> {
+    let batch_start = Instant::now();
+    if let Some(observer) = observer {
+        target.observe(observer);
+    }
+    target.skip_to(span.lo as u64);
+    let mut records = Vec::with_capacity(span.hi - span.lo);
+    for sequence in span.lo..span.hi {
+        let row = &plan.rows()[sequence];
+        let m = target.measure(&Assignment::new(plan, row))?;
+        records.push(RawRecord {
+            levels: row.levels.clone(),
+            replicate: row.replicate,
+            sequence: sequence as u64,
+            start_us: m.start_us,
+            value: m.value,
+        });
+    }
+    if let Some(sink) = sink {
+        let checkpoint = ShardCheckpoint { records: records.clone(), elapsed_us: target.now_us() };
+        sink.save_shard(span.batch, span.batches, &checkpoint)
+            .map_err(|e| TargetError::Checkpoint { message: e.to_string() })?;
+    }
+    let diagnostics = target.diagnostics();
+    let observation = observer.is_some().then(|| target.take_observation());
+    Ok(BatchYield {
+        records,
+        elapsed_us: target.now_us(),
+        observation,
+        diagnostics,
+        wall_ns: batch_start.elapsed().as_nanos() as u64,
+    })
+}
 
 impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
     /// Records the shuffle seed in the campaign metadata (see
@@ -229,11 +363,23 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
         self
     }
 
-    /// Attaches a checkpoint store: every shard flushes its finished
-    /// segment through [`CheckpointSink::save_shard`] the moment it
-    /// completes, so an interrupted campaign retains the shards it
+    /// Overrides the tiny-campaign clamp: the run uses at most one
+    /// worker per `min_rows` plan rows, so a 100-row campaign asked for
+    /// 8 shards runs on one thread instead of spawning workers whose
+    /// share costs less than their startup. Defaults to
+    /// [`DEFAULT_MIN_ROWS_PER_SHARD`]; `0` or `1` disables the clamp
+    /// (every requested shard gets a thread, as long as each has at
+    /// least one row).
+    pub fn min_rows_per_shard(mut self, min_rows: usize) -> Self {
+        self.min_rows_per_shard = min_rows;
+        self
+    }
+
+    /// Attaches a checkpoint store: every worker flushes each finished
+    /// batch through [`CheckpointSink::save_shard`] the moment it
+    /// completes, so an interrupted campaign retains the batches it
     /// already paid for. Checkpointing never touches measurement values
-    /// — segments are written after a shard's last measurement, outside
+    /// — segments are written after a batch's last measurement, outside
     /// every virtual clock and RNG stream — so stored and unstored
     /// campaigns are bit-identical (tested below).
     pub fn store(mut self, sink: &'p dyn CheckpointSink) -> Self {
@@ -241,13 +387,15 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
         self
     }
 
-    /// Resumes from the attached checkpoint store: shards with a stored
+    /// Resumes from the attached checkpoint store: batches with a stored
     /// segment are replayed from [`CheckpointSink::load_shard`] instead
-    /// of re-measured, shards without one execute normally (and are
+    /// of re-measured, batches without one execute normally (and are
     /// checkpointed). Because every replayed segment is exactly what the
-    /// shard would have produced, the resumed campaign is bit-identical
+    /// batch would have produced, the resumed campaign is bit-identical
     /// to an uninterrupted run — the determinism contract (DESIGN.md §9)
-    /// made durable.
+    /// made durable. Batch geometry is a pure function of the plan size
+    /// and worker count, so a resume sees exactly the segments an
+    /// uninterrupted run would have written.
     ///
     /// Requires [`ShardedCampaign::store`]; incompatible with an
     /// [`Observer`] (checkpoints retain records, not counter streams).
@@ -256,30 +404,49 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
         self
     }
 
-    /// Executes the plan against forks of the target, one thread per
-    /// shard, and merges the per-shard records back into canonical plan
-    /// order.
+    /// Executes the plan on a pool of worker threads that dynamically
+    /// claim contiguous row batches off a shared counter, and merges the
+    /// per-batch records back into canonical plan order.
     ///
-    /// The plan's rows are split into contiguous blocks
-    /// `[b*n/k, (b+1)*n/k)`. Each shard gets an independent fork of the
-    /// target (same configuration, same stream seed — see
-    /// [`ParallelTarget::fork`]) positioned at its block's first
-    /// measurement index via [`ParallelTarget::skip_to`]. Because every
-    /// random draw of a shard-invariant target is a pure function of
-    /// `(stream seed, measurement index)`, shard `b` produces bit-for-bit
-    /// the values a sequential run produces for its rows, so the merged
-    /// campaign has exactly the sequential `(levels, replicate, value)`
-    /// multiset regardless of shard count.
+    /// # Scheduling
     ///
-    /// Virtual clocks are shard-local: each fork starts at time 0, and
-    /// the merge shifts shard `b`'s timestamps (records *and* events) by
-    /// the summed elapsed time of shards `0..b`. With deterministic
+    /// The plan's `n` rows are carved into [`batch_count`] contiguous
+    /// batches `[b*n/B, (b+1)*n/B)` — several per worker — and
+    /// [`effective_workers`] threads claim them one `fetch_add` at a
+    /// time. Claiming is dynamic: a worker that finishes early claims
+    /// the next unclaimed batch, *stealing* it from the worker a static
+    /// split would have given it, so a slow batch no longer leaves the
+    /// other threads idle behind a barrier. Which worker executes a
+    /// batch affects wall-clock time only, never results, because every
+    /// batch runs on a fresh fork positioned by measurement index (see
+    /// below). Steal counts surface as diagnostics
+    /// (`engine.scheduler.steals`), not as scientific counters.
+    ///
+    /// # Determinism
+    ///
+    /// Each claimed batch gets an independent fork of the target (same
+    /// configuration, same stream seed — see [`ParallelTarget::fork`])
+    /// positioned at the batch's first measurement index via
+    /// [`ParallelTarget::skip_to`]. Because every random draw of a
+    /// shard-invariant target is a pure function of `(stream seed,
+    /// measurement index)`, batch `b` produces bit-for-bit the values a
+    /// sequential run produces for its rows, so the merged campaign has
+    /// exactly the sequential `(levels, replicate, value)` multiset
+    /// regardless of worker count, batch geometry, or claim order.
+    /// Forks of a memoizing target share one memoization cache
+    /// campaign-wide; the cache is consulted only after all random
+    /// draws (DESIGN.md §13), so sharing changes hit rates — reported
+    /// in the diagnostics channel — never values.
+    ///
+    /// Virtual clocks are batch-local: each fork starts at time 0, and
+    /// the merge shifts batch `b`'s timestamps (records *and* events) by
+    /// the summed elapsed time of batches `0..b`. With deterministic
     /// per-measurement durations this reconstructs the sequential
-    /// timeline up to float rounding in the offset sums (for
-    /// `shards == 1` the offset is 0 and the campaign equals the
+    /// timeline up to float rounding in the offset sums (for one worker
+    /// there is a single batch with offset 0 and the campaign equals the
     /// sequential run record-for-record). The applied offsets are
-    /// recorded in metadata under `shard_clock_offsets`, next to
-    /// `shards`.
+    /// recorded in metadata under `shard_clock_offsets` (one per batch),
+    /// next to `shards` (the effective worker count) and `batches`.
     ///
     /// The original target is consumed but only forked, never measured;
     /// the run behaves as if a fresh target with its configuration and
@@ -287,21 +454,24 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
     ///
     /// # Errors
     ///
-    /// Returns [`TargetError::NotShardable`] when `shards > 1` and the
-    /// target reports [`ParallelTarget::shard_invariant`] `== false`
-    /// (time-dependent physics such as `ondemand` DVFS or intruder
-    /// scheduling): sharding such a target would silently change its
-    /// science, so the engine refuses instead. Measurement errors fail
-    /// the campaign like the sequential run; the error for the earliest
-    /// failing plan row wins.
+    /// Returns [`TargetError::NotShardable`] when the effective worker
+    /// count exceeds 1 and the target reports
+    /// [`ParallelTarget::shard_invariant`] `== false` (time-dependent
+    /// physics such as `ondemand` DVFS or intruder scheduling): sharding
+    /// such a target would silently change its science, so the engine
+    /// refuses instead. (A request the tiny-campaign clamp reduces to
+    /// one worker runs sequentially and is always fine.) Measurement
+    /// errors fail the campaign like the sequential run; the error for
+    /// the earliest failing plan row wins — batches are claimed in index
+    /// order, so every batch before the earliest failure has a result.
     pub fn run(self) -> Result<CampaignRun, TargetError> {
-        let ShardedCampaign { inner, shards, sink, resume } = self;
+        let ShardedCampaign { inner, shards, sink, resume, min_rows_per_shard } = self;
         let Campaign { plan, target: base, shuffle_seed, observer, profiler } = inner;
         let _run_span = profiler.span_on("engine", "engine.run");
         let wall_start = Instant::now();
         let n = plan.len();
-        let shards = shards.clamp(1, n.max(1));
-        if shards > 1 && !base.shard_invariant() {
+        let workers = effective_workers(n, shards, min_rows_per_shard);
+        if workers > 1 && !base.shard_invariant() {
             return Err(TargetError::NotShardable { target: base.name() });
         }
         if resume && sink.is_none() {
@@ -319,18 +489,19 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
             });
         }
         let seed = base.stream_seed();
-        // Contiguous blocks [b*n/k, (b+1)*n/k): sizes differ by at most one.
+        let nbatches = batch_count(n, workers);
+        // Contiguous batches [b*n/B, (b+1)*n/B): sizes differ by at most one.
         let bounds: Vec<(usize, usize)> =
-            (0..shards).map(|b| (b * n / shards, (b + 1) * n / shards)).collect();
-        // When resuming, replay finished shards from the store instead of
+            (0..nbatches).map(|b| (b * n / nbatches, (b + 1) * n / nbatches)).collect();
+        // When resuming, replay finished batches from the store instead of
         // re-measuring them. A present-but-wrong segment is an error, not
         // a silent re-measure: the store said these rows were retained.
-        let mut replayed: Vec<Option<ShardCheckpoint>> = (0..shards).map(|_| None).collect();
+        let mut replayed: Vec<Option<ShardCheckpoint>> = (0..nbatches).map(|_| None).collect();
         if resume {
             let sink = sink.expect("resume checked sink above");
             for (b, &(lo, hi)) in bounds.iter().enumerate() {
                 let loaded = sink
-                    .load_shard(b, shards)
+                    .load_shard(b, nbatches)
                     .map_err(|e| TargetError::Checkpoint { message: e.to_string() })?;
                 if let Some(chk) = loaded {
                     let covers = chk.records.len() == hi - lo
@@ -339,7 +510,7 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                     if !covers {
                         return Err(TargetError::Checkpoint {
                             message: format!(
-                                "shard {b} of {shards} checkpoint does not cover plan rows \
+                                "batch {b} of {nbatches} checkpoint does not cover plan rows \
                                  {lo}..{hi} (got {} records)",
                                 chk.records.len()
                             ),
@@ -349,82 +520,92 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                 }
             }
         }
+        let replayed_mask: Vec<bool> = replayed.iter().map(Option::is_some).collect();
+        // Worker protos fork off `base` up front: forks of a memoizing
+        // target share its cache, so every per-batch fork taken from a
+        // proto below shares one campaign-wide cache.
+        let protos: Vec<T> = (0..workers).map(|_| base.fork(seed)).collect();
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
         let parallel_start_ns = profiler.elapsed_ns();
-        let shard_results: Vec<Option<Result<ShardYield, TargetError>>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = bounds
-                    .iter()
-                    .enumerate()
-                    .map(|(b, &(lo, hi))| {
-                        if replayed[b].is_some() {
-                            return None; // replayed from the checkpoint store
-                        }
-                        let mut target = base.fork(seed);
-                        if let Some(observer) = &observer {
-                            target.observe(observer);
-                        }
-                        let observed = observer.is_some();
-                        let profiler = profiler.clone();
-                        Some(scope.spawn(move |_| -> Result<ShardYield, TargetError> {
+        let worker_yields: Vec<WorkerYield> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = protos
+                .into_iter()
+                .enumerate()
+                .map(|(w, proto)| {
+                    let profiler = profiler.clone();
+                    let (next, abort, bounds, replayed_mask, observer) =
+                        (&next, &abort, &bounds, &replayed_mask, &observer);
+                    scope.spawn(move |_| {
+                        let mut batches: Vec<(usize, Result<BatchYield, TargetError>)> = Vec::new();
+                        let mut steals = 0u64;
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let b = next.fetch_add(1, Ordering::SeqCst);
+                            if b >= bounds.len() {
+                                break;
+                            }
+                            if replayed_mask[b] {
+                                continue; // replayed from the checkpoint store
+                            }
+                            // The batch a static split would have given this
+                            // worker; claiming any other batch is a steal.
+                            if b * workers / bounds.len() != w {
+                                steals += 1;
+                            }
+                            let (lo, hi) = bounds[b];
                             // Gated on is_enabled so the disabled path
                             // allocates no track name.
-                            let _shard_span = profiler.is_enabled().then(|| {
+                            let _batch_span = profiler.is_enabled().then(|| {
                                 profiler
-                                    .span_on(&format!("shard{b}"), "shard.execute")
+                                    .span_on(&format!("shard{w}"), "batch.execute")
+                                    .arg("batch", b)
                                     .arg("rows", hi - lo)
                             });
-                            let shard_start = Instant::now();
-                            target.skip_to(lo as u64);
-                            let mut records = Vec::with_capacity(hi - lo);
-                            for sequence in lo..hi {
-                                let row = &plan.rows()[sequence];
-                                let m = target.measure(&Assignment::new(plan, row))?;
-                                records.push(RawRecord {
-                                    levels: row.levels.clone(),
-                                    replicate: row.replicate,
-                                    sequence: sequence as u64,
-                                    start_us: m.start_us,
-                                    value: m.value,
-                                });
+                            let span = BatchSpan { batch: b, batches: bounds.len(), lo, hi };
+                            let result =
+                                run_batch(plan, proto.fork(seed), observer.as_ref(), sink, span);
+                            let failed = result.is_err();
+                            batches.push((b, result));
+                            if failed {
+                                // Fail fast: stop handing out batches;
+                                // in-flight batches on other workers finish.
+                                abort.store(true, Ordering::Relaxed);
+                                break;
                             }
-                            // Flush the finished shard before reporting it:
-                            // the checkpoint is written after the last
-                            // measurement, outside every virtual clock and
-                            // RNG stream, so it cannot change values.
-                            if let Some(sink) = sink {
-                                let checkpoint = ShardCheckpoint {
-                                    records: records.clone(),
-                                    elapsed_us: target.now_us(),
-                                };
-                                sink.save_shard(b, shards, &checkpoint).map_err(|e| {
-                                    TargetError::Checkpoint { message: e.to_string() }
-                                })?;
-                            }
-                            let observation = observed.then(|| target.take_observation());
-                            let wall_ns = shard_start.elapsed().as_nanos() as u64;
-                            Ok((records, target.now_us(), observation, wall_ns))
-                        }))
+                        }
+                        WorkerYield { batches, steals }
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.map(|h| h.join().expect("shard thread panicked")))
-                    .collect()
-            })
-            .expect("scope panicked");
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        })
+        .expect("scope panicked");
+        let mut executed: Vec<Option<Result<BatchYield, TargetError>>> =
+            (0..nbatches).map(|_| None).collect();
+        let mut steals_per_worker = vec![0u64; workers];
+        let mut total_steals = 0u64;
+        let mut worker_of: Vec<usize> = vec![0; nbatches];
+        for (w, wy) in worker_yields.into_iter().enumerate() {
+            steals_per_worker[w] = wy.steals;
+            total_steals += wy.steals;
+            for (b, res) in wy.batches {
+                worker_of[b] = w;
+                executed[b] = Some(res);
+            }
+        }
         if profiler.is_enabled() {
-            // Shard utilization: summed shard busy time over the
-            // parallel region's wall time × shard count. 1.0 means every
+            // Worker utilization: summed batch busy time over the
+            // parallel region's wall time × worker count. 1.0 means every
             // thread worked the whole region; low values expose skewed
-            // blocks or an oversubscribed host. Replayed shards did no
+            // batches or an oversubscribed host. Replayed batches did no
             // wall-clock work and contribute nothing.
             let parallel_dur_ns = profiler.elapsed_ns().saturating_sub(parallel_start_ns);
-            let busy_ns: u64 = shard_results
-                .iter()
-                .flatten()
-                .filter_map(|r| r.as_ref().ok().map(|(_, _, _, wall_ns)| *wall_ns))
-                .sum();
-            let capacity_ns = parallel_dur_ns.saturating_mul(shards as u64);
+            let busy_ns: u64 =
+                executed.iter().flatten().filter_map(|r| r.as_ref().ok().map(|y| y.wall_ns)).sum();
+            let capacity_ns = parallel_dur_ns.saturating_mul(workers as u64);
             let utilization =
                 if capacity_ns == 0 { 0.0 } else { busy_ns as f64 / capacity_ns as f64 };
             profiler.record(WallSpan {
@@ -433,61 +614,79 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                 start_ns: parallel_start_ns,
                 dur_ns: parallel_dur_ns,
                 args: vec![
-                    ("shards".to_string(), shards.to_string()),
+                    ("shards".to_string(), workers.to_string()),
                     ("utilization".to_string(), format!("{utilization:.3}")),
+                    ("batches".to_string(), nbatches.to_string()),
+                    ("steals".to_string(), total_steals.to_string()),
                 ],
             });
         }
 
         let _merge_span = profiler.span_on("engine", "engine.merge");
         let mut records = Vec::with_capacity(n);
-        let mut offsets = Vec::with_capacity(shards);
-        let mut observations = Vec::with_capacity(shards);
-        let mut spans = Vec::with_capacity(shards);
+        let mut offsets = Vec::with_capacity(nbatches);
+        let mut observations = Vec::with_capacity(nbatches);
+        let mut diagnostics = Counters::new();
+        let mut spans = Vec::with_capacity(nbatches);
         let mut clock_us = 0.0f64;
-        for (b, (loaded, executed)) in replayed.into_iter().zip(shard_results).enumerate() {
-            // Blocks are in canonical order, so the first failing shard
-            // holds the earliest failing plan row. Replayed shards carry
-            // their stored clock reading, so the offset arithmetic — and
-            // therefore every timestamp — matches the uninterrupted run.
-            let (mut shard_records, shard_elapsed_us, observation, wall_ns) =
-                match (loaded, executed) {
-                    (Some(chk), _) => (chk.records, chk.elapsed_us, None, 0u64),
-                    (None, Some(result)) => result?,
-                    (None, None) => unreachable!("shard neither replayed nor executed"),
+        for (b, (loaded, outcome)) in replayed.into_iter().zip(executed).enumerate() {
+            // Batches are claimed in index order, so every batch before
+            // the earliest failure has a result, and the first failing
+            // batch holds the earliest failing plan row. Replayed batches
+            // carry their stored clock reading, so the offset arithmetic
+            // — and therefore every timestamp — matches the uninterrupted
+            // run.
+            let (mut batch_records, batch_elapsed_us, observation, batch_diag, wall_ns) =
+                match (loaded, outcome) {
+                    (Some(chk), _) => (chk.records, chk.elapsed_us, None, Vec::new(), 0u64),
+                    (None, Some(Ok(y))) => {
+                        (y.records, y.elapsed_us, y.observation, y.diagnostics, y.wall_ns)
+                    }
+                    (None, Some(Err(e))) => return Err(e),
+                    (None, None) => unreachable!("batch neither replayed nor executed"),
                 };
             offsets.push(clock_us);
-            for r in &mut shard_records {
+            for r in &mut batch_records {
                 r.start_us += clock_us;
             }
-            records.append(&mut shard_records);
+            records.append(&mut batch_records);
+            for (k, v) in batch_diag {
+                // Campaign total plus a per-worker breakdown keyed by the
+                // worker that actually executed the batch.
+                diagnostics.add_owned(format!("shard{}.{k}", worker_of[b]), v);
+                diagnostics.add_owned(k, v);
+            }
             if let Some(mut obs) = observation {
-                // Shift shard-local event timestamps onto the campaign
+                // Shift batch-local event timestamps onto the campaign
                 // timeline, like record timestamps above. Sequence
                 // numbers are already global (skip_to set the index).
                 for e in &mut obs.events {
                     e.t_us += clock_us;
                 }
                 spans.push(Span {
-                    name: format!("shard{b}"),
+                    name: format!("batch{b}"),
                     t_start_us: clock_us,
-                    t_end_us: clock_us + shard_elapsed_us,
+                    t_end_us: clock_us + batch_elapsed_us,
                     wall_ns,
                 });
                 observations.push(obs);
             }
-            clock_us += shard_elapsed_us;
+            clock_us += batch_elapsed_us;
         }
         let offsets_str = offsets.iter().map(|o| format!("{o:.3}")).collect::<Vec<_>>().join(",");
         let mut metadata = MetadataBuilder::new()
             .with_engine_info()
             .with_campaign_info(plan.len(), shuffle_seed)
             .with_target_info(&base.metadata())
-            .set("shards", shards)
+            .set("shards", workers)
+            .set("batches", nbatches)
             .set("shard_clock_offsets", offsets_str);
         let report = if observer.is_some() {
             metadata = metadata.set("observed", "true");
             let mut report = CampaignReport::merge(observations);
+            // merge() counts observations (= batches); the report's shard
+            // count is the worker count.
+            report.shards = workers;
             report.counters.add("engine.rows", records.len() as u64);
             report.spans = spans;
             report.spans.push(Span {
@@ -496,6 +695,13 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                 t_end_us: clock_us,
                 wall_ns: wall_start.elapsed().as_nanos() as u64,
             });
+            diagnostics.add("engine.scheduler.batches", nbatches as u64);
+            diagnostics.add("engine.scheduler.steals", total_steals);
+            for (w, s) in steals_per_worker.iter().enumerate() {
+                diagnostics.add_owned(format!("shard{w}.engine.scheduler.steals"), *s);
+            }
+            add_hit_rates(&mut diagnostics);
+            report.diagnostics = diagnostics;
             Some(report)
         } else {
             None
@@ -700,6 +906,7 @@ mod tests {
         assert_eq!(sequential.records, parallel.records);
         assert_eq!(sequential.factor_names, parallel.factor_names);
         assert_eq!(parallel.metadata["shards"], "1");
+        assert_eq!(parallel.metadata["batches"], "1");
         assert_eq!(parallel.metadata["shard_clock_offsets"], "0.000");
     }
 
@@ -714,7 +921,13 @@ mod tests {
                 .data;
         for shards in [2usize, 3, 7] {
             let target = NetworkTarget::new("myrinet", presets::myrinet_gm(42));
-            let parallel = Campaign::new(&plan, target).shards(shards).seed(3).run().unwrap().data;
+            let parallel = Campaign::new(&plan, target)
+                .shards(shards)
+                .min_rows_per_shard(1)
+                .seed(3)
+                .run()
+                .unwrap()
+                .data;
             assert_eq!(parallel.records.len(), sequential.records.len());
             for (s, p) in sequential.records.iter().zip(&parallel.records) {
                 assert_eq!(s.levels, p.levels, "{shards} shards");
@@ -734,8 +947,10 @@ mod tests {
                 );
             }
             assert_eq!(parallel.metadata["shards"], shards.to_string());
+            let batches = batch_count(plan.len(), shards);
+            assert_eq!(parallel.metadata["batches"], batches.to_string());
             let offsets = parallel.metadata["shard_clock_offsets"].split(',').count();
-            assert_eq!(offsets, shards);
+            assert_eq!(offsets, batches);
         }
     }
 
@@ -752,6 +967,7 @@ mod tests {
             Campaign::new(&plan, MemoryTarget::new("arm", arm_machine(21))).seed(8).run().unwrap();
         let parallel = Campaign::new(&plan, MemoryTarget::new("arm", arm_machine(21)))
             .shards(4)
+            .min_rows_per_shard(1)
             .seed(8)
             .run()
             .unwrap();
@@ -765,9 +981,63 @@ mod tests {
     fn shards_clamp_to_plan_rows() {
         let plan = shuffled_net_plan(1, 1); // 12 rows
         let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(1));
-        let campaign = Campaign::new(&plan, target).shards(99).seed(1).run().unwrap().data;
+        let campaign = Campaign::new(&plan, target)
+            .shards(99)
+            .min_rows_per_shard(1)
+            .seed(1)
+            .run()
+            .unwrap()
+            .data;
         assert_eq!(campaign.records.len(), 12);
         assert_eq!(campaign.metadata["shards"], "12");
+    }
+
+    /// The tiny-campaign clamp: a 100-row plan asked for 8 shards runs
+    /// on one worker under the default heuristic (thread startup would
+    /// rival the measurement loop), scales up as the floor is lowered,
+    /// and produces identical records at every setting.
+    #[test]
+    fn min_rows_per_shard_clamps_tiny_campaigns() {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("op", vec!["ping_pong"]))
+            .factor(Factor::new("size", vec![64i64, 1024, 16384, 262144]))
+            .replicates(25) // 100 rows
+            .build()
+            .unwrap();
+        plan.shuffle(61);
+        assert_eq!(plan.len(), 100);
+        let run_with = |configure: fn(
+            ShardedCampaign<'_, NetworkTarget>,
+        ) -> ShardedCampaign<'_, NetworkTarget>| {
+            let target = NetworkTarget::new("m", presets::myrinet_gm(61));
+            configure(Campaign::new(&plan, target).shards(8)).seed(61).run().unwrap().data
+        };
+        let default_clamp = run_with(|c| c);
+        assert_eq!(default_clamp.metadata["shards"], "1", "100 rows / 64 floor -> 1 worker");
+        assert_eq!(default_clamp.metadata["batches"], "1");
+        let relaxed = run_with(|c| c.min_rows_per_shard(25));
+        assert_eq!(relaxed.metadata["shards"], "4", "100 rows / 25 floor -> 4 workers");
+        let unclamped = run_with(|c| c.min_rows_per_shard(1));
+        assert_eq!(unclamped.metadata["shards"], "8");
+        let values = |c: &CampaignData| {
+            c.records.iter().map(|r| (r.sequence, r.value.to_bits())).collect::<Vec<_>>()
+        };
+        assert_eq!(values(&default_clamp), values(&relaxed));
+        assert_eq!(values(&default_clamp), values(&unclamped));
+    }
+
+    #[test]
+    fn geometry_helpers_are_pure_and_clamped() {
+        assert_eq!(effective_workers(100, 8, DEFAULT_MIN_ROWS_PER_SHARD), 1);
+        assert_eq!(effective_workers(100, 8, 25), 4);
+        assert_eq!(effective_workers(100, 8, 0), 8);
+        assert_eq!(effective_workers(100, 8, 1), 8);
+        assert_eq!(effective_workers(3, 8, 1), 3, "never more workers than rows");
+        assert_eq!(effective_workers(0, 8, 1), 1, "empty plan still gets one worker");
+        assert_eq!(batch_count(100, 1), 1, "one worker means one batch");
+        assert_eq!(batch_count(100, 4), 16, "BATCHES_PER_WORKER batches per worker");
+        assert_eq!(batch_count(6, 4), 6, "never more batches than rows");
+        assert_eq!(batch_count(0, 1), 1);
     }
 
     #[test]
@@ -779,7 +1049,7 @@ mod tests {
             .build()
             .unwrap();
         let target = NetworkTarget::new("m", presets::myrinet_gm(1));
-        let err = Campaign::new(&plan, target).shards(3).run().unwrap_err();
+        let err = Campaign::new(&plan, target).shards(3).min_rows_per_shard(1).run().unwrap_err();
         assert!(matches!(err, TargetError::BadFactor { name: "op", .. }));
     }
 
@@ -790,6 +1060,7 @@ mod tests {
             let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(13));
             let run = Campaign::new(&plan, target)
                 .shards(shards)
+                .min_rows_per_shard(1)
                 .seed(13)
                 .observer(Observer::default())
                 .run()
@@ -807,9 +1078,10 @@ mod tests {
             for (i, e) in many.events.iter().enumerate() {
                 assert_eq!(e.seq, i as u64, "{shards} shards");
             }
-            // one span per shard plus the whole-campaign span
-            assert_eq!(many.spans.len(), shards + 1);
-            assert_eq!(many.spans[shards].name, "campaign");
+            // one span per batch plus the whole-campaign span
+            let batches = batch_count(plan.len(), shards);
+            assert_eq!(many.spans.len(), batches + 1);
+            assert_eq!(many.spans[batches].name, "campaign");
         }
     }
 
@@ -819,6 +1091,7 @@ mod tests {
         let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(29));
         let run = Campaign::new(&plan, target)
             .shards(4)
+            .min_rows_per_shard(1)
             .seed(29)
             .observer(Observer::default())
             .run()
@@ -858,10 +1131,12 @@ mod tests {
                 ),
             )
         };
-        let err = Campaign::new(&plan, mk()).shards(2).run().unwrap_err();
+        let err = Campaign::new(&plan, mk()).shards(2).min_rows_per_shard(1).run().unwrap_err();
         assert!(matches!(err, TargetError::NotShardable { .. }));
         // one shard is always fine: it is just the sequential run
         assert!(Campaign::new(&plan, mk()).shards(1).run().is_ok());
+        // so is a request the tiny-campaign clamp reduces to one worker
+        assert!(Campaign::new(&plan, mk()).shards(2).run().is_ok());
     }
 
     #[test]
@@ -877,6 +1152,7 @@ mod tests {
             let target = MemoryTarget::new("arm", arm_machine(21));
             Campaign::new(&plan, target)
                 .shards(shards)
+                .min_rows_per_shard(1)
                 .seed(31)
                 .observer(Observer::default())
                 .run()
@@ -901,7 +1177,7 @@ mod tests {
             let builder = Campaign::new(&plan, target).seed(19).profiler(profiler);
             match shards {
                 0 => builder.run().unwrap().data,
-                k => builder.shards(k).run().unwrap().data,
+                k => builder.shards(k).min_rows_per_shard(1).run().unwrap().data,
             }
         };
         for shards in [0usize, 3] {
@@ -942,16 +1218,33 @@ mod tests {
         let plan = shuffled_net_plan(4, 7);
         let p = Profiler::enabled();
         let target = NetworkTarget::new("t", presets::taurus_openmpi_tcp(7));
-        Campaign::new(&plan, target).shards(3).seed(7).profiler(p.clone()).run().unwrap();
+        Campaign::new(&plan, target)
+            .shards(3)
+            .min_rows_per_shard(1)
+            .seed(7)
+            .profiler(p.clone())
+            .run()
+            .unwrap();
         let spans = p.take();
-        for b in 0..3 {
-            let shard = spans
-                .iter()
-                .find(|s| s.track == format!("shard{b}") && s.name == "shard.execute")
-                .unwrap_or_else(|| panic!("no shard{b} span"));
-            assert_eq!(shard.args.len(), 1);
-            assert_eq!(shard.args[0].0, "rows");
-        }
+        // Every batch executed on some worker track; which worker ran
+        // which batch is scheduling, not science, so assert coverage
+        // rather than placement.
+        let batches = batch_count(plan.len(), 3);
+        let batch_spans: Vec<_> = spans
+            .iter()
+            .filter(|s| s.track.starts_with("shard") && s.name == "batch.execute")
+            .collect();
+        assert_eq!(batch_spans.len(), batches);
+        let mut seen: Vec<usize> = batch_spans
+            .iter()
+            .map(|s| {
+                assert_eq!(s.args[0].0, "batch");
+                assert_eq!(s.args[1].0, "rows");
+                s.args[0].1.parse::<usize>().unwrap()
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..batches).collect::<Vec<_>>());
         let parallel =
             spans.iter().find(|s| s.name == "engine.parallel").expect("parallel region span");
         assert_eq!(parallel.track, "engine");
@@ -959,13 +1252,61 @@ mod tests {
         assert_eq!(parallel.args[1].0, "utilization");
         let u: f64 = parallel.args[1].1.parse().unwrap();
         assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        assert_eq!(parallel.args[2], ("batches".to_string(), batches.to_string()));
+        assert_eq!(parallel.args[3].0, "steals");
         // merge follows the parallel region inside the run span
         let merge = spans.iter().find(|s| s.name == "engine.merge").unwrap();
         assert!(parallel.end_ns() <= merge.start_ns + 1_000);
     }
 
-    /// In-memory checkpoint sink: segments keyed by (shard, shards),
-    /// plus save/load counters so tests can assert which shards executed.
+    /// The diagnostics channel: a sharded observed memory campaign
+    /// reports shared-profile-cache hit statistics and scheduler
+    /// tallies, separate from the (shard-invariant) scientific
+    /// counters.
+    #[test]
+    fn sharded_run_reports_cache_and_scheduler_diagnostics() {
+        let mut plan = FullFactorial::new()
+            .factor(Factor::new("size_bytes", vec![4096i64, 16384, 65536]))
+            .factor(Factor::new("stride", vec![1i64, 4]))
+            .replicates(4)
+            .build()
+            .unwrap();
+        plan.shuffle(43);
+        let machine = MachineSim::new(
+            CpuSpec::arm_snowball(),
+            GovernorPolicy::Performance,
+            SchedPolicy::PinnedDefault,
+            AllocPolicy::MallocPerSize,
+            9,
+        );
+        let run = Campaign::new(&plan, MemoryTarget::new("arm", machine))
+            .shards(3)
+            .min_rows_per_shard(1)
+            .seed(43)
+            .observer(Observer::default())
+            .run()
+            .unwrap();
+        let report = run.report.expect("observer attached");
+        let d = &report.diagnostics;
+        let hits = d.get("simmem.profile_cache.hits");
+        let misses = d.get("simmem.profile_cache.misses");
+        assert_eq!(hits + misses, plan.len() as u64, "one cache lookup per row");
+        assert!(hits > 0, "repeated (size, stride) rows must hit the shared cache");
+        assert_eq!(d.get("simmem.profile_cache.hit_rate_permille"), hits * 1000 / (hits + misses));
+        assert_eq!(d.get("engine.scheduler.batches"), batch_count(plan.len(), 3) as u64);
+        // per-worker breakdowns sum to the campaign totals
+        let per_worker_hits: u64 =
+            (0..3).map(|w| d.get(&format!("shard{w}.simmem.profile_cache.hits"))).sum();
+        assert_eq!(per_worker_hits, hits);
+        let per_worker_steals: u64 =
+            (0..3).map(|w| d.get(&format!("shard{w}.engine.scheduler.steals"))).sum();
+        assert_eq!(per_worker_steals, d.get("engine.scheduler.steals"));
+        // diagnostics never leak into the scientific counter set
+        assert!(report.counters.iter().all(|(k, _)| !k.contains("profile_cache")));
+    }
+
+    /// In-memory checkpoint sink: segments keyed by (batch, batches),
+    /// plus save/load counters so tests can assert which batches executed.
     #[derive(Default)]
     struct MemorySink {
         segments: std::sync::Mutex<std::collections::HashMap<(usize, usize), ShardCheckpoint>>,
@@ -1020,6 +1361,7 @@ mod tests {
         let plan = shuffled_net_plan(4, 37);
         let plain = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(37)))
             .shards(3)
+            .min_rows_per_shard(1)
             .seed(37)
             .run()
             .unwrap()
@@ -1027,16 +1369,18 @@ mod tests {
         let sink = MemorySink::default();
         let stored = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(37)))
             .shards(3)
+            .min_rows_per_shard(1)
             .seed(37)
             .store(&sink)
             .run()
             .unwrap()
             .data;
         assert_bit_identical(&plain, &stored);
-        // every shard flushed exactly one segment
-        assert_eq!(sink.saves(), 3);
+        // every batch flushed exactly one segment
+        let batches = batch_count(plan.len(), 3);
+        assert_eq!(sink.saves(), batches);
         let segments = sink.segments.lock().unwrap();
-        assert_eq!(segments.len(), 3);
+        assert_eq!(segments.len(), batches);
         let total: usize = segments.values().map(|c| c.records.len()).sum();
         assert_eq!(total, plan.len());
     }
@@ -1046,6 +1390,7 @@ mod tests {
         let plan = shuffled_net_plan(5, 41);
         let fresh = Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(41)))
             .shards(4)
+            .min_rows_per_shard(1)
             .seed(41)
             .run()
             .unwrap()
@@ -1053,16 +1398,19 @@ mod tests {
         let sink = MemorySink::default();
         Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(41)))
             .shards(4)
+            .min_rows_per_shard(1)
             .seed(41)
             .store(&sink)
             .run()
             .unwrap();
-        // Kill a strict subset of shards, as if the campaign died mid-run.
-        sink.remove(1, 4);
-        sink.remove(3, 4);
+        // Kill a strict subset of batches, as if the campaign died mid-run.
+        let batches = batch_count(plan.len(), 4);
+        sink.remove(1, batches);
+        sink.remove(batches - 1, batches);
         let saves_before = sink.saves();
         let resumed = Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(41)))
             .shards(4)
+            .min_rows_per_shard(1)
             .seed(41)
             .store(&sink)
             .resume(true)
@@ -1070,7 +1418,7 @@ mod tests {
             .unwrap()
             .data;
         assert_bit_identical(&fresh, &resumed);
-        // only the two missing shards were re-executed (and re-flushed)
+        // only the two missing batches were re-executed (and re-flushed)
         assert_eq!(sink.saves() - saves_before, 2);
     }
 
@@ -1080,6 +1428,7 @@ mod tests {
         let sink = MemorySink::default();
         let stored = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(53)))
             .shards(2)
+            .min_rows_per_shard(1)
             .seed(53)
             .store(&sink)
             .run()
@@ -1089,6 +1438,7 @@ mod tests {
         let resumed =
             Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(53)))
                 .shards(2)
+                .min_rows_per_shard(1)
                 .seed(53)
                 .store(&sink)
                 .resume(true)
@@ -1096,7 +1446,7 @@ mod tests {
                 .unwrap()
                 .data;
         assert_bit_identical(&stored, &resumed);
-        assert_eq!(sink.saves(), saves_before, "no shard re-executed");
+        assert_eq!(sink.saves(), saves_before, "no batch re-executed");
     }
 
     #[test]
@@ -1128,18 +1478,21 @@ mod tests {
         let sink = MemorySink::default();
         Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(3)))
             .shards(2)
+            .min_rows_per_shard(1)
             .seed(3)
             .store(&sink)
             .run()
             .unwrap();
-        // Truncate shard 0's segment: resume must refuse, not re-measure.
+        // Truncate batch 0's segment: resume must refuse, not re-measure.
+        let batches = batch_count(plan.len(), 2);
         {
             let mut segments = sink.segments.lock().unwrap();
-            let chk = segments.get_mut(&(0, 2)).unwrap();
+            let chk = segments.get_mut(&(0, batches)).unwrap();
             chk.records.pop();
         }
         let err = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(3)))
             .shards(2)
+            .min_rows_per_shard(1)
             .seed(3)
             .store(&sink)
             .resume(true)

@@ -37,7 +37,10 @@ pub mod record;
 pub mod replicate;
 pub mod target;
 
-pub use campaign::{Campaign, CampaignRun, ShardedCampaign};
+pub use campaign::{
+    batch_count, effective_workers, Campaign, CampaignRun, ShardedCampaign,
+    DEFAULT_MIN_ROWS_PER_SHARD,
+};
 pub use checkpoint::{CheckpointError, CheckpointSink, ShardCheckpoint};
 pub use record::{Campaign as CampaignData, RawRecord};
 pub use target::{Measurement, ParallelTarget, Target, TargetError};

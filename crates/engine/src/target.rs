@@ -151,6 +151,18 @@ pub trait Target {
     fn take_observation(&mut self) -> Observation {
         Observation::default()
     }
+
+    /// Execution diagnostics accumulated so far: cache hit/miss tallies
+    /// and similar "how did this run execute" statistics. Unlike
+    /// [`Target::take_observation`] counters, diagnostics are **not**
+    /// shard-count-invariant — sharing a memoization cache across shards
+    /// legitimately changes hit counts while leaving every measurement
+    /// value untouched — so the engine aggregates them into
+    /// [`charm_obs::CampaignReport::diagnostics`], a channel separate
+    /// from the scientific counters. The default reports nothing.
+    fn diagnostics(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 /// A mutable reference to a target is itself a target: lets the
@@ -175,6 +187,10 @@ impl<T: Target + ?Sized> Target for &mut T {
 
     fn take_observation(&mut self) -> Observation {
         (**self).take_observation()
+    }
+
+    fn diagnostics(&self) -> Vec<(String, u64)> {
+        (**self).diagnostics()
     }
 }
 
@@ -380,6 +396,17 @@ impl Target for MemoryTarget {
 
     fn take_observation(&mut self) -> Observation {
         self.machine.take_observation()
+    }
+
+    fn diagnostics(&self) -> Vec<(String, u64)> {
+        // This instance's own lookups only (forks sharing the cache
+        // tally their hits separately), so per-batch diagnostics sum to
+        // the campaign total.
+        let (hits, misses) = self.machine.profile_cache_stats();
+        vec![
+            ("simmem.profile_cache.hits".to_string(), hits),
+            ("simmem.profile_cache.misses".to_string(), misses),
+        ]
     }
 }
 

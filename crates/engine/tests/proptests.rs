@@ -1,11 +1,20 @@
-//! Property-based tests of the measurement engine.
+//! Property-based tests of the measurement engine, including the
+//! work-stealing scheduler's determinism contract: records are
+//! bit-identical to the sequential run at any worker count, any shared
+//! profile-cache capacity, and any checkpoint kill/resume pattern.
 
 use charm_design::doe::FullFactorial;
 use charm_design::plan::ExperimentPlan;
 use charm_design::Factor;
+use charm_engine::checkpoint::{CheckpointError, CheckpointSink, ShardCheckpoint};
 use charm_engine::record::Campaign;
-use charm_engine::target::{NetworkTarget, ParallelTarget};
+use charm_engine::target::{MemoryTarget, NetworkTarget, ParallelTarget};
+use charm_engine::{batch_count, effective_workers};
 use charm_obs::Observer;
+use charm_simmem::dvfs::GovernorPolicy;
+use charm_simmem::machine::{CpuSpec, MachineSim};
+use charm_simmem::paging::AllocPolicy;
+use charm_simmem::sched::SchedPolicy;
 use charm_simnet::presets;
 use proptest::prelude::*;
 
@@ -120,6 +129,7 @@ proptest! {
             .unwrap();
         let many = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
             .shards(shards)
+            .min_rows_per_shard(1)
             .seed(seed)
             .observer(Observer::default())
             .run()
@@ -150,5 +160,170 @@ proptest! {
         let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
         prop_assert_eq!(total, c.records.len());
         prop_assert!(groups.iter().all(|(_, v)| v.len() == reps as usize));
+    }
+}
+
+/// A memory target over a fresh machine with the given profile-cache
+/// capacity. Rebuilding the machine from the same seed reproduces the
+/// exact RNG streams, so two targets built by this function are
+/// interchangeable for determinism comparisons.
+fn mem_target(seed: u64, cache_capacity: usize) -> MemoryTarget {
+    let mut machine = MachineSim::new(
+        CpuSpec::arm_snowball(),
+        GovernorPolicy::Performance,
+        SchedPolicy::PinnedDefault,
+        AllocPolicy::MallocPerSize,
+        seed,
+    );
+    machine.set_profile_cache_capacity(cache_capacity);
+    MemoryTarget::new("arm", machine)
+}
+
+fn mem_plan(sizes: Vec<i64>, reps: u32, shuffle_seed: u64) -> ExperimentPlan {
+    let mut plan = FullFactorial::new()
+        .factor(Factor::new("size_bytes", sizes))
+        .factor(Factor::new("stride", vec![1i64, 4]))
+        .replicates(reps)
+        .build()
+        .unwrap();
+    plan.shuffle(shuffle_seed);
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole contract: the work-stealing scheduler with a *shared*
+    /// profile cache reproduces the sequential run bit-for-bit at every
+    /// cache capacity — disabled (0), small enough to evict constantly,
+    /// and effectively unbounded — because the cache is consulted only
+    /// after the RNG draws that decide a measurement's value.
+    #[test]
+    fn work_stealing_matches_sequential_at_any_cache_capacity(
+        sizes in prop::collection::vec(1024i64..262_144, 2..4),
+        reps in 1u32..3,
+        seed in any::<u64>(),
+        shards in 2usize..5,
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let plan = mem_plan(distinct.into_iter().collect(), reps, seed);
+        let reference = charm_engine::Campaign::new(&plan, mem_target(seed, usize::MAX))
+            .seed(seed)
+            .run()
+            .unwrap()
+            .data;
+        for cache_capacity in [0usize, 2, usize::MAX] {
+            for k in [1usize, shards] {
+                let got = charm_engine::Campaign::new(&plan, mem_target(seed, cache_capacity))
+                    .shards(k)
+                    .min_rows_per_shard(1)
+                    .seed(seed)
+                    .run()
+                    .unwrap()
+                    .data;
+                prop_assert_eq!(reference.records.len(), got.records.len());
+                for (a, b) in reference.records.iter().zip(&got.records) {
+                    prop_assert_eq!(&a.levels, &b.levels);
+                    prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+                }
+            }
+        }
+    }
+}
+
+/// In-memory checkpoint sink keyed on `(batch, batches)`, with a kill
+/// switch so proptests can simulate a campaign dying after an arbitrary
+/// subset of batches was persisted.
+struct MemorySink {
+    segments: std::sync::Mutex<std::collections::HashMap<(usize, usize), ShardCheckpoint>>,
+}
+
+impl MemorySink {
+    fn new() -> Self {
+        MemorySink { segments: std::sync::Mutex::new(std::collections::HashMap::new()) }
+    }
+
+    fn kill(&self, batch: usize, batches: usize) {
+        self.segments.lock().unwrap().remove(&(batch, batches));
+    }
+}
+
+impl CheckpointSink for MemorySink {
+    fn save_shard(
+        &self,
+        shard: usize,
+        shards: usize,
+        checkpoint: &ShardCheckpoint,
+    ) -> Result<(), CheckpointError> {
+        self.segments.lock().unwrap().insert((shard, shards), checkpoint.clone());
+        Ok(())
+    }
+
+    fn load_shard(
+        &self,
+        shard: usize,
+        shards: usize,
+    ) -> Result<Option<ShardCheckpoint>, CheckpointError> {
+        Ok(self.segments.lock().unwrap().get(&(shard, shards)).cloned())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Checkpoint/resume with dynamically claimed batches: killing any
+    /// subset of a run's persisted batch segments and resuming yields a
+    /// campaign bit-identical to an uninterrupted run — surviving
+    /// batches replay, killed ones re-execute, and the in-order merge
+    /// makes the two paths indistinguishable.
+    #[test]
+    fn dynamic_batch_resume_is_bit_identical(
+        sizes in prop::collection::vec(1i64..1_000_000, 2..6),
+        reps in 1u32..4,
+        seed in any::<u64>(),
+        shards in 2usize..6,
+        kill_bits in any::<u32>(),
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let plan = plan_of(distinct.into_iter().collect(), reps, Some(seed));
+        let base = NetworkTarget::new("m", presets::myrinet_gm(seed));
+        let workers = effective_workers(plan.len(), shards, 1);
+        let nbatches = batch_count(plan.len(), workers);
+
+        let uninterrupted = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .shards(shards)
+            .min_rows_per_shard(1)
+            .seed(seed)
+            .run()
+            .unwrap()
+            .data;
+
+        let sink = MemorySink::new();
+        let first = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .shards(shards)
+            .min_rows_per_shard(1)
+            .seed(seed)
+            .store(&sink)
+            .run()
+            .unwrap()
+            .data;
+        prop_assert_eq!(&first, &uninterrupted);
+        prop_assert_eq!(sink.segments.lock().unwrap().len(), nbatches);
+
+        for b in 0..nbatches {
+            if kill_bits >> (b % 32) & 1 == 1 {
+                sink.kill(b, nbatches);
+            }
+        }
+        let resumed = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .shards(shards)
+            .min_rows_per_shard(1)
+            .seed(seed)
+            .store(&sink)
+            .resume(true)
+            .run()
+            .unwrap()
+            .data;
+        prop_assert_eq!(&resumed, &uninterrupted);
     }
 }

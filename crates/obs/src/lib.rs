@@ -328,6 +328,13 @@ pub struct CampaignReport {
     pub dropped_events: u64,
     /// Number of shards merged into this report.
     pub shards: usize,
+    /// Execution diagnostics: cache hit/miss tallies, scheduler steal
+    /// counts and the like. Unlike [`CampaignReport::counters`] these
+    /// describe *how* the run executed, not *what* it measured, so they
+    /// are **not** shard-count-invariant — a different shard count or
+    /// batch interleaving legitimately changes them while leaving every
+    /// scientific counter and record untouched.
+    pub diagnostics: Counters,
 }
 
 impl CampaignReport {
@@ -369,6 +376,13 @@ impl CampaignReport {
         for (key, value) in self.counters.iter() {
             out.push_str(&format!(
                 "{{\"type\":\"counter\",\"key\":{},\"value\":{}}}\n",
+                json::string(key),
+                value
+            ));
+        }
+        for (key, value) in self.diagnostics.iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"diag\",\"key\":{},\"value\":{}}}\n",
                 json::string(key),
                 value
             ));
@@ -427,6 +441,11 @@ impl CampaignReport {
                     let value =
                         obj.get_u64("value").ok_or_else(|| fail("counter: bad \"value\""))?;
                     report.counters.add(key, value);
+                }
+                "diag" => {
+                    let key = obj.get_str("key").ok_or_else(|| fail("diag: bad \"key\""))?;
+                    let value = obj.get_u64("value").ok_or_else(|| fail("diag: bad \"value\""))?;
+                    report.diagnostics.add(key, value);
                 }
                 "event" => {
                     let attrs = match obj.get("attrs") {
@@ -878,8 +897,12 @@ mod tests {
         let mut counters = Counters::new();
         counters.add("simmem.cache.l1.misses", 12345);
         counters.add("weird \"key\"\n", 1);
+        let mut diagnostics = Counters::new();
+        diagnostics.add("simmem.profile_cache.hits", 97);
+        diagnostics.add("engine.scheduler.steals", 3);
         CampaignReport {
             counters,
+            diagnostics,
             events: vec![
                 Event {
                     seq: 7,

@@ -284,9 +284,12 @@ pub struct MachineSim {
     recorder: Recorder,
     /// Profile memoization + reusable scratch. `RefCell` because
     /// [`MachineSim::ideal_bandwidth_mbps`] takes `&self`; `&mut self`
-    /// paths use `get_mut` (no runtime borrow). Never observable: the
-    /// cache holds pure functions of its keys and its stats stay out of
-    /// the [`Recorder`].
+    /// paths use `get_mut` (no runtime borrow). The cache itself is an
+    /// `Arc<ProfileCache>` shared by every machine this one forks (or
+    /// clones) — see `DESIGN.md` §14 — while the scratch buffers and the
+    /// machine-local hit/miss tallies stay private. Never observable:
+    /// the cache holds pure functions of its keys and its stats stay
+    /// out of the [`Recorder`].
     memo: RefCell<MemoState>,
 }
 
@@ -303,7 +306,13 @@ struct LevelCounterNames {
 /// allocate per measurement).
 #[derive(Debug, Clone)]
 struct MemoState {
-    cache: ProfileCache,
+    /// Shared with every fork/clone of this machine: cloning the `Arc`
+    /// is what lets campaign shards warm each other's cache.
+    cache: Arc<ProfileCache>,
+    /// Lookups *this machine* made that hit / missed the shared cache
+    /// (the cache's own stats aggregate over all sharers).
+    local_hits: u64,
+    local_misses: u64,
     scratch: ProfileScratch,
     /// Interned geometry of `spec.levels`, shared by every key.
     levels_key: Arc<[LevelGeometry]>,
@@ -314,7 +323,9 @@ struct MemoState {
 impl MemoState {
     fn new(levels: &[CacheLevelSpec]) -> Self {
         MemoState {
-            cache: ProfileCache::default(),
+            cache: Arc::new(ProfileCache::default()),
+            local_hits: 0,
+            local_misses: 0,
             scratch: ProfileScratch::default(),
             levels_key: level_geometries(levels),
             color_names: IndexedNames::new("simmem.paging.color.", ""),
@@ -389,6 +400,11 @@ impl MachineSim {
     /// random streams. Forking with the parent's own
     /// [`MachineSim::stream_seed`] reproduces its measurement values on
     /// [`MachineSim::order_invariant`] configurations.
+    ///
+    /// The fork *shares* the parent's service-profile cache (entries
+    /// are pure functions of their keys, so sharing can never change a
+    /// measurement — `DESIGN.md` §14); its local hit/miss tallies start
+    /// at zero.
     pub fn fork(&self, stream_seed: u64) -> Self {
         let mut m = MachineSim::new(
             self.spec.clone(),
@@ -400,14 +416,23 @@ impl MachineSim {
         m.set_intruder(self.scheduler.intruder(), stream_seed ^ 0x5eed);
         m.inter_measurement_us = self.inter_measurement_us;
         m.recorder = self.recorder.fork();
-        m.set_profile_cache_capacity(self.profile_cache_capacity());
+        m.memo.get_mut().cache = Arc::clone(&self.memo.borrow().cache);
         m
     }
 
-    /// `(hits, misses)` of the service-profile cache since construction.
-    /// A plain accessor — deliberately not a [`Recorder`] counter, so the
-    /// cache can never change an [`Observation`].
+    /// `(hits, misses)` of *this machine's* lookups into the (possibly
+    /// shared) service-profile cache. A plain accessor — deliberately
+    /// not a [`Recorder`] counter, so the cache can never change an
+    /// [`Observation`]. For the totals across every machine sharing the
+    /// cache, see [`MachineSim::shared_profile_cache_stats`].
     pub fn profile_cache_stats(&self) -> (u64, u64) {
+        let memo = self.memo.borrow();
+        (memo.local_hits, memo.local_misses)
+    }
+
+    /// `(hits, misses)` of the shared service-profile cache, summed over
+    /// all machines forked from the same ancestor.
+    pub fn shared_profile_cache_stats(&self) -> (u64, u64) {
         self.memo.borrow().cache.stats()
     }
 
@@ -418,9 +443,15 @@ impl MachineSim {
 
     /// Replaces the service-profile cache with an empty one bounded at
     /// `capacity` entries; 0 disables memoization entirely (every
-    /// measurement recomputes — same values, no reuse).
+    /// measurement recomputes — same values, no reuse). Detaches this
+    /// machine from any previously shared cache (existing forks keep
+    /// the old one) and zeroes the local tallies; forks taken *after*
+    /// the call share the new cache.
     pub fn set_profile_cache_capacity(&mut self, capacity: usize) {
-        self.memo.get_mut().cache = ProfileCache::with_capacity(capacity);
+        let memo = self.memo.get_mut();
+        memo.cache = Arc::new(ProfileCache::with_capacity(capacity));
+        memo.local_hits = 0;
+        memo.local_misses = 0;
     }
 
     /// Jumps the measurement counter to `index`: the next
@@ -486,8 +517,10 @@ impl MachineSim {
     {
         let memo = self.memo.get_mut();
         if let Some(entry) = memo.cache.lookup(&key) {
+            memo.local_hits += 1;
             return entry;
         }
+        memo.local_misses += 1;
         let entry = Arc::new(build(&mut memo.scratch));
         memo.cache.insert(key, Arc::clone(&entry));
         entry
@@ -513,8 +546,12 @@ impl MachineSim {
             levels: Arc::clone(&memo.levels_key),
         };
         let entry = match memo.cache.lookup(&key) {
-            Some(entry) => entry,
+            Some(entry) => {
+                memo.local_hits += 1;
+                entry
+            }
             None => {
+                memo.local_misses += 1;
                 let phys_pages =
                     self.allocator.allocate_at(self.measurements_taken, cfg.buffer_bytes);
                 let profile = profile_segments(
@@ -663,8 +700,12 @@ impl MachineSim {
             levels: Arc::clone(&memo.levels_key),
         };
         let entry = match memo.cache.lookup(&key) {
-            Some(entry) => entry,
+            Some(entry) => {
+                memo.local_hits += 1;
+                entry
+            }
             None => {
+                memo.local_misses += 1;
                 let n_pages = cfg.buffer_bytes.div_ceil(self.spec.page_bytes).max(1);
                 // colour-balanced layout
                 let pages: Vec<u64> = (0..n_pages).collect();

@@ -15,12 +15,23 @@
 //! path would have made and never touches the virtual clock, so records
 //! are bit-identical with the cache on, off, or at any capacity — see
 //! `DESIGN.md` §13 and the property tests in `tests/fastpath.rs`.
+//!
+//! Since the work-stealing scheduler landed, one [`ProfileCache`] is
+//! *shared* by every machine forked from a campaign target (see
+//! `DESIGN.md` §14): all methods take `&self` and synchronize
+//! internally with a read-mostly `RwLock` (entries are `Arc`ed, so a
+//! hit is a read-lock + refcount bump). Sharing is safe for exactly the
+//! §13 reason — every entry is a pure function of its key, so a racing
+//! insert can only ever write the value the loser would have computed
+//! itself. Contention, eviction order, and hit/miss totals may vary
+//! between runs; record values cannot.
 
 use crate::layout::ServiceProfile;
 use crate::machine::CacheLevelSpec;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Identifies where a buffer landed, independent of its page vector.
 ///
@@ -105,19 +116,32 @@ pub struct ProfileEntry {
     pub color_histogram: Vec<u64>,
 }
 
-/// Bounded FIFO-evicting map from [`ProfileKey`] to [`ProfileEntry`].
+/// Bounded FIFO-evicting map from [`ProfileKey`] to [`ProfileEntry`],
+/// safe to share across threads.
 ///
 /// FIFO (not LRU) keeps lookups allocation-free; campaigns revisit a
 /// bounded set of design cells, so recency adds nothing. Capacity 0
 /// disables the cache (every lookup misses), which the property tests
 /// use to prove the cache never changes a record.
-#[derive(Debug, Clone)]
+///
+/// All methods take `&self`: lookups hold a read lock, inserts a write
+/// lock, and the hit/miss totals are relaxed atomics (they are
+/// diagnostics, not science — under concurrent sharers the totals
+/// depend on interleaving). The capacity bound is global across all
+/// sharers and exact: `len() <= capacity()` holds at every instant.
+#[derive(Debug)]
 pub struct ProfileCache {
+    inner: RwLock<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The lock-protected part of a [`ProfileCache`].
+#[derive(Debug, Default)]
+struct CacheInner {
     map: HashMap<ProfileKey, Arc<ProfileEntry>>,
     order: VecDeque<ProfileKey>,
-    capacity: usize,
-    hits: u64,
-    misses: u64,
 }
 
 /// Default capacity: comfortably above any campaign grid in the repo
@@ -134,7 +158,12 @@ impl Default for ProfileCache {
 impl ProfileCache {
     /// A cache holding at most `capacity` profiles (0 disables caching).
     pub fn with_capacity(capacity: usize) -> Self {
-        ProfileCache { map: HashMap::new(), order: VecDeque::new(), capacity, hits: 0, misses: 0 }
+        ProfileCache {
+            inner: RwLock::new(CacheInner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// The eviction bound.
@@ -142,41 +171,47 @@ impl ProfileCache {
         self.capacity
     }
 
-    /// `(hits, misses)` since construction.
+    /// `(hits, misses)` since construction, summed over all sharers.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
     }
 
-    /// Looks up `key`, counting a hit or miss.
-    pub fn lookup(&mut self, key: &ProfileKey) -> Option<Arc<ProfileEntry>> {
-        match self.map.get(key) {
+    /// Looks up `key`, counting a hit or miss. Read-lock only.
+    pub fn lookup(&self, key: &ProfileKey) -> Option<Arc<ProfileEntry>> {
+        let inner = self.inner.read().expect("profile cache poisoned");
+        match inner.map.get(key) {
             Some(entry) => {
-                self.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(entry))
             }
             None => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
     /// Inserts an entry computed after a miss, evicting the oldest key
-    /// when full. A no-op at capacity 0.
-    pub fn insert(&mut self, key: ProfileKey, entry: Arc<ProfileEntry>) {
+    /// when full. A no-op at capacity 0. When two sharers race on the
+    /// same key the later insert overwrites the earlier one with a
+    /// value that is identical by construction (entries are pure
+    /// functions of their keys), so the race is benign.
+    pub fn insert(&self, key: ProfileKey, entry: Arc<ProfileEntry>) {
         if self.capacity == 0 {
             return;
         }
-        match self.map.entry(key.clone()) {
+        let mut inner = self.inner.write().expect("profile cache poisoned");
+        let inner = &mut *inner;
+        match inner.map.entry(key.clone()) {
             Entry::Occupied(mut o) => {
                 o.insert(entry);
             }
             Entry::Vacant(v) => {
                 v.insert(entry);
-                self.order.push_back(key);
-                while self.order.len() > self.capacity {
-                    if let Some(old) = self.order.pop_front() {
-                        self.map.remove(&old);
+                inner.order.push_back(key);
+                while inner.order.len() > self.capacity {
+                    if let Some(old) = inner.order.pop_front() {
+                        inner.map.remove(&old);
                     }
                 }
             }
@@ -185,12 +220,12 @@ impl ProfileCache {
 
     /// Number of cached profiles.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.inner.read().expect("profile cache poisoned").map.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 }
 
@@ -230,7 +265,7 @@ mod tests {
     #[test]
     fn hit_and_miss_accounting() {
         let levels = geo();
-        let mut c = ProfileCache::default();
+        let c = ProfileCache::default();
         assert!(c.lookup(&key(0, 4096, &levels)).is_none());
         c.insert(key(0, 4096, &levels), entry(1));
         assert!(c.lookup(&key(0, 4096, &levels)).is_some());
@@ -241,7 +276,7 @@ mod tests {
     #[test]
     fn fifo_eviction_respects_capacity() {
         let levels = geo();
-        let mut c = ProfileCache::with_capacity(2);
+        let c = ProfileCache::with_capacity(2);
         for start in 0..5u64 {
             c.insert(key(start, 4096, &levels), entry(start));
         }
@@ -253,7 +288,7 @@ mod tests {
     #[test]
     fn capacity_zero_disables_caching() {
         let levels = geo();
-        let mut c = ProfileCache::with_capacity(0);
+        let c = ProfileCache::with_capacity(0);
         c.insert(key(0, 4096, &levels), entry(1));
         assert!(c.is_empty());
         assert!(c.lookup(&key(0, 4096, &levels)).is_none());
@@ -274,11 +309,45 @@ mod tests {
         variants.push(ProfileKey { segment: 0, ..base.clone() });
         variants.push(ProfileKey { arrays: 3, ..base.clone() });
         variants.push(ProfileKey { levels: other_levels, ..base.clone() });
-        let mut c = ProfileCache::default();
+        let c = ProfileCache::default();
         for (i, v) in variants.iter().enumerate() {
             c.insert(v.clone(), entry(i as u64));
         }
         assert_eq!(c.len(), variants.len(), "every dimension must distinguish keys");
+    }
+
+    #[test]
+    fn concurrent_sharers_respect_capacity_and_accounting() {
+        let levels = geo();
+        let cache = Arc::new(ProfileCache::with_capacity(4));
+        let threads = 4;
+        let lookups_per_thread = 500u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                let levels = Arc::clone(&levels);
+                s.spawn(move || {
+                    for i in 0..lookups_per_thread {
+                        // 8 distinct keys over capacity 4 forces constant
+                        // eviction churn under contention.
+                        let k = key((t + i) % 8, 4096, &levels);
+                        if let Some(e) = cache.lookup(&k) {
+                            assert_eq!(
+                                e.profile.distinct_lines,
+                                (t + i) % 8,
+                                "entry value drifted"
+                            );
+                        } else {
+                            cache.insert(k, entry((t + i) % 8));
+                        }
+                        assert!(cache.len() <= 4, "capacity bound violated");
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, threads * lookups_per_thread, "every lookup accounted");
+        assert!(cache.len() <= 4);
     }
 
     #[test]

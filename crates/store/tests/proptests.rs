@@ -45,7 +45,7 @@ fn plan_of(sizes: &[i64], reps: u32, seed: u64) -> ExperimentPlan {
 
 fn run(plan: &ExperimentPlan, seed: u64, shards: usize) -> CampaignData {
     let target = NetworkTarget::new("m", presets::myrinet_gm(seed));
-    Campaign::new(plan, target).shards(shards).seed(seed).run().unwrap().data
+    Campaign::new(plan, target).shards(shards).min_rows_per_shard(1).seed(seed).run().unwrap().data
 }
 
 fn distinct_sizes(raw: &[i64]) -> Vec<i64> {
@@ -68,27 +68,33 @@ proptest! {
         let shards = shards.min(plan.len());
         let fresh = run(&plan, seed, shards);
 
+        // The scheduler checkpoints dynamically claimed *batches*, not
+        // worker shards — segments on disk are keyed by batch geometry.
+        let workers = charm_engine::effective_workers(plan.len(), shards, 1);
+        let nbatches = charm_engine::batch_count(plan.len(), workers);
+
         let dir = scratch("resume");
         let store = Store::open(&dir).unwrap();
         let session = store.session(&plan, TARGET, Some(seed), shards as u64).unwrap();
         let target = NetworkTarget::new("m", presets::myrinet_gm(seed));
         Campaign::new(&plan, target)
             .shards(shards)
+            .min_rows_per_shard(1)
             .seed(seed)
             .store(&session)
             .run()
             .unwrap();
 
-        // Kill a strict subset of the shard checkpoints (never all of
+        // Kill a strict subset of the batch checkpoints (never all of
         // them — that is just a fresh run; possibly none — a resume
         // with nothing to do).
-        let mask = kill_bits % ((1u64 << shards) - 1);
+        let mask = kill_bits % ((1u64 << nbatches) - 1);
         let checkpoints =
             dir.join("runs").join(session.run_id().as_str()).join("checkpoints");
-        for b in 0..shards {
+        for b in 0..nbatches {
             if mask & (1 << b) != 0 {
                 std::fs::remove_file(
-                    checkpoints.join(format!("shard-{b}-of-{shards}.csv")),
+                    checkpoints.join(format!("shard-{b}-of-{nbatches}.csv")),
                 )
                 .unwrap();
             }
@@ -97,6 +103,7 @@ proptest! {
         let target = NetworkTarget::new("m", presets::myrinet_gm(seed));
         let resumed = Campaign::new(&plan, target)
             .shards(shards)
+            .min_rows_per_shard(1)
             .seed(seed)
             .store(&session)
             .resume(true)

@@ -44,9 +44,14 @@ fn plan_of(seed: u64) -> ExperimentPlan {
     plan
 }
 
+// The 18-row test plans sit under the engine's default 64-row floor, so
+// every sharded build here opts out of the clamp with
+// `.min_rows_per_shard(1)` to exercise the real parallel path. Batch
+// geometry for checkpoint filenames: shards 2 → 8 batches, shards 3 →
+// 12 batches (workers × 4, capped at 18 rows).
 fn run_campaign(plan: &ExperimentPlan, seed: u64, shards: usize) -> CampaignData {
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
-    Campaign::new(plan, target).shards(shards).seed(seed).run().unwrap().data
+    Campaign::new(plan, target).shards(shards).min_rows_per_shard(1).seed(seed).run().unwrap().data
 }
 
 #[test]
@@ -173,18 +178,25 @@ fn checkpointed_run_through_real_store_resumes_bit_identical() {
     // the campaign had died before finishing it.
     let session = store.session(&plan, TARGET, Some(23), 3).unwrap();
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(23));
-    Campaign::new(&plan, target).shards(3).seed(23).store(&session).run().unwrap();
+    Campaign::new(&plan, target)
+        .shards(3)
+        .min_rows_per_shard(1)
+        .seed(23)
+        .store(&session)
+        .run()
+        .unwrap();
     let segment = dir
         .join("runs")
         .join(session.run_id().as_str())
         .join("checkpoints")
-        .join("shard-1-of-3.csv");
-    assert!(segment.is_file(), "campaign flushed shard segments");
+        .join("shard-1-of-12.csv");
+    assert!(segment.is_file(), "campaign flushed batch segments");
     std::fs::remove_file(&segment).unwrap();
 
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(23));
     let resumed = Campaign::new(&plan, target)
         .shards(3)
+        .min_rows_per_shard(1)
         .seed(23)
         .store(&session)
         .resume(true)
@@ -205,21 +217,34 @@ fn gc_purges_spent_checkpoints_but_keeps_resumable_runs() {
     let plan = plan_of(29);
     let session = store.session(&plan, TARGET, Some(29), 2).unwrap();
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(29));
-    let data = Campaign::new(&plan, target).shards(2).seed(29).store(&session).run().unwrap().data;
+    let data = Campaign::new(&plan, target)
+        .shards(2)
+        .min_rows_per_shard(1)
+        .seed(29)
+        .store(&session)
+        .run()
+        .unwrap()
+        .data;
     let finalized = store.put_run(&key_of(&plan, 29, 2), "", &data, None).unwrap();
 
     // Interrupted run: checkpoints only, no manifest — must survive gc.
     let plan2 = plan_of(31);
     let session2 = store.session(&plan2, TARGET, Some(31), 2).unwrap();
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(31));
-    Campaign::new(&plan2, target).shards(2).seed(31).store(&session2).run().unwrap();
+    Campaign::new(&plan2, target)
+        .shards(2)
+        .min_rows_per_shard(1)
+        .seed(31)
+        .store(&session2)
+        .run()
+        .unwrap();
     let interrupted_dir = dir.join("runs").join(session2.run_id().as_str());
 
     let report = store.gc().unwrap();
-    assert_eq!(report.removed_segments, 2, "only the finalized run's segments");
+    assert_eq!(report.removed_segments, 8, "only the finalized run's segments");
     assert!(report.reclaimed_bytes > 0);
     assert!(
-        interrupted_dir.join("checkpoints").join("shard-0-of-2.csv").is_file(),
+        interrupted_dir.join("checkpoints").join("shard-0-of-8.csv").is_file(),
         "interrupted run keeps its only copy of the work"
     );
     // The finalized run still loads and verifies cleanly after the purge.
@@ -304,15 +329,21 @@ fn foreign_platform_segment_is_rejected_on_resume() {
     // Checkpoint a run under target identity A.
     let session_a = store.session(&plan, "taurus#aaaaaaaaaaaa", Some(47), 2).unwrap();
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(47));
-    Campaign::new(&plan, target).shards(2).seed(47).store(&session_a).run().unwrap();
+    Campaign::new(&plan, target)
+        .shards(2)
+        .min_rows_per_shard(1)
+        .seed(47)
+        .store(&session_a)
+        .run()
+        .unwrap();
 
     // Hand-move its segments into the directory a different platform's
     // campaign addresses (what a truncated-ID collision would look
     // like), then try to resume as that other platform.
     let session_b = store.session(&plan, "myrinet#bbbbbbbbbbbb", Some(47), 2).unwrap();
     let runs = dir.join("runs");
-    for shard in 0..2 {
-        let name = format!("shard-{shard}-of-2.csv");
+    for batch in 0..8 {
+        let name = format!("shard-{batch}-of-8.csv");
         std::fs::copy(
             runs.join(session_a.run_id().as_str()).join("checkpoints").join(&name),
             runs.join(session_b.run_id().as_str()).join("checkpoints").join(&name),
@@ -322,6 +353,7 @@ fn foreign_platform_segment_is_rejected_on_resume() {
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(47));
     let err = Campaign::new(&plan, target)
         .shards(2)
+        .min_rows_per_shard(1)
         .seed(47)
         .store(&session_b)
         .resume(true)
@@ -338,7 +370,13 @@ fn tampered_segment_value_is_rejected_on_resume() {
     let plan = plan_of(53);
     let session = store.session(&plan, TARGET, Some(53), 2).unwrap();
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(53));
-    Campaign::new(&plan, target).shards(2).seed(53).store(&session).run().unwrap();
+    Campaign::new(&plan, target)
+        .shards(2)
+        .min_rows_per_shard(1)
+        .seed(53)
+        .store(&session)
+        .run()
+        .unwrap();
 
     // Hand-edit one measured value in a segment: still a parseable CSV,
     // but the records no longer match the digest stamped at save time.
@@ -346,7 +384,7 @@ fn tampered_segment_value_is_rejected_on_resume() {
         .join("runs")
         .join(session.run_id().as_str())
         .join("checkpoints")
-        .join("shard-0-of-2.csv");
+        .join("shard-0-of-8.csv");
     let text = std::fs::read_to_string(&segment).unwrap();
     let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
     let last = lines.last_mut().unwrap();
@@ -357,6 +395,7 @@ fn tampered_segment_value_is_rejected_on_resume() {
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(53));
     let err = Campaign::new(&plan, target)
         .shards(2)
+        .min_rows_per_shard(1)
         .seed(53)
         .store(&session)
         .resume(true)
@@ -392,7 +431,13 @@ fn gc_keeps_in_flight_sessions_and_removes_true_debris() {
     // The session still works after gc: the campaign can checkpoint
     // and resume through it.
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(59));
-    Campaign::new(&plan, target).shards(2).seed(59).store(&session).run().unwrap();
-    assert!(live.join("checkpoints").join("shard-0-of-2.csv").is_file());
+    Campaign::new(&plan, target)
+        .shards(2)
+        .min_rows_per_shard(1)
+        .seed(59)
+        .store(&session)
+        .run()
+        .unwrap();
+    assert!(live.join("checkpoints").join("shard-0-of-8.csv").is_file());
     std::fs::remove_dir_all(&dir).ok();
 }

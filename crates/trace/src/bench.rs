@@ -26,8 +26,26 @@ use charm_obs::json;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// The schema tag every compatible report carries.
+/// The schema tag of the engine perf-trajectory report
+/// (`BENCH_engine.json`).
 pub const SCHEMA: &str = "charm-bench-engine/1";
+
+/// The schema tag of the campaign-level summary (`BENCH_campaign.json`):
+/// shard speedups, per-shard profile-cache hit rates, scheduler
+/// diagnostics. Same on-disk format, different metric vocabulary — the
+/// tag keeps the gate from comparing one against the other.
+pub const CAMPAIGN_SCHEMA: &str = "charm-bench-campaign/1";
+
+/// Every schema tag [`EngineBench::from_json`] accepts.
+pub const KNOWN_SCHEMAS: [&str; 2] = [SCHEMA, CAMPAIGN_SCHEMA];
+
+/// Minimum memory-campaign speedup at 4 shards required of a candidate
+/// that ran on ≥ 4 cores (see [`absolute_failures`]).
+pub const SHARD4_MIN_SPEEDUP: f64 = 2.5;
+
+/// Minimum shard-pool utilization at 4 shards required of a candidate
+/// that ran on ≥ 4 cores (see [`absolute_failures`]).
+pub const SHARD4_MIN_UTILIZATION: f64 = 0.8;
 
 /// Default relative regression threshold: fail when a gated metric is
 /// more than 25 % worse than the baseline.
@@ -39,8 +57,12 @@ pub const DEFAULT_FLOOR_S: f64 = 0.005;
 
 /// One engine benchmark report: the measurement configuration that
 /// produced it plus a flat map of named metrics.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineBench {
+    /// The schema tag this report carries ([`SCHEMA`] unless overridden
+    /// with [`EngineBench::with_schema`]). [`compare`] refuses to gate
+    /// reports with different tags.
+    pub schema: String,
     /// The configuration knobs the numbers depend on (`rows`, `quick`,
     /// `shards`, `repeats`, …). [`compare`] refuses to gate reports with
     /// different configurations — comparing a 6000-row run against a
@@ -51,10 +73,27 @@ pub struct EngineBench {
     pub metrics: BTreeMap<String, f64>,
 }
 
+impl Default for EngineBench {
+    fn default() -> Self {
+        EngineBench {
+            schema: SCHEMA.to_string(),
+            config: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+        }
+    }
+}
+
 impl EngineBench {
-    /// An empty report.
+    /// An empty report under the engine schema ([`SCHEMA`]).
     pub fn new() -> Self {
         EngineBench::default()
+    }
+
+    /// Retags the report (chainable) — e.g. [`CAMPAIGN_SCHEMA`] for
+    /// `BENCH_campaign.json`.
+    pub fn with_schema(mut self, tag: &str) -> Self {
+        self.schema = tag.to_string();
+        self
     }
 
     /// Sets a configuration knob (chainable).
@@ -75,7 +114,7 @@ impl EngineBench {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str(&format!("  \"schema\": {},\n", json::string(SCHEMA)));
+        out.push_str(&format!("  \"schema\": {},\n", json::string(&self.schema)));
         out.push_str("  \"config\": {\n");
         for (i, (k, v)) in self.config.iter().enumerate() {
             let comma = if i + 1 < self.config.len() { "," } else { "" };
@@ -99,14 +138,14 @@ impl EngineBench {
     /// exit differently for each.
     pub fn from_json(text: &str) -> Result<EngineBench, ParseError> {
         let obj = json::parse_object(text).map_err(ParseError::Malformed)?;
-        match obj.get_str("schema") {
-            Some(SCHEMA) => {}
+        let schema = match obj.get_str("schema") {
+            Some(tag) if KNOWN_SCHEMAS.contains(&tag) => tag.to_string(),
             Some(other) => {
                 return Err(ParseError::SchemaMismatch { found: Some(other.to_string()) })
             }
             None => return Err(ParseError::SchemaMismatch { found: None }),
-        }
-        let mut bench = EngineBench::new();
+        };
+        let mut bench = EngineBench::new().with_schema(&schema);
         match obj.get("config") {
             Some(json::Value::Map(m)) => {
                 for (k, v) in m {
@@ -151,7 +190,7 @@ impl EngineBench {
 /// Why a report failed [`EngineBench::from_json`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
-    /// The text is a JSON object but carries a different (or no) schema
+    /// The text is a JSON object but carries an unknown (or no) schema
     /// tag: a report from an incompatible writer version, not corrupt
     /// data. The fix is regenerating the report, not editing it.
     SchemaMismatch {
@@ -166,10 +205,10 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::SchemaMismatch { found: Some(other) } => {
-                write!(f, "unsupported schema {other:?} (this gate reads {SCHEMA:?})")
+                write!(f, "unsupported schema {other:?} (this gate reads {KNOWN_SCHEMAS:?})")
             }
             ParseError::SchemaMismatch { found: None } => {
-                write!(f, "missing \"schema\" tag (this gate reads {SCHEMA:?})")
+                write!(f, "missing \"schema\" tag (this gate reads {KNOWN_SCHEMAS:?})")
             }
             ParseError::Malformed(why) => write!(f, "malformed report: {why}"),
         }
@@ -244,20 +283,41 @@ impl fmt::Display for GateError {
 
 impl std::error::Error for GateError {}
 
+/// Whether a metric's value is tied to the machine's core count rather
+/// than the code: per-shard timings/utilizations and the scheduler's
+/// own diagnostics. When baseline and candidate ran on machines with
+/// different `cores`, these compare apples to oranges and are
+/// downgraded to informational.
+fn core_bound(name: &str) -> bool {
+    name.contains("shard") || name.starts_with("engine.scheduler.")
+}
+
 /// Compares `candidate` against `baseline` metric by metric.
 ///
 /// `threshold` is the relative slack (0.25 = fail at >25 % worse);
 /// `floor_s` is the absolute floor below which `*_s` timings are not
 /// gated. Returns every comparison (for the report table); the run
 /// regressed iff any [`Judgement::Regressed`] is present. Errs when the
-/// configurations differ — regenerate the baseline instead of comparing
-/// different experiments.
+/// schema tags or configurations differ — regenerate the baseline
+/// instead of comparing different experiments.
+///
+/// Core-awareness: when the two reports' `cores` metrics differ (the
+/// baseline was generated on a different machine shape), every
+/// core-bound metric — names containing `shard` or under
+/// `engine.scheduler.` — is downgraded to informational, because shard
+/// speedups on a 1-core runner say nothing about a 4-core baseline.
 pub fn compare(
     candidate: &EngineBench,
     baseline: &EngineBench,
     threshold: f64,
     floor_s: f64,
 ) -> Result<Vec<Comparison>, GateError> {
+    if candidate.schema != baseline.schema {
+        return Err(GateError(format!(
+            "schema mismatch (baseline {:?} vs candidate {:?})",
+            baseline.schema, candidate.schema
+        )));
+    }
     if candidate.config != baseline.config {
         let keys: std::collections::BTreeSet<&String> =
             candidate.config.keys().chain(baseline.config.keys()).collect();
@@ -289,6 +349,7 @@ pub fn compare(
             _ => false,
         }
     };
+    let cores_differ = baseline.metrics.get("cores") != candidate.metrics.get("cores");
     let mut out = Vec::new();
     for name in names {
         let base = baseline.metrics.get(name).copied();
@@ -297,26 +358,30 @@ pub fn compare(
             (Some(b), Some(c)) if b > 0.0 => Some(c / b),
             _ => None,
         };
-        let judgement = match (base, cand, ratio) {
-            (Some(b), Some(c), Some(r)) if name.ends_with("_s") => {
-                if b < floor_s && c < floor_s {
-                    Judgement::Informational // both under the noise floor
-                } else if r > 1.0 + threshold {
-                    Judgement::Regressed
-                } else {
-                    Judgement::Ok
+        let judgement = if cores_differ && core_bound(name) {
+            Judgement::Informational
+        } else {
+            match (base, cand, ratio) {
+                (Some(b), Some(c), Some(r)) if name.ends_with("_s") => {
+                    if b < floor_s && c < floor_s {
+                        Judgement::Informational // both under the noise floor
+                    } else if r > 1.0 + threshold {
+                        Judgement::Regressed
+                    } else {
+                        Judgement::Ok
+                    }
                 }
-            }
-            (Some(_), Some(_), Some(r)) if name.ends_with("_per_sec") => {
-                if rate_is_sub_floor(name) {
-                    Judgement::Informational
-                } else if r < 1.0 / (1.0 + threshold) {
-                    Judgement::Regressed
-                } else {
-                    Judgement::Ok
+                (Some(_), Some(_), Some(r)) if name.ends_with("_per_sec") => {
+                    if rate_is_sub_floor(name) {
+                        Judgement::Informational
+                    } else if r < 1.0 / (1.0 + threshold) {
+                        Judgement::Regressed
+                    } else {
+                        Judgement::Ok
+                    }
                 }
+                _ => Judgement::Informational,
             }
-            _ => Judgement::Informational,
         };
         out.push(Comparison {
             metric: name.clone(),
@@ -332,6 +397,36 @@ pub fn compare(
 /// Whether any comparison regressed.
 pub fn regressed(comparisons: &[Comparison]) -> bool {
     comparisons.iter().any(|c| c.judgement == Judgement::Regressed)
+}
+
+/// Core-aware absolute requirements on a candidate report, independent
+/// of any baseline: on a machine with ≥ 4 cores, the work-stealing
+/// scheduler must deliver at least [`SHARD4_MIN_SPEEDUP`] on the memory
+/// campaign at 4 shards with at least [`SHARD4_MIN_UTILIZATION`]
+/// shard-pool utilization. On narrower runners (CI frequently has 2
+/// cores) the speedup is physically unattainable and the checks are
+/// skipped — the `cores` metric in the report records why. Quick-mode
+/// reports (`config.quick = "true"`) are also exempt: a sub-millisecond
+/// smoke campaign is dominated by thread spawn/join overhead and says
+/// nothing about scheduler throughput.
+///
+/// Returns one message per violated requirement; empty = pass.
+pub fn absolute_failures(candidate: &EngineBench) -> Vec<String> {
+    let cores = candidate.metrics.get("cores").copied().unwrap_or(1.0);
+    if cores < 4.0 || candidate.config.get("quick").map(String::as_str) == Some("true") {
+        return Vec::new();
+    }
+    let mut failures = Vec::new();
+    let mut require = |metric: &str, min: f64| {
+        if let Some(&v) = candidate.metrics.get(metric) {
+            if v < min {
+                failures.push(format!("{metric} = {v:.3} < required {min} (cores = {cores})"));
+            }
+        }
+    };
+    require("engine.mem.shard4_speedup", SHARD4_MIN_SPEEDUP);
+    require("engine.mem.shard4_utilization", SHARD4_MIN_UTILIZATION);
+    failures
 }
 
 #[cfg(test)]
@@ -469,6 +564,76 @@ mod tests {
         let other = sample().config("rows", 6000);
         let err = compare(&other, &base, 0.25, DEFAULT_FLOOR_S).unwrap_err();
         assert!(err.to_string().contains("rows"));
+    }
+
+    #[test]
+    fn campaign_schema_round_trips_and_never_compares_to_engine() {
+        let campaign = sample().with_schema(CAMPAIGN_SCHEMA);
+        let parsed = EngineBench::from_json(&campaign.to_json()).expect("parse");
+        assert_eq!(parsed.schema, CAMPAIGN_SCHEMA);
+        assert_eq!(parsed, campaign);
+        let err = compare(&campaign, &sample(), 0.25, DEFAULT_FLOOR_S).unwrap_err();
+        assert!(err.to_string().contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn core_bound_metrics_downgrade_when_cores_differ() {
+        let base = sample().metric("cores", 4.0).metric("engine.net.shard4_s", 0.030);
+        // Same code, narrower machine: shard timing collapses but must
+        // not gate; the machine-independent sequential timing still does.
+        let narrow = sample()
+            .metric("cores", 1.0)
+            .metric("engine.net.shard4_s", 0.120)
+            .metric("engine.net.sequential_s", 0.120 * 1.5);
+        let cmp = compare(&narrow, &base, 0.25, DEFAULT_FLOOR_S).unwrap();
+        let shard = cmp.iter().find(|c| c.metric == "engine.net.shard4_s").unwrap();
+        assert_eq!(shard.judgement, Judgement::Informational);
+        let seq = cmp.iter().find(|c| c.metric == "engine.net.sequential_s").unwrap();
+        assert_eq!(seq.judgement, Judgement::Regressed);
+        // Same cores on both sides: the shard timing gates again.
+        let same = sample().metric("cores", 4.0).metric("engine.net.shard4_s", 0.060);
+        let cmp = compare(&same, &base, 0.25, DEFAULT_FLOOR_S).unwrap();
+        let shard = cmp.iter().find(|c| c.metric == "engine.net.shard4_s").unwrap();
+        assert_eq!(shard.judgement, Judgement::Regressed);
+    }
+
+    #[test]
+    fn absolute_requirements_apply_only_on_wide_machines() {
+        // 1-core runner: a 1.0x "speedup" is expected, not a failure.
+        let narrow = sample()
+            .metric("cores", 1.0)
+            .metric("engine.mem.shard4_speedup", 1.0)
+            .metric("engine.mem.shard4_utilization", 0.2);
+        assert!(absolute_failures(&narrow).is_empty());
+        // 4-core runner delivering the contract: pass.
+        let good = sample()
+            .config("quick", false)
+            .metric("cores", 4.0)
+            .metric("engine.mem.shard4_speedup", 3.1)
+            .metric("engine.mem.shard4_utilization", 0.93);
+        assert!(absolute_failures(&good).is_empty());
+        // 4-core runner falling short on both: two failures, each naming
+        // its metric.
+        let bad = sample()
+            .config("quick", false)
+            .metric("cores", 8.0)
+            .metric("engine.mem.shard4_speedup", 1.4)
+            .metric("engine.mem.shard4_utilization", 0.5);
+        let failures = absolute_failures(&bad);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("engine.mem.shard4_speedup"));
+        assert!(failures[1].contains("engine.mem.shard4_utilization"));
+        // The same shortfall in a quick-mode smoke is exempt: the plan
+        // is too small for thread overhead to amortize.
+        let quick_bad = sample()
+            .metric("cores", 8.0)
+            .metric("engine.mem.shard4_speedup", 1.4)
+            .metric("engine.mem.shard4_utilization", 0.5);
+        assert!(absolute_failures(&quick_bad).is_empty());
+        // Reports without the metrics (e.g. a network-only report) make
+        // no absolute claims.
+        let silent = sample().config("quick", false).metric("cores", 8.0);
+        assert!(absolute_failures(&silent).is_empty());
     }
 
     #[test]

@@ -49,13 +49,14 @@ fn temporal_burst_fools_netgauge_not_the_methodology() {
         let sizes: Vec<i64> =
             sampling::linear_sizes(512, 512, 24 * 1024).into_iter().map(|s| s as i64).collect();
         // Enough replicates that a per-size median survives the burst's
-        // ~20% duty cycle on every seed: with 12 reps a cell is one
+        // ~20% duty cycle on every seed: with few reps a cell is one
         // unlucky draw away from majority contamination, and the test
-        // becomes a seed lottery rather than a methodology contrast.
+        // becomes a seed lottery rather than a methodology contrast
+        // (at 36 reps the contrast still collapses on some RNG streams).
         let mut plan = FullFactorial::new()
             .factor(Factor::new("op", vec!["ping_pong"]))
             .factor(Factor::new("size", sizes))
-            .replicates(36)
+            .replicates(72)
             .build()
             .unwrap();
         plan.shuffle(seed);

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the bench-definition API charm's benches use
+//! ([`Criterion::bench_function`], benchmark groups, `bench_with_input`,
+//! [`criterion_group!`]/[`criterion_main!`], [`black_box`]) with a
+//! simple median-of-samples timer instead of criterion's full
+//! statistical pipeline. Output is one line per benchmark:
+//! `name ... median ns/iter (n samples)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier; re-exported from `std::hint`.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Identifier for a parameterized benchmark: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median over the sample budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, median_ns: f64::NAN };
+    f(&mut b);
+    println!("bench {name:<40} {:>14.0} ns/iter ({samples} samples)", b.median_ns);
+}
+
+/// Top-level benchmark registry (one per `criterion_group!` function).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), samples: DEFAULT_SAMPLES }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample budget.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs `f` under `group_name/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.samples, &mut f);
+        self
+    }
+
+    /// Runs `f(bencher, input)` under the parameterized `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher { samples: self.samples, median_ns: f64::NAN };
+        f(&mut b, input);
+        println!("bench {full:<40} {:>14.0} ns/iter ({} samples)", b.median_ns, self.samples);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("param", 64), &64u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, wave);
+
+    #[test]
+    fn harness_runs_all_shapes() {
+        benches();
+    }
+}

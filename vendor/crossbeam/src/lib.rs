@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Charm only uses `crossbeam::thread::scope` + `Scope::spawn`, which
+//! std has provided natively since 1.63. This crate adapts
+//! [`std::thread::scope`] to crossbeam's signature (the spawn closure
+//! receives a `&Scope` so nested spawns work, and `scope` returns
+//! `Err` instead of propagating panics from the closure or from
+//! unjoined spawned threads).
+
+#![warn(missing_docs)]
+
+/// Scoped threads (crossbeam-utils compatible subset).
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope or a join: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle threads can be spawned from.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its value (or panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope; the closure receives the
+        /// scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are all joined before
+    /// this returns. Panics from the closure or from unjoined spawned
+    /// threads surface as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn threads_borrow_locals_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 20);
+        }
+
+        #[test]
+        fn nested_spawn_works() {
+            let v = super::scope(|s| s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap())
+                .unwrap();
+            assert_eq!(v, 7);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                // Swallow the join error; the value is the panic payload.
+                let _ = h.join().is_ok();
+            });
+            assert!(r.is_ok(), "joined panics are contained");
+            let r2 = super::scope(|_| panic!("outer"));
+            assert!(r2.is_err(), "closure panic becomes Err");
+        }
+    }
+}

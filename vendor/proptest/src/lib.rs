@@ -1,0 +1,435 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest that charm's property tests use:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros,
+//! [`ProptestConfig::with_cases`], [`any`], numeric range strategies,
+//! tuple strategies and [`collection::vec`]. Generation is driven by a
+//! ChaCha8 stream seeded from the test's module path and case index, so
+//! failures reproduce exactly across runs and machines. Shrinking is
+//! not implemented — a failing case reports its inputs via the panic
+//! message instead (every strategy value is `Debug`).
+//!
+//! Case count resolution: explicit `#![proptest_config(...)]` wins,
+//! otherwise the `PROPTEST_CASES` environment variable, otherwise 256.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Namespace mirror so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Whether `PROPTEST_CASES` may override `cases`.
+    env_overridable: bool,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (not overridable by environment).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, env_overridable: false }
+    }
+
+    /// Final case count after environment resolution.
+    pub fn resolved_cases(&self) -> u32 {
+        if self.env_overridable {
+            if let Some(n) =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok())
+            {
+                return n;
+            }
+        }
+        self.cases
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, env_overridable: true }
+    }
+}
+
+/// Why a single test case did not pass: a genuine failure, or a
+/// rejected assumption ([`prop_assume!`]) that should be skipped.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; it does not count.
+    Reject(String),
+    /// The property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason (usable as `map_err(TestCaseError::fail)`).
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-case outcome; the `Err` early-return target of the
+/// [`prop_assert!`] family inside [`proptest!`] bodies and helpers.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-case RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// RNG for case `case` of the property named `name` (module path +
+    /// function name): FNV-1a of the name, mixed with the case index.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The produced value type.
+    type Value: Debug;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias towards edge values the way proptest does, so
+                // seed-like parameters still exercise 0 and MAX.
+                match rng.next_u32() % 16 {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => 1,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over all values of `T`: `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length bound for [`vec`]: a `usize` (exact) or `lo..hi` range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy for vectors of `elem` values with a length in `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `vec(strategy, len)` — vectors whose elements come from
+    /// `strategy` and whose length lies in `len`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Property assertion: early-returns `Err(TestCaseError::Fail(..))`, so
+/// it is usable both in [`proptest!`] bodies and in helper functions
+/// returning [`TestCaseResult`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality property assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Inequality property assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Skips the current case (without failing) when its precondition does
+/// not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        $crate::prop_assume!($cond, "assumption failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated cases. Failures
+/// panic with the case index and generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                for case in 0..u64::from(cases) {
+                    let mut proptest_rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $(let $p = $crate::Strategy::generate(&($s), &mut proptest_rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => {} // assumption unmet; skip
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed at case {case}: {msg}", stringify!($name));
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::RngCore;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..9, y in -2.0..=2.0f64, b in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..=2.0).contains(&y));
+            prop_assert!(usize::from(b) <= 1);
+        }
+
+        #[test]
+        fn vecs_respect_length_and_elems(
+            xs in prop::collection::vec(1i64..100, 2..6),
+            ys in prop::collection::vec((0usize..4, 0.0f64..1.0), 3),
+        ) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| (1..100).contains(&x)));
+            prop_assert_eq!(ys.len(), 3);
+        }
+
+        #[test]
+        fn mut_patterns_bind(mut xs in prop::collection::vec(0u32..10, 1..4)) {
+            xs.push(99);
+            prop_assert!(xs.ends_with(&[99]));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::TestRng::for_case("x", 0).next_u64();
+        let b = crate::TestRng::for_case("x", 0).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, crate::TestRng::for_case("x", 1).next_u64());
+        assert_ne!(a, crate::TestRng::for_case("y", 0).next_u64());
+    }
+}

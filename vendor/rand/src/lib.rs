@@ -1,0 +1,268 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no access to a crates.io
+//! mirror, so the external RNG crates are vendored as minimal local
+//! implementations of exactly the API surface charm uses:
+//!
+//! - [`RngCore`] / [`SeedableRng`] (including the PCG-based
+//!   `seed_from_u64` expansion scheme used by `rand_core`),
+//! - [`Rng::random_range`] over integer and float ranges (Lemire
+//!   widening-multiply rejection sampling for integers, 53-bit mantissa
+//!   scaling for floats),
+//! - [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! The streams are deterministic and high-quality but are **not**
+//! guaranteed to be bit-identical to upstream `rand 0.9`; every committed
+//! artifact in `results/` was (re)generated with these implementations,
+//! so the repository is self-consistent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Core random-number-generator interface: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with stream bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with a PCG-XSH-RR step per
+    /// 32-bit chunk (the same scheme `rand_core` documents), then calls
+    /// [`SeedableRng::from_seed`].
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniform integer in `[0, n)` by Lemire's widening-multiply method with
+/// rejection, so every value is exactly equally likely.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let threshold = n.wrapping_neg() % n; // 2^64 mod n
+    loop {
+        let wide = u128::from(rng.next_u64()) * u128::from(n);
+        if wide as u64 >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits of a stream word.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Marker for types [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform {}
+
+/// A range argument accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit domain: every word is already uniform.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let v = self.start + (self.end - self.start) * unit_f64(rng) as $t;
+                // Guard against the open bound rounding up to `end`.
+                if v < self.end { v } else { self.start }
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (hi - lo) * unit_f64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Convenience methods layered over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value from `range` (half-open or inclusive).
+    fn random_range<T, Rr>(&mut self, range: Rr) -> T
+    where
+        T: SampleUniform,
+        Rr: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Slice adaptors (`shuffle`).
+pub mod seq {
+    use super::{uniform_below, RngCore};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Uniform Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64: decorrelates the sequential counter.
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u32() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_hit_everything() {
+        let mut rng = Counter(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v: usize = rng.random_range(0..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 5 values reachable: {seen:?}");
+        for _ in 0..200 {
+            let v: u64 = rng.random_range(10..=12);
+            assert!((10..=12).contains(&v));
+        }
+        let v: i64 = rng.random_range(-3..=3);
+        assert!((-3..=3).contains(&v));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..200 {
+            let v: f64 = rng.random_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&v));
+            let w: f64 = rng.random_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_and_is_seed_deterministic() {
+        use seq::SliceRandom;
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut Counter(3));
+        b.shuffle(&mut Counter(3));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        let mut c: Vec<u32> = (0..50).collect();
+        c.shuffle(&mut Counter(4));
+        assert_ne!(a, c, "different seeds give different orders");
+    }
+
+    #[test]
+    fn seed_from_u64_fills_whole_seed() {
+        struct Probe([u8; 32]);
+        impl SeedableRng for Probe {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Probe(seed)
+            }
+        }
+        let a = Probe::seed_from_u64(1).0;
+        let b = Probe::seed_from_u64(2).0;
+        assert_ne!(a, b);
+        assert!(a.chunks(4).collect::<std::collections::HashSet<_>>().len() > 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Charm annotates its spec/result types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` as a courtesy to
+//! downstream consumers, but the workspace itself never serializes
+//! through serde — every artifact format (campaign CSV, JSONL reports,
+//! store manifests, bench baselines) is hand-rolled. This stand-in
+//! keeps those annotations compiling without a crates.io mirror:
+//! the traits are markers with blanket impls and the derives are inert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<T: ?Sized> Deserialize<'_> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, Clone, PartialEq, crate::Serialize, crate::Deserialize)]
+    struct Probe {
+        a: u64,
+        b: String,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, crate::Serialize, crate::Deserialize)]
+    enum Mode {
+        On,
+        Off(u8),
+    }
+
+    #[test]
+    fn derives_accept_structs_and_enums() {
+        let p = Probe { a: 1, b: "x".into() };
+        assert_eq!(p.clone(), p);
+        assert_ne!(Mode::On, Mode::Off(3));
+        fn is_serialize<T: crate::Serialize>(_: &T) {}
+        is_serialize(&p);
+    }
+}

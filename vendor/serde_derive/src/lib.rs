@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Charm derives `serde::{Serialize, Deserialize}` on its spec/result
+//! types for downstream consumers, but never serializes through serde
+//! itself (all artifacts are hand-rolled CSV/JSON). The local `serde`
+//! stand-in gives those traits blanket impls, so these derives only
+//! need to *accept* the annotation — they emit no code.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Inert `#[derive(Serialize)]`: the stand-in `serde::Serialize` trait
+/// is blanket-implemented, so nothing needs generating.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `#[derive(Deserialize)]`: see [`derive_serialize`].
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
