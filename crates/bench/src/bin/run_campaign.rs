@@ -1,20 +1,36 @@
-//! Run a white-box campaign described in the experiment DSL against one
-//! of the simulated platforms, and write the raw campaign CSV.
+//! Run a campaign and write the raw campaign CSV — from a declarative
+//! benchmark spec (`--benchmark`), or from the legacy experiment DSL.
 //!
 //! ```text
-//! run_campaign <plan.dsl> <platform> [--seed N] [--shards N]
-//!              [--min-rows-per-shard N] [--out DIR] [--obs-jsonl]
-//!              [--store DIR] [--resume RUN_ID]
+//! run_campaign --benchmark SPEC.toml [--param NAME=VALUE]... [flags]
+//! run_campaign <plan.dsl> <platform> [flags]
 //!
-//! platforms: taurus | myrinet | openmpi |
-//!            opteron | pentium4 | i7 | arm
+//! flags: [--seed N] [--shards N] [--min-rows-per-shard N] [--out DIR]
+//!        [--obs-jsonl] [--store DIR] [--resume RUN_ID]
+//! platforms: taurus | myrinet | openmpi | opteron | pentium4 | i7 | arm
 //! ```
 //!
-//! Network plans need factors `op` and `size`; memory plans need
-//! `size_bytes` (plus optional `stride`, `width`, `unroll`, `nloops`).
+//! **Spec mode** (`--benchmark`, DESIGN.md §15): the TOML file declares
+//! factors, replicates, ordering, and a `[target]` the registry
+//! resolves — a simulated network/memory platform, or `model =
+//! "external"`: a benchmark *engine subprocess* speaking the KLV
+//! protocol (bring your own benchmark). External engines run the
+//! sequential campaign path (a subprocess cannot be forked), and their
+//! `runner.*` frame/restart/timeout counters land in the `--obs-jsonl`
+//! report.
+//!
+//! **DSL mode** is unchanged: network plans need factors `op` and
+//! `size`; memory plans need `size_bytes` (plus optional `stride`,
+//! `width`, `unroll`, `nloops`).
+//!
+//! Exit codes: `2` — bad spec/usage (TOML or DSL parse error, unknown
+//! target or platform name, contradictory flags); `3` — target or
+//! protocol error (KLV timeout, malformed frame, I/O); `4` — the
+//! engine subprocess exited nonzero or died (captured stderr is in the
+//! message).
 //!
 //! `--shards N` fans the campaign out over N forks of the target (all
-//! platforms offered here are shard-invariant, so the records are
+//! in-process platforms are shard-invariant, so the records are
 //! identical to a sequential run — see DESIGN.md on the determinism
 //! contract). The default is [`Study::auto_shards`]: sequential below
 //! the row threshold, one shard per core above it. The engine also
@@ -32,20 +48,28 @@
 //! resumed records are bit-identical to an uninterrupted run. The given
 //! ID must match what the current plan/platform/seed/shards derive, so
 //! a resume can never silently splice a different campaign's data —
-//! not even the same plan run against a different platform.
+//! not even the same plan run against a different platform. (External
+//! engines archive the finished run but have no shard checkpoints, so
+//! `--resume` does not apply to them.)
 
+use charm_bench::cli::CommonArgs;
+use charm_bench::specload;
 use charm_core::pipeline::Study;
 use charm_design::dsl;
 use charm_design::plan::ExperimentPlan;
-use charm_engine::target::{MemoryTarget, NetworkTarget};
+use charm_engine::registry::{self, ResolvedTarget};
+use charm_engine::target::{MemoryTarget, NetworkTarget, Target};
 use charm_engine::{Campaign, CampaignRun, ParallelTarget, TargetError};
 use charm_obs::Observer;
+use charm_runner::ExternalTarget;
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
 use charm_simmem::paging::AllocPolicy;
 use charm_simmem::sched::SchedPolicy;
 use charm_simnet::presets;
 use std::process::ExitCode;
+
+const USAGE_POSITIONAL: &str = "<plan.dsl> <platform>";
 
 fn machine(spec: CpuSpec, seed: u64) -> MachineSim {
     MachineSim::new(
@@ -72,16 +96,18 @@ fn mem(name: &str, spec: CpuSpec, seed: u64) -> Platform {
     Platform::Mem(Box::new(MemoryTarget::new(name, machine(spec, seed))))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute<T: ParallelTarget>(
     plan: &ExperimentPlan,
     target: T,
     shards: usize,
+    shuffle_seed: Option<u64>,
     min_rows_per_shard: Option<usize>,
     observe: bool,
     sink: Option<&charm_store::CheckpointSession>,
     resume: bool,
 ) -> Result<CampaignRun, TargetError> {
-    let mut sharded = Campaign::new(plan, target).shards(shards);
+    let mut sharded = Campaign::new(plan, target).shards(shards).seed(shuffle_seed);
     if let Some(min_rows) = min_rows_per_shard {
         sharded = sharded.min_rows_per_shard(min_rows);
     }
@@ -92,13 +118,202 @@ fn execute<T: ParallelTarget>(
     sharded.run()
 }
 
-fn main() -> ExitCode {
-    let args = charm_bench::cli::CommonArgs::parse("<plan.dsl> <platform>");
-    let session = charm_bench::profile::Session::from_args(&args);
+/// Writes the artifacts and archives the run; shared by every mode.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    args: &CommonArgs,
+    session: charm_bench::profile::Session,
+    label: &str,
+    plan: &ExperimentPlan,
+    target_id: &str,
+    store: Option<&charm_store::Store>,
+    shards: u64,
+    run: &CampaignRun,
+) -> ExitCode {
+    let name = format!("campaign_{label}.csv");
+    charm_bench::write_artifact(&name, &run.data.to_csv());
+    if let Some(report) = &run.report {
+        let name = format!("campaign_{label}_obs.jsonl");
+        charm_bench::write_artifact(&name, &report.to_jsonl());
+        session.attach_virtual(label, report);
+    }
+    if let Some(store) = store {
+        let cli_args: Vec<String> = std::env::args().collect();
+        let key = charm_store::CampaignKey::of(plan, target_id, Some(args.seed), shards);
+        match store.put_run(&key, &cli_args.join(" "), &run.data, run.report.as_ref()) {
+            Ok(id) => println!("archived run {id}"),
+            Err(e) => {
+                eprintln!("archive failed: {e}");
+                return ExitCode::from(specload::EXIT_TARGET);
+            }
+        }
+    }
+    println!("{} raw measurements retained", run.data.records.len());
+    session.finish();
+    ExitCode::SUCCESS
+}
+
+/// Spec mode: `--benchmark SPEC.toml`.
+fn run_benchmark(args: &CommonArgs, path: &str) -> ExitCode {
+    let session = charm_bench::profile::Session::from_args(args);
+    let resolved = match specload::load(path, args.seed, &args.params) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let target = match registry::resolve(&resolved.target, args.seed) {
+        Ok(t) => t,
+        Err(e) => return specload::bad_spec(e),
+    };
+    let plan = resolved.plan;
+    println!("benchmark {}: {} rows, factors {:?}", resolved.name, plan.len(), plan.factor_names());
+
+    match target {
+        ResolvedTarget::External(spec) => {
+            if args.shards.is_some_and(|n| n > 1) {
+                eprintln!(
+                    "external engines are sequential-only (a subprocess cannot be forked); \
+                     drop --shards"
+                );
+                return ExitCode::from(specload::EXIT_BAD_SPEC);
+            }
+            if args.resume.is_some() {
+                eprintln!("--resume does not apply to external engines (no shard checkpoints)");
+                return ExitCode::from(specload::EXIT_BAD_SPEC);
+            }
+            let label = spec.label.clone();
+            let engine = match ExternalTarget::spawn(spec) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot start engine: {e}");
+                    return specload::exit_for(&e);
+                }
+            };
+            let target_id = charm_store::target_identity(&engine);
+            let store = match open_store(args) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let mut campaign = Campaign::new(&plan, engine).seed(resolved.order_seed);
+            if args.obs_jsonl {
+                campaign = campaign.observer(Observer::default());
+            }
+            match campaign.run() {
+                Ok(run) => {
+                    finish_run(args, session, &label, &plan, &target_id, store.as_ref(), 1, &run)
+                }
+                Err(e) => {
+                    eprintln!("campaign failed: {e}");
+                    specload::exit_for(&e)
+                }
+            }
+        }
+        ResolvedTarget::Network(t) => {
+            run_sharded_mode(args, session, &t.name(), &plan, resolved.order_seed, Platform::Net(t))
+        }
+        ResolvedTarget::Memory(t) => {
+            run_sharded_mode(args, session, &t.name(), &plan, resolved.order_seed, Platform::Mem(t))
+        }
+    }
+}
+
+fn open_store(args: &CommonArgs) -> Result<Option<charm_store::Store>, ExitCode> {
+    match &args.store {
+        Some(dir) => charm_store::Store::open(dir).map(Some).map_err(|e| {
+            eprintln!("cannot open store: {e}");
+            ExitCode::from(specload::EXIT_TARGET)
+        }),
+        None => Ok(None),
+    }
+}
+
+/// The sharded in-process path, shared by spec mode and DSL mode.
+fn run_sharded_mode(
+    args: &CommonArgs,
+    session: charm_bench::profile::Session,
+    label: &str,
+    plan: &ExperimentPlan,
+    shuffle_seed: Option<u64>,
+    platform: Platform,
+) -> ExitCode {
+    let shards = args.shards.unwrap_or_else(|| Study::auto_shards(plan.len()));
+
+    // The target's identity folds into the run ID, so the same plan
+    // against two platforms can never share a run directory.
+    let target_id = match &platform {
+        Platform::Net(t) => charm_store::target_identity(t.as_ref()),
+        Platform::Mem(t) => charm_store::target_identity(t.as_ref()),
+    };
+
+    // Open the campaign store (and its checkpoint session for this
+    // run's identity) before executing, so shards flush as they finish.
+    let store_ctx = match &args.store {
+        Some(_) => {
+            let store = match open_store(args) {
+                Ok(s) => s.expect("store flag present"),
+                Err(code) => return code,
+            };
+            let checkpoint = match store.session(plan, &target_id, Some(args.seed), shards as u64) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open checkpoint session: {e}");
+                    return ExitCode::from(specload::EXIT_TARGET);
+                }
+            };
+            if let Some(resume_id) = &args.resume {
+                if resume_id != checkpoint.run_id().as_str() {
+                    eprintln!(
+                        "--resume {resume_id} does not match this campaign: \
+                         plan/platform/seed/shards derive run {}",
+                        checkpoint.run_id()
+                    );
+                    return ExitCode::from(specload::EXIT_BAD_SPEC);
+                }
+                println!("resuming run {resume_id}");
+            }
+            Some((store, checkpoint))
+        }
+        None => {
+            if args.resume.is_some() {
+                eprintln!("--resume requires --store DIR (the store holding the checkpoints)");
+                return ExitCode::from(specload::EXIT_BAD_SPEC);
+            }
+            None
+        }
+    };
+    let sink = store_ctx.as_ref().map(|(_, checkpoint)| checkpoint);
+    let resume = args.resume.is_some();
+
+    let min_rows = args.min_rows_per_shard;
+    let result = match platform {
+        Platform::Net(t) => {
+            execute(plan, *t, shards, shuffle_seed, min_rows, args.obs_jsonl, sink, resume)
+        }
+        Platform::Mem(t) => {
+            execute(plan, *t, shards, shuffle_seed, min_rows, args.obs_jsonl, sink, resume)
+        }
+    };
+    match result {
+        Ok(run) => {
+            let store = store_ctx.as_ref().map(|(store, _)| store);
+            finish_run(args, session, label, plan, &target_id, store, shards as u64, &run)
+        }
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            specload::exit_for(&e)
+        }
+    }
+}
+
+/// Legacy DSL mode: `<plan.dsl> <platform>`.
+fn run_dsl(args: &CommonArgs) -> ExitCode {
+    let session = charm_bench::profile::Session::from_args(args);
     if args.rest.len() != 2 {
-        eprintln!("usage: run_campaign <plan.dsl> <platform> [--seed N] [--shards N] [--out DIR] [--obs-jsonl]");
+        eprintln!(
+            "usage: run_campaign <plan.dsl> <platform> [--seed N] [--shards N] [--out DIR] \
+             [--obs-jsonl]\n       run_campaign --benchmark SPEC.toml [--param NAME=VALUE]..."
+        );
         eprintln!("platforms: taurus myrinet openmpi opteron pentium4 i7 arm");
-        return ExitCode::FAILURE;
+        return ExitCode::from(specload::EXIT_BAD_SPEC);
     }
     let seed = args.seed;
 
@@ -106,22 +321,21 @@ fn main() -> ExitCode {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot read {}: {e}", args.rest[0]);
-            return ExitCode::FAILURE;
+            return ExitCode::from(specload::EXIT_BAD_SPEC);
         }
     };
     let plan = match dsl::compile(&text) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("DSL error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(specload::EXIT_BAD_SPEC);
         }
     };
-    let shards = args.shards.unwrap_or_else(|| Study::auto_shards(plan.len()));
     println!(
         "compiled plan: {} rows, factors {:?}, {} shard(s)",
         plan.len(),
         plan.factor_names(),
-        shards
+        args.shards.unwrap_or_else(|| Study::auto_shards(plan.len()))
     );
 
     let platform_name = args.rest[1].as_str();
@@ -135,92 +349,18 @@ fn main() -> ExitCode {
         "arm" => mem("arm", CpuSpec::arm_snowball(), seed),
         other => {
             eprintln!("unknown platform {other:?}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(specload::EXIT_BAD_SPEC);
         }
     };
+    // The DSL applies its own ordering at compile time and the legacy
+    // artifacts never recorded a shuffle seed; keep that shape.
+    run_sharded_mode(args, session, platform_name, &plan, None, platform)
+}
 
-    // The target's identity folds into the run ID, so the same plan
-    // against two platforms can never share a run directory.
-    let target_id = match &platform {
-        Platform::Net(t) => charm_store::target_identity(t.as_ref()),
-        Platform::Mem(t) => charm_store::target_identity(t.as_ref()),
-    };
-
-    // Open the campaign store (and its checkpoint session for this
-    // run's identity) before executing, so shards flush as they finish.
-    let store_ctx = match &args.store {
-        Some(dir) => {
-            let store = match charm_store::Store::open(dir) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("cannot open store: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let checkpoint = match store.session(&plan, &target_id, Some(seed), shards as u64) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("cannot open checkpoint session: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if let Some(resume_id) = &args.resume {
-                if resume_id != checkpoint.run_id().as_str() {
-                    eprintln!(
-                        "--resume {resume_id} does not match this campaign: \
-                         plan/platform/seed/shards derive run {}",
-                        checkpoint.run_id()
-                    );
-                    return ExitCode::FAILURE;
-                }
-                println!("resuming run {resume_id}");
-            }
-            Some((store, checkpoint))
-        }
-        None => {
-            if args.resume.is_some() {
-                eprintln!("--resume requires --store DIR (the store holding the checkpoints)");
-                return ExitCode::FAILURE;
-            }
-            None
-        }
-    };
-    let sink = store_ctx.as_ref().map(|(_, checkpoint)| checkpoint);
-    let resume = args.resume.is_some();
-
-    let min_rows = args.min_rows_per_shard;
-    let result = match platform {
-        Platform::Net(t) => execute(&plan, *t, shards, min_rows, args.obs_jsonl, sink, resume),
-        Platform::Mem(t) => execute(&plan, *t, shards, min_rows, args.obs_jsonl, sink, resume),
-    };
-    match result {
-        Ok(run) => {
-            let name = format!("campaign_{platform_name}.csv");
-            charm_bench::write_artifact(&name, &run.data.to_csv());
-            if let Some(report) = &run.report {
-                let name = format!("campaign_{platform_name}_obs.jsonl");
-                charm_bench::write_artifact(&name, &report.to_jsonl());
-                session.attach_virtual(platform_name, report);
-            }
-            if let Some((store, _)) = &store_ctx {
-                let cli_args: Vec<String> = std::env::args().collect();
-                let key =
-                    charm_store::CampaignKey::of(&plan, &target_id, Some(seed), shards as u64);
-                match store.put_run(&key, &cli_args.join(" "), &run.data, run.report.as_ref()) {
-                    Ok(id) => println!("archived run {id}"),
-                    Err(e) => {
-                        eprintln!("archive failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            println!("{} raw measurements retained", run.data.records.len());
-            session.finish();
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("campaign failed: {e}");
-            ExitCode::FAILURE
-        }
+fn main() -> ExitCode {
+    let args = CommonArgs::parse(USAGE_POSITIONAL);
+    match args.benchmark.clone() {
+        Some(path) => run_benchmark(&args, &path),
+        None => run_dsl(&args),
     }
 }

@@ -27,6 +27,11 @@
 //!   `DIR`, flushing shard checkpoints as they complete;
 //! * `--resume RUN_ID` — with `--store`, replay the finished shards of
 //!   an interrupted run and execute only the missing ones;
+//! * `--benchmark PATH` — run from a declarative benchmark spec
+//!   (`benchmarks/*.toml`, DESIGN.md §15) instead of built-in
+//!   plan-building;
+//! * `--param NAME=VALUE` — override a `[params]` entry of the spec
+//!   (repeatable; only meaningful with `--benchmark`);
 //! * `--help` — print usage.
 //!
 //! Positional arguments (e.g. `run_campaign`'s plan file and platform)
@@ -56,6 +61,10 @@ pub struct CommonArgs {
     pub store: Option<String>,
     /// Run ID to resume (`--resume RUN_ID`), when given.
     pub resume: Option<String>,
+    /// Benchmark spec file (`--benchmark PATH`), when given.
+    pub benchmark: Option<String>,
+    /// Spec parameter overrides (`--param NAME=VALUE`, repeatable).
+    pub params: Vec<(String, String)>,
     /// Positional arguments, in order.
     pub rest: Vec<String>,
 }
@@ -106,6 +115,8 @@ impl CommonArgs {
             trace_out: None,
             store: None,
             resume: None,
+            benchmark: None,
+            params: Vec::new(),
             rest: Vec::new(),
         };
         let mut out_dir = None;
@@ -161,6 +172,24 @@ impl CommonArgs {
                         return Err(Exit::Error);
                     }
                 },
+                "--benchmark" => match argv.next() {
+                    Some(path) => args.benchmark = Some(path),
+                    None => {
+                        eprintln!("--benchmark needs a spec file path");
+                        return Err(Exit::Error);
+                    }
+                },
+                "--param" => {
+                    match argv.next().as_deref().and_then(|kv| {
+                        kv.split_once('=').map(|(k, v)| (k.to_string(), v.to_string()))
+                    }) {
+                        Some((k, v)) if !k.is_empty() => args.params.push((k, v)),
+                        _ => {
+                            eprintln!("--param needs NAME=VALUE");
+                            return Err(Exit::Error);
+                        }
+                    }
+                }
                 "--help" | "-h" => return Err(Exit::Help),
                 flag if flag.starts_with("--") => {
                     eprintln!("unknown flag {flag}");
@@ -199,6 +228,7 @@ fn usage(bin: &str, extra: &str) -> String {
         "usage: {bin}{positional} [--seed N] [--shards N] [--min-rows-per-shard N] [--out DIR]\n\
          \x20               [--obs-jsonl] [--quick] [--profile] [--trace-out PATH]\n\
          \x20               [--store DIR] [--resume RUN_ID]\n\
+         \x20               [--benchmark SPEC.toml] [--param NAME=VALUE]...\n\
          \n\
          --seed N        RNG seed (default CHARM_SEED or 20170529)\n\
          --shards N      shard count for shard-invariant campaigns (sets CHARM_SHARDS)\n\
@@ -210,7 +240,9 @@ fn usage(bin: &str, extra: &str) -> String {
          --profile       print a wall-clock self-profile on exit\n\
          --trace-out PATH  write a dual-clock Chrome/Perfetto trace.json\n\
          --store DIR     archive the campaign (with shard checkpoints) into a store\n\
-         --resume RUN_ID resume an interrupted stored run (requires --store)"
+         --resume RUN_ID resume an interrupted stored run (requires --store)\n\
+         --benchmark SPEC.toml  run from a declarative benchmark spec (DESIGN.md par. 15)\n\
+         --param NAME=VALUE  override a [params] entry of the spec (repeatable)"
     )
 }
 
@@ -238,6 +270,8 @@ mod tests {
                 trace_out: None,
                 store: None,
                 resume: None,
+                benchmark: None,
+                params: vec![],
                 rest: vec![]
             }
         );
@@ -267,6 +301,12 @@ mod tests {
                 "/tmp/store",
                 "--resume",
                 "0123456789abcdef0123456789abcdef",
+                "--benchmark",
+                "benchmarks/fig04.toml",
+                "--param",
+                "n_sizes=30",
+                "--param",
+                "preset=myrinet",
                 "taurus",
             ]),
             7,
@@ -282,6 +322,14 @@ mod tests {
         assert_eq!(args.trace_out.as_deref(), Some("/tmp/trace.json"));
         assert_eq!(args.store.as_deref(), Some("/tmp/store"));
         assert_eq!(args.resume.as_deref(), Some("0123456789abcdef0123456789abcdef"));
+        assert_eq!(args.benchmark.as_deref(), Some("benchmarks/fig04.toml"));
+        assert_eq!(
+            args.params,
+            vec![
+                ("n_sizes".to_string(), "30".to_string()),
+                ("preset".to_string(), "myrinet".to_string())
+            ]
+        );
         assert_eq!(args.rest, argv(&["plan.dsl", "taurus"]));
         assert_eq!(out.as_deref(), Some("/tmp/r"));
     }
@@ -299,6 +347,10 @@ mod tests {
         assert_eq!(CommonArgs::try_parse(argv(&["--trace-out"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--store"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--resume"]), 1), Err(Exit::Error));
+        assert_eq!(CommonArgs::try_parse(argv(&["--benchmark"]), 1), Err(Exit::Error));
+        assert_eq!(CommonArgs::try_parse(argv(&["--param"]), 1), Err(Exit::Error));
+        assert_eq!(CommonArgs::try_parse(argv(&["--param", "novalue"]), 1), Err(Exit::Error));
+        assert_eq!(CommonArgs::try_parse(argv(&["--param", "=v"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--bogus"]), 1), Err(Exit::Error));
         assert_eq!(CommonArgs::try_parse(argv(&["--help"]), 1), Err(Exit::Help));
     }
@@ -318,6 +370,8 @@ mod tests {
             "--trace-out",
             "--store",
             "--resume",
+            "--benchmark",
+            "--param",
         ] {
             assert!(u.contains(flag), "{flag} missing from usage");
         }

@@ -13,6 +13,7 @@
 pub mod cli;
 pub mod csvout;
 pub mod profile;
+pub mod specload;
 
 use std::fs;
 use std::path::{Path, PathBuf};

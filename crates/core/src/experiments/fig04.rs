@@ -68,15 +68,23 @@ pub fn run(seed: u64, n_sizes: usize, reps: u32) -> Fig04 {
     // × reps); shard count cannot change the retained data.
     let shards = Study::auto_shards(study.plan().len());
     let campaign = study.run_sharded(&target, shards).expect("simulated target");
+    from_campaign(campaign, vec![32 * 1024, 128 * 1024]).expect("static breakpoints")
+}
 
-    let breakpoints = vec![32 * 1024u64, 128 * 1024];
-    let model = NetworkModel::fit(&campaign, &breakpoints).expect("fit");
+/// Stage 3 alone: fits the piecewise model and the per-regime
+/// variability table over an already-run campaign (the spec-driven
+/// `fig04` binary runs the campaign from `benchmarks/fig04.toml` and
+/// hands it here; [`run`] is plan-building + this).
+pub fn from_campaign(campaign: Campaign, breakpoints: Vec<u64>) -> Result<Fig04, String> {
+    let model = NetworkModel::fit(&campaign, &breakpoints).map_err(|e| e.to_string())?;
 
     // per-op, per-regime residual CV
     let mut variability = Vec::new();
     for op in [NetOp::AsyncSend, NetOp::BlockingRecv, NetOp::PingPong] {
         let sub = campaign.filtered("op", |l| l.as_text() == Some(op.name()));
-        let (xs, ys) = sub.paired("size").expect("numeric size");
+        let (xs, ys) = sub
+            .paired("size")
+            .ok_or_else(|| format!("campaign lacks numeric \"size\" data for op {}", op.name()))?;
         for regime in 0..=breakpoints.len() {
             let (lo, hi) = regime_range(&breakpoints, regime);
             let rel_resid: Vec<f64> = xs
@@ -92,7 +100,7 @@ pub fn run(seed: u64, n_sizes: usize, reps: u32) -> Fig04 {
             }
         }
     }
-    Fig04 { campaign, model, variability, breakpoints }
+    Ok(Fig04 { campaign, model, variability, breakpoints })
 }
 
 fn regime_range(breakpoints: &[u64], regime: usize) -> (f64, f64) {

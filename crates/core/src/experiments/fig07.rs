@@ -37,11 +37,8 @@ pub struct Fig07 {
 
 /// Runs the sweep: strides {2, 4, 8} over sizes 4 KiB … 8 MiB.
 pub fn run(seed: u64, reps: u32) -> Fig07 {
-    let spec = CpuSpec::opteron();
-    let l1 = spec.levels[0].size_bytes;
-    let l2 = spec.levels[1].size_bytes;
     let mut machine = MachineSim::new(
-        spec,
+        CpuSpec::opteron(),
         GovernorPolicy::Performance,
         SchedPolicy::PinnedDefault,
         AllocPolicy::PooledRandomOffset,
@@ -56,7 +53,17 @@ pub fn run(seed: u64, reps: u32) -> Fig07 {
         s = ((s * 3 / 2) & !4095).max(s + 4096);
     }
     let cfg = MultimapsConfig { sizes, strides: vec![2, 4, 8], nloops: 600, repetitions: reps };
-    let rows = multimaps::run(&mut machine, &cfg)
+    run_with(&mut machine, &cfg)
+}
+
+/// Runs the sweep over an already-built machine and tool config (the
+/// spec-driven `fig07` binary resolves both from `benchmarks/fig07.toml`
+/// and hands them here; [`run`] is machine/ladder-building + this). The
+/// cache-capacity annotations come from the machine's own CPU spec.
+pub fn run_with(machine: &mut MachineSim, cfg: &MultimapsConfig) -> Fig07 {
+    let l1 = machine.spec().levels[0].size_bytes;
+    let l2 = machine.spec().levels[1].size_bytes;
+    let rows = multimaps::run(machine, cfg)
         .into_iter()
         .map(|r| Row { stride: r.stride, size_bytes: r.cell.x, bandwidth_mbps: r.cell.mean })
         .collect();

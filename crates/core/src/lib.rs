@@ -32,6 +32,7 @@ pub mod pitfalls;
 pub mod replay;
 pub mod report;
 pub mod screening;
+pub mod spec;
 pub mod variability;
 pub mod whatif;
 

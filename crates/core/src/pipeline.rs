@@ -45,6 +45,15 @@ impl Study {
         self
     }
 
+    /// Starts a study from a plan whose ordering was already applied —
+    /// benchmark-spec resolution (`crate::spec`) shuffles at resolve
+    /// time — recording `shuffle_seed` in the campaign metadata exactly
+    /// as [`Study::randomized`] would (`None` means sequential /
+    /// as-declared order).
+    pub fn prepared(plan: ExperimentPlan, shuffle_seed: Option<u64>) -> Self {
+        Study { plan, shuffle_seed, min_rows_per_shard: None }
+    }
+
     /// Randomizes the measurement order — the methodology's key step.
     pub fn randomized(mut self, seed: u64) -> Self {
         self.plan.shuffle(seed);

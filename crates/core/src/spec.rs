@@ -1,0 +1,730 @@
+//! Declarative benchmark specs: the "what to measure" artifact.
+//!
+//! The paper's methodology separates experiment *design* from the
+//! *engine* that executes it; this module separates both from the
+//! benchmark *definition*. A benchmark is a TOML file in `benchmarks/`
+//! declaring its factors and levels, replicates, randomization, target
+//! platform, and analysis hints — no Rust. The harness parses the file
+//! with [`BenchmarkSpec::parse`], substitutes parameters, and
+//! [`BenchmarkSpec::resolve`]s it into an
+//! [`ExperimentPlan`] plus a [`TargetSpec`] for
+//! `charm_engine::registry::resolve` — which is how `run_campaign
+//! --benchmark pchase.toml` replaces per-figure plan-building code,
+//! and how an external KLV engine gets measured under the exact same
+//! randomized design as the in-process simulators (DESIGN.md §15).
+//!
+//! # Spec schema (charm-spec/1)
+//!
+//! ```toml
+//! [benchmark]
+//! name = "fig04"                      # required
+//! description = "..."                 # optional
+//!
+//! [target]                            # required
+//! model = "network"                   # network | memory | external
+//! preset = "taurus"                   # network: preset name
+//! # memory:   cpu = "opteron" [governor/sched/alloc/label = "..."]
+//! # external: program = "path" [args = [...]] [timeout_ms = N]
+//!
+//! [params]                            # optional, CLI-overridable
+//! n_sizes = 100
+//!
+//! [factors.op]                        # declaration order = column order
+//! levels = ["async_send", "ping_pong"]
+//!
+//! [factors.size]
+//! generator = "loguniform_unique"     # range | loguniform | loguniform_unique
+//! min = 8
+//! max = 4_194_304
+//! count = "$n_sizes"                  # `$name` pulls from [params]; `$seed`
+//! seed = "$seed"                      # is built in (the harness --seed)
+//!
+//! [design]
+//! replicates = 20
+//! order = "randomized"                # randomized | sequential | as_declared
+//! # order_seed = "$seed"              # default
+//!
+//! [analysis]                          # free-form hints for the analysis stage
+//! breakpoints = [32_768, 131_072]
+//!
+//! [tool]                              # free-form config for opaque-tool drivers
+//! ```
+//!
+//! Parameter substitution is exact-match only: a string value that *is*
+//! `"$name"` becomes the parameter's (typed) value; `$` elsewhere in a
+//! string is literal. Unknown `$name`s and overrides of undeclared
+//! parameters are errors — a typo must not silently run the default.
+
+pub mod toml;
+
+use crate::spec::toml::{Item, Table, Value};
+use charm_design::doe::FullFactorial;
+use charm_design::factors::{Factor, Level};
+use charm_design::plan::ExperimentPlan;
+use charm_design::sampling;
+use charm_engine::registry::TargetSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A spec parse/resolution error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// What went wrong, with enough context to fix the spec file.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<toml::TomlError> for SpecError {
+    fn from(e: toml::TomlError) -> Self {
+        SpecError { message: e.to_string() }
+    }
+}
+
+fn err(message: impl Into<String>) -> SpecError {
+    SpecError { message: message.into() }
+}
+
+/// A parsed (but not yet resolved) benchmark spec file.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    root: Table,
+    /// The benchmark's name (`[benchmark] name`).
+    pub name: String,
+    /// Optional description.
+    pub description: Option<String>,
+}
+
+impl BenchmarkSpec {
+    /// Parses a spec document and validates its fixed structure
+    /// (parameter values stay unsubstituted until [`Self::resolve`]).
+    pub fn parse(text: &str) -> Result<BenchmarkSpec, SpecError> {
+        let root = toml::parse(text)?;
+        let benchmark = root
+            .table("benchmark")
+            .ok_or_else(|| err("spec lacks the [benchmark] table (with `name = \"...\"`)"))?;
+        let name = benchmark
+            .value("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("[benchmark] needs `name = \"...\"`"))?
+            .to_string();
+        let description =
+            benchmark.value("description").and_then(Value::as_str).map(str::to_string);
+        if root.table("target").is_none() {
+            return Err(err("spec lacks the [target] table (with `model = \"...\"`)"));
+        }
+        let factors =
+            root.table("factors").ok_or_else(|| err("spec lacks [factors.<name>] tables"))?;
+        if factors.subtable_names().is_empty() {
+            return Err(err("[factors] declares no factors"));
+        }
+        Ok(BenchmarkSpec { root, name, description })
+    }
+
+    /// The declared parameter names and their default values, in
+    /// declaration order (for `--help`-style listings).
+    pub fn params(&self) -> Vec<(String, String)> {
+        self.root
+            .table("params")
+            .map(|t| t.values().map(|(k, v)| (k.to_string(), v.render())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Substitutes parameters and resolves the spec into a runnable
+    /// description: the experiment plan (factors expanded, replicates
+    /// applied, order applied) plus the declarative target.
+    ///
+    /// `overrides` are CLI `--param name=value` pairs; each must name a
+    /// parameter declared in `[params]`. `seed` is the harness seed,
+    /// available as `$seed`.
+    pub fn resolve(
+        &self,
+        seed: u64,
+        overrides: &[(String, String)],
+    ) -> Result<ResolvedBenchmark, SpecError> {
+        let params = self.final_params(seed, overrides)?;
+        let target = parse_target(&substitute_table(
+            self.root.table("target").expect("validated in parse"),
+            &params,
+        )?)?;
+        let factors_table =
+            substitute_table(self.root.table("factors").expect("validated in parse"), &params)?;
+        let mut factors = Vec::new();
+        for name in factors_table.subtable_names() {
+            let t = factors_table.table(name).expect("just listed");
+            factors.push(parse_factor(name, t)?);
+        }
+
+        let design = match self.root.table("design") {
+            Some(t) => substitute_table(t, &params)?,
+            None => Table::default(),
+        };
+        for (key, _) in design.values() {
+            if !matches!(key, "replicates" | "order" | "order_seed") {
+                return Err(err(format!(
+                    "[design] has unknown key {key:?} (expected replicates/order/order_seed)"
+                )));
+            }
+        }
+        let replicates = match design.value("replicates") {
+            None => 1,
+            Some(v) => {
+                let n =
+                    v.as_int().filter(|&n| n >= 1 && n <= u32::MAX as i64).ok_or_else(|| {
+                        err(format!(
+                            "[design] replicates must be a positive integer, got {}",
+                            v.render()
+                        ))
+                    })?;
+                n as u32
+            }
+        };
+        let order_seed_value = match design.value("order_seed") {
+            None => seed,
+            Some(v) => {
+                v.as_int().ok_or_else(|| err("[design] order_seed must be an integer"))? as u64
+            }
+        };
+        let order =
+            design.value("order").map(|v| v.as_str().unwrap_or("")).unwrap_or("as_declared");
+
+        let mut builder = FullFactorial::new().replicates(replicates);
+        for f in &factors {
+            builder = builder.factor(f.clone());
+        }
+        let mut plan = builder.build().map_err(|e| err(format!("factor expansion failed: {e}")))?;
+        let order_seed = match order {
+            "randomized" => {
+                plan.shuffle(order_seed_value);
+                Some(order_seed_value)
+            }
+            "sequential" => {
+                plan = plan.sequential();
+                None
+            }
+            "as_declared" => None,
+            other => {
+                return Err(err(format!(
+                    "[design] order {other:?} is not randomized/sequential/as_declared"
+                )))
+            }
+        };
+
+        let analysis = match self.root.table("analysis") {
+            Some(t) => substitute_table(t, &params)?,
+            None => Table::default(),
+        };
+        let tool = match self.root.table("tool") {
+            Some(t) => substitute_table(t, &params)?,
+            None => Table::default(),
+        };
+
+        Ok(ResolvedBenchmark {
+            name: self.name.clone(),
+            target,
+            factors,
+            plan,
+            order_seed,
+            replicates,
+            params: params.iter().map(|(k, v)| (k.clone(), v.render())).collect(),
+            analysis,
+            tool,
+        })
+    }
+
+    /// Declared defaults + CLI overrides + the builtin `seed`.
+    fn final_params(
+        &self,
+        seed: u64,
+        overrides: &[(String, String)],
+    ) -> Result<BTreeMap<String, Value>, SpecError> {
+        let mut params: BTreeMap<String, Value> = BTreeMap::new();
+        if let Some(t) = self.root.table("params") {
+            for (k, v) in t.values() {
+                if k == "seed" {
+                    return Err(err(
+                        "[params] must not declare `seed` (it is built in; set it with --seed)",
+                    ));
+                }
+                params.insert(k.to_string(), v.clone());
+            }
+        }
+        for (k, v) in overrides {
+            if !params.contains_key(k) {
+                let declared: Vec<String> = params.keys().cloned().collect();
+                return Err(err(format!(
+                    "--param {k}={v} does not match a declared parameter \
+                     (declared: {})",
+                    if declared.is_empty() { "none".to_string() } else { declared.join(", ") }
+                )));
+            }
+            params.insert(k.clone(), parse_override(v));
+        }
+        params.insert("seed".to_string(), Value::Int(seed as i64));
+        Ok(params)
+    }
+}
+
+/// CLI override values arrive as bare strings; give them the narrowest
+/// type that round-trips, mirroring `Level::parse`.
+fn parse_override(v: &str) -> Value {
+    match v {
+        "true" => return Value::Bool(true),
+        "false" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(n) = v.parse::<i64>() {
+        return Value::Int(n);
+    }
+    if let Ok(f) = v.parse::<f64>() {
+        if f.is_finite() {
+            return Value::Float(f);
+        }
+    }
+    Value::Str(v.to_string())
+}
+
+/// A fully resolved, runnable benchmark description.
+#[derive(Debug, Clone)]
+pub struct ResolvedBenchmark {
+    /// Benchmark name (for artifact naming and metadata).
+    pub name: String,
+    /// Declarative target, for `charm_engine::registry::resolve`.
+    pub target: TargetSpec,
+    /// The expanded factors, in declaration order (opaque-tool drivers
+    /// read their sweeps from here rather than from the plan rows).
+    pub factors: Vec<Factor>,
+    /// The experiment plan, with replicates and ordering applied.
+    pub plan: ExperimentPlan,
+    /// The shuffle seed when `order = "randomized"` (recorded in
+    /// campaign metadata, exactly like `Study::randomized`).
+    pub order_seed: Option<u64>,
+    /// Replicates per factor combination.
+    pub replicates: u32,
+    /// Final parameter values after overrides, rendered (provenance).
+    pub params: Vec<(String, String)>,
+    /// Resolved `[analysis]` hints (empty table when absent).
+    pub analysis: Table,
+    /// Resolved `[tool]` config for opaque-tool drivers (empty when
+    /// absent).
+    pub tool: Table,
+}
+
+impl ResolvedBenchmark {
+    /// An `[analysis]` or `[tool]` integer array (e.g. breakpoints),
+    /// validated as non-negative.
+    pub fn u64_array(table: &Table, key: &str) -> Result<Vec<u64>, SpecError> {
+        let v = table.value(key).ok_or_else(|| err(format!("spec lacks array {key:?}")))?;
+        v.as_array()
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|i| {
+                        i.as_int().filter(|&n| n >= 0).map(|n| n as u64).ok_or_else(|| {
+                            err(format!("{key:?} has non-integer entry {}", i.render()))
+                        })
+                    })
+                    .collect()
+            })
+            .ok_or_else(|| err(format!("{key:?} must be an array")))?
+    }
+
+    /// A required integer from `[tool]`-style tables.
+    pub fn u64_value(table: &Table, key: &str) -> Result<u64, SpecError> {
+        table
+            .value(key)
+            .and_then(Value::as_int)
+            .filter(|&n| n >= 0)
+            .map(|n| n as u64)
+            .ok_or_else(|| err(format!("spec lacks non-negative integer {key:?}")))
+    }
+}
+
+/// Substitutes `$name` string values from `params` through a table,
+/// recursively.
+fn substitute_table(table: &Table, params: &BTreeMap<String, Value>) -> Result<Table, SpecError> {
+    let mut out = Table::default();
+    for (key, item) in table.entries() {
+        let item = match item {
+            Item::Table(t) => Item::Table(substitute_table(t, params)?),
+            Item::Value { value, line } => {
+                Item::Value { value: substitute_value(value, params)?, line: *line }
+            }
+        };
+        out.push(key.clone(), item);
+    }
+    Ok(out)
+}
+
+fn substitute_value(value: &Value, params: &BTreeMap<String, Value>) -> Result<Value, SpecError> {
+    match value {
+        Value::Str(s) => match s.strip_prefix('$') {
+            Some(name) => params
+                .get(name)
+                .cloned()
+                .ok_or_else(|| err(format!("unknown parameter ${name} (declare it in [params])"))),
+            None => Ok(value.clone()),
+        },
+        Value::Array(items) => {
+            let out: Result<Vec<Value>, SpecError> =
+                items.iter().map(|v| substitute_value(v, params)).collect();
+            Ok(Value::Array(out?))
+        }
+        other => Ok(other.clone()),
+    }
+}
+
+/// Parses a (substituted) `[target]` table into a [`TargetSpec`].
+fn parse_target(t: &Table) -> Result<TargetSpec, SpecError> {
+    let model = t
+        .value("model")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("[target] needs `model = \"network\" | \"memory\" | \"external\"`"))?;
+    let opt_str = |key: &str| -> Result<Option<String>, SpecError> {
+        match t.value(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| err(format!("[target] {key} must be a string"))),
+        }
+    };
+    let known = |keys: &[&str]| -> Result<(), SpecError> {
+        for (k, _) in t.values() {
+            if k != "model" && !keys.contains(&k) {
+                return Err(err(format!(
+                    "[target] model \"{model}\" has unknown key {k:?} (expected {})",
+                    keys.join("/")
+                )));
+            }
+        }
+        Ok(())
+    };
+    match model {
+        "network" => {
+            known(&["preset", "label"])?;
+            let preset = opt_str("preset")?
+                .ok_or_else(|| err("[target] model \"network\" needs `preset = \"...\"`"))?;
+            Ok(TargetSpec::Network { preset, label: opt_str("label")? })
+        }
+        "memory" => {
+            known(&["cpu", "governor", "sched", "alloc", "label"])?;
+            let cpu = opt_str("cpu")?
+                .ok_or_else(|| err("[target] model \"memory\" needs `cpu = \"...\"`"))?;
+            Ok(TargetSpec::Memory {
+                cpu,
+                governor: opt_str("governor")?,
+                sched: opt_str("sched")?,
+                alloc: opt_str("alloc")?,
+                label: opt_str("label")?,
+            })
+        }
+        "external" => {
+            known(&["program", "args", "timeout_ms", "label"])?;
+            let program = opt_str("program")?
+                .ok_or_else(|| err("[target] model \"external\" needs `program = \"...\"`"))?;
+            let args = match t.value("args") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| err("[target] args must be an array"))?
+                    .iter()
+                    .map(|a| match a {
+                        // numeric args are fine — engines see strings anyway
+                        Value::Str(s) => Ok(s.clone()),
+                        Value::Int(n) => Ok(n.to_string()),
+                        Value::Float(f) => Ok(f.to_string()),
+                        other => Err(err(format!(
+                            "[target] args entry {} must be a string",
+                            other.render()
+                        ))),
+                    })
+                    .collect::<Result<Vec<String>, SpecError>>()?,
+            };
+            let timeout_ms = match t.value("timeout_ms") {
+                None => None,
+                Some(v) => Some(
+                    v.as_int()
+                        .filter(|&n| n > 0)
+                        .map(|n| n as u64)
+                        .ok_or_else(|| err("[target] timeout_ms must be a positive integer"))?,
+                ),
+            };
+            Ok(TargetSpec::External { program, args, timeout_ms, label: opt_str("label")? })
+        }
+        other => Err(err(format!(
+            "[target] model {other:?} is not \"network\", \"memory\", or \"external\""
+        ))),
+    }
+}
+
+/// Parses one (substituted) `[factors.<name>]` table.
+fn parse_factor(name: &str, t: &Table) -> Result<Factor, SpecError> {
+    if let Some(v) = t.value("levels") {
+        for (k, _) in t.values() {
+            if k != "levels" {
+                return Err(err(format!(
+                    "[factors.{name}] mixes `levels` with {k:?} — explicit levels take no other keys"
+                )));
+            }
+        }
+        let items =
+            v.as_array().ok_or_else(|| err(format!("[factors.{name}] levels must be an array")))?;
+        if items.is_empty() {
+            return Err(err(format!("[factors.{name}] has an empty level list")));
+        }
+        let levels = items.iter().map(value_to_level).collect();
+        return Ok(Factor { name: name.to_string(), levels });
+    }
+    let generator = t.value("generator").and_then(Value::as_str).ok_or_else(|| {
+        err(format!("[factors.{name}] needs `levels = [...]` or `generator = \"...\"`"))
+    })?;
+    let get_int = |key: &str| -> Result<i64, SpecError> {
+        t.value(key).and_then(Value::as_int).ok_or_else(|| {
+            err(format!("[factors.{name}] generator {generator:?} needs integer `{key}`"))
+        })
+    };
+    match generator {
+        "range" => {
+            let (from, to, step) = (get_int("from")?, get_int("to")?, get_int("step")?);
+            if step <= 0 || from > to {
+                return Err(err(format!("[factors.{name}] range needs from <= to and step > 0")));
+            }
+            let levels = (from..=to).step_by(step as usize).map(Level::Int).collect();
+            Ok(Factor { name: name.to_string(), levels })
+        }
+        "loguniform" | "loguniform_unique" => {
+            let (min, max, count, gseed) =
+                (get_int("min")?, get_int("max")?, get_int("count")?, get_int("seed")?);
+            if min <= 0 || min > max || count <= 0 {
+                return Err(err(format!(
+                    "[factors.{name}] loguniform needs 0 < min <= max and count > 0"
+                )));
+            }
+            let sizes = if generator == "loguniform_unique" {
+                sampling::log_uniform_sizes_unique(
+                    min as u64,
+                    max as u64,
+                    count as usize,
+                    gseed as u64,
+                )
+            } else {
+                sampling::log_uniform_sizes(min as u64, max as u64, count as usize, gseed as u64)
+            };
+            let levels = sizes.into_iter().map(|s| Level::Int(s as i64)).collect();
+            Ok(Factor { name: name.to_string(), levels })
+        }
+        other => Err(err(format!(
+            "[factors.{name}] generator {other:?} is not range/loguniform/loguniform_unique"
+        ))),
+    }
+}
+
+/// TOML values are typed, so the mapping onto design levels is direct
+/// (no `Level::parse` guessing: `"true"` the string stays text).
+fn value_to_level(v: &Value) -> Level {
+    match v {
+        Value::Int(n) => Level::Int(*n),
+        Value::Float(f) => Level::Float(*f),
+        Value::Bool(b) => Level::Flag(*b),
+        Value::Str(s) => Level::Text(s.clone()),
+        Value::Array(_) => Level::Text(v.render()), // rejected upstream in practice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+[benchmark]
+name = \"mini\"
+
+[target]
+model = \"network\"
+preset = \"taurus\"
+
+[factors.op]
+levels = [\"a\", \"b\"]
+
+[factors.size]
+generator = \"range\"
+from = 8
+to = 24
+step = 8
+
+[design]
+replicates = 2
+order = \"randomized\"
+";
+
+    #[test]
+    fn minimal_spec_resolves_to_a_shuffled_plan() {
+        let spec = BenchmarkSpec::parse(MINIMAL).unwrap();
+        assert_eq!(spec.name, "mini");
+        let r = spec.resolve(42, &[]).unwrap();
+        assert_eq!(r.plan.factor_names(), ["op", "size"]);
+        // 2 ops x 3 sizes x 2 replicates
+        assert_eq!(r.plan.rows().len(), 12);
+        assert_eq!(r.order_seed, Some(42));
+        assert_eq!(r.replicates, 2);
+        match &r.target {
+            TargetSpec::Network { preset, label } => {
+                assert_eq!(preset, "taurus");
+                assert!(label.is_none());
+            }
+            other => panic!("wrong target {other:?}"),
+        }
+        // the shuffle is the same one Study::randomized would apply
+        let resequenced = spec.resolve(43, &[]).unwrap();
+        assert_ne!(
+            r.plan.rows().first().map(|row| row.levels.clone()),
+            resequenced.plan.rows().first().map(|row| row.levels.clone()),
+        );
+        // determinism: same seed, same plan
+        let again = spec.resolve(42, &[]).unwrap();
+        assert_eq!(r.plan.rows(), again.plan.rows());
+    }
+
+    #[test]
+    fn params_substitute_and_overrides_apply() {
+        let spec = BenchmarkSpec::parse(
+            "[benchmark]\nname = \"p\"\n\
+             [target]\nmodel = \"memory\"\ncpu = \"$cpu\"\n\
+             [params]\ncpu = \"opteron\"\nn = 3\n\
+             [factors.x]\ngenerator = \"loguniform_unique\"\nmin = 8\nmax = 65_536\ncount = \"$n\"\nseed = \"$seed\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.params(),
+            vec![
+                ("cpu".to_string(), "\"opteron\"".to_string()),
+                ("n".to_string(), "3".to_string())
+            ]
+        );
+        let r = spec.resolve(7, &[]).unwrap();
+        assert!(matches!(&r.target, TargetSpec::Memory { cpu, .. } if cpu == "opteron"));
+        assert_eq!(r.plan.rows().len(), 3);
+        // sizes come from the same sampler the figures use
+        let expected = sampling::log_uniform_sizes_unique(8, 65_536, 3, 7);
+        let got: Vec<i64> =
+            r.plan.rows().iter().map(|row| row.levels[0].as_int().unwrap()).collect();
+        assert_eq!(got, expected.iter().map(|&s| s as i64).collect::<Vec<i64>>());
+
+        let r2 = spec.resolve(7, &[("n".to_string(), "5".to_string())]).unwrap();
+        assert_eq!(r2.plan.rows().len(), 5);
+        assert!(r2.params.contains(&("n".to_string(), "5".to_string())));
+
+        let e = spec.resolve(7, &[("typo".to_string(), "1".to_string())]).unwrap_err();
+        assert!(e.message.contains("typo"), "{e}");
+        assert!(e.message.contains("cpu, n"), "{e}");
+    }
+
+    #[test]
+    fn external_target_and_tool_tables() {
+        let spec = BenchmarkSpec::parse(
+            "[benchmark]\nname = \"ext\"\n\
+             [target]\nmodel = \"external\"\nprogram = \"./engine\"\nargs = [\"--seed\", 9]\ntimeout_ms = 500\n\
+             [factors.size]\nlevels = [64, 128]\n\
+             [analysis]\nbreakpoints = [32_768, 131_072]\n\
+             [tool]\nnloops = 600\n",
+        )
+        .unwrap();
+        let r = spec.resolve(1, &[]).unwrap();
+        match &r.target {
+            TargetSpec::External { program, args, timeout_ms, label } => {
+                assert_eq!(program, "./engine");
+                assert_eq!(args, &["--seed".to_string(), "9".to_string()]);
+                assert_eq!(*timeout_ms, Some(500));
+                assert!(label.is_none());
+            }
+            other => panic!("wrong target {other:?}"),
+        }
+        assert_eq!(
+            ResolvedBenchmark::u64_array(&r.analysis, "breakpoints").unwrap(),
+            vec![32_768, 131_072]
+        );
+        assert_eq!(ResolvedBenchmark::u64_value(&r.tool, "nloops").unwrap(), 600);
+        // no [design] table: one replicate, declared order
+        assert_eq!(r.plan.rows().len(), 2);
+        assert_eq!(r.order_seed, None);
+    }
+
+    #[test]
+    fn levels_keep_their_toml_types() {
+        let spec = BenchmarkSpec::parse(
+            "[benchmark]\nname = \"t\"\n[target]\nmodel = \"network\"\npreset = \"taurus\"\n\
+             [factors.mix]\nlevels = [1, 2.5, \"eager\", true]\n",
+        )
+        .unwrap();
+        let r = spec.resolve(0, &[]).unwrap();
+        let got: Vec<Level> = r.plan.rows().iter().map(|row| row.levels[0].clone()).collect();
+        assert_eq!(
+            got,
+            vec![Level::Int(1), Level::Float(2.5), Level::Text("eager".into()), Level::Flag(true)]
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for (src, needle) in [
+            ("x = 1\n", "[benchmark]"),
+            ("[benchmark]\nname = \"x\"\n", "[target]"),
+            (
+                "[benchmark]\nname = \"x\"\n[target]\nmodel = \"network\"\npreset = \"t\"\n",
+                "[factors",
+            ),
+            (
+                "[benchmark]\nname = \"x\"\n[target]\nmodel = \"quantum\"\n[factors.a]\nlevels = [1]\n",
+                "quantum",
+            ),
+            (
+                "[benchmark]\nname = \"x\"\n[target]\nmodel = \"network\"\npreset = \"t\"\nbogus = 1\n[factors.a]\nlevels = [1]\n",
+                "unknown key \"bogus\"",
+            ),
+            (
+                "[benchmark]\nname = \"x\"\n[target]\nmodel = \"network\"\npreset = \"t\"\n[factors.a]\nlevels = []\n",
+                "empty level list",
+            ),
+            (
+                "[benchmark]\nname = \"x\"\n[target]\nmodel = \"network\"\npreset = \"t\"\n[factors.a]\ngenerator = \"fancy\"\n",
+                "fancy",
+            ),
+            (
+                "[benchmark]\nname = \"x\"\n[target]\nmodel = \"network\"\npreset = \"t\"\n[factors.a]\nlevels = [1]\n[design]\norder = \"alphabetical\"\n",
+                "alphabetical",
+            ),
+            (
+                "[benchmark]\nname = \"x\"\n[target]\nmodel = \"network\"\npreset = \"t\"\n[factors.a]\nlevels = [\"$gone\"]\n",
+                "unknown parameter $gone",
+            ),
+            (
+                "[benchmark]\nname = \"x\"\n[params]\nseed = 1\n[target]\nmodel = \"network\"\npreset = \"t\"\n[factors.a]\nlevels = [1]\n",
+                "must not declare `seed`",
+            ),
+        ] {
+            let e = BenchmarkSpec::parse(src).and_then(|s| s.resolve(0, &[])).unwrap_err();
+            assert!(e.message.contains(needle), "{src:?} gave: {e}");
+        }
+        // toml-level errors surface with line numbers
+        let e = BenchmarkSpec::parse("[benchmark\n").unwrap_err();
+        assert!(e.message.contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn dollar_is_literal_unless_exact_prefix_form() {
+        let spec = BenchmarkSpec::parse(
+            "[benchmark]\nname = \"d\"\n[target]\nmodel = \"network\"\npreset = \"taurus\"\n\
+             [factors.a]\nlevels = [\"cost is 5$ total\"]\n",
+        )
+        .unwrap();
+        let r = spec.resolve(0, &[]).unwrap();
+        assert_eq!(r.plan.rows()[0].levels[0], Level::Text("cost is 5$ total".into()));
+    }
+}

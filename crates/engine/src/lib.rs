@@ -23,6 +23,10 @@
 //!   sequential/sharded, observed/unobserved and profiled/unprofiled
 //!   execution (the old `run_campaign`/`run_campaign_parallel` free
 //!   functions are gone; the builder is the API);
+//! * [`registry`] — resolves declarative target descriptions
+//!   (`model = "network" | "memory" | "external"` from benchmark spec
+//!   files) into live targets, so the harness knows nothing about
+//!   engines (DESIGN.md §15);
 //! * [`checkpoint`] — the [`CheckpointSink`] contract a durable campaign
 //!   archive (the `charm-store` crate) implements so sharded runs can
 //!   flush finished shards and resume interrupted campaigns.
@@ -34,6 +38,7 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod meta;
 pub mod record;
+pub mod registry;
 pub mod replicate;
 pub mod target;
 
@@ -43,4 +48,5 @@ pub use campaign::{
 };
 pub use checkpoint::{CheckpointError, CheckpointSink, ShardCheckpoint};
 pub use record::{Campaign as CampaignData, RawRecord};
+pub use registry::{ExternalEngineSpec, ResolvedTarget, SequentialOnly, TargetSpec};
 pub use target::{Measurement, ParallelTarget, Target, TargetError};

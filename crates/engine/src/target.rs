@@ -42,6 +42,42 @@ pub enum TargetError {
         /// What went wrong, human-readable.
         message: String,
     },
+    /// An external engine subprocess did not produce the expected frame
+    /// within its deadline. The runner kills the child on timeout —
+    /// a hung engine silently stalling a campaign is worse than a loud
+    /// failure — and reports which protocol phase hung.
+    Timeout {
+        /// The protocol phase that hung (`handshake`, `measure`, …).
+        phase: String,
+        /// The deadline that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// An external engine subprocess exited (or was found dead) instead
+    /// of answering; carries the exit code when the child terminated
+    /// normally and whatever it wrote to stderr.
+    EngineFailed {
+        /// Exit code, when the child exited on its own (`None` when
+        /// killed by a signal or by the runner's timeout handling).
+        exit_code: Option<i32>,
+        /// Captured stderr (possibly truncated), for the error report.
+        stderr: String,
+    },
+    /// An external engine subprocess violated the KLV wire protocol:
+    /// malformed frame, wrong handshake, a reply frame out of sequence.
+    Protocol {
+        /// What was violated, human-readable.
+        detail: String,
+    },
+    /// A benchmark spec referenced a target the registry does not know
+    /// (unknown model, preset, CPU, or policy name).
+    UnknownTarget {
+        /// Which spec field failed to resolve.
+        field: &'static str,
+        /// The unresolvable value.
+        got: String,
+        /// The names the registry does accept.
+        expected: String,
+    },
 }
 
 impl fmt::Display for TargetError {
@@ -60,6 +96,30 @@ impl fmt::Display for TargetError {
             }
             TargetError::Checkpoint { message } => {
                 write!(f, "campaign checkpoint store failed: {message}")
+            }
+            TargetError::Timeout { phase, timeout_ms } => {
+                write!(
+                    f,
+                    "engine subprocess hung during {phase} (no frame within {timeout_ms} ms); \
+                     the runner killed it"
+                )
+            }
+            TargetError::EngineFailed { exit_code, stderr } => {
+                match exit_code {
+                    Some(code) => write!(f, "engine subprocess exited with code {code}")?,
+                    None => write!(f, "engine subprocess died without an exit code")?,
+                }
+                if stderr.is_empty() {
+                    write!(f, " (no stderr)")
+                } else {
+                    write!(f, "; stderr: {}", stderr.trim_end())
+                }
+            }
+            TargetError::Protocol { detail } => {
+                write!(f, "engine subprocess violated the KLV protocol: {detail}")
+            }
+            TargetError::UnknownTarget { field, got, expected } => {
+                write!(f, "spec {field} {got:?} is not in the registry (expected {expected})")
             }
         }
     }
@@ -92,6 +152,18 @@ impl<'a> Assignment<'a> {
     pub fn level(&self, name: &str) -> Option<&Level> {
         let idx = self.plan.factor_names().iter().position(|n| n == name)?;
         self.row.levels.get(idx)
+    }
+
+    /// Every `(factor name, level)` pair of this assignment, in the
+    /// plan's column order. External runners serialize whole assignments
+    /// onto a wire; this is the one place the full set is exposed.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Level)> {
+        self.plan.factor_names().iter().map(String::as_str).zip(self.row.levels.iter())
+    }
+
+    /// Replicate index (0-based) of this row within its combination.
+    pub fn replicate(&self) -> u32 {
+        self.row.replicate
     }
 
     /// Integer factor.
@@ -330,6 +402,13 @@ impl MemoryTarget {
     /// The wrapped machine.
     pub fn machine(&self) -> &MachineSim {
         &self.machine
+    }
+
+    /// Mutable access to the wrapped machine, for opaque-tool drivers
+    /// (`charm_opaque` tools run against the machine directly rather
+    /// than through [`Target::measure`]).
+    pub fn machine_mut(&mut self) -> &mut MachineSim {
+        &mut self.machine
     }
 }
 

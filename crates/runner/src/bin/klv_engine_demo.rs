@@ -1,0 +1,49 @@
+//! The demo KLV engine as a real subprocess — the CI fixture behind
+//! `benchmarks/external_smoke.toml` and the runner's integration
+//! tests. All logic lives in [`charm_runner::demo`]; this bin only
+//! parses flags and wires stdin/stdout.
+//!
+//! ```text
+//! klv_engine_demo [--seed N] [--mode well-behaved|hang|garbage|error-frame|fail-exit-N]
+//! ```
+
+use std::io::{self, BufReader, Write};
+
+use charm_runner::demo::{run_engine, DemoMode};
+
+fn main() {
+    let mut seed: u64 = 1;
+    let mut mode = DemoMode::WellBehaved;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => usage("--seed needs an integer"),
+            },
+            "--mode" => match args.next().as_deref().and_then(DemoMode::parse) {
+                Some(m) => mode = m,
+                None => {
+                    usage("--mode needs one of well-behaved|hang|garbage|error-frame|fail-exit-N")
+                }
+            },
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = BufReader::new(stdin.lock());
+    let mut output = stdout.lock();
+    let code = run_engine(&mut input, &mut output, seed, mode);
+    let _ = output.flush();
+    std::process::exit(code);
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("klv_engine_demo: {problem}");
+    eprintln!(
+        "usage: klv_engine_demo [--seed N] \
+         [--mode well-behaved|hang|garbage|error-frame|fail-exit-N]"
+    );
+    std::process::exit(2);
+}

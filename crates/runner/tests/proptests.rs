@@ -1,0 +1,127 @@
+//! Property tests for the KLV wire framing: round-trip identity,
+//! rejection of truncated and oversized streams, and forward
+//! compatibility of unknown keys at the protocol layer.
+//!
+//! The vendored proptest subset has no `prop_map`, so strategies
+//! generate raw material (index vectors, byte vectors) and the test
+//! bodies shape it into keys and frames.
+
+use std::io::Cursor;
+
+use charm_runner::klv::{read_frame, write_frame, Frame, MAX_KEY_LEN, MAX_VALUE_LEN};
+use charm_runner::proto::{MeasureRequest, ObservationReply};
+use proptest::prelude::*;
+
+const KEY_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_.-";
+
+/// Maps generated indices onto a legal frame key.
+fn key_from(indices: &[usize]) -> String {
+    indices.iter().map(|i| KEY_ALPHABET[i % KEY_ALPHABET.len()] as char).collect()
+}
+
+proptest! {
+    /// Any legal frame survives a write/read round trip bit-for-bit,
+    /// and consumes exactly its own bytes.
+    #[test]
+    fn roundtrip_identity(
+        key_idx in prop::collection::vec(0usize..39, 1..MAX_KEY_LEN + 1),
+        value in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let frame = Frame { key: key_from(&key_idx), value };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut r = Cursor::new(wire);
+        let back = read_frame(&mut r).unwrap().unwrap();
+        prop_assert_eq!(back, frame);
+        // the stream is exactly consumed: next read is clean EOF
+        prop_assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    /// Several frames on one stream come back in order.
+    #[test]
+    fn stream_of_frames_roundtrips(
+        parts in prop::collection::vec(
+            (prop::collection::vec(0usize..39, 1..16),
+             prop::collection::vec(any::<u8>(), 0..128)),
+            1..8,
+        ),
+    ) {
+        let frames: Vec<Frame> = parts
+            .into_iter()
+            .map(|(idx, value)| Frame { key: key_from(&idx), value })
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = Cursor::new(wire);
+        let mut back = Vec::new();
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            back.push(f);
+        }
+        prop_assert_eq!(back, frames);
+    }
+
+    /// Cutting a frame's wire bytes at ANY interior point is a typed
+    /// error, never a silent partial frame and never a panic.
+    #[test]
+    fn truncation_never_yields_a_frame(
+        key_idx in prop::collection::vec(0usize..39, 1..16),
+        value in prop::collection::vec(any::<u8>(), 0..256),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = Frame { key: key_from(&key_idx), value };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let cut = 1 + ((wire.len() - 2) as f64 * cut_frac) as usize;
+        prop_assume!(cut < wire.len());
+        prop_assert!(read_frame(&mut Cursor::new(wire[..cut].to_vec())).is_err());
+    }
+
+    /// Length fields beyond the ceiling are rejected without reading
+    /// (let alone allocating) the claimed payload.
+    #[test]
+    fn oversized_lengths_rejected(
+        key_idx in prop::collection::vec(0usize..39, 1..16),
+        excess in 1usize..1_000_000,
+    ) {
+        let claimed = MAX_VALUE_LEN + excess;
+        let wire = format!("{}:{claimed}:", key_from(&key_idx));
+        prop_assert!(read_frame(&mut Cursor::new(wire.into_bytes())).is_err());
+    }
+
+    /// Frames with unknown keys parse fine (framing is key-agnostic),
+    /// and the protocol layer skips unknown payload lines — the
+    /// forward-compatibility contract.
+    #[test]
+    fn unknown_keys_are_forward_compatible(
+        key_idx in prop::collection::vec(0usize..39, 1..MAX_KEY_LEN + 1),
+        value in prop::collection::vec(any::<u8>(), 0..256),
+        seq in any::<u64>(),
+        rep in any::<u32>(),
+    ) {
+        // unknown frame key: still a well-formed frame
+        let key = key_from(&key_idx);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame { key: key.clone(), value }).unwrap();
+        let f = read_frame(&mut Cursor::new(wire)).unwrap().unwrap();
+        prop_assert_eq!(f.key, key);
+
+        // unknown payload lines: skipped by measure/observation parsers
+        let payload = format!("sequence={seq}\nreplicate={rep}\nfuture.knob=yes\n");
+        let req = MeasureRequest::parse(payload.as_bytes()).unwrap();
+        prop_assert_eq!(req.sequence, seq);
+        prop_assert_eq!(req.replicate, rep);
+        prop_assert!(req.factors.is_empty());
+
+        let obs = ObservationReply::parse(b"value=1.5\nfuture.detail=abc\n").unwrap();
+        prop_assert_eq!(obs.value, 1.5);
+    }
+
+    /// Feeding arbitrary bytes to the reader never panics: it yields a
+    /// frame, clean EOF, or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_frame(&mut Cursor::new(bytes));
+    }
+}
