@@ -27,7 +27,11 @@
 //!   queries that turn the free segmentation search from O(n³) to O(n²);
 //! * [`bootstrap`] — resampling confidence intervals (parallel above a
 //!   replicate threshold, with per-replicate derived RNG streams so the
-//!   intervals are identical either way).
+//!   intervals are identical either way);
+//! * [`speedup`] — Touati-style paired speedup tests: bootstrap
+//!   confidence intervals on benefit ratios of medians with
+//!   `faster`/`slower`/`indistinguishable` verdicts (the statistics
+//!   behind `store_report` and the CI perf gate).
 //!
 //! All routines are deterministic; anything stochastic takes an explicit
 //! seed. Nothing here performs I/O.
@@ -52,6 +56,7 @@ pub mod ranktests;
 pub mod regression;
 pub mod segmented;
 pub mod sequence;
+pub mod speedup;
 
 pub use error::AnalysisError;
 

@@ -1,0 +1,118 @@
+//! Statistical coverage of the paired-bootstrap speedup intervals:
+//! on synthetic distributions whose true median ratio is known by
+//! construction, the CI must contain the truth at ≥ the nominal rate.
+//!
+//! All trials are deterministic (seeded generators, seeded bootstrap),
+//! so these are exact regression tests on the implementation, not
+//! flaky statistical smoke.
+
+use charm_analysis::speedup::{
+    compare_cells, speedup_ci, Direction, PairedCell, SpeedupConfig, Verdict,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A multiplicative-noise sample around `center`: `center · exp(ε)`
+/// with ε symmetric around 0, so the *distribution's* median is
+/// exactly `center` (exp is monotone, the median of ε is 0).
+fn sample(rng: &mut ChaCha8Rng, center: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| center * (rng.random_range(-0.12..0.12f64)).exp()).collect()
+}
+
+fn cfg(seed: u64, level: f64) -> SpeedupConfig {
+    SpeedupConfig { reps: 300, level, seed }
+}
+
+/// Runs `trials` independent experiments with true benefit ratio
+/// `true_ratio` and returns how often the CI covered it.
+fn coverage(trials: usize, true_ratio: f64, level: f64, direction: Direction) -> f64 {
+    let mut covered = 0usize;
+    for t in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE ^ (t as u64).wrapping_mul(0x9E37));
+        // lower-is-better: candidate center = base / ratio (smaller is
+        // faster); higher-is-better: candidate center = base · ratio.
+        let base_center = 100.0;
+        let cand_center = match direction {
+            Direction::LowerIsBetter => base_center / true_ratio,
+            Direction::HigherIsBetter => base_center * true_ratio,
+        };
+        let baseline = sample(&mut rng, base_center, 30);
+        let candidate = sample(&mut rng, cand_center, 30);
+        let ci = speedup_ci("cell", &baseline, &candidate, direction, &cfg(t as u64, level))
+            .expect("valid samples");
+        if ci.lo <= true_ratio && true_ratio <= ci.hi {
+            covered += 1;
+        }
+    }
+    covered as f64 / trials as f64
+}
+
+#[test]
+fn ci_covers_the_true_median_ratio_at_nominal_rate() {
+    for (ratio, direction) in [
+        (1.0, Direction::LowerIsBetter),
+        (1.3, Direction::LowerIsBetter),
+        (0.8, Direction::LowerIsBetter),
+        (1.5, Direction::HigherIsBetter),
+    ] {
+        let got = coverage(120, ratio, 0.90, direction);
+        assert!(
+            got >= 0.90,
+            "coverage {got:.3} below nominal 0.90 for ratio {ratio} ({direction:?})"
+        );
+    }
+}
+
+#[test]
+fn combined_interval_covers_a_uniform_true_ratio() {
+    let trials = 60;
+    let true_ratio = 1.25;
+    let mut covered = 0usize;
+    for t in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF ^ (t as u64).wrapping_mul(0x51_7C));
+        let cells: Vec<PairedCell> = (0..3)
+            .map(|i| {
+                let center = 50.0 * (i + 1) as f64;
+                PairedCell {
+                    name: format!("cell{i}"),
+                    baseline: sample(&mut rng, center, 25),
+                    candidate: sample(&mut rng, center / true_ratio, 25),
+                }
+            })
+            .collect();
+        let cmp = compare_cells(&cells, Direction::LowerIsBetter, &cfg(t as u64, 0.90))
+            .expect("valid cells");
+        if cmp.combined.lo <= true_ratio && true_ratio <= cmp.combined.hi {
+            covered += 1;
+        }
+    }
+    let got = covered as f64 / trials as f64;
+    assert!(got >= 0.90, "combined coverage {got:.3} below nominal 0.90");
+}
+
+#[test]
+fn equal_distributions_rarely_produce_a_direction_verdict() {
+    // Under H0 (no difference) a 95% interval should wrongly exclude
+    // 1.0 in roughly 5% of experiments; allow generous slack but catch
+    // gross anti-conservatism.
+    let trials = 100;
+    let mut false_claims = 0usize;
+    for t in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xD15C ^ (t as u64).wrapping_mul(0xA5A5));
+        let baseline = sample(&mut rng, 80.0, 25);
+        let candidate = sample(&mut rng, 80.0, 25);
+        let ci = speedup_ci(
+            "cell",
+            &baseline,
+            &candidate,
+            Direction::LowerIsBetter,
+            &cfg(t as u64, 0.95),
+        )
+        .expect("valid samples");
+        if Verdict::of(&ci) != Verdict::Indistinguishable {
+            false_claims += 1;
+        }
+    }
+    assert!(false_claims <= 15, "{false_claims}/{trials} false direction claims");
+}

@@ -6,7 +6,15 @@
 //!
 //! ```text
 //! bench_engine_gate <candidate.json> <baseline.json>
+//! bench_engine_gate --report <report.csv>
 //! ```
+//!
+//! In `--report` mode the gate consumes a fleet report CSV produced by
+//! `store_report` and renders a **CI-backed** verdict: a run only fails
+//! the gate when its paired-bootstrap confidence interval against the
+//! group's best run lies entirely below 1.0 (verdict `slower`) — a
+//! statistically supported regression, not a bare threshold crossing.
+//! `indistinguishable` and `incomparable` rows pass with a note.
 //!
 //! The gate is **core-aware**: when the two reports' `cores` metrics
 //! differ, core-bound metrics (shard timings/speedups/utilizations and
@@ -88,10 +96,93 @@ fn load(path: &str) -> Result<EngineBench, LoadError> {
     })
 }
 
+/// `--report` mode: a CI-backed verdict from a `store_report` CSV.
+fn gate_report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!("{path} does not exist; generate it: store_report <store> --out <dir>");
+            return ExitCode::from(3);
+        }
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rows = match charm_store::report::parse_csv(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut compared = 0usize;
+    let mut regressed = Vec::new();
+    for row in &rows {
+        let bench = if row.benchmark.is_empty() { "-" } else { row.benchmark.as_str() };
+        match (row.verdict.as_str(), row.ratio_vs_best, row.ci) {
+            ("best", _, _) => {
+                println!(
+                    "{} · {}: rank {} run {} is the group's best",
+                    row.target,
+                    bench,
+                    row.rank,
+                    &row.run_id[..12.min(row.run_id.len())]
+                );
+            }
+            ("incomparable", _, _) => {
+                println!(
+                    "{} · {}: run {} shares no usable cells with the best — no claim",
+                    row.target,
+                    bench,
+                    &row.run_id[..12.min(row.run_id.len())]
+                );
+            }
+            (verdict, Some(ratio), Some((lo, hi))) => {
+                compared += 1;
+                println!(
+                    "{} · {}: rank {} run {} ratio {:.4} CI [{:.4}, {:.4}] -> {verdict}",
+                    row.target,
+                    bench,
+                    row.rank,
+                    &row.run_id[..12.min(row.run_id.len())],
+                    ratio,
+                    lo,
+                    hi
+                );
+                if verdict == "slower" {
+                    regressed.push(format!("{} · {bench} run {}", row.target, row.run_id));
+                }
+            }
+            (verdict, _, _) => {
+                eprintln!("{path}: verdict {verdict:?} without a confidence interval");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    println!("{} row(s), {} CI-backed comparison(s)", rows.len(), compared);
+    if regressed.is_empty() {
+        println!("report gate passed: no statistically supported regression");
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressed {
+            eprintln!("statistically slower than the group's best: {r}");
+        }
+        eprintln!("report gate FAILED");
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let ["--report", path] = argv.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        return gate_report(path);
+    }
     let [candidate_path, baseline_path] = argv.as_slice() else {
-        eprintln!("usage: bench_engine_gate <candidate.json> <baseline.json>");
+        eprintln!(
+            "usage: bench_engine_gate <candidate.json> <baseline.json>\n\
+             \x20      bench_engine_gate --report <report.csv>"
+        );
         return ExitCode::from(2);
     };
     let threshold = env_f64("CHARM_GATE_THRESHOLD", bench::DEFAULT_THRESHOLD);

@@ -140,7 +140,7 @@ fn finish_run(
     if let Some(store) = store {
         let cli_args: Vec<String> = std::env::args().collect();
         let key = charm_store::CampaignKey::of(plan, target_id, Some(args.seed), shards);
-        match store.put_run(&key, &cli_args.join(" "), &run.data, run.report.as_ref()) {
+        match store.put_run(&key, label, &cli_args.join(" "), &run.data, run.report.as_ref()) {
             Ok(id) => println!("archived run {id}"),
             Err(e) => {
                 eprintln!("archive failed: {e}");

@@ -1,25 +1,64 @@
 //! List the runs archived in a campaign store.
 //!
 //! ```text
-//! store_ls <store_dir> [--gc]
+//! store_ls <store_dir> [--gc] [--json]
 //! ```
 //!
 //! One line per finalized run: run ID, target identity, seed, shard
-//! count, artifact count and total archived bytes, and the recorded
-//! CLI invocation.
+//! count, benchmark label, host class (machine facts), artifact count
+//! and total archived bytes, and the recorded CLI invocation.
 //! With `--gc`, first reclaims spent checkpoint segments (finalized
 //! runs only — interrupted runs keep theirs, they are the only copy of
 //! that work) and reports what was removed.
+//!
+//! With `--json`, emits one JSON object per run (JSONL, restricted
+//! dialect of `charm_obs::json`) instead of the human-formatted table,
+//! so external tooling and the CI smoke steps stop scraping columns.
+//! Machine facts appear as a nested object when the manifest records
+//! them (format v3+); pre-v3 manifests simply omit the field.
 
-use charm_store::Store;
+use charm_obs::json;
+use charm_store::manifest::seed_str;
+use charm_store::{Manifest, Store};
 use std::process::ExitCode;
+
+/// One run as a JSONL record.
+fn json_line(m: &Manifest) -> String {
+    let bytes: u64 = m.artifacts.iter().map(|a| a.bytes).sum();
+    let mut fields = vec![
+        format!("\"run_id\": {}", json::string(&m.run_id)),
+        format!("\"target\": {}", json::string(&m.target)),
+        format!("\"seed\": {}", json::string(&seed_str(m.seed))),
+        format!("\"shards\": {}", m.shards),
+        format!("\"benchmark\": {}", json::string(&m.benchmark)),
+    ];
+    if let Some(machine) = &m.machine {
+        let env = machine
+            .env
+            .iter()
+            .map(|(k, v)| format!("{}: {}", json::string(k), json::string(v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        fields.push(format!(
+            "\"machine\": {{\"cores\": {}, \"os\": {}, \"env\": {{{env}}}}}",
+            machine.cores,
+            json::string(&machine.os)
+        ));
+    }
+    fields.push(format!("\"artifacts\": {}", m.artifacts.len()));
+    fields.push(format!("\"bytes\": {bytes}"));
+    fields.push(format!("\"cli_args\": {}", json::string(&m.cli_args)));
+    format!("{{{}}}", fields.join(", "))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let gc = args.iter().any(|a| a == "--gc");
+    let as_json = args.iter().any(|a| a == "--json");
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    if positional.len() != 1 || args.iter().any(|a| a.starts_with("--") && a != "--gc") {
-        eprintln!("usage: store_ls <store_dir> [--gc]");
+    let known = |a: &&String| a.starts_with("--") && a.as_str() != "--gc" && a.as_str() != "--json";
+    if positional.len() != 1 || args.iter().any(|a| known(&a)) {
+        eprintln!("usage: store_ls <store_dir> [--gc] [--json]");
         return ExitCode::from(2);
     }
     let store = match Store::open(positional[0]) {
@@ -31,10 +70,18 @@ fn main() -> ExitCode {
     };
     if gc {
         match store.gc() {
-            Ok(r) => println!(
-                "gc: removed {} checkpoint segment(s) ({} bytes), {} debris dir(s)",
-                r.removed_segments, r.reclaimed_bytes, r.removed_dirs
-            ),
+            Ok(r) => {
+                let line = format!(
+                    "gc: removed {} checkpoint segment(s) ({} bytes), {} debris dir(s)",
+                    r.removed_segments, r.reclaimed_bytes, r.removed_dirs
+                );
+                // In JSON mode keep stdout machine-readable.
+                if as_json {
+                    eprintln!("{line}");
+                } else {
+                    println!("{line}");
+                }
+            }
             Err(e) => {
                 eprintln!("gc failed: {e}");
                 return ExitCode::from(2);
@@ -48,22 +95,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if as_json {
+        for m in &manifests {
+            println!("{}", json_line(m));
+        }
+        return ExitCode::SUCCESS;
+    }
     if manifests.is_empty() {
         println!("no archived runs");
         return ExitCode::SUCCESS;
     }
     for m in &manifests {
         let bytes: u64 = m.artifacts.iter().map(|a| a.bytes).sum();
-        let seed = match m.seed {
-            Some(s) => s.to_string(),
-            None => "none".to_string(),
-        };
+        let bench = if m.benchmark.is_empty() { "-" } else { m.benchmark.as_str() };
+        let host = m.machine.as_ref().map(|f| f.host_class()).unwrap_or_else(|| "unknown".into());
         println!(
-            "{}  {:20}  seed {:>10}  shards {:>2}  {} artifact(s), {} bytes  {}",
+            "{}  {:20}  seed {:>10}  shards {:>2}  bench {:10}  host {:10}  \
+             {} artifact(s), {} bytes  {}",
             m.run_id,
             m.target,
-            seed,
+            seed_str(m.seed),
             m.shards,
+            bench,
+            host,
             m.artifacts.len(),
             bytes,
             m.cli_args

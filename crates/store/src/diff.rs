@@ -51,6 +51,24 @@ impl CellDiff {
     pub fn mean_shift(&self) -> f64 {
         self.mean_b - self.mean_a
     }
+
+    /// Relative mean shift as a percentage of the baseline (run A)
+    /// mean: `100 · (mean_b − mean_a) / mean_a`.
+    ///
+    /// `None` when there is no baseline to divide by — the cell is
+    /// absent on either side, or the baseline mean is zero or
+    /// non-finite. Callers must render that case explicitly (the CLI
+    /// prints `no baseline`) instead of letting a NaN/∞ leak into
+    /// reports.
+    pub fn percent_shift(&self) -> Option<f64> {
+        if self.count_a == 0 || self.count_b == 0 {
+            return None;
+        }
+        if self.mean_a == 0.0 || !self.mean_a.is_finite() || !self.mean_b.is_finite() {
+            return None;
+        }
+        Some(100.0 * (self.mean_b - self.mean_a) / self.mean_a)
+    }
 }
 
 /// One metadata key the two runs disagree on.
@@ -121,8 +139,12 @@ impl RunDiff {
                     c.count_a.max(c.count_b)
                 ));
             } else {
+                let relative = match c.percent_shift() {
+                    Some(pct) => format!("{pct:+.2}%"),
+                    None => "no baseline".to_string(),
+                };
                 out.push_str(&format!(
-                    "  cell {}: n {} -> {}, mean {:.6} -> {:.6} (shift {:+.6}), \
+                    "  cell {}: n {} -> {}, mean {:.6} -> {:.6} (shift {:+.6}, {relative}), \
                      median {:.6} -> {:.6}\n",
                     c.cell,
                     c.count_a,
@@ -184,8 +206,9 @@ fn metadata_drift(a: &StoredRun, b: &StoredRun) -> Vec<MetadataDrift> {
 }
 
 /// Groups a run's record values by the full factor-level tuple,
-/// preserving record order within each cell.
-fn cells_of(run: &StoredRun) -> BTreeMap<String, Vec<f64>> {
+/// preserving record order within each cell. Shared with the fleet
+/// report, whose paired comparisons align runs on exactly these keys.
+pub(crate) fn cells_of(run: &StoredRun) -> BTreeMap<String, Vec<f64>> {
     let names = &run.data.factor_names;
     let mut out: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for r in &run.data.records {
@@ -226,4 +249,49 @@ fn cell_diffs(a: &StoredRun, b: &StoredRun) -> Vec<CellDiff> {
             }
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(count_a: usize, count_b: usize, mean_a: f64, mean_b: f64) -> CellDiff {
+        CellDiff {
+            cell: "op=ping_pong,size=64".to_string(),
+            count_a,
+            count_b,
+            mean_a,
+            mean_b,
+            median_a: mean_a,
+            median_b: mean_b,
+            identical: false,
+        }
+    }
+
+    #[test]
+    fn percent_shift_guards_absent_and_zero_baselines() {
+        assert_eq!(cell(5, 5, 100.0, 125.0).percent_shift(), Some(25.0));
+        assert_eq!(cell(5, 5, 100.0, 80.0).percent_shift(), Some(-20.0));
+        // Absent on either side: a one-sided cell has no shift.
+        assert_eq!(cell(0, 5, f64::NAN, 80.0).percent_shift(), None);
+        assert_eq!(cell(5, 0, 100.0, f64::NAN).percent_shift(), None);
+        // Zero or non-finite baseline mean: nothing to divide by.
+        assert_eq!(cell(5, 5, 0.0, 80.0).percent_shift(), None);
+        assert_eq!(cell(5, 5, f64::INFINITY, 80.0).percent_shift(), None);
+        assert_eq!(cell(5, 5, 100.0, f64::NAN).percent_shift(), None);
+    }
+
+    #[test]
+    fn render_reports_no_baseline_instead_of_nan() {
+        let diff = RunDiff {
+            run_a: RunId::parse("00000000000000000000000000000001").unwrap(),
+            run_b: RunId::parse("00000000000000000000000000000002").unwrap(),
+            metadata_drift: Vec::new(),
+            cells: vec![cell(5, 5, 0.0, 80.0), cell(5, 5, 100.0, 125.0)],
+        };
+        let rendered = diff.render();
+        assert!(rendered.contains("no baseline"), "{rendered}");
+        assert!(rendered.contains("+25.00%"), "{rendered}");
+        assert!(!rendered.to_lowercase().contains("nan%"), "{rendered}");
+    }
 }

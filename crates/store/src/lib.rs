@@ -18,7 +18,12 @@
 //!   `Campaign::resume` replays from);
 //! * [`diff`] — [`RunDiff`]: two runs aligned by design cell, with
 //!   metadata drift, per-cell count/mean/median shifts, and a
-//!   bit-exactness verdict.
+//!   bit-exactness verdict;
+//! * [`report`] — [`FleetReport`]: archived runs grouped by (target ×
+//!   benchmark × host class), ranked, and compared against each
+//!   group's best with paired-bootstrap speedup intervals
+//!   (`charm_analysis::speedup`); deterministic markdown/CSV emitters
+//!   feed the `store_report` bin and the CI gate.
 //!
 //! Run IDs derive from `(plan_hash, target, seed, shards)` — the target
 //! identity is the platform name plus a digest of its introspected
@@ -40,10 +45,13 @@
 pub mod diff;
 pub mod digest;
 pub mod manifest;
+pub mod report;
 pub mod store;
 
 pub use diff::{diff_runs, CellDiff, MetadataDrift, RunDiff};
-pub use manifest::{Artifact, Manifest, MANIFEST_FORMAT};
+pub use manifest::{Artifact, MachineFacts, Manifest, MANIFEST_FORMAT};
+pub use report::{build_report, FleetReport, GroupReport, RankedRun, ReportRow, VsBest};
 pub use store::{
-    target_identity, CampaignKey, CheckpointSession, GcReport, RunId, Store, StoreError, StoredRun,
+    target_identity, CampaignKey, CheckpointSession, GcReport, RunId, RunQuery, Store, StoreError,
+    StoredRun,
 };

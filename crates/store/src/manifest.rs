@@ -9,8 +9,10 @@
 //! * identity — the run ID and the `(plan_hash, target, seed, shards)`
 //!   quadruple it derives from, so a manifest can be checked against the
 //!   campaign that claims it;
-//! * provenance — crate version and the CLI invocation that produced
-//!   the run;
+//! * provenance — crate version, the CLI invocation that produced the
+//!   run, the benchmark label, and the **machine facts** of the host
+//!   that measured it (logical cores, OS, `CHARM_*` environment
+//!   overrides) so fleet reports can group runs by host class;
 //! * integrity — per-artifact byte counts and SHA-256 digests over
 //!   every file in the run directory, so any later read can prove the
 //!   bytes are the ones archived.
@@ -19,12 +21,22 @@
 //! ([`charm_obs::json`]: strings, numbers and maps only — no arrays),
 //! which is why `artifacts` serializes as an object keyed by artifact
 //! name rather than a list.
+//!
+//! Format history: v3 added `benchmark` and `machine`; v2 manifests
+//! (written before this PR) still parse — their benchmark is empty and
+//! their machine facts are absent ([`Manifest::machine`] is `None`).
+//! New manifests are always written as v3.
 
 use charm_obs::json::{self, Value};
+use std::collections::BTreeMap;
 
 /// Format marker written into every manifest; bumped on breaking
 /// layout changes so old readers fail loudly instead of misparsing.
-pub const MANIFEST_FORMAT: &str = "charm-store-manifest/2";
+pub const MANIFEST_FORMAT: &str = "charm-store-manifest/3";
+
+/// The previous format, still accepted by [`Manifest::from_json`]: v2
+/// manifests predate machine facts and the benchmark label.
+pub const MANIFEST_FORMAT_V2: &str = "charm-store-manifest/2";
 
 /// Digest record for one archived file, path relative to the run
 /// directory (e.g. `records.csv`, `checkpoints/shard-0-of-4.csv`).
@@ -36,6 +48,38 @@ pub struct Artifact {
     pub bytes: u64,
     /// Lowercase hex SHA-256 of the file contents.
     pub sha256: String,
+}
+
+/// Facts about the machine that executed an archived run, recorded so
+/// cross-run reports can group hosts into comparable classes — a
+/// 1-core CI runner's shard speedups say nothing about a 16-core
+/// workstation's, and the `CHARM_*` environment knobs change what the
+/// numbers mean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineFacts {
+    /// Logical core count visible to the process.
+    pub cores: u64,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// Every `CHARM_*` environment variable set when the run was
+    /// archived (sorted), e.g. `CHARM_SHARDS`, `CHARM_GATE_THRESHOLD`.
+    pub env: BTreeMap<String, String>,
+}
+
+impl MachineFacts {
+    /// Captures the current process's machine facts.
+    pub fn current() -> MachineFacts {
+        MachineFacts {
+            cores: std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1),
+            os: std::env::consts::OS.to_string(),
+            env: std::env::vars().filter(|(k, _)| k.starts_with("CHARM_")).collect(),
+        }
+    }
+
+    /// The host-class key reports group by: `os/<cores>c`.
+    pub fn host_class(&self) -> String {
+        format!("{}/{}c", self.os, self.cores)
+    }
 }
 
 /// The manifest for one archived run.
@@ -52,6 +96,13 @@ pub struct Manifest {
     pub seed: Option<u64>,
     /// Shard count the campaign ran (or will run) with.
     pub shards: u64,
+    /// Benchmark label the run was archived under (the spec's
+    /// `[benchmark].name`, or the campaign label in DSL mode). Empty
+    /// for runs archived by pre-v3 writers.
+    pub benchmark: String,
+    /// Machine facts of the archiving host; `None` for v2 manifests,
+    /// which predate them.
+    pub machine: Option<MachineFacts>,
     /// Producing crate and version, e.g. `charm-store 0.1.0`.
     pub versions: String,
     /// The CLI invocation that produced the run (space-joined argv);
@@ -72,6 +123,24 @@ impl Manifest {
         out.push_str(&format!("  \"target\": {},\n", json::string(&self.target)));
         out.push_str(&format!("  \"seed\": {},\n", json::string(&seed_str(self.seed))));
         out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"benchmark\": {},\n", json::string(&self.benchmark)));
+        if let Some(m) = &self.machine {
+            out.push_str(&format!(
+                "  \"machine\": {{ \"cores\": {}, \"os\": {}, \"env\": {{",
+                m.cores,
+                json::string(&m.os)
+            ));
+            for (i, (k, v)) in m.env.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(" {}: {}", json::string(k), json::string(v)));
+            }
+            if !m.env.is_empty() {
+                out.push(' ');
+            }
+            out.push_str("} },\n");
+        }
         out.push_str(&format!("  \"versions\": {},\n", json::string(&self.versions)));
         out.push_str(&format!("  \"cli_args\": {},\n", json::string(&self.cli_args)));
         out.push_str("  \"artifacts\": {");
@@ -97,9 +166,10 @@ impl Manifest {
     pub fn from_json(text: &str) -> Result<Manifest, String> {
         let obj = json::parse_object(text)?;
         let format = obj.get_str("format").ok_or("manifest missing \"format\"")?;
-        if format != MANIFEST_FORMAT {
+        if format != MANIFEST_FORMAT && format != MANIFEST_FORMAT_V2 {
             return Err(format!(
-                "manifest format {format:?} is not the supported {MANIFEST_FORMAT:?}"
+                "manifest format {format:?} is not the supported {MANIFEST_FORMAT:?} \
+                 (or the legacy {MANIFEST_FORMAT_V2:?})"
             ));
         }
         let field = |key: &str| {
@@ -107,6 +177,44 @@ impl Manifest {
         };
         let seed = parse_seed(&field("seed")?)?;
         let shards = obj.get_u64("shards").ok_or("manifest missing numeric \"shards\"")?;
+        // v2 manifests predate the benchmark label and machine facts;
+        // read them as "unknown" rather than refusing the whole archive.
+        let benchmark = obj.get_str("benchmark").unwrap_or_default().to_string();
+        let machine = match obj.get("machine") {
+            Some(Value::Map(fields)) => {
+                let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                let cores = match get("cores") {
+                    Some(Value::Num(raw)) => raw
+                        .parse::<u64>()
+                        .map_err(|_| "machine facts have a bad core count".to_string())?,
+                    _ => return Err("machine facts missing \"cores\"".to_string()),
+                };
+                let os = match get("os") {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => return Err("machine facts missing \"os\"".to_string()),
+                };
+                let mut env = BTreeMap::new();
+                match get("env") {
+                    Some(Value::Map(entries)) => {
+                        for (k, v) in entries {
+                            match v {
+                                Value::Str(s) => {
+                                    env.insert(k.clone(), s.clone());
+                                }
+                                _ => {
+                                    return Err(format!("machine env {k:?} is not a string"));
+                                }
+                            }
+                        }
+                    }
+                    Some(_) => return Err("machine \"env\" is not an object".to_string()),
+                    None => return Err("machine facts missing \"env\"".to_string()),
+                }
+                Some(MachineFacts { cores, os, env })
+            }
+            Some(_) => return Err("\"machine\" is not an object".to_string()),
+            None => None,
+        };
         let mut artifacts = Vec::new();
         match obj.get("artifacts") {
             Some(Value::Map(entries)) => {
@@ -138,6 +246,8 @@ impl Manifest {
             target: field("target")?,
             seed,
             shards,
+            benchmark,
+            machine,
             versions: field("versions")?,
             cli_args: field("cli_args")?,
             artifacts,
@@ -176,6 +286,12 @@ mod tests {
             target: "taurus#0011aabbccdd".into(),
             seed: Some(20170529),
             shards: 4,
+            benchmark: "fig04".into(),
+            machine: Some(MachineFacts {
+                cores: 4,
+                os: "linux".into(),
+                env: [("CHARM_SHARDS".to_string(), "4".to_string())].into_iter().collect(),
+            }),
             versions: "charm-store 0.1.0".into(),
             cli_args: "run_campaign plan.dsl net --store results/store".into(),
             artifacts: vec![
@@ -216,6 +332,51 @@ mod tests {
         let text = sample().to_json().replace(MANIFEST_FORMAT, "charm-store-manifest/99");
         let err = Manifest::from_json(&text).unwrap_err();
         assert!(err.contains("charm-store-manifest/99"), "{err}");
+    }
+
+    #[test]
+    fn v2_manifest_without_machine_facts_still_parses() {
+        // A v2 manifest as the previous writer emitted it: no benchmark,
+        // no machine block. Archives written before the bump must stay
+        // readable.
+        let m = sample();
+        let v2 = m
+            .to_json()
+            .replace(MANIFEST_FORMAT, MANIFEST_FORMAT_V2)
+            .lines()
+            .filter(|l| !l.contains("\"benchmark\"") && !l.contains("\"machine\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = Manifest::from_json(&v2).unwrap();
+        assert_eq!(back.benchmark, "");
+        assert_eq!(back.machine, None);
+        assert_eq!(back.run_id, m.run_id);
+        assert_eq!(back.artifacts, m.artifacts);
+    }
+
+    #[test]
+    fn machine_facts_roundtrip_and_render_a_host_class() {
+        let m = sample();
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        let facts = back.machine.as_ref().unwrap();
+        assert_eq!(facts.cores, 4);
+        assert_eq!(facts.os, "linux");
+        assert_eq!(facts.env.get("CHARM_SHARDS").map(String::as_str), Some("4"));
+        assert_eq!(facts.host_class(), "linux/4c");
+        // empty env still round-trips
+        let bare = Manifest {
+            machine: Some(MachineFacts { cores: 1, os: "linux".into(), env: BTreeMap::new() }),
+            ..sample()
+        };
+        assert_eq!(Manifest::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn current_machine_facts_are_plausible() {
+        let facts = MachineFacts::current();
+        assert!(facts.cores >= 1);
+        assert!(!facts.os.is_empty());
+        assert!(facts.env.keys().all(|k| k.starts_with("CHARM_")));
     }
 
     #[test]

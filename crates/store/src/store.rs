@@ -23,7 +23,7 @@
 //! never loadable — a half-written checkpoint cannot poison a resume.
 
 use crate::digest::sha256_hex;
-use crate::manifest::{seed_str, Artifact, Manifest};
+use crate::manifest::{seed_str, Artifact, MachineFacts, Manifest};
 use charm_design::ExperimentPlan;
 use charm_engine::checkpoint::{CheckpointError, CheckpointSink, ShardCheckpoint};
 use charm_engine::{CampaignData, RawRecord, Target};
@@ -238,6 +238,33 @@ pub struct GcReport {
     pub removed_dirs: usize,
 }
 
+/// A filter over archived runs, for [`Store::select`]. Every field is
+/// optional; an empty query matches every finalized run.
+///
+/// `plan_hash` and `target` match by *prefix*, so the truncated hashes
+/// the CLI prints (and the bare platform name of a target identity)
+/// are usable query keys as-is. `benchmark` matches exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunQuery {
+    /// Prefix of the plan hash (full 64-hex or any truncation).
+    pub plan_hash: Option<String>,
+    /// Prefix of the target identity (e.g. a platform name like
+    /// `taurus`, or the full `name#digest` string).
+    pub target: Option<String>,
+    /// Exact benchmark label (as recorded by [`Store::put_run`]).
+    /// Pre-v3 manifests record the empty label.
+    pub benchmark: Option<String>,
+}
+
+impl RunQuery {
+    /// Does `manifest` satisfy every set filter?
+    pub fn matches(&self, manifest: &Manifest) -> bool {
+        self.plan_hash.as_ref().is_none_or(|p| manifest.plan_hash.starts_with(p.as_str()))
+            && self.target.as_ref().is_none_or(|t| manifest.target.starts_with(t.as_str()))
+            && self.benchmark.as_ref().is_none_or(|b| manifest.benchmark == *b)
+    }
+}
+
 /// A content-addressed archive of campaign runs rooted at a directory.
 #[derive(Debug, Clone)]
 pub struct Store {
@@ -295,9 +322,16 @@ impl Store {
     /// key matches but whose records drifted, e.g. after an engine
     /// change — is a [`StoreError::Collision`], never silently
     /// discarded.
+    ///
+    /// `benchmark` is the benchmark label the run is filed under (the
+    /// spec's `[benchmark].name`, or the campaign label in DSL mode);
+    /// fleet reports group by it. The archiving host's machine facts
+    /// (logical cores, OS, `CHARM_*` overrides) are captured into the
+    /// manifest at this point.
     pub fn put_run(
         &self,
         key: &CampaignKey,
+        benchmark: &str,
         cli_args: &str,
         data: &CampaignData,
         report: Option<&CampaignReport>,
@@ -359,6 +393,8 @@ impl Store {
             target: key.target.clone(),
             seed: key.seed,
             shards: key.shards,
+            benchmark: benchmark.to_string(),
+            machine: Some(MachineFacts::current()),
             versions: format!("charm-store {}", env!("CARGO_PKG_VERSION")),
             cli_args: cli_args.to_string(),
             artifacts,
@@ -459,6 +495,14 @@ impl Store {
             }
         }
         out.sort_by(|a, b| a.run_id.cmp(&b.run_id));
+        Ok(out)
+    }
+
+    /// Manifests of finalized runs matching `query`, sorted by run ID.
+    /// The empty query selects everything [`Store::list`] returns.
+    pub fn select(&self, query: &RunQuery) -> Result<Vec<Manifest>, StoreError> {
+        let mut out = self.list()?;
+        out.retain(|m| query.matches(m));
         Ok(out)
     }
 

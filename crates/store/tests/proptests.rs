@@ -127,7 +127,7 @@ proptest! {
         let dir = scratch("selfdiff");
         let store = Store::open(&dir).unwrap();
         let id = store
-            .put_run(&charm_store::CampaignKey::of(&plan, TARGET, Some(seed), shards as u64), "", &data, None)
+            .put_run(&charm_store::CampaignKey::of(&plan, TARGET, Some(seed), shards as u64), "bench", "", &data, None)
             .unwrap();
         let diff = store.diff(&id, &id).unwrap();
         prop_assert!(diff.is_clean(), "self-diff dirty:\n{}", diff.render());
@@ -148,10 +148,10 @@ proptest! {
         let dir = scratch("drift");
         let store = Store::open(&dir).unwrap();
         let a = store
-            .put_run(&charm_store::CampaignKey::of(&plan_a, TARGET, Some(seed), 1), "", &run(&plan_a, seed, 1), None)
+            .put_run(&charm_store::CampaignKey::of(&plan_a, TARGET, Some(seed), 1), "bench", "", &run(&plan_a, seed, 1), None)
             .unwrap();
         let b = store
-            .put_run(&charm_store::CampaignKey::of(&plan_b, TARGET, Some(seed2), 1), "", &run(&plan_b, seed2, 1), None)
+            .put_run(&charm_store::CampaignKey::of(&plan_b, TARGET, Some(seed2), 1), "bench", "", &run(&plan_b, seed2, 1), None)
             .unwrap();
         let diff = store.diff(&a, &b).unwrap();
         prop_assert!(!diff.is_clean());

@@ -60,7 +60,7 @@ fn put_then_get_returns_equal_campaign() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(7);
     let data = run_campaign(&plan, 7, 2);
-    let id = store.put_run(&key_of(&plan, 7, 2), "test putget", &data, None).unwrap();
+    let id = store.put_run(&key_of(&plan, 7, 2), "bench", "test putget", &data, None).unwrap();
     let back = store.get(&id).unwrap();
     assert_eq!(back.data, data);
     assert_eq!(back.manifest.seed, Some(7));
@@ -79,7 +79,7 @@ fn observed_run_archives_and_reloads_its_report() {
     let target = NetworkTarget::new("m", presets::myrinet_gm(3));
     let run = Campaign::new(&plan, target).seed(3).observer(Observer::default()).run().unwrap();
     let report = run.report.expect("observer attached");
-    let id = store.put_run(&key_of(&plan, 3, 1), "", &run.data, Some(&report)).unwrap();
+    let id = store.put_run(&key_of(&plan, 3, 1), "bench", "", &run.data, Some(&report)).unwrap();
     let back = store.get(&id).unwrap();
     assert!(back.manifest.artifact("report.jsonl").is_some());
     let back_report = back.report.expect("report archived");
@@ -94,8 +94,8 @@ fn identical_campaign_dedupes_to_one_run() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(11);
     let data = run_campaign(&plan, 11, 3);
-    let a = store.put_run(&key_of(&plan, 11, 3), "", &data, None).unwrap();
-    let b = store.put_run(&key_of(&plan, 11, 3), "", &data, None).unwrap();
+    let a = store.put_run(&key_of(&plan, 11, 3), "bench", "", &data, None).unwrap();
+    let b = store.put_run(&key_of(&plan, 11, 3), "bench", "", &data, None).unwrap();
     assert_eq!(a, b);
     assert_eq!(store.list().unwrap().len(), 1);
     std::fs::remove_dir_all(&dir).ok();
@@ -107,9 +107,9 @@ fn different_seed_or_shards_lands_on_different_runs() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(5);
     let data = run_campaign(&plan, 5, 2);
-    let a = store.put_run(&key_of(&plan, 5, 2), "", &data, None).unwrap();
-    let b = store.put_run(&key_of(&plan, 6, 2), "", &data, None).unwrap();
-    let c = store.put_run(&key_of(&plan, 5, 4), "", &data, None).unwrap();
+    let a = store.put_run(&key_of(&plan, 5, 2), "bench", "", &data, None).unwrap();
+    let b = store.put_run(&key_of(&plan, 6, 2), "bench", "", &data, None).unwrap();
+    let c = store.put_run(&key_of(&plan, 5, 4), "bench", "", &data, None).unwrap();
     assert_ne!(a, b);
     assert_ne!(a, c);
     assert_ne!(b, c);
@@ -123,7 +123,7 @@ fn flipping_one_byte_is_caught_on_get() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(13);
     let data = run_campaign(&plan, 13, 2);
-    let id = store.put_run(&key_of(&plan, 13, 2), "", &data, None).unwrap();
+    let id = store.put_run(&key_of(&plan, 13, 2), "bench", "", &data, None).unwrap();
     let records = dir.join("runs").join(id.as_str()).join("records.csv");
     let mut bytes = std::fs::read(&records).unwrap();
     // Flip one byte in the middle of the data section.
@@ -143,13 +143,13 @@ fn edited_manifest_triple_is_a_collision_not_a_merge() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(17);
     let data = run_campaign(&plan, 17, 2);
-    let id = store.put_run(&key_of(&plan, 17, 2), "", &data, None).unwrap();
+    let id = store.put_run(&key_of(&plan, 17, 2), "bench", "", &data, None).unwrap();
     // Simulate a truncated-ID collision: the stored manifest describes a
     // different campaign than the one arriving at this run ID.
     let manifest_path = dir.join("runs").join(id.as_str()).join("manifest.json");
     let text = std::fs::read_to_string(&manifest_path).unwrap();
     std::fs::write(&manifest_path, text.replace("\"seed\": \"17\"", "\"seed\": \"99\"")).unwrap();
-    match store.put_run(&key_of(&plan, 17, 2), "", &data, None) {
+    match store.put_run(&key_of(&plan, 17, 2), "bench", "", &data, None) {
         Err(StoreError::Collision { .. }) => {}
         other => panic!("expected Collision, got {other:?}"),
     }
@@ -225,7 +225,7 @@ fn gc_purges_spent_checkpoints_but_keeps_resumable_runs() {
         .run()
         .unwrap()
         .data;
-    let finalized = store.put_run(&key_of(&plan, 29, 2), "", &data, None).unwrap();
+    let finalized = store.put_run(&key_of(&plan, 29, 2), "bench", "", &data, None).unwrap();
 
     // Interrupted run: checkpoints only, no manifest — must survive gc.
     let plan2 = plan_of(31);
@@ -273,6 +273,7 @@ fn same_plan_different_platform_lands_on_different_runs() {
     let a = store
         .put_run(
             &charm_store::CampaignKey::of(&plan, &id_taurus, Some(41), 2),
+            "bench",
             "",
             &data_taurus,
             None,
@@ -281,6 +282,7 @@ fn same_plan_different_platform_lands_on_different_runs() {
     let b = store
         .put_run(
             &charm_store::CampaignKey::of(&plan, &id_myrinet, Some(41), 2),
+            "bench",
             "",
             &data_myrinet,
             None,
@@ -300,7 +302,7 @@ fn dedupe_never_discards_drifted_records() {
     let store = Store::open(&dir).unwrap();
     let plan = plan_of(43);
     let data = run_campaign(&plan, 43, 2);
-    let id = store.put_run(&key_of(&plan, 43, 2), "", &data, None).unwrap();
+    let id = store.put_run(&key_of(&plan, 43, 2), "bench", "", &data, None).unwrap();
 
     // Same key, different record bytes (as an engine change would
     // produce): must surface as a collision, not return Ok while the
@@ -308,7 +310,7 @@ fn dedupe_never_discards_drifted_records() {
     let target = NetworkTarget::new("m", presets::myrinet_gm(43));
     let drifted = Campaign::new(&plan, target).shards(2).seed(43).run().unwrap().data;
     assert_ne!(data.to_csv(), drifted.to_csv());
-    match store.put_run(&key_of(&plan, 43, 2), "", &drifted, None) {
+    match store.put_run(&key_of(&plan, 43, 2), "bench", "", &drifted, None) {
         Err(StoreError::Collision { stored, incoming, .. }) => {
             assert!(stored.contains("records sha256"), "{stored}");
             assert_ne!(stored, incoming);
