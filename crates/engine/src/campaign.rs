@@ -30,6 +30,7 @@
 //! only reads the host monotonic clock, never virtual clocks or RNG
 //! streams — and a disabled profiler costs one branch per span site.
 
+use crate::cancel::CancelToken;
 use crate::checkpoint::{CheckpointSink, ShardCheckpoint};
 use crate::meta::MetadataBuilder;
 use crate::record::{Campaign as CampaignData, RawRecord};
@@ -115,6 +116,7 @@ pub struct Campaign<'p, T> {
     shuffle_seed: Option<u64>,
     observer: Option<Observer>,
     profiler: Profiler,
+    cancel: CancelToken,
 }
 
 impl<'p, T: Target> Campaign<'p, T> {
@@ -133,6 +135,7 @@ impl<'p, T: Target> Campaign<'p, T> {
             shuffle_seed: None,
             observer: None,
             profiler: charm_trace::thread_profiler(),
+            cancel: CancelToken::default(),
         }
     }
 
@@ -162,6 +165,15 @@ impl<'p, T: Target> Campaign<'p, T> {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`]: the run checks it between
+    /// plan rows (sequential) or at batch-claim boundaries (sharded) and
+    /// fails with [`TargetError::Cancelled`] once it fires. Keep a clone
+    /// of the token to cancel from another thread.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Executes every row of the plan (in the plan's order) against the
     /// target.
     ///
@@ -179,6 +191,9 @@ impl<'p, T: Target> Campaign<'p, T> {
             let _execute_span =
                 self.profiler.span_on("engine", "engine.execute").arg("rows", self.plan.len());
             for (sequence, row) in self.plan.rows().iter().enumerate() {
+                if self.cancel.is_cancelled() {
+                    return Err(TargetError::Cancelled);
+                }
                 let m = self.target.measure(&Assignment::new(self.plan, row))?;
                 records.push(RawRecord {
                     levels: row.levels.clone(),
@@ -375,6 +390,17 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`] (see
+    /// [`Campaign::cancel_token`]). Workers check the token each time
+    /// they go to claim a batch, so a fired token stops the campaign
+    /// after at most one in-flight batch per worker — and because
+    /// checkpoints flush per finished batch, a cancelled stored campaign
+    /// leaves only whole, resumable segments behind.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.inner = self.inner.cancel_token(cancel);
+        self
+    }
+
     /// Attaches a checkpoint store: every worker flushes each finished
     /// batch through [`CheckpointSink::save_shard`] the moment it
     /// completes, so an interrupted campaign retains the batches it
@@ -464,9 +490,13 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
     /// errors fail the campaign like the sequential run; the error for
     /// the earliest failing plan row wins — batches are claimed in index
     /// order, so every batch before the earliest failure has a result.
+    /// A fired [`CancelToken`] (see [`ShardedCampaign::cancel_token`])
+    /// returns [`TargetError::Cancelled`] once the workers drain; a token
+    /// that fires after the last batch was claimed lets the run complete
+    /// normally — cancellation is advisory, never destructive.
     pub fn run(self) -> Result<CampaignRun, TargetError> {
         let ShardedCampaign { inner, shards, sink, resume, min_rows_per_shard } = self;
-        let Campaign { plan, target: base, shuffle_seed, observer, profiler } = inner;
+        let Campaign { plan, target: base, shuffle_seed, observer, profiler, cancel } = inner;
         let _run_span = profiler.span_on("engine", "engine.run");
         let wall_start = Instant::now();
         let n = plan.len();
@@ -534,13 +564,17 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                 .enumerate()
                 .map(|(w, proto)| {
                     let profiler = profiler.clone();
-                    let (next, abort, bounds, replayed_mask, observer) =
-                        (&next, &abort, &bounds, &replayed_mask, &observer);
+                    let (next, abort, bounds, replayed_mask, observer, cancel) =
+                        (&next, &abort, &bounds, &replayed_mask, &observer, &cancel);
                     scope.spawn(move |_| {
                         let mut batches: Vec<(usize, Result<BatchYield, TargetError>)> = Vec::new();
                         let mut steals = 0u64;
                         loop {
-                            if abort.load(Ordering::Relaxed) {
+                            // Batch-claim boundary: an aborted (failed)
+                            // or cancelled campaign hands out no further
+                            // batches; in-flight batches finish (and
+                            // checkpoint) so only whole segments exist.
+                            if abort.load(Ordering::Relaxed) || cancel.is_cancelled() {
                                 break;
                             }
                             let b = next.fetch_add(1, Ordering::SeqCst);
@@ -643,6 +677,11 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                         (y.records, y.elapsed_us, y.observation, y.diagnostics, y.wall_ns)
                     }
                     (None, Some(Err(e))) => return Err(e),
+                    // A hole with neither a replay nor an execution means
+                    // the claim loop stopped handing out batches — with a
+                    // fired token that is cancellation (whole segments for
+                    // every batch that did run are already in the sink).
+                    (None, None) if cancel.is_cancelled() => return Err(TargetError::Cancelled),
                     (None, None) => unreachable!("batch neither replayed nor executed"),
                 };
             offsets.push(clock_us);
@@ -1499,6 +1538,157 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, TargetError::Checkpoint { .. }));
+    }
+
+    /// Checkpoint sink that fires a [`CancelToken`] after `after` saved
+    /// segments: a deterministic stand-in for "the operator cancelled the
+    /// job while batches were still unclaimed".
+    struct CancelAfterSink<'s> {
+        inner: &'s MemorySink,
+        token: CancelToken,
+        after: usize,
+    }
+
+    impl CheckpointSink for CancelAfterSink<'_> {
+        fn save_shard(
+            &self,
+            shard: usize,
+            shards: usize,
+            checkpoint: &ShardCheckpoint,
+        ) -> Result<(), crate::checkpoint::CheckpointError> {
+            self.inner.save_shard(shard, shards, checkpoint)?;
+            if self.inner.saves() >= self.after {
+                self.token.cancel();
+            }
+            Ok(())
+        }
+
+        fn load_shard(
+            &self,
+            shard: usize,
+            shards: usize,
+        ) -> Result<Option<ShardCheckpoint>, crate::checkpoint::CheckpointError> {
+            self.inner.load_shard(shard, shards)
+        }
+    }
+
+    #[test]
+    fn cancelled_campaign_stops_promptly_and_leaves_resumable_segments() {
+        let plan = shuffled_net_plan(6, 61);
+        let fresh = Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(61)))
+            .shards(4)
+            .min_rows_per_shard(1)
+            .seed(61)
+            .run()
+            .unwrap()
+            .data;
+        let sink = MemorySink::default();
+        let token = CancelToken::new();
+        let cancelling = CancelAfterSink { inner: &sink, token: token.clone(), after: 1 };
+        let err = Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(61)))
+            .shards(4)
+            .min_rows_per_shard(1)
+            .seed(61)
+            .store(&cancelling)
+            .cancel_token(token.clone())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, TargetError::Cancelled), "got {err}");
+        assert!(token.is_cancelled());
+        // Stopped promptly: the claim loop stopped handing out batches, so
+        // a strict subset of the geometry ran — at least the segment that
+        // fired the token, at most one in-flight batch per worker more.
+        let batches = batch_count(plan.len(), 4);
+        let saved = sink.saves();
+        assert!(saved >= 1, "the triggering segment was flushed");
+        assert!(saved < batches, "cancellation must not run the whole campaign (ran {saved})");
+        assert!(saved <= 1 + 4, "at most one in-flight batch per worker after the trigger");
+        // Every segment left behind is whole, and resume completes the
+        // campaign bit-identically to an uninterrupted run.
+        for ((_, b), chk) in sink.segments.lock().unwrap().iter() {
+            assert_eq!(*b, batches, "segments carry the run's geometry");
+            assert!(!chk.records.is_empty(), "no empty segments");
+        }
+        let resumed = Campaign::new(&plan, NetworkTarget::new("m", presets::myrinet_gm(61)))
+            .shards(4)
+            .min_rows_per_shard(1)
+            .seed(61)
+            .store(&sink)
+            .resume(true)
+            .run()
+            .unwrap()
+            .data;
+        assert_bit_identical(&fresh, &resumed);
+    }
+
+    #[test]
+    fn pre_cancelled_sequential_campaign_never_measures() {
+        let plan = shuffled_net_plan(2, 7);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(7)))
+            .seed(7)
+            .cancel_token(token)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, TargetError::Cancelled));
+    }
+
+    #[test]
+    fn pre_cancelled_sharded_campaign_claims_no_batches() {
+        let plan = shuffled_net_plan(2, 7);
+        let sink = MemorySink::default();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(7)))
+            .shards(2)
+            .min_rows_per_shard(1)
+            .seed(7)
+            .store(&sink)
+            .cancel_token(token)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, TargetError::Cancelled));
+        assert_eq!(sink.saves(), 0, "no batch may start after cancellation");
+    }
+
+    #[test]
+    fn token_firing_after_last_claim_lets_the_run_complete() {
+        // Cancellation is advisory: a token fired once all batches are
+        // claimed (here: after every batch already saved) changes nothing.
+        let plan = shuffled_net_plan(2, 11);
+        let sink = MemorySink::default();
+        let token = CancelToken::new();
+        let batches = batch_count(plan.len(), 2);
+        let late = CancelAfterSink { inner: &sink, token: token.clone(), after: batches };
+        let run = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(11)))
+            .shards(2)
+            .min_rows_per_shard(1)
+            .seed(11)
+            .store(&late)
+            .cancel_token(token.clone())
+            .run();
+        // Either every batch was claimed before the token fired (normal
+        // completion) or a worker saw the token first (cancelled) — both
+        // are legal; what is banned is a partial result passed off as Ok.
+        match run {
+            Ok(r) => assert_eq!(r.data.records.len(), plan.len()),
+            Err(e) => assert!(matches!(e, TargetError::Cancelled)),
+        }
+    }
+
+    #[test]
+    fn submission_path_is_send_clean() {
+        // The serve crate moves campaigns across threads: builders,
+        // sharded builders, tokens, results and errors must all be Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<Campaign<'static, NetworkTarget>>();
+        assert_send::<Campaign<'static, MemoryTarget>>();
+        assert_send::<ShardedCampaign<'static, NetworkTarget>>();
+        assert_send::<ShardedCampaign<'static, MemoryTarget>>();
+        assert_send::<CancelToken>();
+        assert_send::<CampaignRun>();
+        assert_send::<TargetError>();
     }
 
     #[test]

@@ -29,12 +29,15 @@
 //!   engines (DESIGN.md §15);
 //! * [`checkpoint`] — the [`CheckpointSink`] contract a durable campaign
 //!   archive (the `charm-store` crate) implements so sharded runs can
-//!   flush finished shards and resume interrupted campaigns.
+//!   flush finished shards and resume interrupted campaigns;
+//! * [`cancel`] — the cooperative [`CancelToken`] long-running services
+//!   use to stop a campaign at the next row/batch boundary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod cancel;
 pub mod checkpoint;
 pub mod meta;
 pub mod record;
@@ -46,6 +49,7 @@ pub use campaign::{
     batch_count, effective_workers, Campaign, CampaignRun, ShardedCampaign,
     DEFAULT_MIN_ROWS_PER_SHARD,
 };
+pub use cancel::CancelToken;
 pub use checkpoint::{CheckpointError, CheckpointSink, ShardCheckpoint};
 pub use record::{Campaign as CampaignData, RawRecord};
 pub use registry::{ExternalEngineSpec, ResolvedTarget, SequentialOnly, TargetSpec};

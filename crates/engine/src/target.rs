@@ -68,6 +68,14 @@ pub enum TargetError {
         /// What was violated, human-readable.
         detail: String,
     },
+    /// The campaign was cancelled through its [`CancelToken`] before it
+    /// finished. Cancellation is cooperative: the sequential engine
+    /// checks between rows, the work-stealing scheduler at batch-claim
+    /// boundaries, so a checkpointed campaign that is cancelled leaves
+    /// only whole, resumable batch segments behind.
+    ///
+    /// [`CancelToken`]: crate::cancel::CancelToken
+    Cancelled,
     /// A benchmark spec referenced a target the registry does not know
     /// (unknown model, preset, CPU, or policy name).
     UnknownTarget {
@@ -117,6 +125,9 @@ impl fmt::Display for TargetError {
             }
             TargetError::Protocol { detail } => {
                 write!(f, "engine subprocess violated the KLV protocol: {detail}")
+            }
+            TargetError::Cancelled => {
+                write!(f, "campaign cancelled by caller before completion")
             }
             TargetError::UnknownTarget { field, got, expected } => {
                 write!(f, "spec {field} {got:?} is not in the registry (expected {expected})")

@@ -243,7 +243,7 @@ pub struct GcReport {
 ///
 /// `plan_hash` and `target` match by *prefix*, so the truncated hashes
 /// the CLI prints (and the bare platform name of a target identity)
-/// are usable query keys as-is. `benchmark` matches exactly.
+/// are usable query keys as-is. `benchmark` and `host` match exactly.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunQuery {
     /// Prefix of the plan hash (full 64-hex or any truncation).
@@ -254,14 +254,33 @@ pub struct RunQuery {
     /// Exact benchmark label (as recorded by [`Store::put_run`]).
     /// Pre-v3 manifests record the empty label.
     pub benchmark: Option<String>,
+    /// Exact machine-facts host class (see
+    /// [`MachineFacts::host_class`], e.g. `linux/4c`). Pre-v3 manifests
+    /// carry no machine facts and match only the literal `unknown` —
+    /// the class the CLI prints for them. A long-running service uses
+    /// this to scope queries to runs measured on the machine it serves
+    /// from.
+    pub host: Option<String>,
 }
 
 impl RunQuery {
+    /// Scopes the query to the host class of the *current* machine, so
+    /// the daemon and the report tooling can ask "what has this box
+    /// measured?" without recomputing the class by hand.
+    pub fn on_current_host(mut self) -> RunQuery {
+        self.host = Some(MachineFacts::current().host_class());
+        self
+    }
+
     /// Does `manifest` satisfy every set filter?
     pub fn matches(&self, manifest: &Manifest) -> bool {
         self.plan_hash.as_ref().is_none_or(|p| manifest.plan_hash.starts_with(p.as_str()))
             && self.target.as_ref().is_none_or(|t| manifest.target.starts_with(t.as_str()))
             && self.benchmark.as_ref().is_none_or(|b| manifest.benchmark == *b)
+            && self.host.as_ref().is_none_or(|h| {
+                manifest.machine.as_ref().map_or_else(|| "unknown".to_string(), |m| m.host_class())
+                    == *h
+            })
     }
 }
 
@@ -616,6 +635,19 @@ impl CheckpointSession {
     /// The run ID this session's campaign addresses.
     pub fn run_id(&self) -> &RunId {
         &self.run_id
+    }
+
+    /// Whether this run directory holds any checkpoint segments — i.e.
+    /// an earlier campaign for the same key was interrupted mid-run. A
+    /// restarted service uses this to decide whether a submission should
+    /// resume (`Campaign::resume`) instead of starting from row zero.
+    pub fn has_segments(&self) -> bool {
+        let checkpoints = self.dir.join("checkpoints");
+        fs::read_dir(&checkpoints).ok().is_some_and(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .any(|e| e.file_name().to_string_lossy().ends_with(".csv"))
+        })
     }
 
     fn segment_path(&self, shard: usize, shards: usize) -> PathBuf {

@@ -443,3 +443,119 @@ fn gc_keeps_in_flight_sessions_and_removes_true_debris() {
     assert!(live.join("checkpoints").join("shard-0-of-8.csv").is_file());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Sink wrapper that fires a `CancelToken` once the wrapped session has
+/// saved `after` segments — a deterministic "operator cancelled the job
+/// mid-campaign" for the tests below.
+struct CancelAfter<'s> {
+    inner: &'s charm_store::CheckpointSession,
+    token: charm_engine::CancelToken,
+    after: usize,
+    saves: AtomicUsize,
+}
+
+impl charm_engine::CheckpointSink for CancelAfter<'_> {
+    fn save_shard(
+        &self,
+        shard: usize,
+        shards: usize,
+        checkpoint: &charm_engine::ShardCheckpoint,
+    ) -> Result<(), charm_engine::CheckpointError> {
+        self.inner.save_shard(shard, shards, checkpoint)?;
+        if self.saves.fetch_add(1, Ordering::SeqCst) + 1 >= self.after {
+            self.token.cancel();
+        }
+        Ok(())
+    }
+
+    fn load_shard(
+        &self,
+        shard: usize,
+        shards: usize,
+    ) -> Result<Option<charm_engine::ShardCheckpoint>, charm_engine::CheckpointError> {
+        self.inner.load_shard(shard, shards)
+    }
+}
+
+#[test]
+fn cancelled_campaign_leaves_segments_but_no_manifest_and_resumes() {
+    let dir = scratch("cancel");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(43);
+    let fresh = run_campaign(&plan, 43, 4);
+
+    let session = store.session(&plan, TARGET, Some(43), 4).unwrap();
+    assert!(!session.has_segments(), "fresh session starts with no segments");
+    let token = charm_engine::CancelToken::new();
+    let cancelling =
+        CancelAfter { inner: &session, token: token.clone(), after: 1, saves: AtomicUsize::new(0) };
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(43));
+    let err = Campaign::new(&plan, target)
+        .shards(4)
+        .min_rows_per_shard(1)
+        .seed(43)
+        .store(&cancelling)
+        .cancel_token(token)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, charm_engine::TargetError::Cancelled), "got {err}");
+
+    // The run directory holds only whole, resumable checkpoint segments
+    // — no manifest, no records.csv: the store never saw a "finished"
+    // campaign.
+    let run_dir = dir.join("runs").join(session.run_id().as_str());
+    assert!(!run_dir.join("manifest.json").exists(), "cancelled run must not be finalized");
+    assert!(!run_dir.join("records.csv").exists());
+    assert!(session.has_segments(), "the paid-for batches were retained");
+    let segments = std::fs::read_dir(run_dir.join("checkpoints"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".csv"))
+        .count();
+    // 18 rows × 4 workers → 16 batches; cancellation stopped the claim
+    // loop, so a strict subset ran (trigger + at most one in-flight
+    // batch per worker).
+    assert!((1..=5).contains(&segments), "expected a strict subset, got {segments} segments");
+
+    // A restarted service resumes off those segments and archives a
+    // campaign byte-identical to an uninterrupted run.
+    let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(43));
+    let resumed = Campaign::new(&plan, target)
+        .shards(4)
+        .min_rows_per_shard(1)
+        .seed(43)
+        .store(&session)
+        .resume(true)
+        .run()
+        .unwrap()
+        .data;
+    assert_eq!(fresh.to_csv(), resumed.to_csv());
+    let id = store.put_run(&key_of(&plan, 43, 4), "bench", "", &resumed, None).unwrap();
+    assert_eq!(&id, session.run_id());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn select_filters_by_host_class() {
+    let dir = scratch("hostq");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan_of(47);
+    let data = run_campaign(&plan, 47, 2);
+    store.put_run(&key_of(&plan, 47, 2), "bench", "", &data, None).unwrap();
+
+    // Every run archived by this process carries this machine's facts.
+    let here = charm_store::manifest::MachineFacts::current().host_class();
+    let query = charm_store::RunQuery { host: Some(here.clone()), ..Default::default() };
+    assert_eq!(store.select(&query).unwrap().len(), 1);
+    assert_eq!(store.select(&charm_store::RunQuery::default().on_current_host()).unwrap().len(), 1);
+    let elsewhere = charm_store::RunQuery { host: Some("plan9/512c".into()), ..Default::default() };
+    assert!(store.select(&elsewhere).unwrap().is_empty());
+    // Host filters compose with the other fields.
+    let both = charm_store::RunQuery {
+        host: Some(here),
+        benchmark: Some("bench".into()),
+        ..Default::default()
+    };
+    assert_eq!(store.select(&both).unwrap().len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
