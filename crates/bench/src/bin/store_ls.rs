@@ -1,7 +1,7 @@
 //! List the runs archived in a campaign store.
 //!
 //! ```text
-//! store_ls <store_dir> [--gc] [--json]
+//! store_ls <store_dir> [--gc] [--json] [--host CLASS]
 //! ```
 //!
 //! One line per finalized run: run ID, target identity, seed, shard
@@ -11,6 +11,10 @@
 //! runs only — interrupted runs keep theirs, they are the only copy of
 //! that work) and reports what was removed.
 //!
+//! `--host CLASS` keeps only runs recorded on that host class (e.g.
+//! `linux/4c`, or `current` for the machine running the command);
+//! pre-v3 manifests carry no machine facts and match only `unknown`.
+//!
 //! With `--json`, emits one JSON object per run (JSONL, restricted
 //! dialect of `charm_obs::json`) instead of the human-formatted table,
 //! so external tooling and the CI smoke steps stop scraping columns.
@@ -19,7 +23,7 @@
 
 use charm_obs::json;
 use charm_store::manifest::seed_str;
-use charm_store::{Manifest, Store};
+use charm_store::{MachineFacts, Manifest, RunQuery, Store};
 use std::process::ExitCode;
 
 /// One run as a JSONL record.
@@ -52,15 +56,28 @@ fn json_line(m: &Manifest) -> String {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let gc = args.iter().any(|a| a == "--gc");
     let as_json = args.iter().any(|a| a == "--json");
+    let mut host: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--host") {
+        if i + 1 >= args.len() {
+            eprintln!("--host needs a value");
+            return ExitCode::from(2);
+        }
+        host = Some(args.remove(i + 1));
+        args.remove(i);
+    }
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let known = |a: &&String| a.starts_with("--") && a.as_str() != "--gc" && a.as_str() != "--json";
     if positional.len() != 1 || args.iter().any(|a| known(&a)) {
-        eprintln!("usage: store_ls <store_dir> [--gc] [--json]");
+        eprintln!("usage: store_ls <store_dir> [--gc] [--json] [--host CLASS]");
         return ExitCode::from(2);
     }
+    let query = RunQuery {
+        host: host.map(|h| if h == "current" { MachineFacts::current().host_class() } else { h }),
+        ..Default::default()
+    };
     let store = match Store::open(positional[0]) {
         Ok(s) => s,
         Err(e) => {
@@ -88,7 +105,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    let manifests = match store.list() {
+    let manifests = match store.select(&query) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("cannot list store: {e}");

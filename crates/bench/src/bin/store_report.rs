@@ -4,6 +4,7 @@
 //! ```text
 //! store_report <store_dir> [--out DIR] [--level L] [--reps N] [--seed S]
 //!              [--plan-hash PREFIX] [--target PREFIX] [--benchmark NAME]
+//!              [--host CLASS]
 //! ```
 //!
 //! Groups finalized runs by (target identity × benchmark label × host
@@ -28,7 +29,8 @@ use charm_store::{build_report, RunQuery, Store};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: store_report <store_dir> [--out DIR] [--level L] [--reps N] \
-                     [--seed S] [--plan-hash PREFIX] [--target PREFIX] [--benchmark NAME]";
+                     [--seed S] [--plan-hash PREFIX] [--target PREFIX] [--benchmark NAME] \
+                     [--host CLASS]";
 
 struct Args {
     store_dir: String,
@@ -65,6 +67,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--plan-hash" => query.plan_hash = Some(value("--plan-hash")?),
             "--target" => query.target = Some(value("--target")?),
             "--benchmark" => query.benchmark = Some(value("--benchmark")?),
+            // `--host current` scopes to the machine running the report
+            // (the class pre-v3 manifests match is the literal `unknown`).
+            "--host" => {
+                let h = value("--host")?;
+                if h == "current" {
+                    query = query.on_current_host();
+                } else {
+                    query.host = Some(h);
+                }
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => positional.push(arg.clone()),
         }

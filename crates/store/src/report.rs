@@ -24,7 +24,7 @@ use crate::manifest::{seed_str, MachineFacts, Manifest};
 use crate::store::{RunId, RunQuery, Store, StoreError, StoredRun};
 use charm_analysis::descriptive;
 use charm_analysis::speedup::{
-    compare_cells, Direction, PairedCell, SpeedupCi, SpeedupConfig, Verdict,
+    compare_cells, CellSpeedup, Direction, PairedCell, SpeedupCi, SpeedupConfig, Verdict,
 };
 use std::collections::BTreeMap;
 
@@ -58,6 +58,12 @@ pub enum VsBest {
         /// Design cells the comparison actually used (shared between
         /// both runs with ≥ 2 positive measurements on each side).
         shared_cells: usize,
+        /// The shared cells whose own interval sits entirely below 1.0
+        /// — the cells that *drove* a `slower` verdict, sorted by cell
+        /// name. A combined interval can clear 1.0 while only a few
+        /// cells regressed; this pins the blame to specific designs
+        /// instead of leaving an aggregate accusation.
+        slower_cells: Vec<CellSpeedup>,
     },
     /// No usable shared cells — the runs measure disjoint designs (or
     /// degenerate samples) and no statistical claim is possible.
@@ -227,7 +233,17 @@ fn versus_best(
     };
     match compare_cells(&paired, direction, &derived) {
         Ok(cmp) => {
-            VsBest::Ci { ci: cmp.combined, verdict: cmp.verdict, shared_cells: paired.len() }
+            // Keep only the decisively-regressed cells; `cmp.cells` is
+            // already sorted by name, so the drill-down inherits the
+            // determinism contract for free.
+            let slower_cells =
+                cmp.cells.into_iter().filter(|c| c.verdict == Verdict::Slower).collect();
+            VsBest::Ci {
+                ci: cmp.combined,
+                verdict: cmp.verdict,
+                shared_cells: paired.len(),
+                slower_cells,
+            }
         }
         Err(_) => VsBest::Incomparable,
     }
@@ -352,6 +368,41 @@ impl FleetReport {
                     verdict
                 ));
             }
+            // Per-cell drill-down: every `slower` run names the design
+            // cells whose own interval sits below 1.0 — an aggregate
+            // verdict without the offending cells would send the reader
+            // back to the raw CSVs the report exists to summarize.
+            for r in &g.runs {
+                let VsBest::Ci { verdict: Verdict::Slower, slower_cells, shared_cells, .. } =
+                    &r.vs_best
+                else {
+                    continue;
+                };
+                out.push_str(&format!(
+                    "\n**{}** is slower — {} of {} shared cell(s) drove it:\n\n",
+                    &r.run_id[..12.min(r.run_id.len())],
+                    slower_cells.len(),
+                    shared_cells
+                ));
+                if slower_cells.is_empty() {
+                    // Possible: each cell individually straddles 1.0 but
+                    // the combined interval (tighter, pooled) does not.
+                    out.push_str(
+                        "- (no single cell is decisive; the combined interval alone is)\n",
+                    );
+                }
+                for c in slower_cells {
+                    out.push_str(&format!(
+                        "- `{}`: ratio {} [{}, {}] (n={}/{})\n",
+                        c.name,
+                        fmt_f(c.ci.estimate),
+                        fmt_f(c.ci.lo),
+                        fmt_f(c.ci.hi),
+                        c.n_baseline,
+                        c.n_candidate
+                    ));
+                }
+            }
         }
         out
     }
@@ -377,7 +428,7 @@ impl FleetReport {
                         String::new(),
                         "best",
                     ),
-                    VsBest::Ci { ci, verdict, shared_cells } => (
+                    VsBest::Ci { ci, verdict, shared_cells, .. } => (
                         shared_cells.to_string(),
                         fmt_f(ci.estimate),
                         fmt_f(ci.lo),

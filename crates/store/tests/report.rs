@@ -102,7 +102,7 @@ fn same_distribution_reruns_are_indistinguishable_with_unity_ci() {
     assert_eq!(group.runs[0].rank, 1);
     assert!(matches!(group.runs[0].vs_best, VsBest::Best));
     match &group.runs[1].vs_best {
-        VsBest::Ci { ci, verdict, shared_cells } => {
+        VsBest::Ci { ci, verdict, shared_cells, .. } => {
             assert!(ci.lo <= 1.0 && 1.0 <= ci.hi, "CI must contain 1.0: {ci:?}");
             assert_eq!(verdict.as_str(), "indistinguishable");
             assert_eq!(*shared_cells, 4, "all design cells shared");
@@ -114,6 +114,54 @@ fn same_distribution_reruns_are_indistinguishable_with_unity_ci() {
     assert!(md.contains("| rank |"), "ranked table present:\n{md}");
     assert!(md.contains("CI lo") && md.contains("CI hi"), "CI columns present");
     assert!(md.contains("indistinguishable"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slower_verdicts_name_the_driving_cells_in_markdown() {
+    let dir = scratch("drilldown");
+    let store = Store::open(&dir).unwrap();
+    let plan = plan();
+    // One real run, and a synthetic rerun with every measurement 4x
+    // worse — unambiguously slower in every cell, so the drill-down
+    // must name all of them.
+    let (identity, fast) = run(&plan, 51);
+    let mut slow = fast.clone();
+    for r in &mut slow.records {
+        r.value *= 4.0;
+    }
+    let fast_key = CampaignKey::of(&plan, &identity, Some(51), 1);
+    let slow_key = CampaignKey::of(&plan, &identity, Some(52), 1);
+    store.put_run(&fast_key, "fig04", "", &fast, None).unwrap();
+    store.put_run(&slow_key, "fig04", "", &slow, None).unwrap();
+
+    let report = build_report(&store, &RunQuery::default(), &cfg()).unwrap();
+    assert_eq!(report.groups.len(), 1);
+    let group = &report.groups[0];
+    match &group.runs[1].vs_best {
+        VsBest::Ci { verdict, slower_cells, shared_cells, .. } => {
+            assert_eq!(verdict.as_str(), "slower");
+            assert_eq!(*shared_cells, 4);
+            assert_eq!(slower_cells.len(), 4, "every cell is decisively 4x slower");
+            assert!(slower_cells.iter().all(|c| c.ci.hi < 1.0), "{slower_cells:?}");
+            // Sorted by cell name — part of the determinism contract.
+            let names: Vec<&str> = slower_cells.iter().map(|c| c.name.as_str()).collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted);
+        }
+        other => panic!("expected a slower CI comparison, got {other:?}"),
+    }
+
+    let md = report.render_markdown();
+    assert!(md.contains("drove it"), "drill-down section present:\n{md}");
+    assert!(md.contains("- `op=ping_pong,size=64`:"), "cells named:\n{md}");
+    assert!(md.contains("- `op=async_send,size=4096`:"), "cells named:\n{md}");
+
+    // The CSV schema must not move: the CI gate parses it by position.
+    let rows = parse_csv(&report.render_csv()).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[1].verdict, "slower");
     std::fs::remove_dir_all(&dir).ok();
 }
 
