@@ -28,6 +28,26 @@ pub struct RawRecord {
     pub value: f64,
 }
 
+impl RawRecord {
+    /// The record's CSV data row, exactly as [`Campaign::to_csv`] writes
+    /// it (levels in order, then the fixed columns, `{}`-formatted
+    /// floats). Streaming consumers — the campaign service — render rows
+    /// through this so an incrementally streamed campaign is
+    /// byte-identical to the archived `records.csv`.
+    pub fn csv_row(&self) -> String {
+        let mut out = String::new();
+        for l in &self.levels {
+            out.push_str(&l.to_string());
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{},{},{},{}",
+            self.replicate, self.sequence, self.start_us, self.value
+        ));
+        out
+    }
+}
+
 /// Errors when parsing a campaign from CSV.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CampaignParseError {
@@ -137,11 +157,8 @@ impl Campaign {
         out.push_str(&FIXED_COLS.join(","));
         out.push('\n');
         for r in &self.records {
-            for l in &r.levels {
-                out.push_str(&l.to_string());
-                out.push(',');
-            }
-            out.push_str(&format!("{},{},{},{}\n", r.replicate, r.sequence, r.start_us, r.value));
+            out.push_str(&r.csv_row());
+            out.push('\n');
         }
         out
     }

@@ -1,0 +1,96 @@
+//! `charm_serve_d` — the campaign service daemon.
+//!
+//! Binds a TCP address, opens (or creates) the backing campaign store,
+//! and serves `charm-serve/1` until killed. All state that matters
+//! lives in the store: checkpoint segments during a run, the
+//! content-addressed archive after — so `kill -9` and restart loses at
+//! most the in-flight batches, and resubmitted campaigns resume.
+//!
+//! ```text
+//! charm_serve_d --store DIR [--addr 127.0.0.1:0] [--workers N]
+//!               [--queue N] [--tenant-max-jobs N]
+//!               [--tenant-max-rows N] [--tenant-window-secs N]
+//! ```
+
+use charm_serve::{Server, ServerConfig};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: charm_serve_d --store DIR [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \x20                 [--tenant-max-jobs N] [--tenant-max-rows N] [--tenant-window-secs N]\n\
+         \n\
+         Serves charm-serve/1 campaign submissions over TCP, backed by the\n\
+         content-addressed store at DIR. --addr defaults to 127.0.0.1:0 (an\n\
+         ephemeral port; the bound address is printed on startup)."
+    );
+    std::process::exit(2)
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(raw) = value else {
+        eprintln!("{flag} needs a value");
+        usage()
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("{flag}: cannot parse {raw:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut store: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServerConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => store = Some(PathBuf::from(parse_num::<String>("--store", args.next()))),
+            "--addr" => addr = parse_num("--addr", args.next()),
+            "--workers" => config.workers = parse_num("--workers", args.next()),
+            "--queue" => config.queue = parse_num("--queue", args.next()),
+            "--tenant-max-jobs" => {
+                config.tenant_max_jobs = parse_num("--tenant-max-jobs", args.next())
+            }
+            "--tenant-max-rows" => {
+                config.tenant_max_rows = parse_num("--tenant-max-rows", args.next())
+            }
+            "--tenant-window-secs" => {
+                config.tenant_window_secs = parse_num("--tenant-window-secs", args.next())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(store) = store else {
+        eprintln!("--store is required");
+        usage()
+    };
+    config.store_dir = store;
+
+    let server = match Server::start(&addr, config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("charm_serve_d: {e}");
+            std::process::exit(1)
+        }
+    };
+    // The load generator and the CI smoke scrape this line for the
+    // bound address; keep its shape stable.
+    println!(
+        "charm_serve_d listening on {} (store {}, {} worker(s), queue {})",
+        server.addr(),
+        config.store_dir.display(),
+        config.workers.max(1),
+        config.queue.max(1),
+    );
+    let _ = std::io::stdout().flush();
+    server.join();
+}

@@ -1,0 +1,483 @@
+//! `serve_load` — the concurrency proof for the campaign service.
+//!
+//! Storm mode (default) hammers a running daemon with hundreds of
+//! concurrent submissions from many client connections, a configurable
+//! fraction of which are resubmissions of one warm campaign (exercising
+//! archive-backed dedupe), and reports throughput, per-source
+//! completion tallies, rejection counts, and latency percentiles, plus
+//! a machine-checkable `PROOFS:` line:
+//!
+//! * **dedupe** — at least one submission was served from the archive;
+//! * **queue** — at least one submission was rejected `queue_full`
+//!   (observed under storm, or forced by a directed burst of oversized
+//!   jobs from distinct tenants);
+//! * **quota** — with `--prove-quota` (daemon must run
+//!   `--tenant-max-jobs 1`): a second same-tenant submission while the
+//!   first runs is rejected `quota_jobs`;
+//! * **cancel** — with `--prove-cancel`: a running job cancelled from a
+//!   second connection terminates with `failed reason=cancelled`.
+//!
+//! One-shot mode (`--one`) submits a single plan file and prints
+//! `source=<s> run_id=<id> records=<n>` — the CI smoke drives
+//! kill-and-restart resume through it.
+//!
+//! Exit status is non-zero if any requested proof fails or any
+//! submission never completed.
+
+use charm_serve::protocol::{Event, PlanKind, RejectReason, Source};
+use charm_serve::Client;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_load --addr HOST:PORT [--clients N] [--submissions N]\n\
+         \x20                [--dedupe-ratio F] [--shards N] [--quick]\n\
+         \x20                [--prove-quota] [--prove-cancel]\n\
+         \x20      serve_load --addr HOST:PORT --one --plan-file F --platform P\n\
+         \x20                [--seed N] [--shards N] [--expect-source engine|archive|resume]\n\
+         \x20                [--rows-out FILE]"
+    );
+    std::process::exit(2)
+}
+
+fn flag_value(flag: &str, value: Option<String>) -> String {
+    value.unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        usage()
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    flag_value(flag, value).parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: bad value");
+        usage()
+    })
+}
+
+struct Args {
+    addr: String,
+    clients: usize,
+    submissions: usize,
+    dedupe_ratio: f64,
+    shards: u64,
+    quick: bool,
+    prove_quota: bool,
+    prove_cancel: bool,
+    one: bool,
+    plan_file: Option<String>,
+    platform: String,
+    seed: u64,
+    expect_source: Option<Source>,
+    rows_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        addr: String::new(),
+        clients: 8,
+        submissions: 100,
+        dedupe_ratio: 0.3,
+        shards: 2,
+        quick: false,
+        prove_quota: false,
+        prove_cancel: false,
+        one: false,
+        plan_file: None,
+        platform: "taurus".into(),
+        seed: 1,
+        expect_source: None,
+        rows_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => a.addr = flag_value("--addr", args.next()),
+            "--clients" => a.clients = parse_num("--clients", args.next()),
+            "--submissions" => a.submissions = parse_num("--submissions", args.next()),
+            "--dedupe-ratio" => a.dedupe_ratio = parse_num("--dedupe-ratio", args.next()),
+            "--shards" => a.shards = parse_num("--shards", args.next()),
+            "--quick" => a.quick = true,
+            "--prove-quota" => a.prove_quota = true,
+            "--prove-cancel" => a.prove_cancel = true,
+            "--one" => a.one = true,
+            "--plan-file" => a.plan_file = Some(flag_value("--plan-file", args.next())),
+            "--platform" => a.platform = flag_value("--platform", args.next()),
+            "--seed" => a.seed = parse_num("--seed", args.next()),
+            "--expect-source" => {
+                a.expect_source = Some(match flag_value("--expect-source", args.next()).as_str() {
+                    "engine" => Source::Engine,
+                    "archive" => Source::Archive,
+                    "resume" => Source::Resume,
+                    other => {
+                        eprintln!("--expect-source: unknown source {other:?}");
+                        usage()
+                    }
+                })
+            }
+            "--rows-out" => a.rows_out = Some(flag_value("--rows-out", args.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if a.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage()
+    }
+    a
+}
+
+/// The storm's warm plan: every thread that draws a "dedupe" slot
+/// resubmits exactly this (plan, seed, shards) — one engine run, many
+/// archive hits.
+fn warm_plan(quick: bool) -> &'static str {
+    if quick {
+        "factor op in [ping_pong]\nfactor size in [64, 1024]\nreplicates 3\n"
+    } else {
+        "factor op in [ping_pong, async_send]\n\
+         factor size loguniform 64..1048576 count 20 seed 7\n\
+         replicates 5\norder randomized 42\n"
+    }
+}
+
+const WARM_SEED: u64 = 7;
+
+/// A plan big enough that a job is still running when a racing probe
+/// (quota, cancel, queue burst) lands. Grows 4× per retry.
+fn big_plan(attempt: u32) -> String {
+    let replicates = 50u64 << (2 * attempt);
+    format!(
+        "factor op in [ping_pong, async_send]\n\
+         factor size loguniform 64..1048576 count 50 seed 3\n\
+         replicates {replicates}\norder randomized 9\n"
+    )
+}
+
+/// A seed no earlier run archived under (proof jobs must not dedupe).
+fn fresh_seed() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0) | 1
+}
+
+#[derive(Default)]
+struct Tally {
+    engine: u64,
+    archive: u64,
+    resume: u64,
+    queue_full: u64,
+    quota_jobs: u64,
+    quota_rows: u64,
+    other_rejects: u64,
+    failed: u64,
+    latencies_ms: Vec<f64>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.engine += other.engine;
+        self.archive += other.archive;
+        self.resume += other.resume;
+        self.queue_full += other.queue_full;
+        self.quota_jobs += other.quota_jobs;
+        self.quota_rows += other.quota_rows;
+        self.other_rejects += other.other_rejects;
+        self.failed += other.failed;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One storm worker: claims submission indices off the shared counter
+/// until `total` are claimed, submitting the warm campaign for its
+/// dedupe share and a unique-seed campaign otherwise. Rejections are
+/// tallied and retried with backoff — the submission still has to
+/// complete.
+fn storm_worker(args: &Args, counter: &AtomicU64, total: u64) -> Result<Tally, String> {
+    let mut tally = Tally::default();
+    let mut client = Client::connect(&args.addr, "storm")?;
+    let warm_share = (args.dedupe_ratio * 100.0).round() as u64;
+    loop {
+        let i = counter.fetch_add(1, Ordering::SeqCst);
+        if i >= total {
+            return Ok(tally);
+        }
+        let warm = (i % 100) < warm_share;
+        let (plan, seed): (&str, u64) = if warm {
+            (warm_plan(args.quick), WARM_SEED)
+        } else {
+            (warm_plan(args.quick), 1000 + i)
+        };
+        let started = Instant::now();
+        let mut backoff = Duration::from_millis(10);
+        let mut attempts = 0;
+        loop {
+            match client.run(PlanKind::Dsl, plan, &args.platform, seed, args.shards, false)? {
+                Ok(drained) => {
+                    match drained.terminal {
+                        Event::Done { source: Source::Engine, .. } => tally.engine += 1,
+                        Event::Done { source: Source::Archive, .. } => tally.archive += 1,
+                        Event::Done { source: Source::Resume, .. } => tally.resume += 1,
+                        _ => tally.failed += 1,
+                    }
+                    tally.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                    break;
+                }
+                Err(Event::Rejected { reason, .. }) => {
+                    match reason {
+                        RejectReason::QueueFull => tally.queue_full += 1,
+                        RejectReason::QuotaJobs => tally.quota_jobs += 1,
+                        RejectReason::QuotaRows => tally.quota_rows += 1,
+                        _ => tally.other_rejects += 1,
+                    }
+                    attempts += 1;
+                    if attempts > 500 {
+                        tally.failed += 1;
+                        break;
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(200));
+                }
+                Err(other) => return Err(format!("submission {i}: unexpected {other:?}")),
+            }
+        }
+    }
+}
+
+/// Forces a `queue_full` rejection: oversized jobs from distinct
+/// tenants (sidestepping per-tenant quotas) until the worker pool and
+/// the queue are both full and one submission bounces. All accepted
+/// jobs are cancelled and drained afterwards.
+fn force_queue_full(args: &Args) -> Result<bool, String> {
+    let mut canceller = Client::connect(&args.addr, "burst-cancel")?;
+    let mut streams: Vec<(Client, Event)> = Vec::new();
+    let mut saw_full = false;
+    for n in 0..64 {
+        let mut c = Client::connect(&args.addr, &format!("burst-{n}"))?;
+        match c.submit(
+            PlanKind::Dsl,
+            &big_plan(1),
+            &args.platform,
+            fresh_seed() + n,
+            args.shards,
+            false,
+        )? {
+            accepted @ Event::Accepted { .. } => streams.push((c, accepted)),
+            Event::Rejected { reason: RejectReason::QueueFull, .. } => {
+                saw_full = true;
+                break;
+            }
+            Event::Rejected { .. } => {}
+            other => return Err(format!("burst: unexpected {other:?}")),
+        }
+    }
+    for (mut c, accepted) in streams {
+        if let Event::Accepted { job, .. } = &accepted {
+            let _ = canceller.cancel(job);
+        }
+        let _ = c.drain(accepted)?;
+    }
+    Ok(saw_full)
+}
+
+/// Proves the per-tenant concurrency quota (daemon must run with
+/// `--tenant-max-jobs 1`): while one job of tenant `quota-probe` runs,
+/// a second submission from the same tenant must bounce `quota_jobs`.
+fn prove_quota(args: &Args) -> Result<bool, String> {
+    for attempt in 0..5 {
+        let mut a = Client::connect(&args.addr, "quota-probe")?;
+        let mut b = Client::connect(&args.addr, "quota-probe")?;
+        let plan = big_plan(attempt);
+        let accepted = match a.submit(
+            PlanKind::Dsl,
+            &plan,
+            &args.platform,
+            fresh_seed(),
+            args.shards,
+            false,
+        )? {
+            accepted @ Event::Accepted { .. } => accepted,
+            Event::Rejected { .. } => continue, // queue races; try again
+            other => return Err(format!("quota probe: unexpected {other:?}")),
+        };
+        let verdict =
+            b.submit(PlanKind::Dsl, &plan, &args.platform, fresh_seed() + 1, args.shards, false)?;
+        let _ = a.drain(accepted)?; // let the slot go before judging
+        match verdict {
+            Event::Rejected { reason: RejectReason::QuotaJobs, .. } => return Ok(true),
+            _ => continue, // job finished before B landed; bigger plan next round
+        }
+    }
+    Ok(false)
+}
+
+/// Proves cooperative cancellation: a running job cancelled from a
+/// second connection must terminate `failed reason=cancelled`.
+fn prove_cancel(args: &Args) -> Result<bool, String> {
+    for attempt in 0..5 {
+        let mut a = Client::connect(&args.addr, "cancel-probe")?;
+        let mut b = Client::connect(&args.addr, "cancel-probe-side")?;
+        let accepted = match a.submit(
+            PlanKind::Dsl,
+            &big_plan(attempt),
+            &args.platform,
+            fresh_seed(),
+            args.shards,
+            false,
+        )? {
+            accepted @ Event::Accepted { .. } => accepted,
+            Event::Rejected { .. } => continue,
+            other => return Err(format!("cancel probe: unexpected {other:?}")),
+        };
+        let Event::Accepted { job, .. } = &accepted else { unreachable!() };
+        let state = b.cancel(job)?;
+        let drained = a.drain(accepted)?;
+        match (&state[..], &drained.terminal) {
+            ("cancelled", Event::Failed { reason, .. }) if reason == "cancelled" => {
+                return Ok(true);
+            }
+            _ => continue, // finished before the cancel landed
+        }
+    }
+    Ok(false)
+}
+
+fn run_storm(args: &Args) -> Result<i32, String> {
+    // Warm the archive first so the storm's dedupe share hits it.
+    let mut warm = Client::connect(&args.addr, "warmup")?;
+    match warm.run(
+        PlanKind::Dsl,
+        warm_plan(args.quick),
+        &args.platform,
+        WARM_SEED,
+        args.shards,
+        false,
+    )? {
+        Ok(d) => {
+            if !matches!(d.terminal, Event::Done { .. }) {
+                return Err(format!("warmup failed: {:?}", d.terminal));
+            }
+        }
+        Err(e) => return Err(format!("warmup rejected: {e:?}")),
+    }
+
+    let counter = AtomicU64::new(0);
+    let total = args.submissions as u64;
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let mut tally = Tally::default();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients.max(1))
+            .map(|_| scope.spawn(|| storm_worker(args, &counter, total)))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(t)) => tally.merge(t),
+                Ok(Err(e)) => errors.lock().unwrap().push(e),
+                Err(_) => errors.lock().unwrap().push("storm worker panicked".into()),
+            }
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    for e in errors.lock().unwrap().iter() {
+        eprintln!("serve_load: {e}");
+    }
+    if !errors.lock().unwrap().is_empty() {
+        return Ok(1);
+    }
+
+    // Proofs. Dedupe falls out of the storm; queue_full usually does
+    // too, with a directed burst as the deterministic fallback.
+    let dedupe_ok = tally.archive >= 1;
+    let queue_ok = tally.queue_full >= 1 || force_queue_full(args)?;
+    let quota_ok = if args.prove_quota { Some(prove_quota(args)?) } else { None };
+    let cancel_ok = if args.prove_cancel { Some(prove_cancel(args)?) } else { None };
+
+    let completed = tally.engine + tally.archive + tally.resume;
+    tally.latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "serve_load: {completed}/{} submissions over {} client(s) in {elapsed:.2}s ({:.1}/s)",
+        args.submissions,
+        args.clients,
+        completed as f64 / elapsed.max(1e-9),
+    );
+    println!(
+        "  sources: engine={} archive={} resume={}",
+        tally.engine, tally.archive, tally.resume
+    );
+    println!(
+        "  rejected (and retried): queue_full={} quota_jobs={} quota_rows={} other={}",
+        tally.queue_full, tally.quota_jobs, tally.quota_rows, tally.other_rejects
+    );
+    println!(
+        "  latency ms: p50={:.1} p90={:.1} p99={:.1}",
+        percentile(&tally.latencies_ms, 0.50),
+        percentile(&tally.latencies_ms, 0.90),
+        percentile(&tally.latencies_ms, 0.99),
+    );
+    let verdict = |ok: bool| if ok { "pass" } else { "FAIL" };
+    let opt = |v: Option<bool>| v.map_or("skipped", verdict);
+    println!(
+        "PROOFS: dedupe={} queue={} quota={} cancel={}",
+        verdict(dedupe_ok),
+        verdict(queue_ok),
+        opt(quota_ok),
+        opt(cancel_ok),
+    );
+    let all_ok = dedupe_ok
+        && queue_ok
+        && quota_ok.unwrap_or(true)
+        && cancel_ok.unwrap_or(true)
+        && tally.failed == 0
+        && completed == total;
+    Ok(if all_ok { 0 } else { 1 })
+}
+
+fn run_one(args: &Args) -> Result<i32, String> {
+    let path = args.plan_file.as_deref().ok_or("--one needs --plan-file")?;
+    let plan = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let kind = if path.ends_with(".toml") { PlanKind::Spec } else { PlanKind::Dsl };
+    let mut client = Client::connect(&args.addr, "one-shot")?;
+    let drained = match client.run(kind, &plan, &args.platform, args.seed, args.shards, false)? {
+        Ok(d) => d,
+        Err(e) => return Err(format!("submission refused: {e:?}")),
+    };
+    let (run_id, records, source) = match &drained.terminal {
+        Event::Done { run_id, records, source, .. } => (run_id.clone(), *records, *source),
+        Event::Failed { reason, detail, .. } => {
+            return Err(format!("job failed ({reason}): {detail}"))
+        }
+        other => return Err(format!("unexpected terminal: {other:?}")),
+    };
+    if let Some(out) = &args.rows_out {
+        std::fs::write(out, drained.to_csv()).map_err(|e| format!("{out}: {e}"))?;
+    }
+    println!("source={source} run_id={run_id} records={records}");
+    if let Some(expected) = args.expect_source {
+        if source != expected {
+            return Err(format!("expected source={}, got {source}", expected.as_str()));
+        }
+    }
+    Ok(0)
+}
+
+fn main() {
+    let args = parse_args();
+    let result = if args.one { run_one(&args) } else { run_storm(&args) };
+    match result {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            std::process::exit(1)
+        }
+    }
+}

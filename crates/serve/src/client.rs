@@ -1,0 +1,175 @@
+//! A minimal blocking client for the `charm-serve/1` protocol.
+//!
+//! Shared by the load generator, the integration tests, and anything
+//! else that wants to talk to a daemon without re-implementing the
+//! codec. One TCP connection per client; requests and event reads are
+//! explicit, so callers control interleaving (e.g. a second connection
+//! issuing `cancel` while the first drains its stream).
+
+use crate::protocol::{Event, PlanKind, Request, PROTOCOL};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// What a fully drained campaign stream contained.
+#[derive(Debug, Clone)]
+pub struct Drained {
+    /// The `accepted` event that opened the stream.
+    pub accepted: Event,
+    /// The header line from `head`.
+    pub head: String,
+    /// Every streamed record row, in order.
+    pub rows: Vec<String>,
+    /// Every streamed counter, in order.
+    pub counters: Vec<(String, u64)>,
+    /// The terminal event (`done` or `failed`).
+    pub terminal: Event,
+}
+
+impl Drained {
+    /// The records as one CSV body (header + rows, trailing newline),
+    /// for byte comparison against an archived `records.csv`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 24);
+        out.push_str(&self.head);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A greeted connection to a campaign service.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` and performs the `hello` handshake as
+    /// `tenant`. Errors on refusal or protocol mismatch.
+    pub fn connect(addr: &str, tenant: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut client = Client { reader, writer: stream };
+        client.send(&Request::Hello { proto: PROTOCOL.into(), tenant: tenant.into() })?;
+        match client.read_event()? {
+            Event::Hello { proto, .. } if proto == PROTOCOL => Ok(client),
+            Event::Hello { proto, .. } => Err(format!("server speaks {proto:?}")),
+            Event::Error { detail } => Err(format!("server refused hello: {detail}")),
+            other => Err(format!("unexpected handshake answer: {other:?}")),
+        }
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, request: &Request) -> Result<(), String> {
+        let mut line = request.render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).map_err(|e| format!("send: {e}"))
+    }
+
+    /// Reads and parses the next event line (blocking).
+    pub fn read_event(&mut self) -> Result<Event, String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        Event::parse(line.trim_end_matches('\n'))
+    }
+
+    /// Submits a plan. Returns the immediate answer: `accepted`,
+    /// `rejected`, or `error` (the stream, if any, is still unread —
+    /// follow with [`Client::drain`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit(
+        &mut self,
+        kind: PlanKind,
+        plan: &str,
+        platform: &str,
+        seed: u64,
+        shards: u64,
+        observe: bool,
+    ) -> Result<Event, String> {
+        self.send(&Request::Submit {
+            kind,
+            plan: plan.into(),
+            platform: platform.into(),
+            seed,
+            shards,
+            observe,
+        })?;
+        self.read_event()
+    }
+
+    /// Drains a campaign stream opened by an `accepted` event, through
+    /// its terminal `done`/`failed`.
+    pub fn drain(&mut self, accepted: Event) -> Result<Drained, String> {
+        let Event::Accepted { .. } = &accepted else {
+            return Err(format!("not an accepted event: {accepted:?}"));
+        };
+        let mut head = String::new();
+        let mut rows = Vec::new();
+        let mut counters = Vec::new();
+        loop {
+            match self.read_event()? {
+                Event::Head { columns, .. } => head = columns,
+                Event::Record { row, .. } => rows.push(row),
+                Event::Counter { key, value, .. } => counters.push((key, value)),
+                terminal @ (Event::Done { .. } | Event::Failed { .. }) => {
+                    return Ok(Drained { accepted, head, rows, counters, terminal });
+                }
+                other => return Err(format!("unexpected mid-stream event: {other:?}")),
+            }
+        }
+    }
+
+    /// Submit-and-drain in one call: `Ok(Ok(drained))` for admitted
+    /// submissions, `Ok(Err(event))` for rejections/errors.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub fn run(
+        &mut self,
+        kind: PlanKind,
+        plan: &str,
+        platform: &str,
+        seed: u64,
+        shards: u64,
+        observe: bool,
+    ) -> Result<Result<Drained, Event>, String> {
+        match self.submit(kind, plan, platform, seed, shards, observe)? {
+            accepted @ Event::Accepted { .. } => Ok(Ok(self.drain(accepted)?)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// Requests cancellation of `job`; returns the `cancel_ok` state.
+    pub fn cancel(&mut self, job: &str) -> Result<String, String> {
+        self.send(&Request::Cancel { job: job.into() })?;
+        match self.read_event()? {
+            Event::CancelOk { state, .. } => Ok(state),
+            other => Err(format!("unexpected cancel answer: {other:?}")),
+        }
+    }
+
+    /// Fetches the service status snapshot.
+    #[allow(clippy::type_complexity)]
+    pub fn status(
+        &mut self,
+    ) -> Result<(Vec<(String, u64)>, Vec<(String, Vec<(String, u64)>)>), String> {
+        self.send(&Request::Status)?;
+        match self.read_event()? {
+            Event::Status { counters, tenants } => Ok((counters, tenants)),
+            other => Err(format!("unexpected status answer: {other:?}")),
+        }
+    }
+
+    /// Streams an archived run by ID.
+    pub fn result(&mut self, run_id: &str) -> Result<Result<Drained, Event>, String> {
+        self.send(&Request::Result { run_id: run_id.into() })?;
+        match self.read_event()? {
+            accepted @ Event::Accepted { .. } => Ok(Ok(self.drain(accepted)?)),
+            other => Ok(Err(other)),
+        }
+    }
+}

@@ -104,7 +104,10 @@ impl CampaignKey {
         RunId(sha256_hex(preimage.as_bytes())[..32].to_string())
     }
 
-    fn matches(&self, manifest: &Manifest) -> bool {
+    /// Whether `manifest` records exactly this campaign identity — the
+    /// guard against truncated-run-ID collisions, and what a service
+    /// checks before serving an archived run as a dedupe hit.
+    pub fn matches(&self, manifest: &Manifest) -> bool {
         manifest.plan_hash == self.plan_hash
             && manifest.target == self.target
             && manifest.seed == self.seed
@@ -205,10 +208,16 @@ fn io_err(path: &Path, e: std::io::Error) -> StoreError {
 }
 
 /// Writes `contents` atomically: temp file in the same directory, then
-/// rename. Readers never observe a half-written file.
+/// rename. Readers never observe a half-written file. The temp name is
+/// unique per process and per call, so concurrent writers targeting the
+/// same path — e.g. two service workers archiving the identical
+/// campaign — cannot interleave inside one temp file; last rename wins
+/// whole.
 fn write_atomic(path: &Path, contents: &str) -> Result<(), StoreError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
     let mut tmp_name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
-    tmp_name.push(".tmp");
+    tmp_name.push(format!(".tmp.{}.{}", std::process::id(), SEQ.fetch_add(1, Ordering::Relaxed)));
     let tmp = path.with_file_name(tmp_name);
     fs::write(&tmp, contents).map_err(|e| io_err(&tmp, e))?;
     fs::rename(&tmp, path).map_err(|e| io_err(path, e))
