@@ -1,6 +1,6 @@
 //! Design-of-experiments construction: full factorials with replication.
 
-use crate::factors::Factor;
+use crate::factors::{Factor, Levels};
 use crate::plan::{ExperimentPlan, PlanError, PlanRow};
 
 /// Builder for replicated full-factorial designs.
@@ -66,8 +66,11 @@ impl FullFactorial {
                 rem /= card;
             }
             levels.reverse();
+            // One shared tuple per combination: every replicate (and every
+            // record the engine later emits for this cell) references it.
+            let cell: Levels = levels.into();
             for rep in 0..self.replicates {
-                rows.push(PlanRow { levels: levels.clone(), replicate: rep });
+                rows.push(PlanRow { levels: cell.clone(), replicate: rep });
             }
         }
         ExperimentPlan::new(names, rows)

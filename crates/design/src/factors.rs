@@ -7,6 +7,8 @@
 //! benchmark — experiment plans are built from exactly these objects.
 
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// One value of a factor.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -112,6 +114,79 @@ impl From<bool> for Level {
     }
 }
 
+/// A shared, immutable level tuple: one design cell's levels stored
+/// once, referenced by every record of that cell.
+///
+/// This is the unit of the columnar record pipeline (DESIGN.md §18):
+/// the engine interns one `Levels` per distinct plan cell, and each
+/// record holds a reference into that table — so building, forking,
+/// merging, filtering, and grouping records costs a refcount bump per
+/// row instead of a `Vec` allocation plus a `String` clone per `Text`
+/// level. Dereferences to `[Level]`, so indexing and iteration read
+/// exactly like the `Vec<Level>` it replaced; the serde representation
+/// is the same sequence, so serialized artifacts are unchanged.
+#[derive(Debug, Clone)]
+pub struct Levels(Arc<[Level]>);
+
+impl Levels {
+    /// A stable identity of the shared allocation: two `Levels` with
+    /// equal ids are the *same* interned tuple. The converse does not
+    /// hold — independently built tuples may still be equal by content
+    /// — so this is a grouping fast path, never an equality substitute.
+    pub fn shared_id(&self) -> usize {
+        Arc::as_ptr(&self.0) as *const Level as usize
+    }
+}
+
+impl Deref for Levels {
+    type Target = [Level];
+
+    fn deref(&self) -> &[Level] {
+        &self.0
+    }
+}
+
+impl From<Vec<Level>> for Levels {
+    fn from(levels: Vec<Level>) -> Self {
+        Levels(levels.into())
+    }
+}
+
+impl FromIterator<Level> for Levels {
+    fn from_iter<I: IntoIterator<Item = Level>>(iter: I) -> Self {
+        Levels(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Levels {
+    type Item = &'a Level;
+    type IntoIter = std::slice::Iter<'a, Level>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl PartialEq for Levels {
+    fn eq(&self, other: &Self) -> bool {
+        // Interned tuples share one allocation, so equality between
+        // records of one campaign is usually a pointer compare.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl PartialEq<[Level]> for Levels {
+    fn eq(&self, other: &[Level]) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl PartialEq<Vec<Level>> for Levels {
+    fn eq(&self, other: &Vec<Level>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
 /// A named factor with its candidate levels.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Factor {
@@ -162,6 +237,21 @@ mod tests {
         assert_eq!(Level::parse("4.2"), Level::Float(4.2));
         assert_eq!(Level::parse("true"), Level::Flag(true));
         assert_eq!(Level::parse("eager"), Level::Text("eager".into()));
+    }
+
+    #[test]
+    fn levels_behave_like_the_vec_they_wrap() {
+        let vec = vec![Level::Text("pp".into()), Level::Int(64), Level::Flag(true)];
+        let shared: Levels = vec.clone().into();
+        assert_eq!(shared, vec);
+        assert_eq!(shared[1], Level::Int(64));
+        assert_eq!(shared.len(), 3);
+        assert_eq!((&shared).into_iter().count(), 3);
+        // clones share the allocation; rebuilt tuples do not, but stay equal
+        assert_eq!(shared.clone().shared_id(), shared.shared_id());
+        let rebuilt: Levels = vec.clone().into();
+        assert_ne!(rebuilt.shared_id(), shared.shared_id());
+        assert_eq!(rebuilt, shared);
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod factors;
 pub mod plan;
 pub mod sampling;
 
-pub use factors::{Factor, Level};
+pub use factors::{Factor, Level, Levels};
 pub use plan::{ExperimentPlan, PlanRow};

@@ -7,18 +7,25 @@
 //! an explicit artifact (rather than loops inside the benchmark binary) is
 //! what separates stage 1 from stage 2.
 
-use crate::factors::Level;
+use crate::factors::{Level, Levels};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
 use std::fmt;
 
 /// One row of an experiment plan: a full assignment of factor levels plus
 /// the replicate index within its combination.
+///
+/// The level tuple is an interned [`Levels`] — the DOE builder and the
+/// CSV parser hand every replicate of a design cell the *same* shared
+/// allocation, so cloning a row (shuffling, sharding, recording) is a
+/// refcount bump and the engine's record pipeline can resolve cells by
+/// pointer identity instead of re-hashing level contents per row.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PlanRow {
     /// Values for each factor, ordered as in [`ExperimentPlan::factor_names`].
-    pub levels: Vec<Level>,
+    pub levels: Levels,
     /// Replicate index (0-based) of this combination.
     pub replicate: u32,
 }
@@ -154,12 +161,24 @@ impl ExperimentPlan {
         cols.pop();
         let ncols = cols.len();
         let mut rows = Vec::new();
+        // Intern level tuples while parsing: shuffled plans repeat each
+        // cell once per replicate, and `Level::parse` is deterministic,
+        // so the pre-parse field text identifies the tuple exactly.
+        let mut interned: HashMap<String, Levels> = HashMap::new();
         for line in lines {
             let fields: Vec<&str> = line.split(',').map(str::trim).collect();
             if fields.len() != ncols + 1 {
                 return Err(PlanError::ArityMismatch { expected: ncols + 1, got: fields.len() });
             }
-            let levels = fields[..ncols].iter().map(|s| Level::parse(s)).collect();
+            let key = fields[..ncols].join(",");
+            let levels = match interned.get(&key) {
+                Some(l) => l.clone(),
+                None => {
+                    let fresh: Levels = fields[..ncols].iter().map(|s| Level::parse(s)).collect();
+                    interned.insert(key, fresh.clone());
+                    fresh
+                }
+            };
             let replicate = fields[ncols]
                 .parse::<u32>()
                 .map_err(|_| PlanError::ArityMismatch { expected: ncols + 1, got: fields.len() })?;
@@ -175,16 +194,16 @@ mod tests {
 
     fn small_plan() -> ExperimentPlan {
         let rows = vec![
-            PlanRow { levels: vec![Level::Int(1), Level::Text("a".into())], replicate: 0 },
-            PlanRow { levels: vec![Level::Int(1), Level::Text("a".into())], replicate: 1 },
-            PlanRow { levels: vec![Level::Int(2), Level::Text("b".into())], replicate: 0 },
+            PlanRow { levels: vec![Level::Int(1), Level::Text("a".into())].into(), replicate: 0 },
+            PlanRow { levels: vec![Level::Int(1), Level::Text("a".into())].into(), replicate: 1 },
+            PlanRow { levels: vec![Level::Int(2), Level::Text("b".into())].into(), replicate: 0 },
         ];
         ExperimentPlan::new(vec!["size".into(), "mode".into()], rows).unwrap()
     }
 
     #[test]
     fn arity_checked_on_construction() {
-        let bad = vec![PlanRow { levels: vec![Level::Int(1)], replicate: 0 }];
+        let bad = vec![PlanRow { levels: vec![Level::Int(1)].into(), replicate: 0 }];
         assert!(matches!(
             ExperimentPlan::new(vec!["a".into(), "b".into()], bad),
             Err(PlanError::ArityMismatch { expected: 2, got: 1 })
@@ -228,7 +247,7 @@ mod tests {
     fn different_seed_usually_different_order() {
         // with 20 rows, collision of two seeded shuffles is essentially nil
         let rows: Vec<PlanRow> =
-            (0..20).map(|i| PlanRow { levels: vec![Level::Int(i)], replicate: 0 }).collect();
+            (0..20).map(|i| PlanRow { levels: vec![Level::Int(i)].into(), replicate: 0 }).collect();
         let base = ExperimentPlan::new(vec!["i".into()], rows).unwrap();
         let mut a = base.clone();
         let mut b = base;

@@ -43,7 +43,7 @@ proptest! {
     ) {
         let rows: Vec<PlanRow> = vals
             .iter()
-            .map(|&(v, r)| PlanRow { levels: vec![Level::Int(v)], replicate: r })
+            .map(|&(v, r)| PlanRow { levels: vec![Level::Int(v)].into(), replicate: r })
             .collect();
         let plan = ExperimentPlan::new(vec!["v".into()], rows).unwrap();
         let back = ExperimentPlan::from_csv(&plan.to_csv()).unwrap();

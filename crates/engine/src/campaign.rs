@@ -35,9 +35,11 @@ use crate::checkpoint::{CheckpointSink, ShardCheckpoint};
 use crate::meta::MetadataBuilder;
 use crate::record::{Campaign as CampaignData, RawRecord};
 use crate::target::{Assignment, ParallelTarget, Target, TargetError};
+use charm_design::factors::{Level, Levels};
 use charm_design::plan::ExperimentPlan;
 use charm_obs::{CampaignReport, Counters, Observation, Observer, Span};
 use charm_trace::{Profiler, WallSpan};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -64,16 +66,144 @@ pub fn effective_workers(rows: usize, shards: usize, min_rows_per_shard: usize) 
     requested.min((rows / min_rows_per_shard.max(1)).max(1))
 }
 
-/// How many dynamically claimed contiguous batches a work-stealing run
-/// over `rows` plan rows with `workers` workers is carved into. A pure
-/// function of its inputs — never of claim timing — so checkpoint
-/// geometry is reproducible across runs and resumes.
-pub fn batch_count(rows: usize, workers: usize) -> usize {
-    if workers <= 1 {
-        1
-    } else {
-        (workers * BATCHES_PER_WORKER).min(rows.max(1))
+/// The contiguous plan-row batches a work-stealing run over `rows` rows
+/// with `workers` workers hands out, in claim order.
+///
+/// The geometry is *guided*: each batch takes `remaining / (workers*2)`
+/// rows, so batches start large (cheap claims while everyone is busy
+/// anyway) and shrink as the claim counter drains — the tail of the
+/// plan is carved fine enough that one high-variance cell can no longer
+/// stall a worker while its peers sit idle. Batch sizes never drop
+/// below `min_rows_per_shard` (nor below 1/8 of a worker's static
+/// share), bounding per-batch fork/`skip_to` overhead. One worker means
+/// one batch.
+///
+/// A pure function of its inputs — never of claim timing — so
+/// checkpoint geometry is reproducible across runs and resumes.
+pub fn batch_bounds(rows: usize, workers: usize, min_rows_per_shard: usize) -> Vec<(usize, usize)> {
+    if workers <= 1 || rows == 0 {
+        return vec![(0, rows)];
     }
+    let floor = min_rows_per_shard.max(1).max(rows / (workers * BATCHES_PER_WORKER * 2));
+    let mut bounds = Vec::new();
+    let mut lo = 0;
+    while lo < rows {
+        let rem = rows - lo;
+        let chunk = (rem / (workers * 2)).max(floor).min(rem);
+        bounds.push((lo, lo + chunk));
+        lo += chunk;
+    }
+    bounds
+}
+
+/// How many batches [`batch_bounds`] carves — the checkpoint segment
+/// count callers (tests, the store's smoke checks) predict with.
+pub fn batch_count(rows: usize, workers: usize, min_rows_per_shard: usize) -> usize {
+    batch_bounds(rows, workers, min_rows_per_shard).len()
+}
+
+/// FNV-1a over a level tuple's stable encoding (discriminant byte plus
+/// payload bytes, text terminated so `("ab","c")` and `("a","bc")`
+/// differ). Used to bucket plan rows during interning.
+fn fnv_word(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(0x100_0000_01b3)
+}
+
+/// FNV-style mix over `bytes` a word at a time (a length word up front
+/// keeps prefixes distinct), called once per plan row — byte-at-a-time
+/// mixing was measurable on the campaign hot path.
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    h = fnv_word(h, bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = fnv_word(h, u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+    }
+    let mut tail = 0u64;
+    for &b in chunks.remainder() {
+        tail = tail << 8 | u64::from(b);
+    }
+    fnv_word(h, tail)
+}
+
+fn levels_hash(levels: &[Level]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for l in levels {
+        h = match l {
+            Level::Int(v) => fnv_word(fnv_word(h, 0), *v as u64),
+            Level::Float(v) => fnv_word(fnv_word(h, 1), v.to_bits()),
+            Level::Text(s) => fnv_bytes(fnv_word(h, 2), s.as_bytes()),
+            Level::Flag(b) => fnv_word(fnv_word(h, 3), *b as u64),
+        };
+    }
+    h
+}
+
+/// How many times the guided geometry stepped its batch size down — the
+/// `engine.scheduler.splits` diagnostic: how much finer the scheduler
+/// carved the tail than the head.
+fn scheduler_splits(bounds: &[(usize, usize)]) -> u64 {
+    bounds.windows(2).filter(|w| (w[1].1 - w[1].0) < (w[0].1 - w[0].0)).count() as u64
+}
+
+/// Identity hasher for `intern_rows`' bucket map: its keys are already
+/// FNV-mixed `u64`s, so running SipHash on top would pay the hash cost
+/// twice per plan row.
+#[derive(Default)]
+struct PremixedHasher(u64);
+
+impl std::hash::Hasher for PremixedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("bucket keys are u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = v as u64;
+    }
+}
+
+/// Builds the interned level table (DESIGN.md §18): one shared
+/// [`Levels`] tuple per *distinct design cell*, and a per-row reference
+/// into it. Every record the run produces clones one of these
+/// references — a refcount bump — instead of deep-copying the row's
+/// levels; downstream `group_by` resolves cells by shared identity.
+fn intern_rows(plan: &ExperimentPlan) -> Vec<Levels> {
+    // Plans already carry interned tuples (the DOE builder and the CSV
+    // parser share one allocation across a cell's replicates), so the
+    // common case is a pointer-keyed memo hit. The content-hash buckets
+    // below only run once per distinct allocation, and exist to merge
+    // equal-by-content tuples from hand-built plans into one canonical
+    // `Levels` — group_by's shared-identity contract requires it.
+    let mut by_id: HashMap<usize, Levels, std::hash::BuildHasherDefault<PremixedHasher>> =
+        HashMap::default();
+    let mut buckets: HashMap<u64, Vec<Levels>, std::hash::BuildHasherDefault<PremixedHasher>> =
+        HashMap::default();
+    plan.rows()
+        .iter()
+        .map(|row| {
+            if let Some(t) = by_id.get(&row.levels.shared_id()) {
+                return t.clone();
+            }
+            let bucket = buckets.entry(levels_hash(&row.levels)).or_default();
+            let canonical = match bucket.iter().find(|t| **t == row.levels) {
+                Some(t) => t.clone(),
+                None => {
+                    let fresh = row.levels.clone();
+                    bucket.push(fresh.clone());
+                    fresh
+                }
+            };
+            by_id.insert(row.levels.shared_id(), canonical.clone());
+            canonical
+        })
+        .collect()
 }
 
 /// For every `X.hits`/`X.misses` pair in `diag`, derives
@@ -190,13 +320,14 @@ impl<'p, T: Target> Campaign<'p, T> {
         {
             let _execute_span =
                 self.profiler.span_on("engine", "engine.execute").arg("rows", self.plan.len());
+            let interned = intern_rows(self.plan);
             for (sequence, row) in self.plan.rows().iter().enumerate() {
                 if self.cancel.is_cancelled() {
                     return Err(TargetError::Cancelled);
                 }
                 let m = self.target.measure(&Assignment::new(self.plan, row))?;
                 records.push(RawRecord {
-                    levels: row.levels.clone(),
+                    levels: interned[sequence].clone(),
                     replicate: row.replicate,
                     sequence: sequence as u64,
                     start_us: m.start_us,
@@ -313,6 +444,7 @@ struct BatchSpan {
 /// clock and RNG stream, so it cannot change values.
 fn run_batch<T: ParallelTarget>(
     plan: &ExperimentPlan,
+    interned: &[Levels],
     mut target: T,
     observer: Option<&Observer>,
     sink: Option<&dyn CheckpointSink>,
@@ -324,13 +456,13 @@ fn run_batch<T: ParallelTarget>(
     }
     target.skip_to(span.lo as u64);
     let mut records = Vec::with_capacity(span.hi - span.lo);
-    for sequence in span.lo..span.hi {
-        let row = &plan.rows()[sequence];
+    let rows = &plan.rows()[span.lo..span.hi];
+    for (offset, (row, levels)) in rows.iter().zip(&interned[span.lo..span.hi]).enumerate() {
         let m = target.measure(&Assignment::new(plan, row))?;
         records.push(RawRecord {
-            levels: row.levels.clone(),
+            levels: levels.clone(),
             replicate: row.replicate,
-            sequence: sequence as u64,
+            sequence: (span.lo + offset) as u64,
             start_us: m.start_us,
             value: m.value,
         });
@@ -419,9 +551,9 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
     /// checkpointed). Because every replayed segment is exactly what the
     /// batch would have produced, the resumed campaign is bit-identical
     /// to an uninterrupted run — the determinism contract (DESIGN.md §9)
-    /// made durable. Batch geometry is a pure function of the plan size
-    /// and worker count, so a resume sees exactly the segments an
-    /// uninterrupted run would have written.
+    /// made durable. Batch geometry is a pure function of the plan
+    /// size, worker count and per-shard row floor, so a resume sees
+    /// exactly the segments an uninterrupted run would have written.
     ///
     /// Requires [`ShardedCampaign::store`]; incompatible with an
     /// [`Observer`] (checkpoints retain records, not counter streams).
@@ -436,17 +568,21 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
     ///
     /// # Scheduling
     ///
-    /// The plan's `n` rows are carved into [`batch_count`] contiguous
-    /// batches `[b*n/B, (b+1)*n/B)` — several per worker — and
+    /// The plan's `n` rows are carved into the [`batch_bounds`] guided
+    /// geometry — large batches up front, progressively finer ones as
+    /// the claim counter drains, floored at
+    /// [`ShardedCampaign::min_rows_per_shard`] rows — and
     /// [`effective_workers`] threads claim them one `fetch_add` at a
     /// time. Claiming is dynamic: a worker that finishes early claims
     /// the next unclaimed batch, *stealing* it from the worker a static
     /// split would have given it, so a slow batch no longer leaves the
-    /// other threads idle behind a barrier. Which worker executes a
-    /// batch affects wall-clock time only, never results, because every
-    /// batch runs on a fresh fork positioned by measurement index (see
-    /// below). Steal counts surface as diagnostics
-    /// (`engine.scheduler.steals`), not as scientific counters.
+    /// other threads idle behind a barrier — and because the tail is
+    /// fine-grained, the last batches level out skew from high-variance
+    /// cells. Which worker executes a batch affects wall-clock time
+    /// only, never results, because every batch runs on a fresh fork
+    /// positioned by measurement index (see below). Steal and split
+    /// counts surface as diagnostics (`engine.scheduler.steals`,
+    /// `engine.scheduler.splits`), not as scientific counters.
     ///
     /// # Determinism
     ///
@@ -519,10 +655,12 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
             });
         }
         let seed = base.stream_seed();
-        let nbatches = batch_count(n, workers);
-        // Contiguous batches [b*n/B, (b+1)*n/B): sizes differ by at most one.
-        let bounds: Vec<(usize, usize)> =
-            (0..nbatches).map(|b| (b * n / nbatches, (b + 1) * n / nbatches)).collect();
+        // Guided geometry: batches shrink as the claim counter drains
+        // (see batch_bounds), so the tail is fine-grained where stealing
+        // pays and coarse where it does not.
+        let bounds = batch_bounds(n, workers, min_rows_per_shard);
+        let nbatches = bounds.len();
+        let interned = intern_rows(plan);
         // When resuming, replay finished batches from the store instead of
         // re-measuring them. A present-but-wrong segment is an error, not
         // a silent re-measure: the store said these rows were retained.
@@ -564,8 +702,8 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                 .enumerate()
                 .map(|(w, proto)| {
                     let profiler = profiler.clone();
-                    let (next, abort, bounds, replayed_mask, observer, cancel) =
-                        (&next, &abort, &bounds, &replayed_mask, &observer, &cancel);
+                    let (next, abort, bounds, replayed_mask, observer, cancel, interned) =
+                        (&next, &abort, &bounds, &replayed_mask, &observer, &cancel, &interned);
                     scope.spawn(move |_| {
                         let mut batches: Vec<(usize, Result<BatchYield, TargetError>)> = Vec::new();
                         let mut steals = 0u64;
@@ -599,8 +737,14 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                                     .arg("rows", hi - lo)
                             });
                             let span = BatchSpan { batch: b, batches: bounds.len(), lo, hi };
-                            let result =
-                                run_batch(plan, proto.fork(seed), observer.as_ref(), sink, span);
+                            let result = run_batch(
+                                plan,
+                                interned,
+                                proto.fork(seed),
+                                observer.as_ref(),
+                                sink,
+                                span,
+                            );
                             let failed = result.is_err();
                             batches.push((b, result));
                             if failed {
@@ -652,6 +796,7 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
                     ("utilization".to_string(), format!("{utilization:.3}")),
                     ("batches".to_string(), nbatches.to_string()),
                     ("steals".to_string(), total_steals.to_string()),
+                    ("splits".to_string(), scheduler_splits(&bounds).to_string()),
                 ],
             });
         }
@@ -736,6 +881,7 @@ impl<'p, T: ParallelTarget> ShardedCampaign<'p, T> {
             });
             diagnostics.add("engine.scheduler.batches", nbatches as u64);
             diagnostics.add("engine.scheduler.steals", total_steals);
+            diagnostics.add("engine.scheduler.splits", scheduler_splits(&bounds));
             for (w, s) in steals_per_worker.iter().enumerate() {
                 diagnostics.add_owned(format!("shard{w}.engine.scheduler.steals"), *s);
             }
@@ -986,7 +1132,7 @@ mod tests {
                 );
             }
             assert_eq!(parallel.metadata["shards"], shards.to_string());
-            let batches = batch_count(plan.len(), shards);
+            let batches = batch_count(plan.len(), shards, 1);
             assert_eq!(parallel.metadata["batches"], batches.to_string());
             let offsets = parallel.metadata["shard_clock_offsets"].split(',').count();
             assert_eq!(offsets, batches);
@@ -1073,10 +1219,39 @@ mod tests {
         assert_eq!(effective_workers(100, 8, 1), 8);
         assert_eq!(effective_workers(3, 8, 1), 3, "never more workers than rows");
         assert_eq!(effective_workers(0, 8, 1), 1, "empty plan still gets one worker");
-        assert_eq!(batch_count(100, 1), 1, "one worker means one batch");
-        assert_eq!(batch_count(100, 4), 16, "BATCHES_PER_WORKER batches per worker");
-        assert_eq!(batch_count(6, 4), 6, "never more batches than rows");
-        assert_eq!(batch_count(0, 1), 1);
+        assert_eq!(batch_count(100, 1, 1), 1, "one worker means one batch");
+        assert_eq!(batch_count(0, 1, 1), 1, "empty plan still gets one (empty) batch");
+        assert_eq!(batch_bounds(100, 1, 1), vec![(0, 100)]);
+        assert_eq!(batch_count(96, 3, 1), 15, "store smoke geometry (see ci.yml)");
+    }
+
+    /// The guided geometry's contract: bounds partition the plan
+    /// contiguously, batch sizes never increase along the claim order,
+    /// and no batch but the last drops below the row floor.
+    #[test]
+    fn batch_bounds_shrink_monotonically_and_respect_the_floor() {
+        for (rows, workers, floor) in
+            [(100usize, 4usize, 1usize), (96, 3, 1), (6000, 4, 64), (6, 4, 1), (7, 3, 2), (2, 2, 1)]
+        {
+            let bounds = batch_bounds(rows, workers, floor);
+            assert_eq!(bounds.first().unwrap().0, 0, "{rows}/{workers}/{floor}");
+            assert_eq!(bounds.last().unwrap().1, rows, "{rows}/{workers}/{floor}");
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous: {rows}/{workers}/{floor}");
+                assert!(
+                    w[1].1 - w[1].0 <= w[0].1 - w[0].0,
+                    "sizes never increase: {rows}/{workers}/{floor}"
+                );
+            }
+            for &(lo, hi) in &bounds[..bounds.len() - 1] {
+                assert!(hi - lo >= floor, "floor respected: {rows}/{workers}/{floor}");
+            }
+            assert_eq!(batch_count(rows, workers, floor), bounds.len());
+            assert_eq!(
+                scheduler_splits(&bounds),
+                bounds.windows(2).filter(|w| w[1].1 - w[1].0 < w[0].1 - w[0].0).count() as u64
+            );
+        }
     }
 
     #[test]
@@ -1118,7 +1293,7 @@ mod tests {
                 assert_eq!(e.seq, i as u64, "{shards} shards");
             }
             // one span per batch plus the whole-campaign span
-            let batches = batch_count(plan.len(), shards);
+            let batches = batch_count(plan.len(), shards, 1);
             assert_eq!(many.spans.len(), batches + 1);
             assert_eq!(many.spans[batches].name, "campaign");
         }
@@ -1268,7 +1443,7 @@ mod tests {
         // Every batch executed on some worker track; which worker ran
         // which batch is scheduling, not science, so assert coverage
         // rather than placement.
-        let batches = batch_count(plan.len(), 3);
+        let batches = batch_count(plan.len(), 3, 1);
         let batch_spans: Vec<_> = spans
             .iter()
             .filter(|s| s.track.starts_with("shard") && s.name == "batch.execute")
@@ -1332,7 +1507,11 @@ mod tests {
         assert_eq!(hits + misses, plan.len() as u64, "one cache lookup per row");
         assert!(hits > 0, "repeated (size, stride) rows must hit the shared cache");
         assert_eq!(d.get("simmem.profile_cache.hit_rate_permille"), hits * 1000 / (hits + misses));
-        assert_eq!(d.get("engine.scheduler.batches"), batch_count(plan.len(), 3) as u64);
+        assert_eq!(d.get("engine.scheduler.batches"), batch_count(plan.len(), 3, 1) as u64);
+        assert_eq!(
+            d.get("engine.scheduler.splits"),
+            scheduler_splits(&batch_bounds(plan.len(), 3, 1))
+        );
         // per-worker breakdowns sum to the campaign totals
         let per_worker_hits: u64 =
             (0..3).map(|w| d.get(&format!("shard{w}.simmem.profile_cache.hits"))).sum();
@@ -1416,7 +1595,7 @@ mod tests {
             .data;
         assert_bit_identical(&plain, &stored);
         // every batch flushed exactly one segment
-        let batches = batch_count(plan.len(), 3);
+        let batches = batch_count(plan.len(), 3, 1);
         assert_eq!(sink.saves(), batches);
         let segments = sink.segments.lock().unwrap();
         assert_eq!(segments.len(), batches);
@@ -1443,7 +1622,7 @@ mod tests {
             .run()
             .unwrap();
         // Kill a strict subset of batches, as if the campaign died mid-run.
-        let batches = batch_count(plan.len(), 4);
+        let batches = batch_count(plan.len(), 4, 1);
         sink.remove(1, batches);
         sink.remove(batches - 1, batches);
         let saves_before = sink.saves();
@@ -1523,7 +1702,7 @@ mod tests {
             .run()
             .unwrap();
         // Truncate batch 0's segment: resume must refuse, not re-measure.
-        let batches = batch_count(plan.len(), 2);
+        let batches = batch_count(plan.len(), 2, 1);
         {
             let mut segments = sink.segments.lock().unwrap();
             let chk = segments.get_mut(&(0, batches)).unwrap();
@@ -1598,7 +1777,7 @@ mod tests {
         // Stopped promptly: the claim loop stopped handing out batches, so
         // a strict subset of the geometry ran — at least the segment that
         // fired the token, at most one in-flight batch per worker more.
-        let batches = batch_count(plan.len(), 4);
+        let batches = batch_count(plan.len(), 4, 1);
         let saved = sink.saves();
         assert!(saved >= 1, "the triggering segment was flushed");
         assert!(saved < batches, "cancellation must not run the whole campaign (ran {saved})");
@@ -1659,7 +1838,7 @@ mod tests {
         let plan = shuffled_net_plan(2, 11);
         let sink = MemorySink::default();
         let token = CancelToken::new();
-        let batches = batch_count(plan.len(), 2);
+        let batches = batch_count(plan.len(), 2, 1);
         let late = CancelAfterSink { inner: &sink, token: token.clone(), after: batches };
         let run = Campaign::new(&plan, NetworkTarget::new("t", presets::taurus_openmpi_tcp(11)))
             .shards(2)

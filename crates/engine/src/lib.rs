@@ -46,7 +46,7 @@ pub mod replicate;
 pub mod target;
 
 pub use campaign::{
-    batch_count, effective_workers, Campaign, CampaignRun, ShardedCampaign,
+    batch_bounds, batch_count, effective_workers, Campaign, CampaignRun, ShardedCampaign,
     DEFAULT_MIN_ROWS_PER_SHARD,
 };
 pub use cancel::CancelToken;

@@ -8,15 +8,19 @@
 //! output files: `# key: value` metadata comments, a header, one row per
 //! measurement.
 
-use charm_design::factors::Level;
+use charm_design::factors::{Level, Levels};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// One raw measurement.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RawRecord {
-    /// Factor levels, ordered as in [`Campaign::factor_names`].
-    pub levels: Vec<Level>,
+    /// Factor levels, ordered as in [`Campaign::factor_names`]. A
+    /// shared reference into the campaign's interned level table
+    /// (DESIGN.md §18): records of one design cell point at one tuple,
+    /// so cloning a record never deep-copies levels.
+    pub levels: Levels,
     /// Replicate index within the factor combination.
     pub replicate: u32,
     /// Global 0-based sequence number (the order the engine took the
@@ -36,15 +40,20 @@ impl RawRecord {
     /// byte-identical to the archived `records.csv`.
     pub fn csv_row(&self) -> String {
         let mut out = String::new();
-        for l in &self.levels {
-            out.push_str(&l.to_string());
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{},{},{},{}",
-            self.replicate, self.sequence, self.start_us, self.value
-        ));
+        self.write_csv_row(&mut out).expect("writing to a String cannot fail");
         out
+    }
+
+    /// Writes the CSV data row into `out` without intermediate
+    /// allocations — the hot serialization path. [`Campaign::to_csv`],
+    /// the checkpoint segment flush, and the serve stream tee all call
+    /// this with one reused buffer across their row loops; the bytes
+    /// written are exactly [`RawRecord::csv_row`]'s.
+    pub fn write_csv_row(&self, out: &mut impl fmt::Write) -> fmt::Result {
+        for l in &self.levels {
+            write!(out, "{l},")?;
+        }
+        write!(out, "{},{},{},{}", self.replicate, self.sequence, self.start_us, self.value)
     }
 }
 
@@ -73,6 +82,21 @@ impl std::error::Error for CampaignParseError {}
 
 const FIXED_COLS: [&str; 4] = ["replicate", "sequence", "start_us", "value"];
 
+/// The campaign CSV header line (no trailing newline) for the given
+/// factor names: the factor columns followed by the fixed columns,
+/// exactly as [`Campaign::to_csv`] writes it. Exposed so artifact
+/// digests (checkpoint segments) can render a record body without
+/// assembling a throwaway [`Campaign`].
+pub fn csv_header(factor_names: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&factor_names.join(","));
+    if !factor_names.is_empty() {
+        out.push(',');
+    }
+    out.push_str(&FIXED_COLS.join(","));
+    out
+}
+
 /// A complete campaign: metadata + raw records.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Campaign {
@@ -97,19 +121,44 @@ impl Campaign {
 
     /// Groups record values by the levels of the given factors, keyed by
     /// the rendered level tuple. Order of groups follows first appearance.
+    ///
+    /// Keys are built once per *distinct interned tuple*, not once per
+    /// record: records sharing a [`Levels`] allocation (every campaign
+    /// the engine produces) resolve their group through a shared-id
+    /// memo, so the per-record cost is a pointer lookup instead of a
+    /// `Vec<Level>` clone plus a linear key scan. Campaigns whose
+    /// records were built without interning still group correctly —
+    /// the memo is a fast path over content equality, never a
+    /// substitute for it.
     pub fn group_by(&self, factors: &[&str]) -> Vec<(Vec<Level>, Vec<f64>)> {
         let idxs: Vec<usize> = factors.iter().filter_map(|f| self.factor_index(f)).collect();
         let mut order: Vec<Vec<Level>> = Vec::new();
         let mut groups: Vec<Vec<f64>> = Vec::new();
+        let mut by_cell: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut last: Option<(usize, usize)> = None;
         for rec in &self.records {
-            let key: Vec<Level> = idxs.iter().map(|&i| rec.levels[i].clone()).collect();
-            match order.iter().position(|k| *k == key) {
-                Some(pos) => groups[pos].push(rec.value),
-                None => {
-                    order.push(key);
-                    groups.push(vec![rec.value]);
-                }
-            }
+            let cell = rec.levels.shared_id();
+            let pos = match last {
+                Some((c, pos)) if c == cell => pos,
+                _ => match by_cell.get(&cell) {
+                    Some(&pos) => pos,
+                    None => {
+                        let key: Vec<Level> = idxs.iter().map(|&i| rec.levels[i].clone()).collect();
+                        let pos = match order.iter().position(|k| *k == key) {
+                            Some(pos) => pos,
+                            None => {
+                                order.push(key);
+                                groups.push(Vec::new());
+                                order.len() - 1
+                            }
+                        };
+                        by_cell.insert(cell, pos);
+                        pos
+                    }
+                },
+            };
+            last = Some((cell, pos));
+            groups[pos].push(rec.value);
         }
         order.into_iter().zip(groups).collect()
     }
@@ -144,20 +193,18 @@ impl Campaign {
         }
     }
 
-    /// Serializes the campaign to CSV with metadata comments.
+    /// Serializes the campaign to CSV with metadata comments. The row
+    /// loop writes into one output buffer via
+    /// [`RawRecord::write_csv_row`] — no per-row `String`.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for (k, v) in &self.metadata {
-            out.push_str(&format!("# {k}: {v}\n"));
+            writeln!(out, "# {k}: {v}").expect("writing to a String cannot fail");
         }
-        out.push_str(&self.factor_names.join(","));
-        if !self.factor_names.is_empty() {
-            out.push(',');
-        }
-        out.push_str(&FIXED_COLS.join(","));
+        out.push_str(&csv_header(&self.factor_names));
         out.push('\n');
         for r in &self.records {
-            out.push_str(&r.csv_row());
+            r.write_csv_row(&mut out).expect("writing to a String cannot fail");
             out.push('\n');
         }
         out
@@ -197,13 +244,25 @@ impl Campaign {
         let n_factors = cols.len() - FIXED_COLS.len();
         let factor_names: Vec<String> = cols[..n_factors].iter().map(|s| s.to_string()).collect();
 
-        let mut records = Vec::new();
+        let mut records: Vec<RawRecord> = Vec::new();
+        let mut last: Option<Levels> = None;
         for line in lines {
             let fields: Vec<&str> = line.split(',').map(str::trim).collect();
             if fields.len() != cols.len() {
                 return Err(CampaignParseError::BadRow(line.to_string()));
             }
-            let levels = fields[..n_factors].iter().map(|s| Level::parse(s)).collect();
+            // Re-intern on read: consecutive rows of one design cell
+            // share one tuple, restoring the columnar layout the engine
+            // wrote the file from.
+            let parsed: Vec<Level> = fields[..n_factors].iter().map(|s| Level::parse(s)).collect();
+            let levels = match &last {
+                Some(prev) if *prev == parsed => prev.clone(),
+                _ => {
+                    let fresh: Levels = parsed.into();
+                    last = Some(fresh.clone());
+                    fresh
+                }
+            };
             let parse_err = || CampaignParseError::BadRow(line.to_string());
             let replicate = fields[n_factors].parse().map_err(|_| parse_err())?;
             let sequence = fields[n_factors + 1].parse().map_err(|_| parse_err())?;
@@ -228,21 +287,21 @@ mod tests {
             factor_names: vec!["op".into(), "size".into()],
             records: vec![
                 RawRecord {
-                    levels: vec![Level::Text("ping_pong".into()), Level::Int(64)],
+                    levels: vec![Level::Text("ping_pong".into()), Level::Int(64)].into(),
                     replicate: 0,
                     sequence: 0,
                     start_us: 0.0,
                     value: 31.5,
                 },
                 RawRecord {
-                    levels: vec![Level::Text("ping_pong".into()), Level::Int(64)],
+                    levels: vec![Level::Text("ping_pong".into()), Level::Int(64)].into(),
                     replicate: 1,
                     sequence: 1,
                     start_us: 33.0,
                     value: 30.9,
                 },
                 RawRecord {
-                    levels: vec![Level::Text("async_send".into()), Level::Int(128)],
+                    levels: vec![Level::Text("async_send".into()), Level::Int(128)].into(),
                     replicate: 0,
                     sequence: 2,
                     start_us: 66.0,

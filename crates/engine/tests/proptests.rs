@@ -9,7 +9,7 @@ use charm_design::Factor;
 use charm_engine::checkpoint::{CheckpointError, CheckpointSink, ShardCheckpoint};
 use charm_engine::record::Campaign;
 use charm_engine::target::{MemoryTarget, NetworkTarget, ParallelTarget};
-use charm_engine::{batch_count, effective_workers};
+use charm_engine::{batch_bounds, batch_count, effective_workers};
 use charm_obs::Observer;
 use charm_simmem::dvfs::GovernorPolicy;
 use charm_simmem::machine::{CpuSpec, MachineSim};
@@ -288,7 +288,7 @@ proptest! {
         let plan = plan_of(distinct.into_iter().collect(), reps, Some(seed));
         let base = NetworkTarget::new("m", presets::myrinet_gm(seed));
         let workers = effective_workers(plan.len(), shards, 1);
-        let nbatches = batch_count(plan.len(), workers);
+        let nbatches = batch_count(plan.len(), workers, 1);
 
         let uninterrupted = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
             .shards(shards)
@@ -325,5 +325,162 @@ proptest! {
             .unwrap()
             .data;
         prop_assert_eq!(&resumed, &uninterrupted);
+    }
+}
+
+/// Renders a campaign's CSV the pre-columnar way — one `format!` per
+/// field, one `String` per row, `join` per line — so the
+/// zero-allocation `write_csv_row` path has an independent oracle that
+/// shares no code with it beyond std's float formatting.
+fn reference_csv(c: &Campaign) -> String {
+    let mut out = String::new();
+    for (k, v) in &c.metadata {
+        out.push_str(&format!("# {k}: {v}\n"));
+    }
+    let mut header: Vec<String> = c.factor_names.clone();
+    header.extend(["replicate", "sequence", "start_us", "value"].map(String::from));
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in &c.records {
+        let mut cols: Vec<String> = r.levels.iter().map(|l| l.to_string()).collect();
+        cols.push(r.replicate.to_string());
+        cols.push(r.sequence.to_string());
+        cols.push(r.start_us.to_string());
+        cols.push(r.value.to_string());
+        out.push_str(&cols.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Columnar serialization contract: the single-buffer
+    /// `write_csv_row` path produces bytes identical to a naive
+    /// allocate-per-row serializer, for sequential and sharded runs.
+    #[test]
+    fn columnar_csv_matches_reference_serializer(
+        sizes in prop::collection::vec(1i64..1_000_000, 1..6),
+        reps in 1u32..4,
+        seed in any::<u64>(),
+        shards in 1usize..5,
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let plan = plan_of(distinct.into_iter().collect(), reps, Some(seed));
+        let base = NetworkTarget::new("m", presets::myrinet_gm(seed));
+        let c = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .shards(shards)
+            .min_rows_per_shard(1)
+            .seed(seed)
+            .run()
+            .unwrap()
+            .data;
+        prop_assert_eq!(c.to_csv(), reference_csv(&c));
+    }
+
+    /// Columnar layout contract: every record of a design cell points at
+    /// one shared interned `Levels` allocation — the number of distinct
+    /// allocations equals the number of distinct cells, sequential or
+    /// sharded (the merge must not re-materialize level vectors).
+    #[test]
+    fn records_share_one_interned_levels_per_cell(
+        sizes in prop::collection::vec(1i64..1_000_000, 1..6),
+        reps in 2u32..5,
+        seed in any::<u64>(),
+        shards in 1usize..5,
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let plan = plan_of(distinct.iter().copied().collect(), reps, Some(seed));
+        let base = NetworkTarget::new("m", presets::myrinet_gm(seed));
+        let c = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .shards(shards)
+            .min_rows_per_shard(1)
+            .seed(seed)
+            .run()
+            .unwrap()
+            .data;
+        let mut id_by_cell: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for r in &c.records {
+            let cell = r.levels.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",");
+            let id = *id_by_cell.entry(cell).or_insert_with(|| r.levels.shared_id());
+            prop_assert_eq!(id, r.levels.shared_id(), "cell split across allocations");
+        }
+        prop_assert_eq!(id_by_cell.len(), distinct.len());
+        let distinct_ids: std::collections::HashSet<usize> =
+            id_by_cell.values().copied().collect();
+        prop_assert_eq!(distinct_ids.len(), id_by_cell.len());
+    }
+
+    /// Checkpoint segment contract: the persisted segments partition the
+    /// plan's sequence range contiguously in batch order, and their
+    /// records carry the same levels, replicates, and bit-identical
+    /// values as the merged campaign (segment clocks are batch-local).
+    #[test]
+    fn checkpoint_segments_partition_the_run(
+        sizes in prop::collection::vec(1i64..1_000_000, 2..6),
+        reps in 1u32..4,
+        seed in any::<u64>(),
+        shards in 2usize..6,
+    ) {
+        let distinct: std::collections::HashSet<i64> = sizes.iter().copied().collect();
+        let plan = plan_of(distinct.into_iter().collect(), reps, Some(seed));
+        let base = NetworkTarget::new("m", presets::myrinet_gm(seed));
+        let sink = MemorySink::new();
+        let merged = charm_engine::Campaign::new(&plan, base.fork(base.stream_seed()))
+            .shards(shards)
+            .min_rows_per_shard(1)
+            .seed(seed)
+            .store(&sink)
+            .run()
+            .unwrap()
+            .data;
+        let segments = sink.segments.lock().unwrap();
+        let nbatches = segments.keys().next().expect("at least one segment").1;
+        prop_assert_eq!(segments.len(), nbatches);
+        let mut next_seq = 0u64;
+        for b in 0..nbatches {
+            let chk = &segments[&(b, nbatches)];
+            prop_assert!(!chk.records.is_empty(), "empty batch {}", b);
+            for r in &chk.records {
+                let m = &merged.records[r.sequence as usize];
+                prop_assert_eq!(r.sequence, next_seq, "batch {} not contiguous", b);
+                prop_assert_eq!(&r.levels, &m.levels);
+                prop_assert_eq!(r.replicate, m.replicate);
+                prop_assert_eq!(r.value.to_bits(), m.value.to_bits());
+                next_seq += 1;
+            }
+        }
+        prop_assert_eq!(next_seq as usize, merged.records.len());
+    }
+
+    /// Adaptive scheduler geometry: for any (rows, workers, floor) the
+    /// batch bounds partition `0..rows` contiguously, shrink
+    /// monotonically along the claim order, keep every non-final batch
+    /// at or above the floor, and agree with `batch_count`.
+    #[test]
+    fn batch_bounds_partition_any_geometry(
+        rows in 0usize..4000,
+        workers in 1usize..9,
+        floor in 1usize..300,
+    ) {
+        let bounds = batch_bounds(rows, workers, floor);
+        prop_assert_eq!(bounds.len(), batch_count(rows, workers, floor));
+        prop_assert_eq!(bounds[0].0, 0);
+        prop_assert_eq!(bounds.last().unwrap().1, rows);
+        for w in bounds.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "gap or overlap between batches");
+            prop_assert!(w[0].1 - w[0].0 >= w[1].1 - w[1].0, "batch sizes must shrink");
+        }
+        for (i, (lo, hi)) in bounds.iter().enumerate() {
+            prop_assert!(hi > lo || rows == 0, "empty batch {}", i);
+            if i + 1 < bounds.len() {
+                prop_assert!(hi - lo >= floor, "non-final batch below the floor");
+            }
+        }
+        if workers == 1 {
+            prop_assert_eq!(bounds.len(), 1);
+        }
     }
 }

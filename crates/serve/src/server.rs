@@ -614,8 +614,11 @@ fn stream_archive(
     if !send(writer, &head) {
         return false;
     }
+    let mut row = String::new();
     for r in &stored.data.records {
-        if !send(writer, &Event::Record { job: job.to_string(), row: r.csv_row() }) {
+        row.clear();
+        r.write_csv_row(&mut row).expect("writing to a String cannot fail");
+        if !send(writer, &Event::Record { job: job.to_string(), row: row.clone() }) {
             return false;
         }
     }

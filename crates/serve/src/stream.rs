@@ -9,9 +9,9 @@
 //! arithmetic of the engine's merge — batch `b`'s timestamps are
 //! shifted by the summed `elapsed_us` of batches `0..b`, accumulated in
 //! the same order with the same `f64` additions. Rows are rendered with
-//! [`RawRecord::csv_row`], the same function `to_csv` uses. Both
-//! together make the streamed rows byte-identical to the data rows of
-//! the archived `records.csv`.
+//! [`RawRecord::write_csv_row`] into one reused buffer — the same
+//! formatting path `to_csv` uses. Both together make the streamed rows
+//! byte-identical to the data rows of the archived `records.csv`.
 //!
 //! Resume replays flow through the same buffer: the engine loads stored
 //! segments via [`CheckpointSink::load_shard`] before the workers
@@ -74,14 +74,20 @@ impl<'s> StreamSink<'s> {
     fn buffer(&self, batch: usize, records: Vec<RawRecord>, elapsed_us: f64) {
         let mut st = self.state.lock().unwrap();
         st.pending.insert(batch, (records, elapsed_us));
+        let mut row = String::new();
         loop {
             let next = st.next;
             let Some((records, elapsed_us)) = st.pending.remove(&next) else { break };
             for mut r in records {
                 r.start_us += st.clock_us;
+                // Render into one scratch buffer, then ship an
+                // exactly-sized copy: the event must own its row, but
+                // the formatting pass never reallocates.
+                row.clear();
+                r.write_csv_row(&mut row).expect("writing to a String cannot fail");
                 // A gone client is not a campaign error: the run keeps
                 // going and archives normally.
-                let _ = st.tx.send(Event::Record { job: self.job.clone(), row: r.csv_row() });
+                let _ = st.tx.send(Event::Record { job: self.job.clone(), row: row.clone() });
                 st.streamed += 1;
             }
             st.clock_us += elapsed_us;
@@ -125,7 +131,13 @@ mod tests {
     use std::sync::mpsc::channel;
 
     fn record(sequence: u64, start_us: f64) -> RawRecord {
-        RawRecord { levels: vec![Level::Int(64)], replicate: 0, sequence, start_us, value: 1.5 }
+        RawRecord {
+            levels: vec![Level::Int(64)].into(),
+            replicate: 0,
+            sequence,
+            start_us,
+            value: 1.5,
+        }
     }
 
     fn scratch_session(tag: &str) -> (tempish::Dir, Store, CheckpointSession) {

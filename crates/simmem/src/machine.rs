@@ -405,19 +405,40 @@ impl MachineSim {
     /// are pure functions of their keys, so sharing can never change a
     /// measurement — `DESIGN.md` §14); its local hit/miss tallies start
     /// at zero.
+    ///
+    /// Forks are clone-and-reset, not full reconstructions: the page
+    /// allocator restores its boot snapshot via [`PageAllocator::fork`]
+    /// (no per-fork pool shuffle when the seed matches, which it always
+    /// does for the engine's per-batch forks), and the memo side-car is
+    /// cloned pre-warmed — interned counter names, geometry key, and
+    /// scratch capacity carry over instead of being rebuilt. Both are
+    /// bit-identical to a fresh construction by construction: the
+    /// allocator proves it in `paging::tests`, and the memo state only
+    /// ever caches pure functions of its inputs.
     pub fn fork(&self, stream_seed: u64) -> Self {
-        let mut m = MachineSim::new(
-            self.spec.clone(),
-            self.governor.policy(),
-            self.scheduler.policy(),
-            self.allocator.policy(),
+        let memo = {
+            let mut memo = self.memo.borrow().clone();
+            memo.local_hits = 0;
+            memo.local_misses = 0;
+            memo
+        };
+        MachineSim {
+            spec: self.spec.clone(),
+            governor: Governor::new(self.governor.policy(), self.spec.freqs_ghz.clone()),
+            scheduler: Scheduler::new(
+                self.scheduler.policy(),
+                self.scheduler.intruder(),
+                stream_seed ^ 0x5eed,
+            ),
+            allocator: self.allocator.fork(stream_seed ^ 0x9a9e),
             stream_seed,
-        );
-        m.set_intruder(self.scheduler.intruder(), stream_seed ^ 0x5eed);
-        m.inter_measurement_us = self.inter_measurement_us;
-        m.recorder = self.recorder.fork();
-        m.memo.get_mut().cache = Arc::clone(&self.memo.borrow().cache);
-        m
+            now_us: 0.0,
+            last_busy_end_us: 0.0,
+            inter_measurement_us: self.inter_measurement_us,
+            measurements_taken: 0,
+            recorder: self.recorder.fork(),
+            memo: RefCell::new(memo),
+        }
     }
 
     /// `(hits, misses)` of *this machine's* lookups into the (possibly

@@ -30,8 +30,69 @@ use crate::layout::ServiceProfile;
 use crate::machine::CacheLevelSpec;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// FNV-1a hasher for the profile map. A [`ProfileKey`] is a handful of
+/// small integers; the std `HashMap`'s SipHash pays its keyed setup on
+/// every lookup, which dominates the hit path the memoization exists to
+/// make cheap. FNV needs no setup and mixes a word per multiply. Not
+/// DoS-resistant — irrelevant here, keys come from the experiment plan,
+/// not the network.
+#[derive(Debug, Default)]
+pub struct FnvHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl FnvHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        let h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        self.0 = (h ^ word).wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// The profile map's hasher factory (stateless, so hashes are stable
+/// across maps and runs).
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
 
 /// Identifies where a buffer landed, independent of its page vector.
 ///
@@ -140,7 +201,7 @@ pub struct ProfileCache {
 /// The lock-protected part of a [`ProfileCache`].
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: HashMap<ProfileKey, Arc<ProfileEntry>>,
+    map: HashMap<ProfileKey, Arc<ProfileEntry>, FnvBuildHasher>,
     order: VecDeque<ProfileKey>,
 }
 

@@ -62,6 +62,9 @@ pub struct PageAllocator {
     pool: Vec<u64>,
     policy: AllocPolicy,
     rng: ChaCha8Rng,
+    /// RNG state right after boot (pool shuffled, no offsets drawn yet):
+    /// what [`PageAllocator::fork`] restores instead of re-shuffling.
+    boot_rng: ChaCha8Rng,
     /// Seed the allocator was built with; [`PageAllocator::allocate_at`]
     /// derives per-index offsets from it so that the pages backing
     /// measurement `i` do not depend on allocation order.
@@ -82,7 +85,30 @@ impl PageAllocator {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut pool: Vec<u64> = (0..pool_pages as u64).collect();
         pool.shuffle(&mut rng);
-        PageAllocator { page_bytes, pool, policy, rng, seed, pooled_block_pages: pool_pages }
+        let boot_rng = rng.clone();
+        PageAllocator {
+            page_bytes,
+            pool,
+            policy,
+            rng,
+            boot_rng,
+            seed,
+            pooled_block_pages: pool_pages,
+        }
+    }
+
+    /// An allocator at boot state for `seed`, bit-identical to
+    /// [`PageAllocator::new`] with the same geometry. When `seed` matches
+    /// this allocator's own, the shuffled pool is copied and the RNG
+    /// restored from the boot snapshot instead of re-deriving both — the
+    /// campaign engine forks every batch with the parent's seed, so the
+    /// per-fork shuffle (O(pool) RNG draws) vanishes from the hot path.
+    pub fn fork(&self, seed: u64) -> Self {
+        if seed == self.seed {
+            PageAllocator { rng: self.boot_rng.clone(), ..self.clone() }
+        } else {
+            PageAllocator::new(self.policy, self.page_bytes, self.pooled_block_pages, seed)
+        }
     }
 
     /// The seed this allocator was built with.
@@ -350,6 +376,27 @@ mod tests {
         let (pages, key) = m.allocate_keyed(16_384);
         assert_eq!(pages, m.allocate(16_384));
         assert_eq!(key, PlacementKey::MallocPrefix);
+    }
+
+    #[test]
+    fn fork_matches_fresh_construction_for_any_seed() {
+        for policy in [AllocPolicy::MallocPerSize, AllocPolicy::PooledRandomOffset] {
+            let mut parent = PageAllocator::new(policy, 4096, 256, 17);
+            // Advance the parent's RNG so the fork must restore the boot
+            // snapshot, not copy the current state.
+            for _ in 0..7 {
+                parent.allocate(8192);
+            }
+            for seed in [17u64, 99] {
+                let mut fork = parent.fork(seed);
+                let mut fresh = PageAllocator::new(policy, 4096, 256, seed);
+                assert_eq!(fork.seed(), fresh.seed());
+                for i in 0..10 {
+                    assert_eq!(fork.allocate(12_288), fresh.allocate(12_288), "draw {i}");
+                    assert_eq!(fork.allocate_at(i, 16_384), fresh.allocate_at(i, 16_384));
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! comparison's bootstrap seed is derived from *content* (the base seed
 //! and the two run IDs, which are themselves content-addressed) — never
 //! from enumeration order, so re-archiving the same runs in any order
-//! reproduces the same report.
+//! reproduces the same report. Content-derived seeds buy a second
+//! property for free: the per-run comparisons are computed on a scoped
+//! worker pool (they dominate report cost on wide groups), and because
+//! no seed depends on which thread or claim order computed it, the
+//! parallel report is byte-identical to the sequential one.
 
 use crate::diff::cells_of;
 use crate::manifest::{seed_str, MachineFacts, Manifest};
@@ -279,14 +283,68 @@ pub fn build_report(
         let direction = direction_of_unit(&unit);
         members.sort_by(|a, b| rank_order(direction, a, b));
         let best = &members[0];
+        // The paired bootstraps dominate report cost and are mutually
+        // independent — each comparison's seed is content-derived (base
+        // seed ⊕ both run IDs), not position- or thread-derived. Workers
+        // claim runs off an atomic counter and results are slotted back
+        // by index, so the report is byte-identical to the sequential
+        // loop at any worker count.
+        let rest = &members[1..];
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(rest.len());
+        let mut vs: Vec<Option<VsBest>> = (0..rest.len()).map(|_| None).collect();
+        if workers <= 1 {
+            for (i, run) in rest.iter().enumerate() {
+                vs[i] = Some(if run.unit != unit {
+                    VsBest::Incomparable
+                } else {
+                    versus_best(best, run, direction, cfg)
+                });
+            }
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let computed: Vec<(usize, VsBest)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (next, unit) = (&next, &unit);
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                                if i >= rest.len() {
+                                    break;
+                                }
+                                let run = &rest[i];
+                                out.push((
+                                    i,
+                                    if run.unit != *unit {
+                                        VsBest::Incomparable
+                                    } else {
+                                        versus_best(best, run, direction, cfg)
+                                    },
+                                ));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("report worker panicked"))
+                    .collect()
+            });
+            for (i, v) in computed {
+                vs[i] = Some(v);
+            }
+        }
         let mut ranked = Vec::with_capacity(members.len());
         for (i, run) in members.iter().enumerate() {
             let vs_best = if i == 0 {
                 VsBest::Best
-            } else if run.unit != unit {
-                VsBest::Incomparable
             } else {
-                versus_best(best, run, direction, cfg)
+                vs[i - 1].take().expect("every non-best run was compared")
             };
             ranked.push(RankedRun {
                 rank: i + 1,

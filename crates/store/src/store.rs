@@ -618,12 +618,13 @@ fn collision(id: &RunId, stored: &Manifest, incoming: &CampaignKey) -> StoreErro
 /// load time, so a flipped value in a checkpoint is caught even though
 /// interrupted runs have no manifest to verify against yet.
 fn records_digest(factor_names: &[String], records: &[RawRecord]) -> String {
-    let body = CampaignData {
-        metadata: BTreeMap::new(),
-        factor_names: factor_names.to_vec(),
-        records: records.to_vec(),
-    };
-    sha256_hex(body.to_csv().as_bytes())
+    let mut body = charm_engine::record::csv_header(factor_names);
+    body.push('\n');
+    for r in records {
+        r.write_csv_row(&mut body).expect("writing to a String cannot fail");
+        body.push('\n');
+    }
+    sha256_hex(body.as_bytes())
 }
 
 /// The checkpoint sink for one campaign's run directory: what

@@ -71,7 +71,7 @@ proptest! {
         // The scheduler checkpoints dynamically claimed *batches*, not
         // worker shards — segments on disk are keyed by batch geometry.
         let workers = charm_engine::effective_workers(plan.len(), shards, 1);
-        let nbatches = charm_engine::batch_count(plan.len(), workers);
+        let nbatches = charm_engine::batch_count(plan.len(), workers, 1);
 
         let dir = scratch("resume");
         let store = Store::open(&dir).unwrap();

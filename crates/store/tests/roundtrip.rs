@@ -46,9 +46,13 @@ fn plan_of(seed: u64) -> ExperimentPlan {
 
 // The 18-row test plans sit under the engine's default 64-row floor, so
 // every sharded build here opts out of the clamp with
-// `.min_rows_per_shard(1)` to exercise the real parallel path. Batch
-// geometry for checkpoint filenames: shards 2 → 8 batches, shards 3 →
-// 12 batches (workers × 4, capped at 18 rows).
+// `.min_rows_per_shard(1)` to exercise the real parallel path.
+// Checkpoint filenames carry the batch geometry; tests compute it with
+// `charm_engine::batch_count` instead of hardcoding it.
+fn batches_of(plan: &ExperimentPlan, shards: usize) -> usize {
+    charm_engine::batch_count(plan.len(), charm_engine::effective_workers(plan.len(), shards, 1), 1)
+}
+
 fn run_campaign(plan: &ExperimentPlan, seed: u64, shards: usize) -> CampaignData {
     let target = NetworkTarget::new("taurus", presets::taurus_openmpi_tcp(seed));
     Campaign::new(plan, target).shards(shards).min_rows_per_shard(1).seed(seed).run().unwrap().data
@@ -189,7 +193,7 @@ fn checkpointed_run_through_real_store_resumes_bit_identical() {
         .join("runs")
         .join(session.run_id().as_str())
         .join("checkpoints")
-        .join("shard-1-of-12.csv");
+        .join(format!("shard-1-of-{}.csv", batches_of(&plan, 3)));
     assert!(segment.is_file(), "campaign flushed batch segments");
     std::fs::remove_file(&segment).unwrap();
 
@@ -241,10 +245,13 @@ fn gc_purges_spent_checkpoints_but_keeps_resumable_runs() {
     let interrupted_dir = dir.join("runs").join(session2.run_id().as_str());
 
     let report = store.gc().unwrap();
-    assert_eq!(report.removed_segments, 8, "only the finalized run's segments");
+    assert_eq!(report.removed_segments, batches_of(&plan, 2), "only the finalized run's segments");
     assert!(report.reclaimed_bytes > 0);
     assert!(
-        interrupted_dir.join("checkpoints").join("shard-0-of-8.csv").is_file(),
+        interrupted_dir
+            .join("checkpoints")
+            .join(format!("shard-0-of-{}.csv", batches_of(&plan2, 2)))
+            .is_file(),
         "interrupted run keeps its only copy of the work"
     );
     // The finalized run still loads and verifies cleanly after the purge.
@@ -344,8 +351,9 @@ fn foreign_platform_segment_is_rejected_on_resume() {
     // like), then try to resume as that other platform.
     let session_b = store.session(&plan, "myrinet#bbbbbbbbbbbb", Some(47), 2).unwrap();
     let runs = dir.join("runs");
-    for batch in 0..8 {
-        let name = format!("shard-{batch}-of-8.csv");
+    let nbatches = batches_of(&plan, 2);
+    for batch in 0..nbatches {
+        let name = format!("shard-{batch}-of-{nbatches}.csv");
         std::fs::copy(
             runs.join(session_a.run_id().as_str()).join("checkpoints").join(&name),
             runs.join(session_b.run_id().as_str()).join("checkpoints").join(&name),
@@ -386,7 +394,7 @@ fn tampered_segment_value_is_rejected_on_resume() {
         .join("runs")
         .join(session.run_id().as_str())
         .join("checkpoints")
-        .join("shard-0-of-8.csv");
+        .join(format!("shard-0-of-{}.csv", batches_of(&plan, 2)));
     let text = std::fs::read_to_string(&segment).unwrap();
     let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
     let last = lines.last_mut().unwrap();
@@ -440,7 +448,10 @@ fn gc_keeps_in_flight_sessions_and_removes_true_debris() {
         .store(&session)
         .run()
         .unwrap();
-    assert!(live.join("checkpoints").join("shard-0-of-8.csv").is_file());
+    assert!(live
+        .join("checkpoints")
+        .join(format!("shard-0-of-{}.csv", batches_of(&plan, 2)))
+        .is_file());
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -512,9 +523,9 @@ fn cancelled_campaign_leaves_segments_but_no_manifest_and_resumes() {
         .filter_map(|e| e.ok())
         .filter(|e| e.file_name().to_string_lossy().ends_with(".csv"))
         .count();
-    // 18 rows × 4 workers → 16 batches; cancellation stopped the claim
-    // loop, so a strict subset ran (trigger + at most one in-flight
-    // batch per worker).
+    // Cancellation stopped the claim loop, so a strict subset of the
+    // batch geometry ran (trigger + at most one in-flight batch per
+    // worker).
     assert!((1..=5).contains(&segments), "expected a strict subset, got {segments} segments");
 
     // A restarted service resumes off those segments and archives a
